@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Extension: cross-technique mitigation comparison at the circuit
+ * level. One energy evaluation at ideal-optimal parameters on the
+ * noisy device, mitigated by each technique in the repo:
+ *
+ *   baseline (none), MBM, M3, ZNE, JigSaw, VarSaw, VarSaw+MBM.
+ *
+ * Reports |error| against the ideal-optimal energy and the circuit
+ * cost of the evaluation — the accuracy/cost landscape the paper's
+ * related-work section situates VarSaw in.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.hh"
+#include "mitigation/m3.hh"
+#include "mitigation/mbm.hh"
+#include "noise/device_model.hh"
+#include "vqa/ansatz.hh"
+#include "vqa/zne_estimator.hh"
+
+using namespace varsaw;
+using namespace varsaw::bench;
+
+namespace {
+
+/** Baseline estimator with per-basis PMF post-processing. */
+double
+correctedBaseline(const Hamiltonian &h, const Circuit &ansatz,
+                  Executor &exec, const std::vector<double> &params,
+                  const std::function<Pmf(const Pmf &)> &correct)
+{
+    const BasisReduction reduction = coverReduce(h.strings());
+    std::vector<Pmf> pmfs;
+    pmfs.reserve(reduction.bases.size());
+    for (const auto &basis : reduction.bases) {
+        Circuit c = makeGlobalCircuit(ansatz, basis);
+        pmfs.push_back(correct(exec.execute(c, params, 0)));
+    }
+    return energyFromBasisPmfs(h, reduction, pmfs);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Extension - mitigation-technique comparison (CH4-6, "
+           "optimal params)",
+           "measurement-targeting techniques beat ZNE here; VarSaw "
+           "matches JigSaw at far lower cost. NOTE: MBM/M3 invert "
+           "our noise model exactly because the simulated readout "
+           "channel is perfectly tensored - an artifact of the "
+           "substitute; on hardware, non-tensored readout effects "
+           "and 2^n scaling favor the JigSaw family.");
+
+    Hamiltonian h = molecule("CH4-6");
+    EfficientSU2 ansatz(AnsatzConfig{6, 2, Entanglement::Full});
+    const int ideal_iters =
+        static_cast<int>(envInt("VARSAW_BENCH_TICKS", 300));
+    IdealVqeResult opt =
+        idealOptimalParameters(h, ansatz, 2, ideal_iters, 7);
+    const DeviceModel device = DeviceModel::mumbai();
+
+    TablePrinter table("One-evaluation error vs circuit cost");
+    table.setHeader({"Technique", "|error| (Ha)", "Circuits"});
+
+    auto add_row = [&](const char *label, double energy,
+                       std::uint64_t circuits) {
+        table.addRow({label,
+                      TablePrinter::num(
+                          std::abs(energy - opt.energy), 4),
+                      TablePrinter::num(
+                          static_cast<long long>(circuits))});
+    };
+
+    { // No mitigation.
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 1);
+        BaselineEstimator est(h, ansatz.circuit(), exec, 0);
+        const double e = est.estimate(opt.parameters);
+        add_row("baseline (none)", e, exec.circuitsExecuted());
+    }
+    { // MBM full-matrix readout correction.
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 2);
+        MbmCalibration cal =
+            MbmCalibration::calibrate(exec, h.numQubits(), 0);
+        const double e = correctedBaseline(
+            h, ansatz.circuit(), exec, opt.parameters,
+            [&](const Pmf &p) { return cal.apply(p); });
+        add_row("MBM", e, exec.circuitsExecuted());
+    }
+    { // M3 subspace readout correction.
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 3);
+        M3Mitigator m3 =
+            M3Mitigator::calibrate(exec, h.numQubits(), 0);
+        const double e = correctedBaseline(
+            h, ansatz.circuit(), exec, opt.parameters,
+            [&](const Pmf &p) { return m3.apply(p); });
+        add_row("M3", e, exec.circuitsExecuted());
+    }
+    { // ZNE (gate-noise extrapolation).
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 4);
+        ZneEstimator est(h, ansatz.circuit(), exec, 0, {1, 3, 5});
+        const double e = est.estimate(opt.parameters);
+        add_row("ZNE", e, exec.circuitsExecuted());
+    }
+    { // JigSaw.
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 5);
+        JigsawConfig jc;
+        jc.globalShots = 0;
+        jc.subsetShots = 0;
+        JigsawEstimator est(h, ansatz.circuit(), exec, jc);
+        const double e = est.estimate(opt.parameters);
+        add_row("JigSaw", e, exec.circuitsExecuted());
+    }
+    { // VarSaw.
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 6);
+        VarsawConfig config;
+        config.subsetShots = 0;
+        config.globalShots = 0;
+        config.temporal.mode = GlobalScheduler::Mode::NoSparsity;
+        VarsawEstimator est(h, ansatz.circuit(), exec, config);
+        const double e = est.estimate(opt.parameters);
+        add_row("VarSaw", e, exec.circuitsExecuted());
+    }
+    { // VarSaw + MBM on the globals (Fig. 18 stacking).
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 7);
+        VarsawConfig config;
+        config.subsetShots = 0;
+        config.globalShots = 0;
+        config.temporal.mode = GlobalScheduler::Mode::NoSparsity;
+        config.mbm =
+            MbmCalibration::calibrate(exec, h.numQubits(), 0);
+        VarsawEstimator est(h, ansatz.circuit(), exec, config);
+        const double e = est.estimate(opt.parameters);
+        add_row("VarSaw+MBM", e, exec.circuitsExecuted());
+    }
+
+    table.print();
+    return 0;
+}

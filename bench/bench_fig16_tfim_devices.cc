@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Fig. 16: "real-device" TFIM experiments (simulated Lagos and
+ * Jakarta presets). VQE on a 5-qubit TFIM, comparing VarSaw with
+ * and without Global selective execution under a fixed budget,
+ * averaged over seeded trials.
+ *
+ * Expected: sparsity completes notably more iterations (the paper's
+ * 3-Pauli-term instance sees ~4x; our 9-term TFIM, whose Globals
+ * are a smaller cost share, sees ~2x) and improves the objective
+ * gap. EXPERIMENTS.md discusses the instance-size difference.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "chem/spin_models.hh"
+#include "noise/device_model.hh"
+#include "vqa/ansatz.hh"
+
+using namespace varsaw;
+using namespace varsaw::bench;
+
+namespace {
+
+struct Averaged
+{
+    double iterations = 0.0;
+    double best = 0.0;
+    double exact = 0.0;
+};
+
+Averaged
+runMode(const Hamiltonian &h, const EfficientSU2 &ansatz,
+        const DeviceModel &device, GlobalScheduler::Mode mode,
+        std::uint64_t budget, std::uint64_t shots, int trials)
+{
+    Averaged avg;
+    for (int trial = 0; trial < trials; ++trial) {
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing,
+                           0xAB0 + 17 * trial +
+                               static_cast<unsigned>(mode));
+        VarsawConfig config;
+        config.subsetShots = shots;
+        config.globalShots = shots;
+        config.temporal.mode = mode;
+        VarsawEstimator est(h, ansatz.circuit(), exec, config);
+        auto res = runScenario(
+            GlobalScheduler::modeName(mode), h, ansatz.circuit(),
+            est, &exec, ansatz.initialParameters(67 + trial),
+            1000000, budget, 29 + trial);
+        avg.iterations += res.iterations;
+        avg.best += res.bestEstimate;
+        avg.exact += res.tailEstimate;
+    }
+    avg.iterations /= trials;
+    avg.best /= trials;
+    avg.exact /= trials;
+    return avg;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 16 - TFIM-5 on simulated Lagos/Jakarta devices",
+           "sparsity -> several-fold more iterations and a better "
+           "objective (paper: ~4x iters, 1.5-3x gap improvement)");
+
+    Hamiltonian h = tfim(5, 1.0, 0.8);
+    EfficientSU2 ansatz(AnsatzConfig{5, 2, Entanglement::Linear});
+    const std::uint64_t budget = static_cast<std::uint64_t>(
+        envInt("VARSAW_BENCH_BUDGET", 9000));
+    const std::uint64_t shots = static_cast<std::uint64_t>(
+        envInt("VARSAW_BENCH_SHOTS", 2048));
+    const int trials =
+        static_cast<int>(envInt("VARSAW_BENCH_TRIALS", 3));
+    const double ideal = groundStateEnergy(h);
+
+    TablePrinter table("Fig. 16 (trial means; ideal reference " +
+                       TablePrinter::num(ideal, 3) + ")");
+    table.setHeader({"Device", "Mode", "Iterations", "Best estimate",
+                     "Converged est"});
+
+    for (const DeviceModel &device :
+         {DeviceModel::lagos(), DeviceModel::jakarta()}) {
+        auto dense = runMode(h, ansatz, device,
+                             GlobalScheduler::Mode::NoSparsity,
+                             budget, shots, trials);
+        auto sparse = runMode(h, ansatz, device,
+                              GlobalScheduler::Mode::Adaptive,
+                              budget, shots, trials);
+        table.addRow({device.name(), "w/o sparsity",
+                      TablePrinter::num(dense.iterations, 1),
+                      TablePrinter::num(dense.best, 3),
+                      TablePrinter::num(dense.exact, 3)});
+        table.addRow({device.name(), "w/ sparsity",
+                      TablePrinter::num(sparse.iterations, 1),
+                      TablePrinter::num(sparse.best, 3),
+                      TablePrinter::num(sparse.exact, 3)});
+
+        const double iter_ratio = sparse.iterations /
+            std::max(1.0, dense.iterations);
+        const double gap_dense = dense.exact - ideal;
+        const double gap_sparse = sparse.exact - ideal;
+        std::printf("%s: iteration ratio %.1fx; objective gap "
+                    "%.3f -> %.3f (%.1fx better)\n",
+                    device.name().c_str(), iter_ratio, gap_dense,
+                    gap_sparse,
+                    gap_sparse > 1e-9 ? gap_dense / gap_sparse
+                                      : 99.0);
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 8: circuits executed per VQA iteration vs. qubit count, for
+ * Traditional VQA, JigSaw+VQA, and VarSaw at Global fractions
+ * k = 1, 0.1, 0.01, 0.001.
+ *
+ * Expected shape: Traditional ~ Q^4, JigSaw ~ Q^5 (always the top
+ * line), VarSaw between Q^~1 and Q^4 with the k=1 line overlapping
+ * Traditional and small-k lines dipping *below* Traditional.
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.hh"
+#include "core/cost_model.hh"
+#include "util/statistics.hh"
+
+using namespace varsaw;
+using namespace varsaw::bench;
+
+int
+main()
+{
+    banner("Fig. 8 - circuit-count scaling per VQA iteration",
+           "JigSaw ~O(Q^5); Traditional ~O(Q^4); VarSaw O(Q^2..Q^4), "
+           "k=1 overlaps Traditional, small k undercuts it");
+
+    const std::vector<double> ks = {1.0, 0.1, 0.01, 0.001};
+    std::vector<double> qubit_points;
+    for (double q = 4; q <= 1000; q *= 1.6)
+        qubit_points.push_back(std::floor(q));
+    qubit_points.push_back(1000);
+
+    const auto rows = sweepCostModel(qubit_points, ks);
+
+    TablePrinter table("Circuits executed per iteration (log-scale "
+                       "series of Fig. 8)");
+    table.setHeader({"Qubits", "Traditional", "JigSaw+VQA",
+                     "VarSaw k=1", "VarSaw k=0.1", "VarSaw k=0.01",
+                     "VarSaw k=0.001"});
+    auto sci = [](double v) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.3g", v);
+        return std::string(buf);
+    };
+    for (const auto &row : rows) {
+        table.addRow({TablePrinter::num(
+                          static_cast<long long>(row.qubits)),
+                      sci(row.traditional), sci(row.jigsaw),
+                      sci(row.varsaw[0]), sci(row.varsaw[1]),
+                      sci(row.varsaw[2]), sci(row.varsaw[3])});
+    }
+    table.print();
+
+    // Fitted asymptotic exponents over the large-Q tail.
+    std::vector<double> qs, trad, jig;
+    std::vector<std::vector<double>> var(ks.size());
+    for (const auto &row : rows) {
+        if (row.qubits < 100)
+            continue;
+        qs.push_back(row.qubits);
+        trad.push_back(row.traditional);
+        jig.push_back(row.jigsaw);
+        for (std::size_t i = 0; i < ks.size(); ++i)
+            var[i].push_back(row.varsaw[i]);
+    }
+    TablePrinter fits("Fitted log-log slopes (large-Q tail)");
+    fits.setHeader({"Series", "Exponent"});
+    fits.addRow({"Traditional VQA",
+                 TablePrinter::num(fitPowerLaw(qs, trad).slope, 3)});
+    fits.addRow({"JigSaw+VQA",
+                 TablePrinter::num(fitPowerLaw(qs, jig).slope, 3)});
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "VarSaw k=%g", ks[i]);
+        fits.addRow({label,
+                     TablePrinter::num(
+                         fitPowerLaw(qs, var[i]).slope, 3)});
+    }
+    fits.print();
+    return 0;
+}

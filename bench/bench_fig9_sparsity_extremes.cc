@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fig. 9: the two temporal extremes of VarSaw — Globals every
+ * iteration (No-Sparsity) vs. one Global ever (Max-Sparsity) —
+ * under a fixed circuit budget, noise-free and noisy.
+ *
+ * Expected: noise-free, Max-Sparsity gets stuck (worse final
+ * energy); noisy, Max-Sparsity matches or beats No-Sparsity while
+ * completing more iterations for the same budget.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "noise/device_model.hh"
+#include "vqa/ansatz.hh"
+
+using namespace varsaw;
+using namespace varsaw::bench;
+
+namespace {
+
+ScenarioResult
+runMode(const Hamiltonian &h, const EfficientSU2 &ansatz,
+        const DeviceModel &device, GlobalScheduler::Mode mode,
+        std::uint64_t budget, std::uint64_t shots,
+        const std::vector<double> &x0)
+{
+    NoisyExecutor exec(device, GateNoiseMode::AnalyticDepolarizing,
+                       0xF19 + static_cast<unsigned>(mode));
+    VarsawConfig config;
+    config.subsetShots = shots;
+    config.globalShots = shots;
+    config.temporal.mode = mode;
+    VarsawEstimator est(h, ansatz.circuit(), exec, config);
+    auto res = runScenario(GlobalScheduler::modeName(mode), h,
+                           ansatz.circuit(), est, &exec, x0, 1000000,
+                           budget, 7);
+    res.globalFraction = est.scheduler().globalFraction();
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 9 - Global sparsity extremes, noise-free vs noisy "
+           "(CH4-6, fixed circuit budget)",
+           "noise-free: Max-Sparsity stuck above No-Sparsity; "
+           "noisy: Max-Sparsity ties/wins with more iterations");
+
+    Hamiltonian h = molecule("CH4-6");
+    EfficientSU2 ansatz(AnsatzConfig{6, 2, Entanglement::Full});
+    const auto x0 = ansatz.initialParameters(13);
+    const std::uint64_t budget = static_cast<std::uint64_t>(
+        envInt("VARSAW_BENCH_BUDGET", 30000));
+    const std::uint64_t shots = static_cast<std::uint64_t>(
+        envInt("VARSAW_BENCH_SHOTS", 2048));
+    const double ideal = groundStateEnergy(h);
+
+    TablePrinter table("Fig. 9 (final energies; lower is better; "
+                       "ideal = " + TablePrinter::num(ideal, 3) + ")");
+    table.setHeader({"Experiment", "Mode", "Iterations",
+                     "Converged est", "Exact@best"});
+
+    for (bool noisy : {false, true}) {
+        DeviceModel device = noisy
+            ? DeviceModel::mumbai()
+            : DeviceModel::ideal(27);
+        for (auto mode : {GlobalScheduler::Mode::NoSparsity,
+                          GlobalScheduler::Mode::MaxSparsity}) {
+            auto res = runMode(h, ansatz, device, mode, budget,
+                               shots, x0);
+            table.addRow({noisy ? "noisy (Mumbai-like)"
+                                : "noise-free",
+                          res.label,
+                          TablePrinter::num(
+                              static_cast<long long>(res.iterations)),
+                          TablePrinter::num(res.tailEstimate, 3),
+                          TablePrinter::num(res.exactAtBest, 3)});
+        }
+    }
+    table.print();
+    std::printf(
+        "note: Max-Sparsity completes more iterations for the same "
+        "budget in both settings.\n"
+        "verdict metric: Exact@best (true energy of the state the "
+        "tuner found).\n"
+        "Noise-free, the one-time Global makes the stale objective "
+        "exploitable: the\n"
+        "reported estimate can drift below the spectrum while the "
+        "true state stalls\n"
+        "(the paper's 'stuck at a local minimum', top of Fig. 9). "
+        "With realistic noise\n"
+        "the chain is regularized and Max-Sparsity matches or beats "
+        "No-Sparsity\n"
+        "(bottom of Fig. 9).\n");
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the hot kernels: gate
+ * application, marginalization, Bayesian reconstruction, basis
+ * reduction, subset reduction, and the end-to-end spatial plan.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "chem/molecules.hh"
+#include "core/spatial.hh"
+#include "mitigation/bayesian.hh"
+#include "mitigation/executor.hh"
+#include "sim/statevector.hh"
+#include "util/rng.hh"
+#include "vqa/ansatz.hh"
+
+namespace varsaw {
+namespace {
+
+void
+BM_ApplyHadamardLayer(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Statevector sv(n);
+    const Matrix2 h = gates::fixedMatrix(GateKind::H);
+    for (auto _ : state) {
+        for (int q = 0; q < n; ++q)
+            sv.apply1Q(q, h);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n *
+                            (1ll << (n - 1)));
+}
+BENCHMARK(BM_ApplyHadamardLayer)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_ApplyCxChain(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Statevector sv(n);
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::H));
+    for (auto _ : state) {
+        for (int q = 0; q + 1 < n; ++q)
+            sv.applyCX(q, q + 1);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+}
+BENCHMARK(BM_ApplyCxChain)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
+
+void
+BM_AnsatzSimulation(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    EfficientSU2 ansatz(AnsatzConfig{n, 2, Entanglement::Full});
+    const auto params = ansatz.initialParameters(1);
+    for (auto _ : state) {
+        Statevector sv(n);
+        sv.run(ansatz.circuit(), params);
+        benchmark::DoNotOptimize(sv.norm());
+    }
+}
+BENCHMARK(BM_AnsatzSimulation)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void
+BM_MarginalProbabilities(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    EfficientSU2 ansatz(AnsatzConfig{n, 2, Entanglement::Linear});
+    Statevector sv(n);
+    sv.run(ansatz.circuit(), ansatz.initialParameters(2));
+    const std::vector<int> measured = {0, 1};
+    for (auto _ : state) {
+        auto probs = sv.marginalProbabilities(measured);
+        benchmark::DoNotOptimize(probs.data());
+    }
+}
+BENCHMARK(BM_MarginalProbabilities)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_BayesianReconstruction(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(9);
+    Pmf global(n);
+    for (int i = 0; i < (1 << n); ++i)
+        global.set(i, rng.uniform());
+    global.normalize();
+    std::vector<LocalPmf> locals;
+    for (int s = 0; s + 1 < n; ++s) {
+        LocalPmf local;
+        local.positions = {s, s + 1};
+        local.pmf = Pmf(2);
+        for (int i = 0; i < 4; ++i)
+            local.pmf.set(i, rng.uniform());
+        local.pmf.normalize();
+        locals.push_back(std::move(local));
+    }
+    for (auto _ : state) {
+        Pmf out = bayesianReconstruct(global, locals, 1);
+        benchmark::DoNotOptimize(out.supportSize());
+    }
+}
+BENCHMARK(BM_BayesianReconstruction)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void
+BM_CoverReduce(benchmark::State &state)
+{
+    Hamiltonian h = molecule(state.range(0) == 0 ? "CH4-8"
+                                                 : "H6-10");
+    const auto strings = h.strings();
+    for (auto _ : state) {
+        auto red = coverReduce(strings);
+        benchmark::DoNotOptimize(red.bases.size());
+    }
+    state.SetLabel(h.name());
+}
+BENCHMARK(BM_CoverReduce)->Arg(0)->Arg(1);
+
+void
+BM_ReduceSubsets(benchmark::State &state)
+{
+    Hamiltonian h = molecule("H6-10");
+    const auto pool = aggregateSubsets(h.strings(), 2);
+    for (auto _ : state) {
+        auto reduced = reduceSubsets(pool);
+        benchmark::DoNotOptimize(reduced.size());
+    }
+    state.SetItemsProcessed(state.iterations() * pool.size());
+}
+BENCHMARK(BM_ReduceSubsets);
+
+void
+BM_BuildSpatialPlan(benchmark::State &state)
+{
+    Hamiltonian h = molecule("CH4-8");
+    for (auto _ : state) {
+        auto plan = buildSpatialPlan(h, 2);
+        benchmark::DoNotOptimize(plan.executedSubsets.size());
+    }
+}
+BENCHMARK(BM_BuildSpatialPlan);
+
+void
+BM_NoisyExecution(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    EfficientSU2 ansatz(AnsatzConfig{n, 2, Entanglement::Full});
+    const auto params = ansatz.initialParameters(3);
+    NoisyExecutor exec(DeviceModel::mumbai());
+    Circuit c(n);
+    c.append(ansatz.circuit());
+    c.measureAll();
+    for (auto _ : state) {
+        Pmf pmf = exec.execute(c, params, 1024);
+        benchmark::DoNotOptimize(pmf.supportSize());
+    }
+}
+BENCHMARK(BM_NoisyExecution)->Arg(4)->Arg(6)->Arg(8);
+
+} // namespace
+} // namespace varsaw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Table 1: at ideal-optimal ansatz parameters, noisy VQE energy
+ * estimates are far from the reference; applying JigSaw at the
+ * circuit level recovers most of the gap (>70% in the paper).
+ *
+ * Columns mirror the paper: reference energy, noisy VQE estimate,
+ * VQE+JigSaw (subset size 2) estimate, plus the recovered fraction.
+ * Absolute energies differ from the paper (synthetic Hamiltonians,
+ * simulated device); the ordering and recovery fraction are the
+ * reproduced claims.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "mitigation/jigsaw.hh"
+#include "noise/device_model.hh"
+#include "vqa/ansatz.hh"
+#include "vqa/estimator.hh"
+
+using namespace varsaw;
+using namespace varsaw::bench;
+
+int
+main()
+{
+    banner("Table 1 - JigSaw at the circuit level (optimal params)",
+           "JigSaw recovers >70% of the noisy-vs-reference energy "
+           "gap for LiH, H2O, H2, CH4");
+
+    const int ideal_iters =
+        static_cast<int>(envInt("VARSAW_BENCH_TICKS", 400));
+    const std::uint64_t shots =
+        static_cast<std::uint64_t>(envInt("VARSAW_BENCH_SHOTS", 0));
+
+    TablePrinter table("Table 1 (energies in synthetic Hartree)");
+    table.setHeader({"Workload", "Ref. Energy", "Noisy VQE",
+                     "VQE+JigSaw(2)", "Recovered",
+                     "Of meas. error"});
+
+    std::vector<double> recovered_all, recovered_meas_all;
+    for (const char *name : {"LiH-6", "H2O-6", "H2-4", "CH4-6"}) {
+        Hamiltonian h = molecule(name);
+        EfficientSU2 ansatz(AnsatzConfig{h.numQubits(), 2,
+                                         Entanglement::Full});
+        const double reference = groundStateEnergy(h);
+        IdealVqeResult opt =
+            idealOptimalParameters(h, ansatz, 3, ideal_iters, 17);
+
+        const DeviceModel device = DeviceModel::mumbai();
+
+        NoisyExecutor exec_noisy(
+            device, GateNoiseMode::AnalyticDepolarizing, 101);
+        BaselineEstimator noisy(h, ansatz.circuit(), exec_noisy,
+                                shots);
+        const double e_noisy = noisy.estimate(opt.parameters);
+
+        // The gate-noise-only energy is the floor measurement
+        // mitigation can reach: readout disabled, gates noisy.
+        NoisyExecutor exec_floor(
+            device.withoutReadoutError(),
+            GateNoiseMode::AnalyticDepolarizing, 103);
+        BaselineEstimator floor(h, ansatz.circuit(), exec_floor,
+                                shots);
+        const double e_floor = floor.estimate(opt.parameters);
+
+        NoisyExecutor exec_jig(
+            device, GateNoiseMode::AnalyticDepolarizing, 202);
+        JigsawConfig jc;
+        jc.subsetSize = 2;
+        jc.globalShots = shots;
+        jc.subsetShots = shots;
+        JigsawEstimator jigsaw(h, ansatz.circuit(), exec_jig, jc);
+        const double e_jigsaw = jigsaw.estimate(opt.parameters);
+
+        const double rec = percentMitigated(e_noisy, e_jigsaw,
+                                            opt.energy);
+        const double rec_meas = percentMitigated(e_noisy, e_jigsaw,
+                                                 e_floor);
+        recovered_all.push_back(rec);
+        recovered_meas_all.push_back(rec_meas);
+        table.addRow({name, TablePrinter::num(reference, 3),
+                      TablePrinter::num(e_noisy, 3),
+                      TablePrinter::num(e_jigsaw, 3),
+                      TablePrinter::percent(rec / 100.0, 1),
+                      TablePrinter::percent(rec_meas / 100.0, 1)});
+    }
+    table.print();
+
+    double mean_rec = 0.0, mean_meas = 0.0;
+    for (double r : recovered_all)
+        mean_rec += r;
+    for (double r : recovered_meas_all)
+        mean_meas += r;
+    mean_rec /= static_cast<double>(recovered_all.size());
+    mean_meas /= static_cast<double>(recovered_meas_all.size());
+    std::printf("mean recovered: %.1f%% of the total gap, %.1f%% of "
+                "the measurement-error share (paper: >70%%)\n",
+                mean_rec, mean_meas);
+    return 0;
+}

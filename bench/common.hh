@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared scaffolding for the benchmark harnesses.
+ *
+ * Every bench binary reproduces one table or figure of the paper and
+ * prints the same rows/series. Defaults are tuned to finish in tens
+ * of seconds; environment variables scale them up for paper-sized
+ * runs:
+ *
+ *   VARSAW_BENCH_TICKS   objective evaluations per VQE scenario
+ *   VARSAW_BENCH_BUDGET  circuit budget per fixed-budget scenario
+ *   VARSAW_BENCH_TRIALS  random-seed trials to average over
+ *   VARSAW_BENCH_SHOTS   shots per circuit
+ */
+
+#ifndef VARSAW_BENCH_COMMON_HH
+#define VARSAW_BENCH_COMMON_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "chem/exact_solver.hh"
+#include "chem/molecules.hh"
+#include "core/varsaw.hh"
+#include "util/table.hh"
+#include "vqa/vqe.hh"
+
+namespace varsaw::bench {
+
+/** Integer knob from the environment with a default. */
+inline long long
+envInt(const char *name, long long dflt)
+{
+    const char *value = std::getenv(name);
+    return value ? std::atoll(value) : dflt;
+}
+
+/** Floating-point knob from the environment with a default. */
+inline double
+envDouble(const char *name, double dflt)
+{
+    const char *value = std::getenv(name);
+    return value ? std::atof(value) : dflt;
+}
+
+/** Outcome of one VQE scenario run. */
+struct ScenarioResult
+{
+    std::string label;
+    double bestEstimate = 0.0; //!< best energy the estimator reported
+    double exactAtBest = 0.0;  //!< exact energy at the best params
+    /**
+     * Converged reported energy: mean of the estimates over the
+     * last ~10% of iterations. This is the paper's accuracy metric —
+     * the energy the (mitigated or not) VQE run reports — and is
+     * robust against picking a lucky shot-noise fluctuation.
+     */
+    double tailEstimate = 0.0;
+    int iterations = 0;
+    std::uint64_t circuits = 0;
+    double globalFraction = 0.0; //!< VarSaw only; 0 otherwise
+    std::vector<VqeTracePoint> trace;
+};
+
+/**
+ * Drive one VQE scenario: run @p estimator under SPSA from a seeded
+ * start, then score the best parameters with exact expectations so
+ * different estimators are compared on the true energy of the state
+ * they found rather than on their own (differently biased) readouts.
+ */
+inline ScenarioResult
+runScenario(const std::string &label, const Hamiltonian &h,
+            const Circuit &ansatz, EnergyEstimator &estimator,
+            Executor *cost_source, const std::vector<double> &x0,
+            int max_iterations, std::uint64_t circuit_budget,
+            std::uint64_t spsa_seed)
+{
+    Spsa::Config sc;
+    sc.seed = spsa_seed;
+    Spsa spsa(sc);
+    VqeDriver driver(estimator, spsa, cost_source);
+
+    VqeConfig vc;
+    vc.maxIterations = max_iterations;
+    vc.circuitBudget = circuit_budget;
+    VqeResult res = driver.run(x0, vc);
+
+    ScenarioResult out;
+    out.label = label;
+    out.bestEstimate = res.bestEnergy;
+    ExactEstimator exact(h, ansatz);
+    out.exactAtBest = exact.estimate(res.bestParams);
+    out.iterations = res.iterations;
+    out.circuits = res.circuitsUsed;
+    out.trace = std::move(res.trace);
+
+    if (!out.trace.empty()) {
+        const std::size_t n = out.trace.size();
+        const std::size_t tail = std::max<std::size_t>(5, n / 10);
+        const std::size_t start = n > tail ? n - tail : 0;
+        double total = 0.0;
+        for (std::size_t i = start; i < n; ++i)
+            total += out.trace[i].energy;
+        out.tailEstimate =
+            total / static_cast<double>(n - start);
+    } else {
+        out.tailEstimate = res.bestEnergy;
+    }
+    return out;
+}
+
+/**
+ * Percentage of the inaccuracy (relative to @p ideal) that
+ * @p improved recovers over @p reference:
+ * 100 * (reference - improved) / (reference - ideal).
+ */
+inline double
+percentMitigated(double reference, double improved, double ideal)
+{
+    const double gap = reference - ideal;
+    if (gap <= 1e-12)
+        return 0.0;
+    return 100.0 * (reference - improved) / gap;
+}
+
+/** Print a short banner naming the reproduced table/figure. */
+inline void
+banner(const std::string &what, const std::string &expectation)
+{
+    std::string line(72, '=');
+    std::printf("%s\n%s\n", line.c_str(), what.c_str());
+    if (!expectation.empty())
+        std::printf("paper expectation: %s\n", expectation.c_str());
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace varsaw::bench
+
+#endif // VARSAW_BENCH_COMMON_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * QAOA MaxCut under measurement noise, with and without VarSaw.
+ *
+ * Usage: qaoa_maxcut [vertices] [layers] [budget]
+ *
+ * Builds a random graph, runs QAOA through the noisy simulated
+ * device twice — plain baseline measurement vs VarSaw mitigation —
+ * and reports the expected cut value each achieves against the
+ * brute-force optimum.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "chem/maxcut.hh"
+#include "core/varsaw.hh"
+#include "util/table.hh"
+#include "vqa/qaoa.hh"
+#include "vqa/vqe.hh"
+
+using namespace varsaw;
+
+int
+main(int argc, char **argv)
+{
+    const int vertices = argc > 1 ? std::atoi(argv[1]) : 6;
+    const int layers = argc > 2 ? std::atoi(argv[2]) : 2;
+    const std::uint64_t budget =
+        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 6000;
+
+    Graph graph = randomGraph(vertices, 0.5, 2024);
+    Hamiltonian cost = maxcutHamiltonian(graph);
+    const double best_cut = maxcutBruteForce(graph);
+
+    std::printf("graph: %d vertices, %zu edges; optimal cut %.0f\n",
+                vertices, graph.edges.size(), best_cut);
+    std::printf("QAOA: p = %d layers; budget %llu circuits per "
+                "run\n\n",
+                layers, static_cast<unsigned long long>(budget));
+
+    QaoaAnsatz ansatz(cost, layers);
+    const DeviceModel device = DeviceModel::mumbai();
+    const auto x0 = ansatz.initialParameters(5);
+
+    ParameterExpander expander =
+        [&](const std::vector<double> &gb) {
+            return ansatz.expandParameters(gb);
+        };
+
+    TablePrinter table("QAOA MaxCut-" + std::to_string(vertices) +
+                       " (expected cut = -energy; higher is better)");
+    table.setHeader({"Method", "Iterations", "Expected cut",
+                     "Approx. ratio"});
+
+    auto report = [&](const char *label, const VqeResult &res) {
+        const double cut = -res.bestEnergy;
+        char ratio[32];
+        std::snprintf(ratio, sizeof(ratio), "%.3f", cut / best_cut);
+        table.addRow({label,
+                      TablePrinter::num(
+                          static_cast<long long>(res.iterations)),
+                      TablePrinter::num(cut, 3), ratio});
+    };
+
+    VqeConfig vc;
+    vc.maxIterations = 1000000;
+    vc.circuitBudget = budget;
+
+    { // Plain noisy baseline.
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 1);
+        BaselineEstimator est(cost, ansatz.circuit(), exec, 1024,
+                              BasisMode::Merge);
+        Spsa spsa;
+        VqeDriver driver(est, spsa, &exec, expander);
+        report("Baseline (noisy)", driver.run(x0, vc));
+    }
+    { // VarSaw.
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 2);
+        VarsawConfig config;
+        config.subsetShots = 512;
+        config.globalShots = 1024;
+        config.basisMode = BasisMode::Merge;
+        VarsawEstimator est(cost, ansatz.circuit(), exec, config);
+        Spsa spsa;
+        VqeDriver driver(est, spsa, &exec, expander);
+        report("VarSaw", driver.run(x0, vc));
+        std::printf("VarSaw plan: %s\n\n",
+                    est.plan().summary().c_str());
+    }
+
+    table.print();
+    return 0;
+}

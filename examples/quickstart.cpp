@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Quickstart: mitigate measurement error for an H2 VQE run.
+ *
+ * Builds the exact 4-qubit H2 Hamiltonian, runs three short VQE
+ * optimizations on a simulated noisy device — unmitigated baseline,
+ * JigSaw, and VarSaw — and prints final energies and circuit costs.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "chem/exact_solver.hh"
+#include "chem/molecules.hh"
+#include "core/varsaw.hh"
+#include "util/table.hh"
+#include "vqa/vqe.hh"
+
+using namespace varsaw;
+
+int
+main()
+{
+    // 1. The problem: H2 ground-state energy estimation.
+    Hamiltonian h = h2Sto3g();
+    std::printf("workload: %s, %d qubits, %zu Pauli terms\n",
+                h.name().c_str(), h.numQubits(), h.numTerms());
+    const double reference = groundStateEnergy(h);
+    std::printf("exact ground energy (Lanczos): %.6f Ha\n\n",
+                reference);
+
+    // 2. The ansatz and the simulated device.
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Full});
+    const DeviceModel device = DeviceModel::mumbai();
+    std::printf("device: %s\n\n", device.summary().c_str());
+
+    const auto x0 = ansatz.initialParameters(42);
+    const std::uint64_t budget = 8000;
+
+    TablePrinter table("H2 VQE under a fixed budget of 8000 circuits");
+    table.setHeader({"Method", "Iterations", "Final energy",
+                     "Circuits"});
+
+    auto report = [&](const char *label, VqeResult &res) {
+        table.addRow({label,
+                      TablePrinter::num(
+                          static_cast<long long>(res.iterations)),
+                      TablePrinter::num(res.bestEnergy, 4),
+                      TablePrinter::num(
+                          static_cast<long long>(res.circuitsUsed))});
+    };
+
+    VqeConfig vc;
+    vc.maxIterations = 100000;
+    vc.circuitBudget = budget;
+
+    { // Unmitigated baseline.
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 1);
+        BaselineEstimator est(h, ansatz.circuit(), exec, 1024);
+        Spsa spsa;
+        VqeDriver driver(est, spsa, &exec);
+        VqeResult res = driver.run(x0, vc);
+        report("Baseline (noisy)", res);
+    }
+    { // JigSaw-for-VQA.
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 2);
+        JigsawEstimator est(h, ansatz.circuit(), exec,
+                            JigsawConfig{});
+        Spsa spsa;
+        VqeDriver driver(est, spsa, &exec);
+        VqeResult res = driver.run(x0, vc);
+        report("JigSaw", res);
+    }
+    { // VarSaw (spatial + adaptive temporal).
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 3);
+        VarsawConfig config;
+        config.subsetShots = 512;
+        config.globalShots = 1024;
+        VarsawEstimator est(h, ansatz.circuit(), exec, config);
+        Spsa spsa;
+        VqeDriver driver(est, spsa, &exec);
+        VqeResult res = driver.run(x0, vc);
+        report("VarSaw", res);
+        std::printf("VarSaw spatial plan: %s\n",
+                    est.plan().summary().c_str());
+        std::printf("VarSaw global-execution fraction: %.3f\n\n",
+                    est.scheduler().globalFraction());
+    }
+
+    table.print();
+    std::printf("\nreference (exact): %.4f Ha. VarSaw should land "
+                "closest for the same budget.\n", reference);
+    return 0;
+}

@@ -1,0 +1,191 @@
+#include "chem/exact_solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "vqa/estimator.hh"
+#include "vqa/optimizer.hh"
+
+namespace varsaw {
+
+void
+applyHamiltonian(const Hamiltonian &h,
+                 const std::vector<std::complex<double>> &x,
+                 std::vector<std::complex<double>> &y)
+{
+    const std::uint64_t dim = 1ull << h.numQubits();
+    if (x.size() != dim || y.size() != dim)
+        panic("applyHamiltonian: dimension mismatch");
+
+    static const std::complex<double> i_pow[4] = {
+        {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+
+    if (h.identityOffset() != 0.0)
+        for (std::uint64_t i = 0; i < dim; ++i)
+            y[i] += h.identityOffset() * x[i];
+
+    for (const auto &term : h.terms()) {
+        const std::uint64_t xm = term.string.xMask();
+        const std::uint64_t zm = term.string.zMask();
+        const std::complex<double> phase =
+            i_pow[popcount(xm & zm) & 3] * term.coefficient;
+        for (std::uint64_t i = 0; i < dim; ++i) {
+            const double sign = paritySign(i & zm);
+            y[i ^ xm] += phase * sign * x[i];
+        }
+    }
+}
+
+double
+tridiagonalSmallestEigenvalue(const std::vector<double> &diag,
+                              const std::vector<double> &off)
+{
+    const std::size_t n = diag.size();
+    if (n == 0)
+        panic("tridiagonalSmallestEigenvalue: empty matrix");
+    if (off.size() + 1 != n)
+        panic("tridiagonalSmallestEigenvalue: off-diagonal size");
+
+    // Gershgorin bounds.
+    double lo = diag[0], hi = diag[0];
+    for (std::size_t i = 0; i < n; ++i) {
+        double radius = 0.0;
+        if (i > 0)
+            radius += std::abs(off[i - 1]);
+        if (i + 1 < n)
+            radius += std::abs(off[i]);
+        lo = std::min(lo, diag[i] - radius);
+        hi = std::max(hi, diag[i] + radius);
+    }
+
+    // Sturm count: number of eigenvalues < x.
+    auto count_below = [&](double x) {
+        int count = 0;
+        double d = 1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double offsq =
+                i > 0 ? off[i - 1] * off[i - 1] : 0.0;
+            d = diag[i] - x - (d == 0.0 ? offsq / 1e-300 : offsq / d);
+            if (d < 0.0)
+                ++count;
+        }
+        return count;
+    };
+
+    for (int iter = 0; iter < 200 && hi - lo > 1e-12; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (count_below(mid) >= 1)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+double
+groundStateEnergy(const Hamiltonian &h, int max_iters,
+                  std::uint64_t seed)
+{
+    if (h.numQubits() > 16)
+        fatal("groundStateEnergy: refusing beyond 16 qubits; "
+              "use the cost model for larger workloads");
+    const std::uint64_t dim = 1ull << h.numQubits();
+    using Cvec = std::vector<std::complex<double>>;
+
+    Rng rng(seed);
+    Cvec v(dim);
+    double norm = 0.0;
+    for (auto &a : v) {
+        a = {rng.normal(), rng.normal()};
+        norm += std::norm(a);
+    }
+    norm = std::sqrt(norm);
+    for (auto &a : v)
+        a /= norm;
+
+    std::vector<Cvec> basis; // kept for full reorthogonalization
+    std::vector<double> alpha, beta;
+    Cvec w(dim);
+
+    const int m = std::min<std::uint64_t>(max_iters, dim);
+    double best = 0.0;
+    for (int j = 0; j < m; ++j) {
+        basis.push_back(v);
+
+        std::fill(w.begin(), w.end(), std::complex<double>(0, 0));
+        applyHamiltonian(h, v, w);
+
+        std::complex<double> a_c(0, 0);
+        for (std::uint64_t i = 0; i < dim; ++i)
+            a_c += std::conj(v[i]) * w[i];
+        alpha.push_back(a_c.real());
+
+        // w -= alpha_j v_j + beta_{j-1} v_{j-1}; then full
+        // reorthogonalization to control Lanczos ghost eigenvalues.
+        for (const auto &u : basis) {
+            std::complex<double> proj(0, 0);
+            for (std::uint64_t i = 0; i < dim; ++i)
+                proj += std::conj(u[i]) * w[i];
+            for (std::uint64_t i = 0; i < dim; ++i)
+                w[i] -= proj * u[i];
+        }
+
+        double b = 0.0;
+        for (const auto &a : w)
+            b += std::norm(a);
+        b = std::sqrt(b);
+
+        best = tridiagonalSmallestEigenvalue(alpha, beta);
+        if (b < 1e-10)
+            break; // invariant subspace found: exact answer
+        beta.push_back(b);
+        for (std::uint64_t i = 0; i < dim; ++i)
+            v[i] = w[i] / b;
+    }
+    return best;
+}
+
+IdealVqeResult
+idealOptimalParameters(const Hamiltonian &h, const EfficientSU2 &ansatz,
+                       int restarts, int iters, std::uint64_t seed)
+{
+    ExactEstimator estimator(h, ansatz.circuit());
+    Objective objective = [&](const std::vector<double> &p) {
+        return estimator.estimate(p);
+    };
+
+    IdealVqeResult best;
+    bool have = false;
+    for (int r = 0; r < restarts; ++r) {
+        Spsa::Config config;
+        config.seed = seed + 1000ull * r;
+        // Exact objective: larger steps converge faster.
+        config.a = 0.3;
+        config.c = 0.12;
+        Spsa spsa(config);
+        auto x0 = ansatz.initialParameters(seed + 77ull * r);
+        OptResult res = spsa.minimize(objective, x0, iters, {});
+
+        // Polish with implicit filtering from SPSA's best point.
+        ImplicitFiltering::Config ifc;
+        ifc.initialStep = 0.15;
+        ImplicitFiltering imfil(ifc);
+        OptResult polished = imfil.minimize(
+            objective, res.bestParams, std::max(20, iters / 8), {});
+
+        const double e = std::min(res.bestValue, polished.bestValue);
+        const auto &p = polished.bestValue <= res.bestValue
+            ? polished.bestParams : res.bestParams;
+        if (!have || e < best.energy) {
+            best.energy = e;
+            best.parameters = p;
+            have = true;
+        }
+    }
+    return best;
+}
+
+} // namespace varsaw

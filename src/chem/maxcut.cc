@@ -1,0 +1,93 @@
+#include "chem/maxcut.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+
+Graph
+randomGraph(int num_vertices, double edge_probability,
+            std::uint64_t seed)
+{
+    Rng rng(seed);
+    Graph g;
+    g.numVertices = num_vertices;
+    for (int i = 0; i < num_vertices; ++i)
+        for (int j = i + 1; j < num_vertices; ++j)
+            if (rng.bernoulli(edge_probability))
+                g.edges.push_back({i, j, 1.0});
+    // Guarantee connectivity of the vertex set in the trivial sense:
+    // isolated vertices are legal for MaxCut, but an empty edge set
+    // makes the workload degenerate, so chain up if needed.
+    if (g.edges.empty())
+        for (int i = 0; i + 1 < num_vertices; ++i)
+            g.edges.push_back({i, i + 1, 1.0});
+    return g;
+}
+
+Graph
+ringGraph(int num_vertices)
+{
+    Graph g;
+    g.numVertices = num_vertices;
+    for (int i = 0; i < num_vertices; ++i)
+        g.edges.push_back({i, (i + 1) % num_vertices, 1.0});
+    return g;
+}
+
+Graph
+completeGraph(int num_vertices)
+{
+    Graph g;
+    g.numVertices = num_vertices;
+    for (int i = 0; i < num_vertices; ++i)
+        for (int j = i + 1; j < num_vertices; ++j)
+            g.edges.push_back({i, j, 1.0});
+    return g;
+}
+
+Hamiltonian
+maxcutHamiltonian(const Graph &graph)
+{
+    if (graph.numVertices < 2)
+        fatal("maxcutHamiltonian: need at least two vertices");
+    Hamiltonian h(graph.numVertices,
+                  "MaxCut-" + std::to_string(graph.numVertices));
+    for (const auto &edge : graph.edges) {
+        PauliString zz(graph.numVertices);
+        zz.setOp(edge.a, PauliOp::Z);
+        zz.setOp(edge.b, PauliOp::Z);
+        h.addTerm(zz, edge.weight / 2.0);
+        h.addTerm(PauliString(graph.numVertices), -edge.weight / 2.0);
+    }
+    return h;
+}
+
+double
+cutValue(const Graph &graph, std::uint64_t bits)
+{
+    double value = 0.0;
+    for (const auto &edge : graph.edges) {
+        const bool side_a = (bits >> edge.a) & 1ull;
+        const bool side_b = (bits >> edge.b) & 1ull;
+        if (side_a != side_b)
+            value += edge.weight;
+    }
+    return value;
+}
+
+double
+maxcutBruteForce(const Graph &graph)
+{
+    if (graph.numVertices > 24)
+        fatal("maxcutBruteForce: refusing beyond 24 vertices");
+    double best = 0.0;
+    const std::uint64_t total = 1ull << graph.numVertices;
+    for (std::uint64_t bits = 0; bits < total; ++bits)
+        best = std::max(best, cutValue(graph, bits));
+    return best;
+}
+
+} // namespace varsaw

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * MaxCut workloads for QAOA (the optimization-domain VQA of
+ * Sections 2.4 / 7.3).
+ *
+ * For a weighted graph, the cut value of an assignment z is
+ * sum_{(i,j)} w_ij (1 - z_i z_j) / 2 with z in {-1, +1}. Maximizing
+ * the cut equals minimizing C = sum w_ij/2 (Z_i Z_j - 1), so the
+ * QAOA/VQE machinery applies unchanged.
+ */
+
+#ifndef VARSAW_CHEM_MAXCUT_HH
+#define VARSAW_CHEM_MAXCUT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pauli/hamiltonian.hh"
+
+namespace varsaw {
+
+/** A weighted undirected edge. */
+struct Edge
+{
+    int a = 0;
+    int b = 0;
+    double weight = 1.0;
+};
+
+/** A weighted undirected graph on [0, numVertices) vertices. */
+struct Graph
+{
+    int numVertices = 0;
+    std::vector<Edge> edges;
+};
+
+/** Erdos-Renyi-style random graph with unit weights, seeded. */
+Graph randomGraph(int num_vertices, double edge_probability,
+                  std::uint64_t seed);
+
+/** Ring graph (cycle) with unit weights. */
+Graph ringGraph(int num_vertices);
+
+/** Complete graph with unit weights. */
+Graph completeGraph(int num_vertices);
+
+/**
+ * MaxCut cost Hamiltonian: C = sum_(i,j) w/2 (Z_i Z_j - 1).
+ * Its ground-state energy is minus the maximum cut value.
+ */
+Hamiltonian maxcutHamiltonian(const Graph &graph);
+
+/** Cut value of the assignment encoded in @p bits (bit i = side). */
+double cutValue(const Graph &graph, std::uint64_t bits);
+
+/** Exact maximum cut by enumeration (vertices <= 24). */
+double maxcutBruteForce(const Graph &graph);
+
+} // namespace varsaw
+
+#endif // VARSAW_CHEM_MAXCUT_HH

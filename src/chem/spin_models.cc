@@ -1,0 +1,75 @@
+#include "chem/spin_models.hh"
+
+namespace varsaw {
+
+namespace {
+
+/** Two-site coupling string P_i P_{i+1}. */
+PauliString
+bond(int num_qubits, int i, PauliOp op)
+{
+    PauliString s(num_qubits);
+    s.setOp(i, op);
+    s.setOp(i + 1, op);
+    return s;
+}
+
+/** Single-site string P_i. */
+PauliString
+site(int num_qubits, int i, PauliOp op)
+{
+    PauliString s(num_qubits);
+    s.setOp(i, op);
+    return s;
+}
+
+} // namespace
+
+Hamiltonian
+tfim(int num_qubits, double j, double h)
+{
+    Hamiltonian ham(num_qubits, "TFIM-" + std::to_string(num_qubits));
+    for (int i = 0; i + 1 < num_qubits; ++i)
+        ham.addTerm(bond(num_qubits, i, PauliOp::Z), -j);
+    for (int i = 0; i < num_qubits; ++i)
+        ham.addTerm(site(num_qubits, i, PauliOp::X), -h);
+    return ham;
+}
+
+Hamiltonian
+isingChain(int num_qubits, double j, double hz)
+{
+    Hamiltonian ham(num_qubits,
+                    "Ising-" + std::to_string(num_qubits));
+    for (int i = 0; i + 1 < num_qubits; ++i)
+        ham.addTerm(bond(num_qubits, i, PauliOp::Z), -j);
+    for (int i = 0; i < num_qubits; ++i)
+        ham.addTerm(site(num_qubits, i, PauliOp::Z), -hz);
+    return ham;
+}
+
+Hamiltonian
+heisenbergChain(int num_qubits, double j)
+{
+    Hamiltonian ham(num_qubits,
+                    "Heisenberg-" + std::to_string(num_qubits));
+    for (int i = 0; i + 1 < num_qubits; ++i) {
+        ham.addTerm(bond(num_qubits, i, PauliOp::X), j);
+        ham.addTerm(bond(num_qubits, i, PauliOp::Y), j);
+        ham.addTerm(bond(num_qubits, i, PauliOp::Z), j);
+    }
+    return ham;
+}
+
+Hamiltonian
+xyChain(int num_qubits, double j)
+{
+    Hamiltonian ham(num_qubits, "XY-" + std::to_string(num_qubits));
+    for (int i = 0; i + 1 < num_qubits; ++i) {
+        ham.addTerm(bond(num_qubits, i, PauliOp::X), j);
+        ham.addTerm(bond(num_qubits, i, PauliOp::Y), j);
+    }
+    return ham;
+}
+
+} // namespace varsaw

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Spin-model Hamiltonians.
+ *
+ * The paper's real-device experiment (Fig. 16) runs VQE on a
+ * 5-qubit Transverse-Field Ising Model; Section 7.3 names the Ising,
+ * Heisenberg and XY models as the natural VarSaw extension targets,
+ * so all are provided.
+ */
+
+#ifndef VARSAW_CHEM_SPIN_MODELS_HH
+#define VARSAW_CHEM_SPIN_MODELS_HH
+
+#include "pauli/hamiltonian.hh"
+
+namespace varsaw {
+
+/**
+ * Transverse-Field Ising Model on an open chain:
+ * H = -J sum Z_i Z_{i+1} - h sum X_i.
+ *
+ * After cover reduction this needs very few measurement bases
+ * (the paper's TFIM instance reports 3 grouped Pauli terms).
+ */
+Hamiltonian tfim(int num_qubits, double j, double h);
+
+/** Classical Ising chain (no transverse field, plus longitudinal
+ *  field hz): H = -J sum Z_i Z_{i+1} - hz sum Z_i. */
+Hamiltonian isingChain(int num_qubits, double j, double hz);
+
+/**
+ * Heisenberg XXX chain:
+ * H = J sum (X_i X_{i+1} + Y_i Y_{i+1} + Z_i Z_{i+1}).
+ */
+Hamiltonian heisenbergChain(int num_qubits, double j);
+
+/** XY chain: H = J sum (X_i X_{i+1} + Y_i Y_{i+1}). */
+Hamiltonian xyChain(int num_qubits, double j);
+
+} // namespace varsaw
+
+#endif // VARSAW_CHEM_SPIN_MODELS_HH

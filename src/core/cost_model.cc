@@ -1,0 +1,55 @@
+#include "core/cost_model.hh"
+
+namespace varsaw {
+
+double
+CostModel::pauliTerms(double qubits)
+{
+    return 0.01 * qubits * qubits * qubits * qubits;
+}
+
+double
+CostModel::traditionalCircuits(double qubits)
+{
+    return pauliTerms(qubits);
+}
+
+double
+CostModel::jigsawCircuits(double qubits)
+{
+    const double p = pauliTerms(qubits);
+    return p + p * (qubits - 1.0);
+}
+
+double
+CostModel::varsawSubsetBound(double qubits)
+{
+    return 9.0 * (qubits - 1.0);
+}
+
+double
+CostModel::varsawCircuits(double qubits, double k)
+{
+    return k * pauliTerms(qubits) + varsawSubsetBound(qubits);
+}
+
+std::vector<CostModelRow>
+sweepCostModel(const std::vector<double> &qubit_points,
+               const std::vector<double> &ks)
+{
+    std::vector<CostModelRow> rows;
+    rows.reserve(qubit_points.size());
+    for (double q : qubit_points) {
+        CostModelRow row;
+        row.qubits = q;
+        row.traditional = CostModel::traditionalCircuits(q);
+        row.jigsaw = CostModel::jigsawCircuits(q);
+        row.varsaw.reserve(ks.size());
+        for (double k : ks)
+            row.varsaw.push_back(CostModel::varsawCircuits(q, k));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+} // namespace varsaw

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Analytic circuit-cost model behind Fig. 8.
+ *
+ * Per VQA iteration, with Q qubits and P = 0.01 * Q^4 Pauli bases
+ * (the paper's scaling assumption for molecular Hamiltonians):
+ *
+ *  - Traditional VQA executes P circuits;
+ *  - JigSaw executes P Globals plus ~P*(Q-1) subsets: O(Q^5);
+ *  - VarSaw executes k*P Globals (k = Global execution fraction,
+ *    0..1) plus the reduced subset pool, bounded by 9*(Q-1) unique
+ *    non-dominated 2-qubit windows: O(k*Q^4 + Q).
+ */
+
+#ifndef VARSAW_CORE_COST_MODEL_HH
+#define VARSAW_CORE_COST_MODEL_HH
+
+#include <vector>
+
+namespace varsaw {
+
+/** Closed-form per-iteration circuit counts (Fig. 8). */
+class CostModel
+{
+  public:
+    /** Pauli bases for a Q-qubit molecular problem: 0.01 * Q^4. */
+    static double pauliTerms(double qubits);
+
+    /** Traditional VQA circuits per iteration. */
+    static double traditionalCircuits(double qubits);
+
+    /**
+     * JigSaw-for-VQA circuits per iteration:
+     * Globals (P) + subsets (P * (Q - 1)) for window size 2.
+     */
+    static double jigsawCircuits(double qubits);
+
+    /**
+     * Upper bound on VarSaw's reduced subset pool: at most 9
+     * non-dominated X/Y/Z window combinations per adjacent-pair
+     * position.
+     */
+    static double varsawSubsetBound(double qubits);
+
+    /**
+     * VarSaw circuits per iteration at Global fraction @p k:
+     * k * P + varsawSubsetBound(Q).
+     */
+    static double varsawCircuits(double qubits, double k);
+};
+
+/** One row of the Fig. 8 sweep. */
+struct CostModelRow
+{
+    double qubits = 0.0;
+    double traditional = 0.0;
+    double jigsaw = 0.0;
+    std::vector<double> varsaw; //!< one entry per k value
+};
+
+/**
+ * Evaluate the model over a qubit sweep.
+ *
+ * @param qubit_points Qubit counts to evaluate.
+ * @param ks           VarSaw Global fractions (e.g. 1, 0.1, ...).
+ */
+std::vector<CostModelRow>
+sweepCostModel(const std::vector<double> &qubit_points,
+               const std::vector<double> &ks);
+
+} // namespace varsaw
+
+#endif // VARSAW_CORE_COST_MODEL_HH

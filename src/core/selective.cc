@@ -1,0 +1,85 @@
+#include "core/selective.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+std::pair<Hamiltonian, Hamiltonian>
+splitByCoefficientMass(const Hamiltonian &hamiltonian,
+                       double heavy_fraction)
+{
+    if (heavy_fraction < 0.0 || heavy_fraction > 1.0)
+        fatal("splitByCoefficientMass: fraction must be in [0, 1]");
+
+    const auto &terms = hamiltonian.terms();
+    std::vector<std::size_t> order(terms.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return std::abs(terms[a].coefficient) >
+                             std::abs(terms[b].coefficient);
+                     });
+
+    const double total = hamiltonian.coefficientL1Norm();
+    const double target = heavy_fraction * total;
+
+    Hamiltonian heavy(hamiltonian.numQubits(),
+                      hamiltonian.name() + "-heavy");
+    Hamiltonian light(hamiltonian.numQubits(),
+                      hamiltonian.name() + "-light");
+    heavy.addTerm(PauliString(hamiltonian.numQubits()),
+                  hamiltonian.identityOffset());
+
+    double accumulated = 0.0;
+    for (std::size_t idx : order) {
+        const auto &term = terms[idx];
+        // Strict '<' so fraction 0 sends everything to light and
+        // fraction 1 (target == total) keeps everything heavy.
+        if (accumulated < target - 1e-12) {
+            heavy.addTerm(term.string, term.coefficient);
+            accumulated += std::abs(term.coefficient);
+        } else {
+            light.addTerm(term.string, term.coefficient);
+        }
+    }
+    return {std::move(heavy), std::move(light)};
+}
+
+SelectiveVarsawEstimator::SelectiveVarsawEstimator(
+    const Hamiltonian &hamiltonian, const Circuit &ansatz,
+    Executor &executor, const VarsawConfig &config,
+    double heavy_fraction, std::uint64_t light_shots)
+{
+    auto parts = splitByCoefficientMass(hamiltonian, heavy_fraction);
+    heavy_ = std::move(parts.first);
+    light_ = std::move(parts.second);
+    if (heavy_.numTerms() == 0)
+        fatal("SelectiveVarsawEstimator: heavy part is empty; use "
+              "BaselineEstimator directly for fraction 0");
+    varsaw_ = std::make_unique<VarsawEstimator>(heavy_, ansatz,
+                                                executor, config);
+    if (light_.numTerms() > 0)
+        baseline_ = std::make_unique<BaselineEstimator>(
+            light_, ansatz, executor, light_shots);
+}
+
+double
+SelectiveVarsawEstimator::estimate(const std::vector<double> &params)
+{
+    double energy = varsaw_->estimate(params);
+    if (baseline_)
+        energy += baseline_->estimate(params);
+    return energy;
+}
+
+void
+SelectiveVarsawEstimator::onIterationBoundary()
+{
+    varsaw_->onIterationBoundary();
+}
+
+} // namespace varsaw

@@ -1,0 +1,77 @@
+#include "core/temporal.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+GlobalScheduler::GlobalScheduler(const Config &config)
+    : config_(config), interval_(config.initialInterval)
+{
+    if (config.minInterval < 1 || config.initialInterval < 1 ||
+        config.maxInterval < config.minInterval)
+        panic("GlobalScheduler: invalid interval configuration");
+}
+
+bool
+GlobalScheduler::shouldRunGlobal(std::uint64_t tick) const
+{
+    switch (config_.mode) {
+      case Mode::NoSparsity:
+        return true;
+      case Mode::MaxSparsity:
+        return tick == 0;
+      case Mode::Adaptive:
+        return tick >= nextGlobal_;
+    }
+    return true;
+}
+
+void
+GlobalScheduler::adjustInterval(bool stale_no_worse)
+{
+    if (config_.mode != Mode::Adaptive)
+        return;
+    if (stale_no_worse)
+        interval_ = std::min(interval_ * 2, config_.maxInterval);
+    else
+        interval_ = std::max(interval_ / 2, config_.minInterval);
+}
+
+void
+GlobalScheduler::noteGlobalRun(std::uint64_t tick)
+{
+    ++globalsRun_;
+    if (config_.mode == Mode::Adaptive)
+        nextGlobal_ = tick + static_cast<std::uint64_t>(interval_);
+}
+
+void
+GlobalScheduler::recordTick(std::uint64_t tick)
+{
+    (void)tick;
+    ++ticksSeen_;
+}
+
+double
+GlobalScheduler::globalFraction() const
+{
+    if (ticksSeen_ == 0)
+        return 0.0;
+    return static_cast<double>(globalsRun_) /
+        static_cast<double>(ticksSeen_);
+}
+
+const char *
+GlobalScheduler::modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::NoSparsity:  return "no-sparsity";
+      case Mode::MaxSparsity: return "max-sparsity";
+      case Mode::Adaptive:    return "adaptive";
+    }
+    return "?";
+}
+
+} // namespace varsaw

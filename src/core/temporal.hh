@@ -1,0 +1,97 @@
+/**
+ * @file
+ * VarSaw's temporal optimization: Selective Execution of Globals.
+ *
+ * Globals (full measurements) are expensive and noisy; adjacent VQA
+ * iterations produce nearly identical distributions, so VarSaw runs
+ * Globals only every k-th iteration and hill-climbs k (Fig. 11):
+ * on a check iteration the mitigated result is computed both from
+ * the stale-Global chain and from a fresh Global; if the stale
+ * chain is no worse (its energy is not higher), sparsity doubles;
+ * otherwise the fresh result is adopted and sparsity halves.
+ */
+
+#ifndef VARSAW_CORE_TEMPORAL_HH
+#define VARSAW_CORE_TEMPORAL_HH
+
+#include <cstdint>
+#include <string>
+
+namespace varsaw {
+
+/** Hill-climbing scheduler for Global executions. */
+class GlobalScheduler
+{
+  public:
+    /** Temporal operating mode. */
+    enum class Mode
+    {
+        /** Fresh Globals every iteration (spatial-only VarSaw,
+         *  "VarSaw w/o global sparsity"). */
+        NoSparsity,
+        /** One Global at iteration 0, never again ("Max-Sparsity"
+         *  in Fig. 9 / Table 5). */
+        MaxSparsity,
+        /** The paper's feedback scheme (default). */
+        Adaptive,
+    };
+
+    /** Scheduler tunables. */
+    struct Config
+    {
+        Mode mode = Mode::Adaptive;
+        int initialInterval = 2; //!< Fig. 11 starts at 2 cycles
+        int minInterval = 1;
+        int maxInterval = 128;
+    };
+
+    explicit GlobalScheduler(const Config &config);
+
+    /** Whether iteration @p tick must execute fresh Globals. */
+    bool shouldRunGlobal(std::uint64_t tick) const;
+
+    /**
+     * Record the outcome of a check iteration's comparison: widen
+     * the interval when the stale chain was no worse than the fresh
+     * Globals, narrow it otherwise. Call before noteGlobalRun() so
+     * the next Global is scheduled with the updated interval.
+     *
+     * @param stale_no_worse Stale-chain energy <= fresh energy.
+     */
+    void adjustInterval(bool stale_no_worse);
+
+    /**
+     * Record that Globals were executed at iteration @p tick and
+     * schedule the next Global interval() iterations later.
+     */
+    void noteGlobalRun(std::uint64_t tick);
+
+    /** Current sparsity interval k. */
+    int interval() const { return interval_; }
+
+    /** Number of Global (check) iterations so far. */
+    std::uint64_t globalsRun() const { return globalsRun_; }
+
+    /** Total iterations observed (ticks passed to bookkeeping). */
+    std::uint64_t ticksSeen() const { return ticksSeen_; }
+
+    /** Note that iteration @p tick happened (for the fraction). */
+    void recordTick(std::uint64_t tick);
+
+    /** Fraction of iterations that executed Globals. */
+    double globalFraction() const;
+
+    /** Mode name for reports. */
+    static const char *modeName(Mode mode);
+
+  private:
+    Config config_;
+    int interval_;
+    std::uint64_t nextGlobal_ = 0;
+    std::uint64_t globalsRun_ = 0;
+    std::uint64_t ticksSeen_ = 0;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_CORE_TEMPORAL_HH

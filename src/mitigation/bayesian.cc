@@ -1,0 +1,44 @@
+#include "mitigation/bayesian.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace varsaw {
+
+Pmf
+bayesianReconstruct(const Pmf &global,
+                    const std::vector<LocalPmf> &locals, int passes)
+{
+    if (passes < 1)
+        panic("bayesianReconstruct: passes must be >= 1");
+
+    Pmf out = global;
+    out.normalize();
+
+    for (int pass = 0; pass < passes; ++pass) {
+        for (const auto &local : locals) {
+            if (local.pmf.supportSize() == 0)
+                continue;
+
+            // Current marginal of the evolving joint on this subset.
+            Pmf marg = out.marginal(local.positions);
+
+            // Scale each joint outcome by L(s)/M(s).
+            for (auto &[outcome, p] : out.rawMutable()) {
+                const std::uint64_t s =
+                    gatherBits(outcome, local.positions);
+                const double m = marg.prob(s);
+                if (m <= 0.0) {
+                    // Outcome had zero mass on this subset before the
+                    // update; leave untouched (p is zero anyway).
+                    continue;
+                }
+                p *= local.pmf.prob(s) / m;
+            }
+            out.normalize();
+        }
+    }
+    return out;
+}
+
+} // namespace varsaw

@@ -1,0 +1,181 @@
+#include "mitigation/executor.hh"
+
+#include <cmath>
+
+#include "sim/density_matrix.hh"
+#include "util/counts.hh"
+#include "util/logging.hh"
+
+namespace varsaw {
+
+Pmf
+Executor::execute(const Circuit &circuit,
+                  const std::vector<double> &params,
+                  std::uint64_t shots)
+{
+    if (circuit.numMeasured() == 0)
+        panic("Executor::execute: circuit has no measurements");
+    ++circuits_;
+    shots_ += shots;
+    return executeImpl(circuit, params, shots);
+}
+
+void
+Executor::resetCounters()
+{
+    circuits_ = 0;
+    shots_ = 0;
+}
+
+IdealExecutor::IdealExecutor(std::uint64_t seed) : rng_(seed)
+{
+}
+
+Pmf
+IdealExecutor::executeImpl(const Circuit &circuit,
+                           const std::vector<double> &params,
+                           std::uint64_t shots)
+{
+    Statevector sv(circuit.numQubits());
+    sv.run(circuit, params);
+    auto probs = sv.marginalProbabilities(circuit.measuredQubits());
+    Pmf exact = Pmf::fromDense(circuit.numMeasured(), probs, 1e-14);
+    if (shots == 0)
+        return exact;
+    Pmf sampled = exact.sample(rng_, shots).toPmf();
+    return sampled;
+}
+
+NoisyExecutor::NoisyExecutor(DeviceModel device, GateNoiseMode mode,
+                             std::uint64_t seed, int trajectories)
+    : device_(std::move(device)), mode_(mode), rng_(seed),
+      trajectories_(trajectories)
+{
+    if (trajectories_ < 1)
+        panic("NoisyExecutor: trajectory count must be >= 1");
+}
+
+std::vector<double>
+NoisyExecutor::noisyMarginal(const Circuit &circuit,
+                             const std::vector<double> &params)
+{
+    Statevector sv(circuit.numQubits());
+    sv.run(circuit, params);
+    auto probs = sv.marginalProbabilities(circuit.measuredQubits());
+
+    if (mode_ == GateNoiseMode::AnalyticDepolarizing) {
+        // Survival probability of the whole gate sequence; the lost
+        // weight becomes the maximally mixed state, which marginalizes
+        // to the uniform distribution over the measured bits.
+        const double survive =
+            std::pow(1.0 - device_.gate1Error(),
+                     circuit.oneQubitGateCount()) *
+            std::pow(1.0 - device_.gate2Error(),
+                     circuit.twoQubitGateCount());
+        const double lambda = 1.0 - survive;
+        if (lambda > 0.0) {
+            const double uniform =
+                1.0 / static_cast<double>(probs.size());
+            for (auto &p : probs)
+                p = (1.0 - lambda) * p + lambda * uniform;
+        }
+    }
+    return probs;
+}
+
+std::vector<double>
+NoisyExecutor::trajectoryMarginal(const Circuit &circuit,
+                                  const std::vector<double> &params)
+{
+    const auto &measured = circuit.measuredQubits();
+    std::vector<double> acc(1ull << measured.size(), 0.0);
+
+    for (int t = 0; t < trajectories_; ++t) {
+        Statevector sv(circuit.numQubits());
+        for (const auto &op : circuit.ops()) {
+            sv.applyOp(op, params);
+            const double err = isTwoQubitGate(op.kind)
+                ? device_.gate2Error() : device_.gate1Error();
+            if (err <= 0.0)
+                continue;
+            // Independent per-touched-qubit depolarizing: with
+            // probability err insert a uniformly random X/Y/Z.
+            // This is exactly the channel DensityMatrixExecutor
+            // applies, so the two backends agree in the limit.
+            auto kick = [&](int q) {
+                if (!rng_.bernoulli(err))
+                    return;
+                switch (rng_.uniformInt(3)) {
+                  case 0:
+                    sv.apply1Q(q, gates::fixedMatrix(GateKind::X));
+                    break;
+                  case 1:
+                    sv.apply1Q(q, gates::fixedMatrix(GateKind::Y));
+                    break;
+                  default:
+                    sv.apply1Q(q, gates::fixedMatrix(GateKind::Z));
+                    break;
+                }
+            };
+            kick(op.q0);
+            if (isTwoQubitGate(op.kind))
+                kick(op.q1);
+        }
+        auto probs = sv.marginalProbabilities(measured);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += probs[i];
+    }
+    const double inv = 1.0 / static_cast<double>(trajectories_);
+    for (auto &p : acc)
+        p *= inv;
+    return acc;
+}
+
+Pmf
+NoisyExecutor::executeImpl(const Circuit &circuit,
+                           const std::vector<double> &params,
+                           std::uint64_t shots)
+{
+    if (circuit.numQubits() > device_.numQubits())
+        fatal("NoisyExecutor: circuit is wider than device '" +
+              device_.name() + "'");
+
+    std::vector<double> probs =
+        mode_ == GateNoiseMode::PauliTrajectories
+            ? trajectoryMarginal(circuit, params)
+            : noisyMarginal(circuit, params);
+
+    // Readout error: subsets (partial measurement) are mapped onto
+    // the device's best-readout qubits; full measurement keeps the
+    // default physical assignment. Crosstalk scales with the number
+    // of simultaneously measured qubits in both cases.
+    const int m = circuit.numMeasured();
+    const bool partial =
+        bestMapping_ && m < circuit.numQubits();
+    auto errors = device_.effectiveReadout(m, partial);
+    applyReadoutConfusion(probs, errors);
+
+    Pmf noisy = Pmf::fromDense(m, probs, 1e-14);
+    if (shots == 0)
+        return noisy;
+    return noisy.sample(rng_, shots).toPmf();
+}
+
+DensityMatrixExecutor::DensityMatrixExecutor(DeviceModel device,
+                                             std::uint64_t seed)
+    : NoisyExecutor(std::move(device),
+                    GateNoiseMode::AnalyticDepolarizing, seed)
+{
+}
+
+std::vector<double>
+DensityMatrixExecutor::noisyMarginal(const Circuit &circuit,
+                                     const std::vector<double> &params)
+{
+    DensityMatrix dm(circuit.numQubits());
+    dm.runNoisy(circuit, params, device().gate1Error(),
+                device().gate2Error());
+    return dm.marginalProbabilities(circuit.measuredQubits());
+}
+
+} // namespace varsaw

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Circuit execution backends.
+ *
+ * An Executor turns (circuit, parameters, shots) into a measured
+ * probability distribution, and counts every submitted circuit —
+ * the paper's quantum computational cost metric is exactly this
+ * counter. Two backends are provided: an ideal one and the noisy
+ * simulated-device one used throughout the evaluation.
+ */
+
+#ifndef VARSAW_MITIGATION_EXECUTOR_HH
+#define VARSAW_MITIGATION_EXECUTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "noise/device_model.hh"
+#include "sim/circuit.hh"
+#include "sim/statevector.hh"
+#include "util/pmf.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+
+/**
+ * Abstract circuit-execution backend with cost accounting.
+ *
+ * Every call to execute() increments the circuit counter by one and
+ * the shot counter by the requested shots, regardless of backend.
+ */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    /**
+     * Execute a circuit and return the distribution over its
+     * measured qubits (bit i of an outcome = measured qubit i).
+     *
+     * @param circuit Circuit with a non-empty measurement spec.
+     * @param params  Values for the circuit's symbolic parameters.
+     * @param shots   Number of samples; 0 requests the exact
+     *                (infinite-shot) distribution of this backend.
+     */
+    Pmf execute(const Circuit &circuit,
+                const std::vector<double> &params,
+                std::uint64_t shots);
+
+    /** Total circuits submitted since construction / reset. */
+    std::uint64_t circuitsExecuted() const { return circuits_; }
+
+    /** Total shots submitted since construction / reset. */
+    std::uint64_t shotsExecuted() const { return shots_; }
+
+    /** Reset the cost counters. */
+    void resetCounters();
+
+  protected:
+    /** Backend-specific execution. */
+    virtual Pmf executeImpl(const Circuit &circuit,
+                            const std::vector<double> &params,
+                            std::uint64_t shots) = 0;
+
+  private:
+    std::uint64_t circuits_ = 0;
+    std::uint64_t shots_ = 0;
+};
+
+/** Noise-free backend: exact simulation plus optional sampling. */
+class IdealExecutor : public Executor
+{
+  public:
+    /** @param seed Seed for the shot-sampling stream. */
+    explicit IdealExecutor(std::uint64_t seed = 1);
+
+  protected:
+    Pmf executeImpl(const Circuit &circuit,
+                    const std::vector<double> &params,
+                    std::uint64_t shots) override;
+
+  private:
+    Rng rng_;
+};
+
+/**
+ * Noisy simulated-device backend.
+ *
+ * Pipeline: exact state-vector evolution -> gate-noise channel
+ * (analytic depolarizing mix or stochastic Pauli trajectories) ->
+ * per-qubit readout confusion with crosstalk scaling and best-qubit
+ * mapping for partial measurements -> finite-shot sampling.
+ */
+class NoisyExecutor : public Executor
+{
+  public:
+    /**
+     * @param device Device model supplying all error rates.
+     * @param mode   Gate-noise treatment (default analytic).
+     * @param seed   Seed for sampling / trajectory streams.
+     * @param trajectories Trajectory count for PauliTrajectories.
+     */
+    explicit NoisyExecutor(
+        DeviceModel device,
+        GateNoiseMode mode = GateNoiseMode::AnalyticDepolarizing,
+        std::uint64_t seed = 1, int trajectories = 64);
+
+    /** The device model in use. */
+    const DeviceModel &device() const { return device_; }
+
+    /** The gate-noise mode in use. */
+    GateNoiseMode gateNoiseMode() const { return mode_; }
+
+    /**
+     * Enable/disable mapping of partial measurements onto the
+     * device's best-readout qubits (on by default; disabling is an
+     * ablation that removes one of the two subset-fidelity
+     * mechanisms).
+     */
+    void setBestMapping(bool enabled) { bestMapping_ = enabled; }
+
+    /** Whether best-qubit subset mapping is enabled. */
+    bool bestMapping() const { return bestMapping_; }
+
+  protected:
+    Pmf executeImpl(const Circuit &circuit,
+                    const std::vector<double> &params,
+                    std::uint64_t shots) override;
+
+  protected:
+    /** Exact measured-qubit distribution with gate noise folded in. */
+    virtual std::vector<double>
+    noisyMarginal(const Circuit &circuit,
+                  const std::vector<double> &params);
+
+  private:
+
+    /** Trajectory-averaged measured-qubit distribution. */
+    std::vector<double>
+    trajectoryMarginal(const Circuit &circuit,
+                       const std::vector<double> &params);
+
+    DeviceModel device_;
+    GateNoiseMode mode_;
+    Rng rng_;
+    int trajectories_;
+    bool bestMapping_ = true;
+};
+
+/**
+ * Exact open-system backend: identical to NoisyExecutor except that
+ * gate noise is simulated exactly as per-qubit depolarizing
+ * channels on a density matrix (the channel the trajectory mode
+ * samples) instead of the global-depolarizing approximation.
+ * Quadratically more memory — use for cross-validation and small
+ * registers (<= 12 qubits).
+ */
+class DensityMatrixExecutor : public NoisyExecutor
+{
+  public:
+    /** @param device Device model; @param seed sampling stream. */
+    explicit DensityMatrixExecutor(DeviceModel device,
+                                   std::uint64_t seed = 1);
+
+  protected:
+    std::vector<double>
+    noisyMarginal(const Circuit &circuit,
+                  const std::vector<double> &params) override;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_MITIGATION_EXECUTOR_HH

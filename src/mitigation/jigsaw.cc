@@ -1,0 +1,69 @@
+#include "mitigation/jigsaw.hh"
+
+#include "pauli/subsetting.hh"
+#include "util/logging.hh"
+
+namespace varsaw {
+
+Circuit
+makeGlobalCircuit(const Circuit &prepared, const PauliString &basis)
+{
+    Circuit c(prepared.numQubits(),
+              "global:" + basis.toString());
+    c.append(prepared);
+    c.appendBasisRotations(basis);
+    c.measureAll();
+    return c;
+}
+
+Circuit
+makeSubsetCircuit(const Circuit &prepared, const PauliString &subset)
+{
+    if (subset.isIdentity())
+        panic("makeSubsetCircuit: subset measures nothing");
+    Circuit c(prepared.numQubits(),
+              "subset:" + subset.toSubsetString());
+    c.append(prepared);
+    c.appendBasisRotations(subset);
+    c.measureSupport(subset);
+    return c;
+}
+
+LocalPmf
+runSubset(Executor &executor, const Circuit &prepared,
+          const std::vector<double> &params, const PauliString &subset,
+          std::uint64_t shots)
+{
+    Circuit c = makeSubsetCircuit(prepared, subset);
+    LocalPmf local;
+    local.positions = subset.support();
+    local.pmf = executor.execute(c, params, shots);
+    return local;
+}
+
+Pmf
+jigsawMitigate(Executor &executor, const Circuit &prepared,
+               const std::vector<double> &params,
+               const PauliString &basis, const JigsawConfig &config)
+{
+    // Step 1: CPMs from the basis's sliding windows.
+    const auto windows = windowSubsets(basis, config.subsetSize);
+
+    // Step 2: execute subsets and the Global.
+    std::vector<LocalPmf> locals;
+    locals.reserve(windows.size());
+    for (const auto &w : windows)
+        locals.push_back(
+            runSubset(executor, prepared, params, w,
+                      config.subsetShots));
+
+    Circuit global = makeGlobalCircuit(prepared, basis);
+    Pmf global_pmf =
+        executor.execute(global, params, config.globalShots);
+
+    // Step 3: Bayesian reconstruction.
+    return bayesianReconstruct(global_pmf, locals,
+                               config.reconstructionPasses);
+}
+
+} // namespace varsaw

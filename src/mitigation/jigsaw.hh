@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The JigSaw measurement-error-mitigation pipeline (MICRO'21),
+ * reimplemented as the baseline VarSaw improves upon.
+ *
+ * For one prepared circuit and one measurement basis, JigSaw:
+ *  1. builds "Circuits with Partial Measurement" (CPMs) — sliding-
+ *     window subsets of the measured qubits,
+ *  2. executes the CPMs (high-fidelity Local PMFs) and the original
+ *     circuit (low-fidelity, fully-correlated Global PMF),
+ *  3. fuses them with Bayesian reconstruction into the Output PMF.
+ */
+
+#ifndef VARSAW_MITIGATION_JIGSAW_HH
+#define VARSAW_MITIGATION_JIGSAW_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mitigation/bayesian.hh"
+#include "mitigation/executor.hh"
+#include "pauli/pauli_string.hh"
+#include "sim/circuit.hh"
+#include "util/pmf.hh"
+
+namespace varsaw {
+
+/** Tunables of the JigSaw pipeline. */
+struct JigsawConfig
+{
+    /** Subset (sliding window) size; the paper finds 2 optimal. */
+    int subsetSize = 2;
+
+    /** Shots per Global execution. */
+    std::uint64_t globalShots = 4096;
+
+    /** Shots per subset execution. */
+    std::uint64_t subsetShots = 2048;
+
+    /** Bayesian reconstruction sweeps over the locals. */
+    int reconstructionPasses = 1;
+};
+
+/**
+ * Build the Global circuit for a basis: prepared circuit + basis
+ * rotations + measurement of every qubit.
+ */
+Circuit makeGlobalCircuit(const Circuit &prepared,
+                          const PauliString &basis);
+
+/**
+ * Build a subset circuit (CPM): prepared circuit + basis rotations
+ * on the subset's support only + measurement of the support.
+ * (Rotations on unmeasured qubits cannot affect the measured
+ * marginal, so they are omitted.)
+ */
+Circuit makeSubsetCircuit(const Circuit &prepared,
+                          const PauliString &subset);
+
+/**
+ * Execute one subset circuit and wrap its distribution as a
+ * LocalPmf positioned at the subset's support qubits.
+ */
+LocalPmf runSubset(Executor &executor, const Circuit &prepared,
+                   const std::vector<double> &params,
+                   const PauliString &subset, std::uint64_t shots);
+
+/**
+ * Full JigSaw mitigation of one (prepared circuit, basis) pair:
+ * run Global + all sliding-window CPMs through @p executor and
+ * return the reconstructed Output PMF over all qubits.
+ */
+Pmf jigsawMitigate(Executor &executor, const Circuit &prepared,
+                   const std::vector<double> &params,
+                   const PauliString &basis,
+                   const JigsawConfig &config);
+
+} // namespace varsaw
+
+#endif // VARSAW_MITIGATION_JIGSAW_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Matrix-based measurement mitigation (MBM), IBM's standard
+ * tensored readout-error mitigation, reproduced for the Fig. 18
+ * stacking experiment (VarSaw + MBM).
+ *
+ * Calibration runs two circuits — prepare |0...0> and |1...1> and
+ * measure everything — to estimate each qubit's confusion matrix
+ * under full simultaneous readout. Mitigation applies the inverse
+ * per-qubit matrices to a measured distribution, clamping negative
+ * entries and renormalizing.
+ */
+
+#ifndef VARSAW_MITIGATION_MBM_HH
+#define VARSAW_MITIGATION_MBM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mitigation/executor.hh"
+#include "noise/readout_error.hh"
+#include "util/pmf.hh"
+
+namespace varsaw {
+
+/** Tensored readout-error calibration + correction. */
+class MbmCalibration
+{
+  public:
+    /**
+     * Calibrate against @p executor by running the |0...0> and
+     * |1...1> preparation circuits over @p num_qubits qubits.
+     *
+     * @param shots Shots per calibration circuit (0 = exact).
+     */
+    static MbmCalibration calibrate(Executor &executor, int num_qubits,
+                                    std::uint64_t shots);
+
+    /** Construct from known per-qubit error rates (tests). */
+    explicit MbmCalibration(std::vector<ReadoutError> errors);
+
+    /** Estimated per-qubit readout errors. */
+    const std::vector<ReadoutError> &errors() const { return errors_; }
+
+    /** Number of calibrated qubits. */
+    int numQubits() const
+    {
+        return static_cast<int>(errors_.size());
+    }
+
+    /**
+     * Correct a measured distribution over all calibrated qubits:
+     * apply the inverse confusion matrices, clamp negatives to zero,
+     * renormalize.
+     */
+    Pmf apply(const Pmf &measured) const;
+
+  private:
+    MbmCalibration() = default;
+
+    std::vector<ReadoutError> errors_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_MITIGATION_MBM_HH

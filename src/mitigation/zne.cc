@@ -1,0 +1,142 @@
+#include "mitigation/zne.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+GateOp
+inverseOp(const GateOp &op)
+{
+    if (op.paramIndex >= 0)
+        panic("inverseOp: bind parameters before folding");
+    GateOp inv = op;
+    switch (op.kind) {
+      case GateKind::H:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::CX:
+      case GateKind::CZ:
+      case GateKind::SWAP:
+        break; // self-inverse
+      case GateKind::S:
+        inv.kind = GateKind::Sdg;
+        break;
+      case GateKind::Sdg:
+        inv.kind = GateKind::S;
+        break;
+      case GateKind::T:
+        inv.kind = GateKind::RZ;
+        inv.param = -M_PI / 4.0;
+        break;
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::RZZ:
+        inv.param = -op.param;
+        break;
+    }
+    return inv;
+}
+
+Circuit
+foldCircuit(const Circuit &circuit, int factor)
+{
+    if (factor < 1 || factor % 2 == 0)
+        fatal("foldCircuit: fold factor must be odd and >= 1");
+    if (circuit.numParams() != 0)
+        panic("foldCircuit: bind parameters before folding");
+
+    Circuit folded(circuit.numQubits(),
+                   circuit.label() + "-fold" +
+                       std::to_string(factor));
+    auto push = [&](const GateOp &op) {
+        switch (op.kind) {
+          case GateKind::RX:
+            folded.rx(op.q0, op.param);
+            break;
+          case GateKind::RY:
+            folded.ry(op.q0, op.param);
+            break;
+          case GateKind::RZ:
+            folded.rz(op.q0, op.param);
+            break;
+          case GateKind::RZZ:
+            folded.rzz(op.q0, op.q1, op.param);
+            break;
+          case GateKind::CX:
+            folded.cx(op.q0, op.q1);
+            break;
+          case GateKind::CZ:
+            folded.cz(op.q0, op.q1);
+            break;
+          case GateKind::SWAP:
+            folded.swap(op.q0, op.q1);
+            break;
+          case GateKind::H:
+            folded.h(op.q0);
+            break;
+          case GateKind::X:
+            folded.x(op.q0);
+            break;
+          case GateKind::Y:
+            folded.y(op.q0);
+            break;
+          case GateKind::Z:
+            folded.z(op.q0);
+            break;
+          case GateKind::S:
+            folded.s(op.q0);
+            break;
+          case GateKind::Sdg:
+            folded.sdg(op.q0);
+            break;
+          case GateKind::T:
+            folded.t(op.q0);
+            break;
+        }
+    };
+
+    const auto &ops = circuit.ops();
+    // U ...
+    for (const auto &op : ops)
+        push(op);
+    // ... then (U+ U) repeated (factor - 1) / 2 times.
+    for (int rep = 0; rep < (factor - 1) / 2; ++rep) {
+        for (auto it = ops.rbegin(); it != ops.rend(); ++it)
+            push(inverseOp(*it));
+        for (const auto &op : ops)
+            push(op);
+    }
+    for (int q : circuit.measuredQubits())
+        folded.measure(q);
+    return folded;
+}
+
+double
+richardsonExtrapolate(
+    const std::vector<std::pair<double, double>> &lambda_value)
+{
+    if (lambda_value.empty())
+        panic("richardsonExtrapolate: no points");
+    // Lagrange interpolation evaluated at lambda = 0.
+    double result = 0.0;
+    for (std::size_t i = 0; i < lambda_value.size(); ++i) {
+        double weight = 1.0;
+        for (std::size_t j = 0; j < lambda_value.size(); ++j) {
+            if (i == j)
+                continue;
+            const double li = lambda_value[i].first;
+            const double lj = lambda_value[j].first;
+            if (li == lj)
+                panic("richardsonExtrapolate: duplicate lambda");
+            weight *= lj / (lj - li);
+        }
+            result += weight * lambda_value[i].second;
+    }
+    return result;
+}
+
+} // namespace varsaw

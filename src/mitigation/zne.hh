@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Zero-Noise Extrapolation (ZNE) for gate errors.
+ *
+ * The related-work mitigation the paper cites (Kandala et al. 2019):
+ * run the circuit at artificially amplified noise levels via global
+ * unitary folding U -> U (U+ U)^k, giving odd scale factors
+ * lambda = 1, 3, 5, ..., then Richardson-extrapolate the observable
+ * to lambda = 0. Orthogonal to measurement-error mitigation: ZNE
+ * attacks gate noise, VarSaw attacks readout noise; the extension
+ * bench stacks them.
+ */
+
+#ifndef VARSAW_MITIGATION_ZNE_HH
+#define VARSAW_MITIGATION_ZNE_HH
+
+#include <utility>
+#include <vector>
+
+#include "sim/circuit.hh"
+
+namespace varsaw {
+
+/**
+ * Inverse of a *bound* gate op (panics on symbolic parameters).
+ * Self-inverse gates map to themselves; S <-> Sdg; rotations negate
+ * their angle; T maps to RZ(-pi/4).
+ */
+GateOp inverseOp(const GateOp &op);
+
+/**
+ * Globally fold a bound circuit by an odd @p factor >= 1:
+ * U -> U (U+ U)^((factor-1)/2). Gate count scales by the factor,
+ * so depolarizing gate noise scales likewise while the ideal
+ * unitary is unchanged. Measurements are preserved.
+ */
+Circuit foldCircuit(const Circuit &circuit, int factor);
+
+/**
+ * Richardson extrapolation to lambda = 0 through the given
+ * (lambda, value) points (Lagrange evaluation at 0; exact for
+ * polynomials of degree points-1).
+ */
+double
+richardsonExtrapolate(const std::vector<std::pair<double, double>> &
+                          lambda_value);
+
+} // namespace varsaw
+
+#endif // VARSAW_MITIGATION_ZNE_HH

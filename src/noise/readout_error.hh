@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Per-qubit readout (measurement) error channels.
+ *
+ * Measurement errors manifest as classical bit flips after the
+ * projective measurement: a true 0 is read as 1 with probability
+ * p01, and a true 1 is read as 0 with probability p10 (typically
+ * larger, since the excited state can decay during the long readout
+ * pulse). The confusion matrix of a qubit is
+ *
+ *     [ 1-p01   p10 ]
+ *     [ p01   1-p10 ]
+ *
+ * and the register channel is the tensor product over measured
+ * qubits, scaled up by measurement crosstalk when many qubits are
+ * read simultaneously.
+ */
+
+#ifndef VARSAW_NOISE_READOUT_ERROR_HH
+#define VARSAW_NOISE_READOUT_ERROR_HH
+
+#include <vector>
+
+namespace varsaw {
+
+/** Asymmetric readout-error rates of one qubit. */
+struct ReadoutError
+{
+    double p01 = 0.0; //!< P(read 1 | true 0)
+    double p10 = 0.0; //!< P(read 0 | true 1)
+
+    /** Average flip probability (the usual datasheet number). */
+    double
+    meanError() const
+    {
+        return 0.5 * (p01 + p10);
+    }
+
+    /**
+     * Error scaled by a crosstalk (or noise-sweep) factor, with
+     * flip probabilities clamped to 0.5 (beyond that the channel
+     * would anti-correlate, which hardware does not do).
+     */
+    ReadoutError scaled(double factor) const;
+};
+
+/**
+ * Apply per-qubit readout confusion to a dense distribution over
+ * measured bits, in place.
+ *
+ * @param probs  Dense distribution of length 2^m (bit i = measured
+ *               slot i).
+ * @param errors One ReadoutError per measured slot (size m).
+ */
+void applyReadoutConfusion(std::vector<double> &probs,
+                           const std::vector<ReadoutError> &errors);
+
+/**
+ * Apply the *inverse* of the per-qubit confusion (the core of
+ * matrix-based mitigation). The result can contain small negative
+ * entries; callers clamp and renormalize.
+ *
+ * @param probs  Dense distribution of length 2^m.
+ * @param errors One ReadoutError per measured slot (size m).
+ * @return False if any per-qubit matrix is singular (p01+p10 = 1).
+ */
+bool applyInverseReadoutConfusion(std::vector<double> &probs,
+                                  const std::vector<ReadoutError> &errors);
+
+/**
+ * Measurement-crosstalk scale factor for reading @p num_measured
+ * qubits simultaneously: 1 + slope * (num_measured - 1). Google
+ * reports ~1.26x average degradation for simultaneous readout; the
+ * factor grows with the number of concurrent measurements.
+ */
+double crosstalkFactor(int num_measured, double slope);
+
+} // namespace varsaw
+
+#endif // VARSAW_NOISE_READOUT_ERROR_HH

@@ -1,0 +1,135 @@
+#include "pauli/commutation.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+namespace {
+
+/**
+ * Order term indices by descending string weight; ties broken by the
+ * deterministic PauliString ordering, then by index. Heavy strings
+ * first means potential covering parents are processed before the
+ * strings they cover.
+ */
+std::vector<std::size_t>
+weightSortedOrder(const std::vector<PauliString> &strings)
+{
+    std::vector<std::size_t> order(strings.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+        [&](std::size_t a, std::size_t b) {
+            const int wa = strings[a].weight();
+            const int wb = strings[b].weight();
+            if (wa != wb)
+                return wa > wb;
+            if (strings[a] != strings[b])
+                return strings[a] < strings[b];
+            return a < b;
+        });
+    return order;
+}
+
+} // namespace
+
+BasisReduction
+coverReduce(const std::vector<PauliString> &strings)
+{
+    BasisReduction red;
+    red.termToBasis.resize(strings.size());
+
+    for (std::size_t idx : weightSortedOrder(strings)) {
+        const PauliString &s = strings[idx];
+        bool placed = false;
+        for (std::size_t b = 0; b < red.bases.size(); ++b) {
+            if (s.coveredBy(red.bases[b])) {
+                red.termToBasis[idx] = b;
+                red.basisTerms[b].push_back(idx);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            red.termToBasis[idx] = red.bases.size();
+            red.bases.push_back(s);
+            red.basisTerms.push_back({idx});
+        }
+    }
+    return red;
+}
+
+BasisReduction
+groupQubitWise(const std::vector<PauliString> &strings)
+{
+    BasisReduction red;
+    red.termToBasis.resize(strings.size());
+
+    for (std::size_t idx : weightSortedOrder(strings)) {
+        const PauliString &s = strings[idx];
+        bool placed = false;
+        for (std::size_t b = 0; b < red.bases.size(); ++b) {
+            if (s.qwcCompatible(red.bases[b])) {
+                red.bases[b] = red.bases[b].mergedWith(s);
+                red.termToBasis[idx] = b;
+                red.basisTerms[b].push_back(idx);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            red.termToBasis[idx] = red.bases.size();
+            red.bases.push_back(s);
+            red.basisTerms.push_back({idx});
+        }
+    }
+    return red;
+}
+
+BasisReduction
+reduceBases(const std::vector<PauliString> &strings, BasisMode mode)
+{
+    return mode == BasisMode::Cover ? coverReduce(strings)
+                                    : groupQubitWise(strings);
+}
+
+int
+countCoveringParents(const PauliString &p,
+                     const std::vector<PauliString> &family)
+{
+    int count = 0;
+    for (const auto &candidate : family) {
+        if (candidate == p)
+            continue;
+        if (p.coveredBy(candidate))
+            ++count;
+    }
+    return count;
+}
+
+std::vector<PauliString>
+enumerateStrings(int num_qubits, const std::vector<PauliOp> &alphabet)
+{
+    if (num_qubits < 0 || num_qubits > 16)
+        panic("enumerateStrings: refuse to enumerate beyond 16 qubits");
+    std::vector<PauliString> out;
+    const std::size_t k = alphabet.size();
+    std::size_t total = 1;
+    for (int q = 0; q < num_qubits; ++q)
+        total *= k;
+    out.reserve(total);
+    for (std::size_t code = 0; code < total; ++code) {
+        PauliString s(num_qubits);
+        std::size_t c = code;
+        for (int q = 0; q < num_qubits; ++q) {
+            s.setOp(q, alphabet[c % k]);
+            c /= k;
+        }
+        out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace varsaw

@@ -1,0 +1,92 @@
+#include "pauli/hamiltonian.hh"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+Hamiltonian::Hamiltonian(int num_qubits, std::string name)
+    : numQubits_(num_qubits), name_(std::move(name))
+{
+    if (num_qubits < 1 || num_qubits > 64)
+        panic("Hamiltonian: qubit count must be in [1, 64]");
+}
+
+void
+Hamiltonian::addTerm(const PauliString &string, double coefficient)
+{
+    if (string.numQubits() != numQubits_)
+        panic("Hamiltonian::addTerm: string width mismatch");
+    if (string.isIdentity()) {
+        identityOffset_ += coefficient;
+        return;
+    }
+    auto [it, inserted] = termIndex_.try_emplace(string, terms_.size());
+    if (!inserted) {
+        terms_[it->second].coefficient += coefficient;
+        return;
+    }
+    terms_.emplace_back(string, coefficient);
+}
+
+void
+Hamiltonian::addTerm(const std::string &text, double coefficient)
+{
+    addTerm(PauliString::parse(text), coefficient);
+}
+
+double
+Hamiltonian::energy(const std::vector<double> &term_expectations) const
+{
+    if (term_expectations.size() != terms_.size())
+        panic("Hamiltonian::energy: expectation vector size mismatch");
+    double e = identityOffset_;
+    for (std::size_t i = 0; i < terms_.size(); ++i)
+        e += terms_[i].coefficient * term_expectations[i];
+    return e;
+}
+
+double
+Hamiltonian::coefficientL1Norm() const
+{
+    double norm = 0.0;
+    for (const auto &term : terms_)
+        norm += std::abs(term.coefficient);
+    return norm;
+}
+
+double
+Hamiltonian::energyLowerBound() const
+{
+    return identityOffset_ - coefficientL1Norm();
+}
+
+std::vector<PauliString>
+Hamiltonian::strings() const
+{
+    std::vector<PauliString> out;
+    out.reserve(terms_.size());
+    for (const auto &term : terms_)
+        out.push_back(term.string);
+    return out;
+}
+
+std::string
+Hamiltonian::toString() const
+{
+    std::ostringstream out;
+    out << name_ << " (" << numQubits_ << " qubits, "
+        << terms_.size() << " Pauli terms";
+    if (identityOffset_ != 0.0)
+        out << ", offset " << identityOffset_;
+    out << ")\n";
+    for (const auto &term : terms_)
+        out << "  " << term.coefficient << " * "
+            << term.string.toString() << "\n";
+    return out.str();
+}
+
+} // namespace varsaw

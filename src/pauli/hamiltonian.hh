@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Pauli-basis Hamiltonians.
+ *
+ * A Hamiltonian is a linear combination of Pauli strings plus a real
+ * identity offset. The VQA objective each iteration is the
+ * expectation of this operator in the ansatz state; the lowest
+ * eigenvalue is the problem's ground-state energy.
+ */
+
+#ifndef VARSAW_PAULI_HAMILTONIAN_HH
+#define VARSAW_PAULI_HAMILTONIAN_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "pauli/pauli_term.hh"
+
+namespace varsaw {
+
+/** A Hermitian operator expressed in the Pauli basis. */
+class Hamiltonian
+{
+  public:
+    Hamiltonian() = default;
+
+    /** Empty Hamiltonian over @p num_qubits qubits. */
+    explicit Hamiltonian(int num_qubits, std::string name = "");
+
+    /** Number of qubits. */
+    int numQubits() const { return numQubits_; }
+
+    /** Human-readable workload name (e.g. "CH4-6"). */
+    const std::string &name() const { return name_; }
+
+    /** Set the workload name. */
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /**
+     * Add a term. Identity strings are folded into the constant
+     * offset instead of being stored (they need no measurement).
+     * Adding an existing string accumulates onto its coefficient.
+     */
+    void addTerm(const PauliString &string, double coefficient);
+
+    /** Parse-and-add convenience. */
+    void addTerm(const std::string &text, double coefficient);
+
+    /** Non-identity terms. */
+    const std::vector<PauliTerm> &terms() const { return terms_; }
+
+    /** Number of non-identity Pauli terms. */
+    std::size_t numTerms() const { return terms_.size(); }
+
+    /** Constant (identity) offset. */
+    double identityOffset() const { return identityOffset_; }
+
+    /**
+     * Energy given per-term expectation values:
+     * offset + sum_i coeff_i * term_expectations[i], with
+     * term_expectations aligned with terms().
+     */
+    double energy(const std::vector<double> &term_expectations) const;
+
+    /** Sum of absolute coefficients (a crude spectral bound). */
+    double coefficientL1Norm() const;
+
+    /**
+     * A guaranteed lower bound on the ground energy:
+     * offset - coefficientL1Norm().
+     */
+    double energyLowerBound() const;
+
+    /** Just the Pauli strings of all terms, in term order. */
+    std::vector<PauliString> strings() const;
+
+    /** Multi-line text rendering (term per line). */
+    std::string toString() const;
+
+  private:
+    int numQubits_ = 0;
+    std::string name_;
+    double identityOffset_ = 0.0;
+    std::vector<PauliTerm> terms_;
+    // String -> index into terms_, so construction stays O(T) even
+    // for the 32,699-term Cr2 workload.
+    std::unordered_map<PauliString, std::size_t, PauliStringHash>
+        termIndex_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_PAULI_HAMILTONIAN_HH

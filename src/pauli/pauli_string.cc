@@ -1,0 +1,187 @@
+#include "pauli/pauli_string.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace varsaw {
+
+PauliString::PauliString(int num_qubits) : numQubits_(num_qubits)
+{
+    if (num_qubits < 0 || num_qubits > 64)
+        panic("PauliString: qubit count must be in [0, 64]");
+}
+
+PauliString
+PauliString::parse(const std::string &text)
+{
+    PauliString p(static_cast<int>(text.size()));
+    for (std::size_t q = 0; q < text.size(); ++q) {
+        if (!isPauliChar(text[q]))
+            fatal("PauliString::parse: invalid character '" +
+                  std::string(1, text[q]) + "' in \"" + text + "\"");
+        p.setOp(static_cast<int>(q), pauliFromChar(text[q]));
+    }
+    return p;
+}
+
+PauliString
+PauliString::fromMasks(int num_qubits, std::uint64_t x_mask,
+                       std::uint64_t z_mask)
+{
+    PauliString p(num_qubits);
+    const std::uint64_t valid =
+        num_qubits == 64 ? ~0ull : ((1ull << num_qubits) - 1);
+    if ((x_mask | z_mask) & ~valid)
+        panic("PauliString::fromMasks: mask exceeds qubit count");
+    p.xMask_ = x_mask;
+    p.zMask_ = z_mask;
+    return p;
+}
+
+PauliOp
+PauliString::op(int q) const
+{
+    const int x = static_cast<int>((xMask_ >> q) & 1);
+    const int z = static_cast<int>((zMask_ >> q) & 1);
+    return pauliFromBits(x, z);
+}
+
+void
+PauliString::setOp(int q, PauliOp op)
+{
+    if (q < 0 || q >= numQubits_)
+        panic("PauliString::setOp: qubit index out of range");
+    const std::uint64_t bit = 1ull << q;
+    xMask_ = (xMask_ & ~bit) |
+        (static_cast<std::uint64_t>(xBit(op)) << q);
+    zMask_ = (zMask_ & ~bit) |
+        (static_cast<std::uint64_t>(zBit(op)) << q);
+}
+
+int
+PauliString::weight() const
+{
+    return popcount(supportMask());
+}
+
+std::vector<int>
+PauliString::support() const
+{
+    std::vector<int> out;
+    std::uint64_t m = supportMask();
+    while (m) {
+        const int q = std::countr_zero(m);
+        out.push_back(q);
+        m &= m - 1;
+    }
+    return out;
+}
+
+bool
+PauliString::qwcCompatible(const PauliString &other) const
+{
+    // A conflict is a position where both strings are non-identity
+    // and the (x, z) encodings differ.
+    const std::uint64_t both = supportMask() & other.supportMask();
+    const std::uint64_t diff =
+        (xMask_ ^ other.xMask_) | (zMask_ ^ other.zMask_);
+    return (both & diff) == 0;
+}
+
+bool
+PauliString::coveredBy(const PauliString &parent) const
+{
+    // Every non-identity position of *this must hold the identical
+    // operator in parent.
+    const std::uint64_t mine = supportMask();
+    const std::uint64_t diff =
+        (xMask_ ^ parent.xMask_) | (zMask_ ^ parent.zMask_);
+    return (mine & diff) == 0;
+}
+
+PauliString
+PauliString::mergedWith(const PauliString &other) const
+{
+    if (!qwcCompatible(other))
+        panic("PauliString::mergedWith: strings conflict");
+    PauliString merged(numQubits_);
+    merged.xMask_ = xMask_ | other.xMask_;
+    merged.zMask_ = zMask_ | other.zMask_;
+    return merged;
+}
+
+PauliString
+PauliString::restrictedTo(int start, int len) const
+{
+    std::uint64_t window;
+    if (len >= 64)
+        window = ~0ull;
+    else
+        window = ((1ull << len) - 1) << start;
+    PauliString out(numQubits_);
+    out.xMask_ = xMask_ & window;
+    out.zMask_ = zMask_ & window;
+    return out;
+}
+
+PauliString
+PauliString::restrictedTo(const std::vector<int> &positions) const
+{
+    const std::uint64_t window = positionsMask(positions);
+    PauliString out(numQubits_);
+    out.xMask_ = xMask_ & window;
+    out.zMask_ = zMask_ & window;
+    return out;
+}
+
+bool
+PauliString::commutesWith(const PauliString &other) const
+{
+    // Symplectic product: strings anti-commute iff
+    // |{q : x_a z_b != x_b z_a at q}| is odd.
+    const std::uint64_t cross =
+        (xMask_ & other.zMask_) ^ (zMask_ & other.xMask_);
+    return parity(cross) == 0;
+}
+
+std::string
+PauliString::toString() const
+{
+    std::string s(numQubits_, 'I');
+    for (int q = 0; q < numQubits_; ++q)
+        s[q] = pauliChar(op(q));
+    return s;
+}
+
+std::string
+PauliString::toSubsetString() const
+{
+    std::string s = toString();
+    for (char &c : s)
+        if (c == 'I')
+            c = '-';
+    return s;
+}
+
+bool
+PauliString::operator<(const PauliString &other) const
+{
+    if (numQubits_ != other.numQubits_)
+        return numQubits_ < other.numQubits_;
+    if (xMask_ != other.xMask_)
+        return xMask_ < other.xMask_;
+    return zMask_ < other.zMask_;
+}
+
+std::size_t
+PauliString::hash() const
+{
+    // Mix the two masks and the width with a Fibonacci multiplier.
+    std::size_t h = static_cast<std::size_t>(numQubits_);
+    h = h * 0x9E3779B97F4A7C15ull + xMask_;
+    h = h * 0x9E3779B97F4A7C15ull + zMask_;
+    h ^= h >> 29;
+    return h;
+}
+
+} // namespace varsaw

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Bit-packed multi-qubit Pauli strings.
+ *
+ * A PauliString is the unit of everything in this library: a
+ * Hamiltonian term's operator part, a measurement basis, and a
+ * partial-measurement subset (where identity positions mean
+ * "unmeasured"). Strings follow the paper's convention: character 0
+ * of the text form is qubit 0 (leftmost).
+ */
+
+#ifndef VARSAW_PAULI_PAULI_STRING_HH
+#define VARSAW_PAULI_PAULI_STRING_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pauli/pauli_op.hh"
+
+namespace varsaw {
+
+/**
+ * An n-qubit Pauli string, packed as X/Z bit masks (n <= 64).
+ *
+ * Supports the three relations the VarSaw pipeline is built on:
+ *
+ *  - qubit-wise compatibility (qwcCompatible): no position holds two
+ *    different non-identity operators; compatible strings can be
+ *    measured by one circuit;
+ *  - covering (coveredBy): every non-identity position of this string
+ *    matches the other string, i.e. measuring the other string also
+ *    measures this one ("trivial commutation" in the paper);
+ *  - merging (mergedWith): the union of two compatible strings.
+ */
+class PauliString
+{
+  public:
+    PauliString() = default;
+
+    /** All-identity string over @p num_qubits qubits. */
+    explicit PauliString(int num_qubits);
+
+    /**
+     * Parse from text such as "ZZIZ" or "ZX--" (both 'I' and '-'
+     * denote identity). Fatal on invalid characters.
+     */
+    static PauliString parse(const std::string &text);
+
+    /** Construct directly from packed masks (advanced use). */
+    static PauliString fromMasks(int num_qubits, std::uint64_t x_mask,
+                                 std::uint64_t z_mask);
+
+    /** Number of qubits the string spans. */
+    int numQubits() const { return numQubits_; }
+
+    /** Operator at qubit @p q. */
+    PauliOp op(int q) const;
+
+    /** Set the operator at qubit @p q. */
+    void setOp(int q, PauliOp op);
+
+    /** Packed X-component mask. */
+    std::uint64_t xMask() const { return xMask_; }
+
+    /** Packed Z-component mask. */
+    std::uint64_t zMask() const { return zMask_; }
+
+    /** Mask of non-identity positions. */
+    std::uint64_t supportMask() const { return xMask_ | zMask_; }
+
+    /** Number of non-identity positions. */
+    int weight() const;
+
+    /** Whether every position is the identity. */
+    bool isIdentity() const { return supportMask() == 0; }
+
+    /** Indices of non-identity positions, ascending. */
+    std::vector<int> support() const;
+
+    /**
+     * Qubit-wise compatibility: no position where both strings are
+     * non-identity and differ. Compatible strings share a measurement
+     * basis circuit.
+     */
+    bool qwcCompatible(const PauliString &other) const;
+
+    /**
+     * Covering relation: this string is covered by @p parent if every
+     * non-identity position of this string holds the same operator in
+     * @p parent. A circuit measuring @p parent measures this string
+     * for free (the paper's "trivial commutation").
+     */
+    bool coveredBy(const PauliString &parent) const;
+
+    /**
+     * Union of two qubit-wise compatible strings (the joint
+     * measurement basis). Panics if the strings conflict.
+     */
+    PauliString mergedWith(const PauliString &other) const;
+
+    /**
+     * Restriction to a window: identity everywhere except positions
+     * [start, start+len), which keep their operators.
+     */
+    PauliString restrictedTo(int start, int len) const;
+
+    /**
+     * Restriction to an arbitrary set of positions (identity
+     * elsewhere).
+     */
+    PauliString restrictedTo(const std::vector<int> &positions) const;
+
+    /**
+     * True anti-commutation check in the full Pauli group:
+     * strings anti-commute iff the symplectic product is odd.
+     * (Qubit-wise compatibility implies commutation but not
+     * conversely; the library exposes both.)
+     */
+    bool commutesWith(const PauliString &other) const;
+
+    /** Text form with 'I' for identity, qubit 0 leftmost. */
+    std::string toString() const;
+
+    /**
+     * Text form with '-' for identity, matching the subset-string
+     * notation of the paper's figures (e.g. "ZX--").
+     */
+    std::string toSubsetString() const;
+
+    bool operator==(const PauliString &other) const
+    {
+        return numQubits_ == other.numQubits_ &&
+            xMask_ == other.xMask_ && zMask_ == other.zMask_;
+    }
+
+    bool operator!=(const PauliString &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Deterministic ordering (for stable grouping output). */
+    bool operator<(const PauliString &other) const;
+
+    /** Hash suitable for unordered containers. */
+    std::size_t hash() const;
+
+  private:
+    std::uint64_t xMask_ = 0;
+    std::uint64_t zMask_ = 0;
+    int numQubits_ = 0;
+};
+
+/** std::hash adapter for PauliString. */
+struct PauliStringHash
+{
+    std::size_t
+    operator()(const PauliString &p) const
+    {
+        return p.hash();
+    }
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_PAULI_PAULI_STRING_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * A Pauli term: a real coefficient times a Pauli string.
+ */
+
+#ifndef VARSAW_PAULI_PAULI_TERM_HH
+#define VARSAW_PAULI_PAULI_TERM_HH
+
+#include "pauli/pauli_string.hh"
+
+namespace varsaw {
+
+/**
+ * One term of a Hamiltonian, c * P.
+ *
+ * Coefficients are real because every Hamiltonian handled here is
+ * Hermitian and expanded in the (Hermitian) Pauli basis.
+ */
+struct PauliTerm
+{
+    PauliString string;
+    double coefficient = 0.0;
+
+    PauliTerm() = default;
+
+    PauliTerm(PauliString s, double c)
+        : string(std::move(s)), coefficient(c)
+    {}
+
+    /** Parse convenience: PauliTerm::of("ZZIZ", 0.5). */
+    static PauliTerm
+    of(const std::string &text, double c)
+    {
+        return PauliTerm(PauliString::parse(text), c);
+    }
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_PAULI_PAULI_TERM_HH

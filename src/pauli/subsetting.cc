@@ -1,0 +1,112 @@
+#include "pauli/subsetting.hh"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+std::vector<PauliString>
+windowSubsets(const PauliString &basis, int window_size)
+{
+    const int n = basis.numQubits();
+    if (window_size < 1)
+        panic("windowSubsets: window size must be >= 1");
+    const int m = std::min(window_size, n);
+
+    std::vector<PauliString> out;
+    std::unordered_set<PauliString, PauliStringHash> seen;
+    for (int start = 0; start + m <= n; ++start) {
+        PauliString window = basis.restrictedTo(start, m);
+        if (window.isIdentity())
+            continue;
+        if (seen.insert(window).second)
+            out.push_back(window);
+    }
+    return out;
+}
+
+std::vector<PauliString>
+jigsawSubsets(const std::vector<PauliString> &bases, int window_size)
+{
+    std::vector<PauliString> out;
+    for (const auto &basis : bases) {
+        auto windows = windowSubsets(basis, window_size);
+        out.insert(out.end(), windows.begin(), windows.end());
+    }
+    return out;
+}
+
+std::vector<PauliString>
+aggregateSubsets(const std::vector<PauliString> &strings,
+                 int window_size)
+{
+    return jigsawSubsets(strings, window_size);
+}
+
+std::vector<PauliString>
+reduceSubsets(const std::vector<PauliString> &subsets)
+{
+    // Deduplicate first; the dominance pass is then quadratic in the
+    // number of *unique* windows, which is bounded by
+    // (positions) * 16 for 2-qubit windows regardless of term count.
+    std::vector<PauliString> unique;
+    {
+        std::unordered_set<PauliString, PauliStringHash> seen;
+        for (const auto &s : subsets)
+            if (!s.isIdentity() && seen.insert(s).second)
+                unique.push_back(s);
+    }
+
+    std::vector<PauliString> kept;
+    kept.reserve(unique.size());
+    for (const auto &candidate : unique) {
+        bool dominated = false;
+        for (const auto &other : unique) {
+            if (other == candidate)
+                continue;
+            if (candidate.coveredBy(other)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            kept.push_back(candidate);
+    }
+    std::sort(kept.begin(), kept.end());
+    return kept;
+}
+
+SubsetCover::SubsetCover(std::vector<PauliString> executed)
+    : executed_(std::move(executed))
+{
+    exact_.reserve(executed_.size());
+    for (std::size_t i = 0; i < executed_.size(); ++i)
+        exact_.emplace(executed_[i], i);
+}
+
+std::optional<std::size_t>
+SubsetCover::findCover(const PauliString &needed) const
+{
+    // Fast path: exact match.
+    if (auto it = exact_.find(needed); it != exact_.end())
+        return it->second;
+
+    // Dominating superset: prefer the smallest weight so the
+    // marginalization discards as little as possible.
+    std::optional<std::size_t> best;
+    int best_weight = std::numeric_limits<int>::max();
+    for (std::size_t i = 0; i < executed_.size(); ++i) {
+        if (needed.coveredBy(executed_[i]) &&
+            executed_[i].weight() < best_weight) {
+            best = i;
+            best_weight = executed_[i].weight();
+        }
+    }
+    return best;
+}
+
+} // namespace varsaw

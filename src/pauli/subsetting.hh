@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Measurement subsetting: sliding-window partial measurements.
+ *
+ * JigSaw measures a circuit's qubits a small window at a time; the
+ * window's Pauli operators (taken from the measurement basis) define
+ * a partial-measurement string such as "ZX--". This file provides:
+ *
+ *  - window generation for a single basis (JigSaw's per-circuit
+ *    subsetting),
+ *  - aggregate generation across all Hamiltonian terms (VarSaw's
+ *    pre-reduction pool, Fig. 10 right),
+ *  - the VarSaw spatial reduction: deduplicate + eliminate subsets
+ *    dominated (covered) by another subset (Fig. 6, Eq. 3 -> Eq. 4),
+ *  - cover lookup: find which executed subset answers a needed
+ *    window (exact match or dominating superset).
+ */
+
+#ifndef VARSAW_PAULI_SUBSETTING_HH
+#define VARSAW_PAULI_SUBSETTING_HH
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "pauli/pauli_string.hh"
+
+namespace varsaw {
+
+/**
+ * Sliding-window subsets of one measurement-basis string.
+ *
+ * For an n-qubit basis and window size m there are n-m+1 windows;
+ * each yields the basis restricted to that window. All-identity
+ * windows are dropped (they require no measurement), and duplicate
+ * restrictions within this basis are emitted once (e.g. a basis
+ * "IZII" yields "-Z--" from two windows).
+ *
+ * @param basis       Full-width measurement basis.
+ * @param window_size Subset size m (>= 1, <= numQubits).
+ */
+std::vector<PauliString>
+windowSubsets(const PauliString &basis, int window_size);
+
+/**
+ * JigSaw's subset workload for a list of basis circuits: the
+ * concatenation of windowSubsets() per basis, with *no* cross-basis
+ * deduplication (JigSaw is application-agnostic; each circuit's
+ * subsets are generated and executed independently).
+ */
+std::vector<PauliString>
+jigsawSubsets(const std::vector<PauliString> &bases, int window_size);
+
+/**
+ * VarSaw's pre-reduction pool: window subsets of *every* raw
+ * Hamiltonian term string, concatenated (duplicates included; the
+ * reduction removes them).
+ */
+std::vector<PauliString>
+aggregateSubsets(const std::vector<PauliString> &strings,
+                 int window_size);
+
+/**
+ * VarSaw spatial reduction: drop duplicates, then drop any subset
+ * covered by another surviving subset (dominance elimination).
+ * Output is sorted deterministically.
+ *
+ * Reproduces Fig. 6: the 30 raw windows of the 10-term Hamiltonian
+ * reduce to the 9 strings of Eq. 4.
+ */
+std::vector<PauliString>
+reduceSubsets(const std::vector<PauliString> &subsets);
+
+/**
+ * Index over executed subsets answering "which executed circuit
+ * covers this needed window?" — the runtime half of the spatial
+ * optimization: a window's local PMF is the covering subset's
+ * marginal.
+ */
+class SubsetCover
+{
+  public:
+    /** Build the index over the executed subset strings. */
+    explicit SubsetCover(std::vector<PauliString> executed);
+
+    /** The executed subsets, in index order. */
+    const std::vector<PauliString> &executed() const
+    {
+        return executed_;
+    }
+
+    /**
+     * Find an executed subset covering @p needed (identity positions
+     * of @p needed are wildcards). Exact matches are found in O(1);
+     * otherwise the smallest-weight covering subset is returned.
+     *
+     * @return Index into executed(), or std::nullopt if none covers.
+     */
+    std::optional<std::size_t> findCover(const PauliString &needed) const;
+
+  private:
+    std::vector<PauliString> executed_;
+    // Exact-match index from subset string to executed index.
+    std::unordered_map<PauliString, std::size_t, PauliStringHash> exact_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_PAULI_SUBSETTING_HH

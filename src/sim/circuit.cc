@@ -1,0 +1,248 @@
+#include "sim/circuit.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+Circuit::Circuit(int num_qubits, std::string label)
+    : numQubits_(num_qubits), label_(std::move(label))
+{
+    if (num_qubits < 1 || num_qubits > 30)
+        panic("Circuit: simulable qubit count must be in [1, 30]");
+}
+
+Circuit &
+Circuit::pushOp(GateKind kind, int q0, int q1, double param,
+                int param_index)
+{
+    if (q0 < 0 || q0 >= numQubits_)
+        panic("Circuit: qubit index out of range");
+    if (isTwoQubitGate(kind)) {
+        if (q1 < 0 || q1 >= numQubits_ || q1 == q0)
+            panic("Circuit: invalid second qubit index");
+    }
+    GateOp op;
+    op.kind = kind;
+    op.q0 = q0;
+    op.q1 = q1;
+    op.param = param;
+    op.paramIndex = param_index;
+    ops_.push_back(op);
+    if (param_index >= 0)
+        numParams_ = std::max(numParams_, param_index + 1);
+    return *this;
+}
+
+Circuit &Circuit::h(int q) { return pushOp(GateKind::H, q, -1, 0, -1); }
+Circuit &Circuit::x(int q) { return pushOp(GateKind::X, q, -1, 0, -1); }
+Circuit &Circuit::y(int q) { return pushOp(GateKind::Y, q, -1, 0, -1); }
+Circuit &Circuit::z(int q) { return pushOp(GateKind::Z, q, -1, 0, -1); }
+Circuit &Circuit::s(int q) { return pushOp(GateKind::S, q, -1, 0, -1); }
+
+Circuit &
+Circuit::sdg(int q)
+{
+    return pushOp(GateKind::Sdg, q, -1, 0, -1);
+}
+
+Circuit &Circuit::t(int q) { return pushOp(GateKind::T, q, -1, 0, -1); }
+
+Circuit &
+Circuit::rx(int q, double theta)
+{
+    return pushOp(GateKind::RX, q, -1, theta, -1);
+}
+
+Circuit &
+Circuit::ry(int q, double theta)
+{
+    return pushOp(GateKind::RY, q, -1, theta, -1);
+}
+
+Circuit &
+Circuit::rz(int q, double theta)
+{
+    return pushOp(GateKind::RZ, q, -1, theta, -1);
+}
+
+Circuit &
+Circuit::rxParam(int q, int param_index)
+{
+    return pushOp(GateKind::RX, q, -1, 0, param_index);
+}
+
+Circuit &
+Circuit::ryParam(int q, int param_index)
+{
+    return pushOp(GateKind::RY, q, -1, 0, param_index);
+}
+
+Circuit &
+Circuit::rzParam(int q, int param_index)
+{
+    return pushOp(GateKind::RZ, q, -1, 0, param_index);
+}
+
+Circuit &
+Circuit::cx(int control, int target)
+{
+    return pushOp(GateKind::CX, control, target, 0, -1);
+}
+
+Circuit &
+Circuit::cz(int a, int b)
+{
+    return pushOp(GateKind::CZ, a, b, 0, -1);
+}
+
+Circuit &
+Circuit::rzz(int a, int b, double theta)
+{
+    return pushOp(GateKind::RZZ, a, b, theta, -1);
+}
+
+Circuit &
+Circuit::rzzParam(int a, int b, int param_index)
+{
+    return pushOp(GateKind::RZZ, a, b, 0, param_index);
+}
+
+Circuit &
+Circuit::swap(int a, int b)
+{
+    return pushOp(GateKind::SWAP, a, b, 0, -1);
+}
+
+Circuit &
+Circuit::append(const Circuit &other)
+{
+    if (other.numQubits_ > numQubits_)
+        panic("Circuit::append: appended circuit is wider");
+    for (const auto &op : other.ops_) {
+        ops_.push_back(op);
+        if (op.paramIndex >= 0)
+            numParams_ = std::max(numParams_, op.paramIndex + 1);
+    }
+    return *this;
+}
+
+Circuit
+Circuit::bound(const std::vector<double> &params) const
+{
+    if (numParams_ > static_cast<int>(params.size()))
+        panic("Circuit::bound: parameter vector too short");
+    Circuit out(numQubits_, label_);
+    for (GateOp op : ops_) {
+        if (op.paramIndex >= 0) {
+            op.param = params[op.paramIndex];
+            op.paramIndex = -1;
+        }
+        out.ops_.push_back(op);
+    }
+    out.measured_ = measured_;
+    return out;
+}
+
+Circuit &
+Circuit::appendBasisRotations(const PauliString &basis)
+{
+    if (basis.numQubits() != numQubits_)
+        panic("Circuit::appendBasisRotations: basis width mismatch");
+    for (int q = 0; q < numQubits_; ++q) {
+        switch (basis.op(q)) {
+          case PauliOp::X:
+            h(q);
+            break;
+          case PauliOp::Y:
+            sdg(q);
+            h(q);
+            break;
+          case PauliOp::Z:
+          case PauliOp::I:
+            break;
+        }
+    }
+    return *this;
+}
+
+Circuit &
+Circuit::measure(int q)
+{
+    if (q < 0 || q >= numQubits_)
+        panic("Circuit::measure: qubit index out of range");
+    for (int m : measured_)
+        if (m == q)
+            panic("Circuit::measure: qubit measured twice");
+    measured_.push_back(q);
+    return *this;
+}
+
+Circuit &
+Circuit::measureAll()
+{
+    for (int q = 0; q < numQubits_; ++q)
+        measure(q);
+    return *this;
+}
+
+Circuit &
+Circuit::measureSupport(const PauliString &basis)
+{
+    for (int q : basis.support())
+        measure(q);
+    return *this;
+}
+
+int
+Circuit::oneQubitGateCount() const
+{
+    int n = 0;
+    for (const auto &op : ops_)
+        if (!isTwoQubitGate(op.kind))
+            ++n;
+    return n;
+}
+
+int
+Circuit::twoQubitGateCount() const
+{
+    int n = 0;
+    for (const auto &op : ops_)
+        if (isTwoQubitGate(op.kind))
+            ++n;
+    return n;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> busy_until(numQubits_, 0);
+    int depth = 0;
+    for (const auto &op : ops_) {
+        int start = busy_until[op.q0];
+        if (isTwoQubitGate(op.kind))
+            start = std::max(start, busy_until[op.q1]);
+        const int end = start + 1;
+        busy_until[op.q0] = end;
+        if (isTwoQubitGate(op.kind))
+            busy_until[op.q1] = end;
+        depth = std::max(depth, end);
+    }
+    return depth;
+}
+
+std::string
+Circuit::summary() const
+{
+    std::ostringstream out;
+    out << (label_.empty() ? "circuit" : label_) << ": "
+        << numQubits_ << "q, " << ops_.size() << " gates ("
+        << twoQubitGateCount() << " two-qubit), depth " << depth()
+        << ", " << measured_.size() << " measured";
+    return out.str();
+}
+
+} // namespace varsaw

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Parameterized quantum circuits.
+ *
+ * A Circuit is a gate list plus a measurement specification (which
+ * qubits are read out, in classical-bit order). Measuring only a
+ * subset of qubits is first-class — it is the core mechanism of
+ * JigSaw/VarSaw subsetting.
+ */
+
+#ifndef VARSAW_SIM_CIRCUIT_HH
+#define VARSAW_SIM_CIRCUIT_HH
+
+#include <string>
+#include <vector>
+
+#include "pauli/pauli_string.hh"
+#include "sim/gate.hh"
+
+namespace varsaw {
+
+/** A quantum circuit over a fixed number of qubits. */
+class Circuit
+{
+  public:
+    Circuit() = default;
+
+    /** Circuit over @p num_qubits qubits, no gates, no measurements. */
+    explicit Circuit(int num_qubits, std::string label = "");
+
+    /** Number of qubits. */
+    int numQubits() const { return numQubits_; }
+
+    /** Optional label for diagnostics ("global:ZZIZ", "subset:ZX--"). */
+    const std::string &label() const { return label_; }
+
+    /** Set the diagnostic label. */
+    void setLabel(std::string label) { label_ = std::move(label); }
+
+    /** Gate sequence. */
+    const std::vector<GateOp> &ops() const { return ops_; }
+
+    /** Number of distinct symbolic parameters referenced. */
+    int numParams() const { return numParams_; }
+
+    /** @name Gate appenders
+     *  @{
+     */
+    Circuit &h(int q);
+    Circuit &x(int q);
+    Circuit &y(int q);
+    Circuit &z(int q);
+    Circuit &s(int q);
+    Circuit &sdg(int q);
+    Circuit &t(int q);
+    Circuit &rx(int q, double theta);
+    Circuit &ry(int q, double theta);
+    Circuit &rz(int q, double theta);
+    /** RX whose angle is parameter @p param_index. */
+    Circuit &rxParam(int q, int param_index);
+    /** RY whose angle is parameter @p param_index. */
+    Circuit &ryParam(int q, int param_index);
+    /** RZ whose angle is parameter @p param_index. */
+    Circuit &rzParam(int q, int param_index);
+    Circuit &cx(int control, int target);
+    Circuit &cz(int a, int b);
+    /** exp(-i theta/2 Z_a Z_b). */
+    Circuit &rzz(int a, int b, double theta);
+    /** RZZ whose angle is parameter @p param_index. */
+    Circuit &rzzParam(int a, int b, int param_index);
+    Circuit &swap(int a, int b);
+    /** @} */
+
+    /** Append all gates of @p other (measurements are not copied). */
+    Circuit &append(const Circuit &other);
+
+    /**
+     * Copy of this circuit with every symbolic parameter bound to
+     * its value from @p params (the result has numParams() == 0).
+     * Needed by transformations that must negate angles, e.g. ZNE
+     * circuit folding.
+     */
+    Circuit bound(const std::vector<double> &params) const;
+
+    /**
+     * Append the basis-change gates that rotate each qubit's
+     * measurement into the given Pauli basis: H for X, Sdg+H for Y,
+     * nothing for Z or I.
+     */
+    Circuit &appendBasisRotations(const PauliString &basis);
+
+    /** Mark qubit @p q as measured (next classical bit). */
+    Circuit &measure(int q);
+
+    /** Measure all qubits in ascending order. */
+    Circuit &measureAll();
+
+    /**
+     * Measure the support of @p basis (the non-identity positions,
+     * ascending). This is how subset circuits are finalized.
+     */
+    Circuit &measureSupport(const PauliString &basis);
+
+    /** Qubits read out, in classical-bit order. */
+    const std::vector<int> &measuredQubits() const
+    {
+        return measured_;
+    }
+
+    /** Number of measured qubits. */
+    int numMeasured() const
+    {
+        return static_cast<int>(measured_.size());
+    }
+
+    /** Number of one-qubit gates. */
+    int oneQubitGateCount() const;
+
+    /** Number of two-qubit gates. */
+    int twoQubitGateCount() const;
+
+    /**
+     * Circuit depth under greedy ASAP scheduling (gates pack into
+     * the earliest layer where their qubits are free).
+     */
+    int depth() const;
+
+    /** One-line summary for diagnostics. */
+    std::string summary() const;
+
+  private:
+    Circuit &pushOp(GateKind kind, int q0, int q1, double param,
+                    int param_index);
+
+    int numQubits_ = 0;
+    int numParams_ = 0;
+    std::string label_;
+    std::vector<GateOp> ops_;
+    std::vector<int> measured_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_SIM_CIRCUIT_HH

@@ -1,0 +1,330 @@
+#include "sim/density_matrix.hh"
+
+#include <cmath>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "sim/statevector.hh"
+
+namespace varsaw {
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : numQubits_(num_qubits), dim_(1ull << num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 12)
+        panic("DensityMatrix: qubit count must be in [1, 12]");
+    data_.assign(dim_ * dim_, Amplitude(0.0, 0.0));
+    data_[0] = Amplitude(1.0, 0.0);
+}
+
+DensityMatrix::Amplitude &
+DensityMatrix::at(std::uint64_t row, std::uint64_t col)
+{
+    return data_[row * dim_ + col];
+}
+
+const DensityMatrix::Amplitude &
+DensityMatrix::at(std::uint64_t row, std::uint64_t col) const
+{
+    return data_[row * dim_ + col];
+}
+
+DensityMatrix::Amplitude
+DensityMatrix::element(std::uint64_t row, std::uint64_t col) const
+{
+    return at(row, col);
+}
+
+void
+DensityMatrix::reset()
+{
+    std::fill(data_.begin(), data_.end(), Amplitude(0.0, 0.0));
+    data_[0] = Amplitude(1.0, 0.0);
+}
+
+void
+DensityMatrix::apply1Q(int q, const Matrix2 &m)
+{
+    const std::uint64_t bit = 1ull << q;
+
+    // Left multiply by U: mix row pairs, all columns.
+    for (std::uint64_t r = 0; r < dim_; ++r) {
+        if (r & bit)
+            continue;
+        for (std::uint64_t c = 0; c < dim_; ++c) {
+            const Amplitude a0 = at(r, c);
+            const Amplitude a1 = at(r | bit, c);
+            at(r, c) = m.m00 * a0 + m.m01 * a1;
+            at(r | bit, c) = m.m10 * a0 + m.m11 * a1;
+        }
+    }
+    // Right multiply by U+: mix column pairs, all rows.
+    const Amplitude d00 = std::conj(m.m00);
+    const Amplitude d01 = std::conj(m.m01);
+    const Amplitude d10 = std::conj(m.m10);
+    const Amplitude d11 = std::conj(m.m11);
+    for (std::uint64_t r = 0; r < dim_; ++r) {
+        for (std::uint64_t c = 0; c < dim_; ++c) {
+            if (c & bit)
+                continue;
+            const Amplitude a0 = at(r, c);
+            const Amplitude a1 = at(r, c | bit);
+            // (rho U+)(r, c0) = rho(r, c0) conj(U00) +
+            //                   rho(r, c1) conj(U01)
+            at(r, c) = a0 * d00 + a1 * d01;
+            at(r, c | bit) = a0 * d10 + a1 * d11;
+        }
+    }
+}
+
+void
+DensityMatrix::applyCX(int control, int target)
+{
+    const std::uint64_t cbit = 1ull << control;
+    const std::uint64_t tbit = 1ull << target;
+    auto permute = [&](std::uint64_t i) {
+        return (i & cbit) ? (i ^ tbit) : i;
+    };
+    std::vector<Amplitude> out(data_.size());
+    for (std::uint64_t r = 0; r < dim_; ++r)
+        for (std::uint64_t c = 0; c < dim_; ++c)
+            out[permute(r) * dim_ + permute(c)] = at(r, c);
+    data_ = std::move(out);
+}
+
+void
+DensityMatrix::applyCZ(int a, int b)
+{
+    const std::uint64_t abit = 1ull << a;
+    const std::uint64_t bbit = 1ull << b;
+    auto sign = [&](std::uint64_t i) {
+        return ((i & abit) && (i & bbit)) ? -1.0 : 1.0;
+    };
+    for (std::uint64_t r = 0; r < dim_; ++r)
+        for (std::uint64_t c = 0; c < dim_; ++c)
+            at(r, c) *= sign(r) * sign(c);
+}
+
+void
+DensityMatrix::applyRZZ(int a, int b, double theta)
+{
+    using namespace std::complex_literals;
+    const std::uint64_t abit = 1ull << a;
+    const std::uint64_t bbit = 1ull << b;
+    auto phase = [&](std::uint64_t i) {
+        const int parity =
+            (static_cast<int>((i & abit) != 0) +
+             static_cast<int>((i & bbit) != 0)) & 1;
+        const double s = parity ? 1.0 : -1.0;
+        return std::exp(1i * (s * theta / 2.0));
+    };
+    for (std::uint64_t r = 0; r < dim_; ++r)
+        for (std::uint64_t c = 0; c < dim_; ++c)
+            at(r, c) *= phase(r) * std::conj(phase(c));
+}
+
+void
+DensityMatrix::applyOp(const GateOp &op,
+                       const std::vector<double> &params)
+{
+    double theta = op.param;
+    if (op.paramIndex >= 0) {
+        if (static_cast<std::size_t>(op.paramIndex) >= params.size())
+            panic("DensityMatrix::applyOp: parameter out of range");
+        theta = params[op.paramIndex];
+    }
+    switch (op.kind) {
+      case GateKind::RX:
+        apply1Q(op.q0, gates::rx(theta));
+        break;
+      case GateKind::RY:
+        apply1Q(op.q0, gates::ry(theta));
+        break;
+      case GateKind::RZ:
+        apply1Q(op.q0, gates::rz(theta));
+        break;
+      case GateKind::CX:
+        applyCX(op.q0, op.q1);
+        break;
+      case GateKind::CZ:
+        applyCZ(op.q0, op.q1);
+        break;
+      case GateKind::RZZ:
+        applyRZZ(op.q0, op.q1, theta);
+        break;
+      case GateKind::SWAP:
+        applyCX(op.q0, op.q1);
+        applyCX(op.q1, op.q0);
+        applyCX(op.q0, op.q1);
+        break;
+      default:
+        apply1Q(op.q0, gates::fixedMatrix(op.kind));
+        break;
+    }
+}
+
+void
+DensityMatrix::conjugateByPauli(const PauliString &p)
+{
+    if (p.numQubits() != numQubits_)
+        panic("DensityMatrix::conjugateByPauli: width mismatch");
+    const std::uint64_t x = p.xMask();
+    const std::uint64_t z = p.zMask();
+    const int n_y = popcount(x & z);
+    static const std::complex<double> i_pow[4] = {
+        {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    const Amplitude base_phase = i_pow[n_y & 3];
+    // P|k> = ph(k)|k ^ x> with ph(k) = i^{nY} (-1)^{par(k & z)};
+    // (P rho P+)(i, j) = ph(i^x) conj(ph(j^x)) rho(i^x, j^x).
+    std::vector<Amplitude> out(data_.size());
+    for (std::uint64_t i = 0; i < dim_; ++i) {
+        const Amplitude phi =
+            base_phase * static_cast<double>(paritySign((i ^ x) & z));
+        for (std::uint64_t j = 0; j < dim_; ++j) {
+            const Amplitude phj = base_phase *
+                static_cast<double>(paritySign((j ^ x) & z));
+            out[i * dim_ + j] =
+                phi * std::conj(phj) * at(i ^ x, j ^ x);
+        }
+    }
+    data_ = std::move(out);
+}
+
+void
+DensityMatrix::applyDepolarizing(int q, double p)
+{
+    if (p <= 0.0)
+        return;
+    DensityMatrix kicked_x(*this), kicked_y(*this), kicked_z(*this);
+    PauliString px(numQubits_), py(numQubits_), pz(numQubits_);
+    px.setOp(q, PauliOp::X);
+    py.setOp(q, PauliOp::Y);
+    pz.setOp(q, PauliOp::Z);
+    kicked_x.conjugateByPauli(px);
+    kicked_y.conjugateByPauli(py);
+    kicked_z.conjugateByPauli(pz);
+    const double keep = 1.0 - p;
+    const double each = p / 3.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] = keep * data_[i] +
+            each * (kicked_x.data_[i] + kicked_y.data_[i] +
+                    kicked_z.data_[i]);
+}
+
+void
+DensityMatrix::applyTwoQubitDepolarizing(int q0, int q1, double p)
+{
+    if (p <= 0.0)
+        return;
+    DensityMatrix acc(numQubits_);
+    std::fill(acc.data_.begin(), acc.data_.end(),
+              Amplitude(0.0, 0.0));
+    static const PauliOp ops[4] = {PauliOp::I, PauliOp::X,
+                                   PauliOp::Y, PauliOp::Z};
+    for (int a = 0; a < 4; ++a)
+        for (int b = 0; b < 4; ++b) {
+            if (a == 0 && b == 0)
+                continue;
+            DensityMatrix kicked(*this);
+            PauliString ps(numQubits_);
+            ps.setOp(q0, ops[a]);
+            ps.setOp(q1, ops[b]);
+            kicked.conjugateByPauli(ps);
+            for (std::size_t i = 0; i < data_.size(); ++i)
+                acc.data_[i] += kicked.data_[i];
+        }
+    const double keep = 1.0 - p;
+    const double each = p / 15.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] = keep * data_[i] + each * acc.data_[i];
+}
+
+void
+DensityMatrix::runNoisy(const Circuit &circuit,
+                        const std::vector<double> &params,
+                        double gate1_error, double gate2_error)
+{
+    if (circuit.numQubits() != numQubits_)
+        panic("DensityMatrix::runNoisy: circuit width mismatch");
+    for (const auto &op : circuit.ops()) {
+        applyOp(op, params);
+        const double err = isTwoQubitGate(op.kind) ? gate2_error
+                                                   : gate1_error;
+        if (err <= 0.0)
+            continue;
+        applyDepolarizing(op.q0, err);
+        if (isTwoQubitGate(op.kind))
+            applyDepolarizing(op.q1, err);
+    }
+}
+
+void
+DensityMatrix::run(const Circuit &circuit,
+                   const std::vector<double> &params)
+{
+    runNoisy(circuit, params, 0.0, 0.0);
+}
+
+double
+DensityMatrix::trace() const
+{
+    double t = 0.0;
+    for (std::uint64_t i = 0; i < dim_; ++i)
+        t += at(i, i).real();
+    return t;
+}
+
+double
+DensityMatrix::purity() const
+{
+    // Tr(rho^2) = sum_ij |rho_ij|^2 for Hermitian rho.
+    double p = 0.0;
+    for (const auto &a : data_)
+        p += std::norm(a);
+    return p;
+}
+
+std::vector<double>
+DensityMatrix::probabilities() const
+{
+    std::vector<double> probs(dim_);
+    for (std::uint64_t i = 0; i < dim_; ++i)
+        probs[i] = at(i, i).real();
+    return probs;
+}
+
+std::vector<double>
+DensityMatrix::marginalProbabilities(
+    const std::vector<int> &measured) const
+{
+    std::vector<double> out(1ull << measured.size(), 0.0);
+    for (std::uint64_t i = 0; i < dim_; ++i)
+        out[gatherBits(i, measured)] += at(i, i).real();
+    return out;
+}
+
+double
+DensityMatrix::expectationPauli(const PauliString &p) const
+{
+    if (p.numQubits() != numQubits_)
+        panic("DensityMatrix::expectationPauli: width mismatch");
+    // Tr(P rho) = sum_i <i|P rho|i> = sum_i P(i, a) rho(a, i) with
+    // a = i ^ x and P(i, a) = ph(a).
+    const std::uint64_t x = p.xMask();
+    const std::uint64_t z = p.zMask();
+    const int n_y = popcount(x & z);
+    static const std::complex<double> i_pow[4] = {
+        {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    const Amplitude base_phase = i_pow[n_y & 3];
+
+    Amplitude acc(0.0, 0.0);
+    for (std::uint64_t i = 0; i < dim_; ++i) {
+        const std::uint64_t a = i ^ x;
+        const Amplitude ph =
+            base_phase * static_cast<double>(paritySign(a & z));
+        acc += ph * at(a, i);
+    }
+    return acc.real();
+}
+
+} // namespace varsaw

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Dense density-matrix simulation engine.
+ *
+ * Exact open-system substrate for small registers (<= ~10 qubits):
+ * gates are conjugations, gate noise is a per-qubit depolarizing
+ * channel applied after each gate (exactly the channel the
+ * stochastic Pauli-trajectory mode samples), and measurement
+ * probabilities are the diagonal. Used to cross-validate the fast
+ * analytic noisy executor and as an alternative exact backend.
+ */
+
+#ifndef VARSAW_SIM_DENSITY_MATRIX_HH
+#define VARSAW_SIM_DENSITY_MATRIX_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "pauli/pauli_string.hh"
+#include "sim/circuit.hh"
+#include "sim/gate.hh"
+
+namespace varsaw {
+
+/** Dense density matrix over up to ~12 qubits. */
+class DensityMatrix
+{
+  public:
+    using Amplitude = std::complex<double>;
+
+    /** Initialize to |0...0><0...0| over @p num_qubits qubits. */
+    explicit DensityMatrix(int num_qubits);
+
+    /** Number of qubits. */
+    int numQubits() const { return numQubits_; }
+
+    /** Matrix dimension 2^numQubits. */
+    std::uint64_t dim() const { return dim_; }
+
+    /** Element (row, col). */
+    Amplitude element(std::uint64_t row, std::uint64_t col) const;
+
+    /** Reset to |0...0><0...0|. */
+    void reset();
+
+    /** Apply a one-qubit unitary to qubit @p q: rho -> U rho U+. */
+    void apply1Q(int q, const Matrix2 &m);
+
+    /** Apply a CX conjugation. */
+    void applyCX(int control, int target);
+
+    /** Apply a CZ conjugation. */
+    void applyCZ(int a, int b);
+
+    /** Apply an RZZ(theta) conjugation. */
+    void applyRZZ(int a, int b, double theta);
+
+    /** Apply one gate op (resolving parameter references). */
+    void applyOp(const GateOp &op, const std::vector<double> &params);
+
+    /** Conjugate by a Pauli string: rho -> P rho P. */
+    void conjugateByPauli(const PauliString &p);
+
+    /**
+     * Single-qubit depolarizing channel on qubit @p q:
+     * rho -> (1-p) rho + p/3 (X rho X + Y rho Y + Z rho Z).
+     */
+    void applyDepolarizing(int q, double p);
+
+    /**
+     * Two-qubit depolarizing channel (uniform over the 15
+     * non-identity two-qubit Paulis).
+     */
+    void applyTwoQubitDepolarizing(int q0, int q1, double p);
+
+    /**
+     * Run a circuit with per-gate local depolarizing noise:
+     * after each gate, applyDepolarizing(touched qubit, error)
+     * for every qubit the gate touched (matching the stochastic
+     * trajectory semantics of NoisyExecutor).
+     *
+     * @param gate1_error Depolarizing probability per 1q gate.
+     * @param gate2_error Depolarizing probability per 2q gate
+     *                    (applied per touched qubit).
+     */
+    void runNoisy(const Circuit &circuit,
+                  const std::vector<double> &params,
+                  double gate1_error, double gate2_error);
+
+    /** Run a circuit without noise. */
+    void run(const Circuit &circuit,
+             const std::vector<double> &params);
+
+    /** Trace (should be 1). */
+    double trace() const;
+
+    /** Purity Tr(rho^2); 1 for pure states. */
+    double purity() const;
+
+    /** Diagonal measurement probabilities (length 2^n). */
+    std::vector<double> probabilities() const;
+
+    /** Marginal probabilities over measured qubit positions. */
+    std::vector<double>
+    marginalProbabilities(const std::vector<int> &measured) const;
+
+    /** Expectation value Tr(P rho) of a Pauli string (real). */
+    double expectationPauli(const PauliString &p) const;
+
+  private:
+    Amplitude &at(std::uint64_t row, std::uint64_t col);
+    const Amplitude &at(std::uint64_t row, std::uint64_t col) const;
+
+    int numQubits_;
+    std::uint64_t dim_;
+    std::vector<Amplitude> data_; // row-major dim x dim
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_SIM_DENSITY_MATRIX_HH

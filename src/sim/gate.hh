@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Gate vocabulary of the circuit simulator.
+ *
+ * The set covers everything the VQA stack needs: the hardware-
+ * efficient SU2 ansatz (RY/RZ + CX), basis-change gates for Pauli
+ * measurements (H, S, Sdg), and the standard Paulis for noise
+ * injection and test circuits.
+ */
+
+#ifndef VARSAW_SIM_GATE_HH
+#define VARSAW_SIM_GATE_HH
+
+#include <complex>
+
+namespace varsaw {
+
+/** Supported gate kinds. */
+enum class GateKind
+{
+    H,    //!< Hadamard
+    X,    //!< Pauli X
+    Y,    //!< Pauli Y
+    Z,    //!< Pauli Z
+    S,    //!< sqrt(Z)
+    Sdg,  //!< S-dagger
+    T,    //!< fourth root of Z
+    RX,   //!< X rotation by angle theta
+    RY,   //!< Y rotation by angle theta
+    RZ,   //!< Z rotation by angle theta
+    CX,   //!< controlled-X (entangler of the SU2 ansatz)
+    CZ,   //!< controlled-Z
+    RZZ,  //!< exp(-i theta/2 Z(x)Z) (QAOA cost-layer entangler)
+    SWAP, //!< qubit swap
+};
+
+/** Whether a gate kind acts on two qubits. */
+inline bool
+isTwoQubitGate(GateKind kind)
+{
+    return kind == GateKind::CX || kind == GateKind::CZ ||
+        kind == GateKind::RZZ || kind == GateKind::SWAP;
+}
+
+/** Whether a gate kind takes a rotation angle. */
+inline bool
+isParameterizedGate(GateKind kind)
+{
+    return kind == GateKind::RX || kind == GateKind::RY ||
+        kind == GateKind::RZ || kind == GateKind::RZZ;
+}
+
+/** Printable mnemonic. */
+inline const char *
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::H:    return "h";
+      case GateKind::X:    return "x";
+      case GateKind::Y:    return "y";
+      case GateKind::Z:    return "z";
+      case GateKind::S:    return "s";
+      case GateKind::Sdg:  return "sdg";
+      case GateKind::T:    return "t";
+      case GateKind::RX:   return "rx";
+      case GateKind::RY:   return "ry";
+      case GateKind::RZ:   return "rz";
+      case GateKind::CX:   return "cx";
+      case GateKind::CZ:   return "cz";
+      case GateKind::RZZ:  return "rzz";
+      case GateKind::SWAP: return "swap";
+    }
+    return "?";
+}
+
+/**
+ * One gate application in a circuit.
+ *
+ * Rotation angles can be bound immediately (@ref param) or refer to
+ * an entry of the parameter vector supplied at simulation time
+ * (@ref paramIndex >= 0), which is how the variational ansatz is
+ * re-evaluated each iteration without rebuilding the circuit.
+ */
+struct GateOp
+{
+    GateKind kind = GateKind::H;
+    int q0 = 0;          //!< target (or control for CX)
+    int q1 = -1;         //!< second qubit for 2q gates, else -1
+    double param = 0.0;  //!< bound rotation angle
+    int paramIndex = -1; //!< >= 0: angle comes from parameter vector
+};
+
+/** 2x2 complex matrix in row-major order. */
+struct Matrix2
+{
+    std::complex<double> m00, m01, m10, m11;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_SIM_GATE_HH

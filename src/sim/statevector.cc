@@ -1,0 +1,282 @@
+#include "sim/statevector.hh"
+
+#include <cmath>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace varsaw {
+
+namespace gates {
+
+Matrix2
+fixedMatrix(GateKind kind)
+{
+    using namespace std::complex_literals;
+    const double isq2 = 1.0 / std::sqrt(2.0);
+    switch (kind) {
+      case GateKind::H:
+        return {isq2, isq2, isq2, -isq2};
+      case GateKind::X:
+        return {0, 1, 1, 0};
+      case GateKind::Y:
+        return {0, -1i, 1i, 0};
+      case GateKind::Z:
+        return {1, 0, 0, -1};
+      case GateKind::S:
+        return {1, 0, 0, 1i};
+      case GateKind::Sdg:
+        return {1, 0, 0, -1i};
+      case GateKind::T:
+        return {1, 0, 0, std::exp(1i * (M_PI / 4.0))};
+      default:
+        panic("gates::fixedMatrix: not a fixed one-qubit gate");
+    }
+}
+
+Matrix2
+rx(double theta)
+{
+    using namespace std::complex_literals;
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    return {c, -1i * s, -1i * s, c};
+}
+
+Matrix2
+ry(double theta)
+{
+    const double c = std::cos(theta / 2.0);
+    const double s = std::sin(theta / 2.0);
+    return {c, -s, s, c};
+}
+
+Matrix2
+rz(double theta)
+{
+    using namespace std::complex_literals;
+    return {std::exp(-1i * (theta / 2.0)), 0, 0,
+            std::exp(1i * (theta / 2.0))};
+}
+
+} // namespace gates
+
+Statevector::Statevector(int num_qubits) : numQubits_(num_qubits)
+{
+    if (num_qubits < 1 || num_qubits > 26)
+        panic("Statevector: qubit count must be in [1, 26]");
+    amps_.assign(1ull << num_qubits, Amplitude(0.0, 0.0));
+    amps_[0] = Amplitude(1.0, 0.0);
+}
+
+void
+Statevector::reset()
+{
+    std::fill(amps_.begin(), amps_.end(), Amplitude(0.0, 0.0));
+    amps_[0] = Amplitude(1.0, 0.0);
+}
+
+void
+Statevector::apply1Q(int q, const Matrix2 &m)
+{
+    const std::uint64_t bit = 1ull << q;
+    const std::uint64_t n = amps_.size();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (i & bit)
+            continue;
+        const Amplitude a0 = amps_[i];
+        const Amplitude a1 = amps_[i | bit];
+        amps_[i] = m.m00 * a0 + m.m01 * a1;
+        amps_[i | bit] = m.m10 * a0 + m.m11 * a1;
+    }
+}
+
+void
+Statevector::applyCX(int control, int target)
+{
+    const std::uint64_t cbit = 1ull << control;
+    const std::uint64_t tbit = 1ull << target;
+    const std::uint64_t n = amps_.size();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        // Visit each affected pair once: control set, target clear.
+        if ((i & cbit) && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+    }
+}
+
+void
+Statevector::applyCZ(int a, int b)
+{
+    const std::uint64_t abit = 1ull << a;
+    const std::uint64_t bbit = 1ull << b;
+    const std::uint64_t n = amps_.size();
+    for (std::uint64_t i = 0; i < n; ++i)
+        if ((i & abit) && (i & bbit))
+            amps_[i] = -amps_[i];
+}
+
+void
+Statevector::applyRZZ(int a, int b, double theta)
+{
+    using namespace std::complex_literals;
+    const std::uint64_t abit = 1ull << a;
+    const std::uint64_t bbit = 1ull << b;
+    const Amplitude even = std::exp(-1i * (theta / 2.0));
+    const Amplitude odd = std::exp(1i * (theta / 2.0));
+    const std::uint64_t n = amps_.size();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const bool parity =
+            ((i & abit) != 0) != ((i & bbit) != 0);
+        amps_[i] *= parity ? odd : even;
+    }
+}
+
+void
+Statevector::applySwap(int a, int b)
+{
+    const std::uint64_t abit = 1ull << a;
+    const std::uint64_t bbit = 1ull << b;
+    const std::uint64_t n = amps_.size();
+    for (std::uint64_t i = 0; i < n; ++i)
+        if ((i & abit) && !(i & bbit))
+            std::swap(amps_[i ^ abit ^ bbit], amps_[i]);
+}
+
+void
+Statevector::applyOp(const GateOp &op, const std::vector<double> &params)
+{
+    double theta = op.param;
+    if (op.paramIndex >= 0) {
+        if (static_cast<std::size_t>(op.paramIndex) >= params.size())
+            panic("Statevector::applyOp: parameter index out of range");
+        theta = params[op.paramIndex];
+    }
+
+    switch (op.kind) {
+      case GateKind::RX:
+        apply1Q(op.q0, gates::rx(theta));
+        break;
+      case GateKind::RY:
+        apply1Q(op.q0, gates::ry(theta));
+        break;
+      case GateKind::RZ:
+        apply1Q(op.q0, gates::rz(theta));
+        break;
+      case GateKind::CX:
+        applyCX(op.q0, op.q1);
+        break;
+      case GateKind::CZ:
+        applyCZ(op.q0, op.q1);
+        break;
+      case GateKind::RZZ:
+        applyRZZ(op.q0, op.q1, theta);
+        break;
+      case GateKind::SWAP:
+        applySwap(op.q0, op.q1);
+        break;
+      default:
+        apply1Q(op.q0, gates::fixedMatrix(op.kind));
+        break;
+    }
+}
+
+void
+Statevector::run(const Circuit &circuit, const std::vector<double> &params)
+{
+    if (circuit.numQubits() != numQubits_)
+        panic("Statevector::run: circuit width mismatch");
+    if (circuit.numParams() > static_cast<int>(params.size()))
+        panic("Statevector::run: parameter vector too short");
+    for (const auto &op : circuit.ops())
+        applyOp(op, params);
+}
+
+double
+Statevector::norm() const
+{
+    double total = 0.0;
+    for (const auto &a : amps_)
+        total += std::norm(a);
+    return total;
+}
+
+std::vector<double>
+Statevector::probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        probs[i] = std::norm(amps_[i]);
+    return probs;
+}
+
+std::vector<double>
+Statevector::marginalProbabilities(const std::vector<int> &measured) const
+{
+    const int m = static_cast<int>(measured.size());
+    std::vector<double> probs(1ull << m, 0.0);
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        const double p = std::norm(amps_[i]);
+        if (p == 0.0)
+            continue;
+        probs[gatherBits(i, measured)] += p;
+    }
+    return probs;
+}
+
+double
+Statevector::expectationPauli(const PauliString &p) const
+{
+    if (p.numQubits() != numQubits_)
+        panic("Statevector::expectationPauli: width mismatch");
+    // P|i> = phase * (-1)^{popcount(i & z)} |i ^ x| with
+    // phase = i^{#Y}; accumulate <psi|P|psi>.
+    const std::uint64_t x = p.xMask();
+    const std::uint64_t z = p.zMask();
+    const int n_y = popcount(x & z);
+    static const std::complex<double> i_pow[4] = {
+        {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    const std::complex<double> phase = i_pow[n_y & 3];
+
+    std::complex<double> acc(0.0, 0.0);
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        const Amplitude &a = amps_[i];
+        if (a == Amplitude(0.0, 0.0))
+            continue;
+        const double sign = paritySign(i & z);
+        acc += std::conj(amps_[i ^ x]) * (phase * sign * a);
+    }
+    return acc.real();
+}
+
+Statevector::Amplitude
+Statevector::innerProduct(const Statevector &other) const
+{
+    if (other.numQubits_ != numQubits_)
+        panic("Statevector::innerProduct: width mismatch");
+    Amplitude acc(0.0, 0.0);
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        acc += std::conj(amps_[i]) * other.amps_[i];
+    return acc;
+}
+
+void
+Statevector::applyPauli(const PauliString &p)
+{
+    if (p.numQubits() != numQubits_)
+        panic("Statevector::applyPauli: width mismatch");
+    const std::uint64_t x = p.xMask();
+    const std::uint64_t z = p.zMask();
+    const int n_y = popcount(x & z);
+    static const std::complex<double> i_pow[4] = {
+        {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+    const std::complex<double> phase = i_pow[n_y & 3];
+
+    std::vector<Amplitude> out(amps_.size());
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        const double sign = paritySign(i & z);
+        out[i ^ x] = phase * sign * amps_[i];
+    }
+    amps_ = std::move(out);
+}
+
+} // namespace varsaw

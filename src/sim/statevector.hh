@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Dense state-vector simulation engine.
+ *
+ * Qubit q corresponds to bit q of the amplitude index (qubit 0 is
+ * the least significant bit). This is the exact-simulation substrate
+ * underneath every noisy execution: circuits are evolved exactly,
+ * then noise channels and finite-shot sampling are applied to the
+ * resulting distribution (see noise/ and mitigation/).
+ */
+
+#ifndef VARSAW_SIM_STATEVECTOR_HH
+#define VARSAW_SIM_STATEVECTOR_HH
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "pauli/pauli_string.hh"
+#include "sim/circuit.hh"
+#include "sim/gate.hh"
+
+namespace varsaw {
+
+/** Dense complex state vector over up to ~26 qubits. */
+class Statevector
+{
+  public:
+    using Amplitude = std::complex<double>;
+
+    /** Initialize to |0...0> over @p num_qubits qubits. */
+    explicit Statevector(int num_qubits);
+
+    /** Number of qubits. */
+    int numQubits() const { return numQubits_; }
+
+    /** Amplitude vector (length 2^numQubits). */
+    const std::vector<Amplitude> &amplitudes() const { return amps_; }
+
+    /** Reset to |0...0>. */
+    void reset();
+
+    /** Apply an arbitrary one-qubit unitary to qubit @p q. */
+    void apply1Q(int q, const Matrix2 &m);
+
+    /** Apply a controlled-X with the given control and target. */
+    void applyCX(int control, int target);
+
+    /** Apply a controlled-Z (symmetric in its qubits). */
+    void applyCZ(int a, int b);
+
+    /** Apply exp(-i theta/2 Z_a Z_b). */
+    void applyRZZ(int a, int b, double theta);
+
+    /** Apply a SWAP. */
+    void applySwap(int a, int b);
+
+    /**
+     * Apply one gate op, resolving parameter references against
+     * @p params (may be empty if the op is fully bound).
+     */
+    void applyOp(const GateOp &op, const std::vector<double> &params);
+
+    /**
+     * Run all gates of @p circuit with the given parameter vector.
+     * The circuit's measurement spec is not applied here; callers
+     * extract probabilities explicitly.
+     */
+    void run(const Circuit &circuit, const std::vector<double> &params);
+
+    /** Squared norm (should be 1 up to rounding). */
+    double norm() const;
+
+    /** Probability of each full basis state (length 2^n). */
+    std::vector<double> probabilities() const;
+
+    /**
+     * Marginal probabilities over @p measured qubit positions:
+     * entry y sums |amp(x)|^2 over all x whose bits at the measured
+     * positions spell y (bit i of y = qubit measured[i]).
+     */
+    std::vector<double>
+    marginalProbabilities(const std::vector<int> &measured) const;
+
+    /**
+     * Exact expectation value <psi|P|psi> of a Pauli string
+     * (real by Hermiticity).
+     */
+    double expectationPauli(const PauliString &p) const;
+
+    /** Inner product <this|other|. */
+    Amplitude innerProduct(const Statevector &other) const;
+
+    /** Apply a Pauli string in place: |psi> -> P|psi>. */
+    void applyPauli(const PauliString &p);
+
+  private:
+    int numQubits_;
+    std::vector<Amplitude> amps_;
+};
+
+/** Rotation/Clifford gate matrices. */
+namespace gates {
+
+/** Matrix for a non-parameterized one-qubit gate kind. */
+Matrix2 fixedMatrix(GateKind kind);
+
+/** RX(theta). */
+Matrix2 rx(double theta);
+
+/** RY(theta). */
+Matrix2 ry(double theta);
+
+/** RZ(theta). */
+Matrix2 rz(double theta);
+
+} // namespace gates
+
+} // namespace varsaw
+
+#endif // VARSAW_SIM_STATEVECTOR_HH

@@ -1,0 +1,43 @@
+#include "util/counts.hh"
+
+#include "util/logging.hh"
+#include "util/pmf.hh"
+
+namespace varsaw {
+
+void
+Counts::add(std::uint64_t outcome, std::uint64_t n)
+{
+    histogram_[outcome] += n;
+    totalShots_ += n;
+}
+
+std::uint64_t
+Counts::count(std::uint64_t outcome) const
+{
+    auto it = histogram_.find(outcome);
+    return it == histogram_.end() ? 0 : it->second;
+}
+
+void
+Counts::merge(const Counts &other)
+{
+    if (other.numBits_ != numBits_)
+        panic("Counts::merge: bit-width mismatch");
+    for (const auto &[outcome, n] : other.histogram_)
+        add(outcome, n);
+}
+
+Pmf
+Counts::toPmf() const
+{
+    Pmf pmf(numBits_);
+    if (totalShots_ == 0)
+        return pmf;
+    const double inv = 1.0 / static_cast<double>(totalShots_);
+    for (const auto &[outcome, n] : histogram_)
+        pmf.set(outcome, static_cast<double>(n) * inv);
+    return pmf;
+}
+
+} // namespace varsaw

@@ -1,0 +1,60 @@
+#include "util/csv.hh"
+
+#include <cstdio>
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    if (!out_.is_open())
+        warn("CsvWriter: could not open '" + path + "', output dropped");
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quotes = false;
+    for (char c : cell)
+        if (c == ',' || c == '"' || c == '\n')
+            needs_quotes = true;
+    if (!needs_quotes)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    if (!out_.is_open())
+        return;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.10g", v);
+        cells.emplace_back(buf);
+    }
+    writeRow(cells);
+}
+
+} // namespace varsaw

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal CSV writer so bench harnesses can dump machine-readable
+ * series (for external plotting) alongside their ASCII tables.
+ */
+
+#ifndef VARSAW_UTIL_CSV_HH
+#define VARSAW_UTIL_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace varsaw {
+
+/** Streaming CSV writer with RFC-4180 style quoting. */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing; the file is truncated.
+     * Writing is best-effort: if the file cannot be opened a warning
+     * is emitted and rows are silently dropped (benches must not
+     * fail because an output directory is read-only).
+     */
+    explicit CsvWriter(const std::string &path);
+
+    /** Whether the output file opened successfully. */
+    bool ok() const { return out_.is_open(); }
+
+    /** Write one row of cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Convenience: write a row of doubles with full precision. */
+    void writeNumericRow(const std::vector<double> &values);
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_UTIL_CSV_HH

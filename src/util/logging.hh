@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Minimal status/error reporting helpers.
+ *
+ * Follows the gem5 convention: inform() for status, warn() for
+ * suspicious-but-survivable conditions, fatal() for user errors
+ * (clean exit) and panic() for internal invariant violations (abort).
+ */
+
+#ifndef VARSAW_UTIL_LOGGING_HH
+#define VARSAW_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace varsaw {
+
+/** Print an informational message to stdout. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+/** Print a warning message to stderr; execution continues. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/**
+ * Report an unrecoverable user-level error (bad configuration,
+ * invalid argument) and exit with status 1.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/**
+ * Report an internal invariant violation (a library bug) and abort,
+ * so a debugger or core dump can capture the state.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace varsaw
+
+#endif // VARSAW_UTIL_LOGGING_HH

@@ -1,0 +1,177 @@
+#include "util/pmf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.hh"
+#include "util/counts.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+
+Pmf
+Pmf::fromDense(int num_bits, const std::vector<double> &dense,
+               double prune)
+{
+    if (dense.size() != (1ull << num_bits))
+        panic("Pmf::fromDense: vector length is not 2^num_bits");
+    Pmf pmf(num_bits);
+    for (std::uint64_t x = 0; x < dense.size(); ++x)
+        if (dense[x] > prune)
+            pmf.probs_[x] = dense[x];
+    return pmf;
+}
+
+double
+Pmf::prob(std::uint64_t outcome) const
+{
+    auto it = probs_.find(outcome);
+    return it == probs_.end() ? 0.0 : it->second;
+}
+
+void
+Pmf::set(std::uint64_t outcome, double p)
+{
+    probs_[outcome] = p;
+}
+
+void
+Pmf::accumulate(std::uint64_t outcome, double p)
+{
+    probs_[outcome] += p;
+}
+
+double
+Pmf::totalMass() const
+{
+    double total = 0.0;
+    for (const auto &[outcome, p] : probs_)
+        total += p;
+    return total;
+}
+
+void
+Pmf::normalize()
+{
+    const double total = totalMass();
+    if (total <= 0.0)
+        return;
+    const double inv = 1.0 / total;
+    for (auto &[outcome, p] : probs_)
+        p *= inv;
+}
+
+std::vector<double>
+Pmf::toDense() const
+{
+    if (numBits_ > 30)
+        panic("Pmf::toDense: too many bits for dense expansion");
+    std::vector<double> dense(1ull << numBits_, 0.0);
+    for (const auto &[outcome, p] : probs_)
+        dense[outcome] += p;
+    return dense;
+}
+
+Pmf
+Pmf::marginal(const std::vector<int> &positions) const
+{
+    Pmf out(static_cast<int>(positions.size()));
+    for (const auto &[outcome, p] : probs_)
+        out.accumulate(gatherBits(outcome, positions), p);
+    return out;
+}
+
+double
+Pmf::expectationParity(std::uint64_t mask) const
+{
+    double e = 0.0;
+    for (const auto &[outcome, p] : probs_)
+        e += p * paritySign(outcome & mask);
+    return e;
+}
+
+Counts
+Pmf::sample(Rng &rng, std::uint64_t shots) const
+{
+    Counts counts(numBits_);
+    if (probs_.empty())
+        return counts;
+
+    // Build a cumulative table once; per-shot lookup is a binary
+    // search. This dominates runtime for high-shot experiments, so
+    // keep the hot loop allocation-free.
+    std::vector<std::uint64_t> outcomes;
+    std::vector<double> cumulative;
+    outcomes.reserve(probs_.size());
+    cumulative.reserve(probs_.size());
+    double running = 0.0;
+    for (const auto &[outcome, p] : probs_) {
+        if (p <= 0.0)
+            continue;
+        running += p;
+        outcomes.push_back(outcome);
+        cumulative.push_back(running);
+    }
+    if (running <= 0.0)
+        return counts;
+
+    for (std::uint64_t s = 0; s < shots; ++s) {
+        const double target = rng.uniform() * running;
+        auto it = std::lower_bound(cumulative.begin(), cumulative.end(),
+                                   target);
+        std::size_t idx = static_cast<std::size_t>(
+            it - cumulative.begin());
+        if (idx >= outcomes.size())
+            idx = outcomes.size() - 1;
+        counts.add(outcomes[idx]);
+    }
+    return counts;
+}
+
+std::uint64_t
+Pmf::argmax() const
+{
+    std::uint64_t best = 0;
+    double best_p = -1.0;
+    for (const auto &[outcome, p] : probs_) {
+        if (p > best_p) {
+            best_p = p;
+            best = outcome;
+        }
+    }
+    return best;
+}
+
+double
+Pmf::tvDistance(const Pmf &a, const Pmf &b)
+{
+    double d = 0.0;
+    for (const auto &[outcome, p] : a.probs_)
+        d += std::abs(p - b.prob(outcome));
+    for (const auto &[outcome, p] : b.probs_)
+        if (a.probs_.find(outcome) == a.probs_.end())
+            d += std::abs(p);
+    return 0.5 * d;
+}
+
+double
+Pmf::fidelity(const Pmf &a, const Pmf &b)
+{
+    double bc = 0.0;
+    for (const auto &[outcome, p] : a.probs_) {
+        const double q = b.prob(outcome);
+        if (p > 0.0 && q > 0.0)
+            bc += std::sqrt(p * q);
+    }
+    return bc * bc;
+}
+
+double
+Pmf::hellingerDistance(const Pmf &a, const Pmf &b)
+{
+    const double bc = std::sqrt(fidelity(a, b));
+    return std::sqrt(std::max(0.0, 1.0 - bc));
+}
+
+} // namespace varsaw

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Sparse probability mass functions over measurement outcomes.
+ *
+ * Pmf is the central currency of the mitigation pipeline: circuit
+ * execution produces a Pmf (via Counts), JigSaw subsets produce
+ * marginal (local) Pmfs, and Bayesian reconstruction rewrites a
+ * global Pmf to agree with the local ones.
+ *
+ * Outcomes are packed words: bit i corresponds to measured qubit
+ * slot i. Storage is sparse (hash map), which matches both sampled
+ * histograms (support bounded by shot count) and the small dense
+ * distributions produced by exact simulation.
+ */
+
+#ifndef VARSAW_UTIL_PMF_HH
+#define VARSAW_UTIL_PMF_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace varsaw {
+
+class Rng;
+class Counts;
+
+/** Sparse probability mass function over packed bit-string outcomes. */
+class Pmf
+{
+  public:
+    Pmf() = default;
+
+    /** Construct an all-zero PMF over @p num_bits measured bits. */
+    explicit Pmf(int num_bits) : numBits_(num_bits) {}
+
+    /**
+     * Construct from a dense probability vector.
+     *
+     * @param num_bits Number of measured bits.
+     * @param dense    Vector of length 2^num_bits; entries below
+     *                 @p prune are dropped from the sparse support.
+     */
+    static Pmf fromDense(int num_bits, const std::vector<double> &dense,
+                         double prune = 0.0);
+
+    /** Number of measured bits each outcome spans. */
+    int numBits() const { return numBits_; }
+
+    /** Probability of @p outcome (0 if outside the support). */
+    double prob(std::uint64_t outcome) const;
+
+    /** Set the probability of @p outcome (overwrites). */
+    void set(std::uint64_t outcome, double p);
+
+    /** Add @p p to the probability of @p outcome. */
+    void accumulate(std::uint64_t outcome, double p);
+
+    /** Number of outcomes in the support. */
+    std::size_t supportSize() const { return probs_.size(); }
+
+    /** Sum of all stored probabilities. */
+    double totalMass() const;
+
+    /** Rescale so the total mass is 1 (no-op on an empty PMF). */
+    void normalize();
+
+    /** Expand into a dense vector of length 2^numBits. */
+    std::vector<double> toDense() const;
+
+    /**
+     * Marginal distribution over a subset of this PMF's bits.
+     *
+     * @param positions Bit positions within this PMF; position
+     *                  positions[i] becomes bit i of the marginal.
+     */
+    Pmf marginal(const std::vector<int> &positions) const;
+
+    /**
+     * Expectation of a tensor product of Z operators.
+     *
+     * @param mask Bits where a Z factor acts.
+     * @return Sum over outcomes of p(x) * (-1)^popcount(x & mask).
+     */
+    double expectationParity(std::uint64_t mask) const;
+
+    /** Sample @p shots outcomes into a Counts histogram. */
+    Counts sample(Rng &rng, std::uint64_t shots) const;
+
+    /** Most probable outcome (0 for an empty PMF). */
+    std::uint64_t argmax() const;
+
+    /** Total variation distance to another PMF on the same bits. */
+    static double tvDistance(const Pmf &a, const Pmf &b);
+
+    /**
+     * Classical (Bhattacharyya-squared) fidelity between PMFs:
+     * (sum_x sqrt(a(x) b(x)))^2. 1 means identical distributions.
+     */
+    static double fidelity(const Pmf &a, const Pmf &b);
+
+    /** Hellinger distance: sqrt(1 - sqrt(fidelity)). */
+    static double hellingerDistance(const Pmf &a, const Pmf &b);
+
+    /** Read-only access to the sparse support. */
+    const std::unordered_map<std::uint64_t, double> &
+    raw() const
+    {
+        return probs_;
+    }
+
+    /** Mutable access for in-place reweighting (reconstruction). */
+    std::unordered_map<std::uint64_t, double> &
+    rawMutable()
+    {
+        return probs_;
+    }
+
+  private:
+    int numBits_ = 0;
+    std::unordered_map<std::uint64_t, double> probs_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_UTIL_PMF_HH

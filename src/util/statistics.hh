@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Small statistics helpers used by benches and tests: summary
+ * statistics, geometric means, and log-log slope fits used to verify
+ * the asymptotic scaling claims of Fig. 8.
+ */
+
+#ifndef VARSAW_UTIL_STATISTICS_HH
+#define VARSAW_UTIL_STATISTICS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace varsaw {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/** Sample standard deviation (n-1 denominator); 0 if n < 2. */
+double stddev(const std::vector<double> &xs);
+
+/** Median (average of middle two for even n); 0 for empty input. */
+double median(std::vector<double> xs);
+
+/** Geometric mean of strictly positive values; 0 otherwise. */
+double geometricMean(const std::vector<double> &xs);
+
+/** Minimum; +inf for empty input. */
+double minOf(const std::vector<double> &xs);
+
+/** Maximum; -inf for empty input. */
+double maxOf(const std::vector<double> &xs);
+
+/** Result of an ordinary least squares line fit y = slope*x + b. */
+struct LineFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    /** Coefficient of determination. */
+    double r2 = 0.0;
+};
+
+/** Least-squares line fit; requires xs.size() == ys.size() >= 2. */
+LineFit fitLine(const std::vector<double> &xs,
+                const std::vector<double> &ys);
+
+/**
+ * Fit the exponent of a power law y ~ x^k via a log-log line fit.
+ * All inputs must be strictly positive.
+ */
+LineFit fitPowerLaw(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/**
+ * Exponentially weighted moving average tracker, used by the
+ * temporal scheduler's energy smoothing.
+ */
+class Ewma
+{
+  public:
+    /** @param alpha Weight of the newest observation, in (0, 1]. */
+    explicit Ewma(double alpha) : alpha_(alpha) {}
+
+    /** Fold in a new observation and return the updated average. */
+    double update(double x);
+
+    /** Current average (0 before any observation). */
+    double value() const { return value_; }
+
+    /** Whether at least one observation has been folded in. */
+    bool initialized() const { return initialized_; }
+
+  private:
+    double alpha_;
+    double value_ = 0.0;
+    bool initialized_ = false;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_UTIL_STATISTICS_HH

@@ -1,0 +1,112 @@
+#include "util/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+TablePrinter::TablePrinter(std::string title) : title_(std::move(title))
+{
+}
+
+void
+TablePrinter::setHeader(const std::vector<std::string> &header)
+{
+    header_ = header;
+}
+
+void
+TablePrinter::addRow(const std::vector<std::string> &row)
+{
+    if (!header_.empty() && row.size() != header_.size())
+        panic("TablePrinter::addRow: row width != header width");
+    rows_.push_back(row);
+}
+
+std::string
+TablePrinter::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TablePrinter::num(long long value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return buf;
+}
+
+std::string
+TablePrinter::ratio(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, value);
+    return buf;
+}
+
+std::string
+TablePrinter::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return buf;
+}
+
+std::string
+TablePrinter::render() const
+{
+    // Compute the width of every column from header and rows.
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c >= widths.size())
+                widths.resize(c + 1, 0);
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        out << "|";
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            out << " " << cell;
+            out << std::string(widths[c] - cell.size(), ' ') << " |";
+        }
+        out << "\n";
+    };
+    auto emit_rule = [&]() {
+        out << "+";
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            out << std::string(widths[c] + 2, '-') << "+";
+        out << "\n";
+    };
+
+    if (!title_.empty())
+        out << "== " << title_ << " ==\n";
+    emit_rule();
+    if (!header_.empty()) {
+        emit_row(header_);
+        emit_rule();
+    }
+    for (const auto &row : rows_)
+        emit_row(row);
+    emit_rule();
+    return out.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace varsaw

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ASCII table rendering for benchmark harness output.
+ *
+ * Every bench binary prints the same rows/series the paper reports;
+ * TablePrinter handles column alignment and numeric formatting so
+ * the harness code reads like the table it reproduces.
+ */
+
+#ifndef VARSAW_UTIL_TABLE_HH
+#define VARSAW_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace varsaw {
+
+/** Column-aligned ASCII table builder. */
+class TablePrinter
+{
+  public:
+    /** Construct with a table title printed above the header. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the column headers (defines the column count). */
+    void setHeader(const std::vector<std::string> &header);
+
+    /** Append a preformatted row; must match the header width. */
+    void addRow(const std::vector<std::string> &row);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double value, int precision = 2);
+
+    /** Format an integer count. */
+    static std::string num(long long value);
+
+    /** Format a ratio like "25.3x". */
+    static std::string ratio(double value, int precision = 1);
+
+    /** Format a percentage like "45.2%". */
+    static std::string percent(double fraction, int precision = 1);
+
+    /** Render the full table to a string. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_UTIL_TABLE_HH

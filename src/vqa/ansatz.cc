@@ -1,0 +1,86 @@
+#include "vqa/ansatz.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+
+const char *
+entanglementName(Entanglement e)
+{
+    switch (e) {
+      case Entanglement::Full:       return "full";
+      case Entanglement::Linear:     return "linear";
+      case Entanglement::Circular:   return "circular";
+      case Entanglement::Asymmetric: return "asymmetric";
+    }
+    return "?";
+}
+
+std::vector<std::pair<int, int>>
+EfficientSU2::entanglementPairs(int num_qubits, Entanglement e)
+{
+    std::vector<std::pair<int, int>> pairs;
+    switch (e) {
+      case Entanglement::Full:
+        for (int i = 0; i < num_qubits; ++i)
+            for (int j = i + 1; j < num_qubits; ++j)
+                pairs.emplace_back(i, j);
+        break;
+      case Entanglement::Linear:
+        for (int i = 0; i + 1 < num_qubits; ++i)
+            pairs.emplace_back(i, i + 1);
+        break;
+      case Entanglement::Circular:
+        for (int i = 0; i + 1 < num_qubits; ++i)
+            pairs.emplace_back(i, i + 1);
+        if (num_qubits > 2)
+            pairs.emplace_back(num_qubits - 1, 0);
+        break;
+      case Entanglement::Asymmetric:
+        for (int i = 0; i + 2 < num_qubits; ++i)
+            pairs.emplace_back(i, i + 2);
+        if (num_qubits > 1)
+            pairs.emplace_back(0, 1);
+        break;
+    }
+    return pairs;
+}
+
+EfficientSU2::EfficientSU2(const AnsatzConfig &config)
+    : config_(config), circuit_(config.numQubits, "efficient-su2")
+{
+    if (config.numQubits < 2)
+        panic("EfficientSU2: need at least 2 qubits");
+    if (config.reps < 1)
+        panic("EfficientSU2: reps must be >= 1");
+
+    const int q = config.numQubits;
+    int next_param = 0;
+    auto rotation_layer = [&]() {
+        for (int i = 0; i < q; ++i)
+            circuit_.ryParam(i, next_param++);
+        for (int i = 0; i < q; ++i)
+            circuit_.rzParam(i, next_param++);
+    };
+    const auto pairs = entanglementPairs(q, config.entanglement);
+
+    for (int rep = 0; rep < config.reps; ++rep) {
+        rotation_layer();
+        for (const auto &[a, b] : pairs)
+            circuit_.cx(a, b);
+    }
+    rotation_layer();
+}
+
+std::vector<double>
+EfficientSU2::initialParameters(std::uint64_t seed) const
+{
+    Rng rng(seed);
+    std::vector<double> params(numParams());
+    for (auto &p : params)
+        p = rng.uniform(-0.4, 0.4);
+    return params;
+}
+
+} // namespace varsaw

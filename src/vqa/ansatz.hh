@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Hardware-efficient SU2 ansatz construction.
+ *
+ * The paper uses Qiskit's EfficientSU2 with "full" entanglement and
+ * 2 repetition blocks (Section 5.1), and sweeps entanglement
+ * structure (Table 3) and depth p (Table 4). The ansatz alternates
+ * RY+RZ rotation layers (one symbolic parameter each) with CX
+ * entanglement layers, and closes with a final rotation layer, so a
+ * p-rep ansatz has 2 * Q * (p + 1) parameters.
+ */
+
+#ifndef VARSAW_VQA_ANSATZ_HH
+#define VARSAW_VQA_ANSATZ_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/circuit.hh"
+
+namespace varsaw {
+
+/** CX connectivity pattern of the entanglement layer. */
+enum class Entanglement
+{
+    Full,       //!< CX between every qubit pair (paper default)
+    Linear,     //!< chain: CX(i, i+1)
+    Circular,   //!< chain plus the wrap-around CX(Q-1, 0)
+    /**
+     * Skip-one staircase: CX(i, i+2) plus CX(0, 1) to connect the
+     * two parity chains. (The paper's "asymmetric" ansatz is not
+     * specified further; this is our concrete choice, documented
+     * in DESIGN.md.)
+     */
+    Asymmetric,
+};
+
+/** Printable entanglement name. */
+const char *entanglementName(Entanglement e);
+
+/** Configuration of an EfficientSU2 ansatz. */
+struct AnsatzConfig
+{
+    int numQubits = 4;
+    int reps = 2; //!< entanglement blocks ("p" in Table 4)
+    Entanglement entanglement = Entanglement::Full;
+};
+
+/** Hardware-efficient SU2 ansatz builder. */
+class EfficientSU2
+{
+  public:
+    /** Build the parameterized circuit for @p config. */
+    explicit EfficientSU2(const AnsatzConfig &config);
+
+    /** The parameterized circuit (no measurements attached). */
+    const Circuit &circuit() const { return circuit_; }
+
+    /** Number of symbolic parameters: 2 * Q * (reps + 1). */
+    int numParams() const { return circuit_.numParams(); }
+
+    /** The configuration used. */
+    const AnsatzConfig &config() const { return config_; }
+
+    /** CX pairs of one entanglement layer for a given pattern. */
+    static std::vector<std::pair<int, int>>
+    entanglementPairs(int num_qubits, Entanglement e);
+
+    /**
+     * A deterministic, well-spread initial parameter vector for
+     * optimizer runs (small angles around zero, seeded).
+     */
+    std::vector<double> initialParameters(std::uint64_t seed) const;
+
+  private:
+    AnsatzConfig config_;
+    Circuit circuit_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_VQA_ANSATZ_HH

@@ -1,0 +1,116 @@
+#include "vqa/estimator.hh"
+
+#include <cmath>
+
+#include "sim/statevector.hh"
+#include "util/logging.hh"
+
+namespace varsaw {
+
+double
+energyFromBasisPmfs(const Hamiltonian &hamiltonian,
+                    const BasisReduction &reduction,
+                    const std::vector<Pmf> &basis_pmfs)
+{
+    if (basis_pmfs.size() != reduction.bases.size())
+        panic("energyFromBasisPmfs: PMF count != basis count");
+
+    const auto &terms = hamiltonian.terms();
+    std::vector<double> expectations(terms.size(), 0.0);
+    for (std::size_t b = 0; b < reduction.bases.size(); ++b) {
+        const Pmf &pmf = basis_pmfs[b];
+        for (std::size_t t : reduction.basisTerms[b]) {
+            expectations[t] =
+                pmf.expectationParity(terms[t].string.supportMask());
+        }
+    }
+    return hamiltonian.energy(expectations);
+}
+
+ExactEstimator::ExactEstimator(const Hamiltonian &hamiltonian,
+                               const Circuit &ansatz)
+    : hamiltonian_(hamiltonian), ansatz_(ansatz)
+{
+}
+
+double
+ExactEstimator::estimate(const std::vector<double> &params)
+{
+    Statevector sv(ansatz_.numQubits());
+    sv.run(ansatz_, params);
+    double e = hamiltonian_.identityOffset();
+    for (const auto &term : hamiltonian_.terms())
+        e += term.coefficient * sv.expectationPauli(term.string);
+    return e;
+}
+
+BaselineEstimator::BaselineEstimator(const Hamiltonian &hamiltonian,
+                                     const Circuit &ansatz,
+                                     Executor &executor,
+                                     std::uint64_t shots,
+                                     BasisMode basis_mode,
+                                     ShotAllocation allocation)
+    : hamiltonian_(hamiltonian), ansatz_(ansatz), executor_(executor),
+      shots_(shots),
+      reduction_(reduceBases(hamiltonian.strings(), basis_mode))
+{
+    const std::size_t n = reduction_.bases.size();
+    basisShots_.assign(n, shots);
+    if (allocation == ShotAllocation::CoefficientWeighted &&
+        shots > 0 && n > 0) {
+        // Distribute the total budget (n * shots) proportionally to
+        // each basis's |coefficient| mass, with a floor of 1 shot.
+        std::vector<double> mass(n, 0.0);
+        double total_mass = 0.0;
+        const auto &terms = hamiltonian.terms();
+        for (std::size_t b = 0; b < n; ++b) {
+            for (std::size_t t : reduction_.basisTerms[b])
+                mass[b] += std::abs(terms[t].coefficient);
+            total_mass += mass[b];
+        }
+        if (total_mass > 0.0) {
+            const double budget =
+                static_cast<double>(n) * static_cast<double>(shots);
+            for (std::size_t b = 0; b < n; ++b)
+                basisShots_[b] = std::max<std::uint64_t>(
+                    1, static_cast<std::uint64_t>(
+                           budget * mass[b] / total_mass));
+        }
+    }
+}
+
+double
+BaselineEstimator::estimate(const std::vector<double> &params)
+{
+    std::vector<Pmf> pmfs;
+    pmfs.reserve(reduction_.bases.size());
+    for (std::size_t b = 0; b < reduction_.bases.size(); ++b) {
+        Circuit c = makeGlobalCircuit(ansatz_, reduction_.bases[b]);
+        pmfs.push_back(executor_.execute(c, params, basisShots_[b]));
+    }
+    return energyFromBasisPmfs(hamiltonian_, reduction_, pmfs);
+}
+
+JigsawEstimator::JigsawEstimator(const Hamiltonian &hamiltonian,
+                                 const Circuit &ansatz,
+                                 Executor &executor,
+                                 const JigsawConfig &config,
+                                 BasisMode basis_mode)
+    : hamiltonian_(hamiltonian), ansatz_(ansatz), executor_(executor),
+      config_(config),
+      reduction_(reduceBases(hamiltonian.strings(), basis_mode))
+{
+}
+
+double
+JigsawEstimator::estimate(const std::vector<double> &params)
+{
+    std::vector<Pmf> pmfs;
+    pmfs.reserve(reduction_.bases.size());
+    for (const auto &basis : reduction_.bases)
+        pmfs.push_back(jigsawMitigate(executor_, ansatz_, params,
+                                      basis, config_));
+    return energyFromBasisPmfs(hamiltonian_, reduction_, pmfs);
+}
+
+} // namespace varsaw

@@ -1,0 +1,89 @@
+#include "vqa/qaoa.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+
+QaoaAnsatz::QaoaAnsatz(const Hamiltonian &cost, int layers)
+    : layers_(layers), circuit_(cost.numQubits(), "qaoa")
+{
+    if (layers < 1)
+        panic("QaoaAnsatz: need at least one layer");
+    for (const auto &term : cost.terms())
+        if (term.string.xMask() != 0)
+            fatal("QaoaAnsatz: cost Hamiltonian must be diagonal "
+                  "(Z/I terms only); offending term " +
+                  term.string.toString());
+
+    const int q = cost.numQubits();
+    const auto &terms = cost.terms();
+    stride_ = static_cast<int>(terms.size()) + q;
+    coefficients_.reserve(terms.size());
+    for (const auto &term : terms)
+        coefficients_.push_back(term.coefficient);
+
+    // |+>^n start.
+    for (int i = 0; i < q; ++i)
+        circuit_.h(i);
+
+    for (int k = 0; k < layers; ++k) {
+        // Cost layer: exp(-i gamma_k c_t Z...Z) per term. The angle
+        // slot receives 2 * gamma_k * c_t at expansion time.
+        for (std::size_t t = 0; t < terms.size(); ++t) {
+            const int slot = k * stride_ + static_cast<int>(t);
+            const auto support = terms[t].string.support();
+            if (support.size() == 1) {
+                circuit_.rzParam(support[0], slot);
+            } else if (support.size() == 2) {
+                circuit_.rzzParam(support[0], support[1], slot);
+            } else {
+                // CX ladder folds the parity onto the last support
+                // qubit, RZ applies the phase, un-ladder restores.
+                for (std::size_t i = 0; i + 1 < support.size(); ++i)
+                    circuit_.cx(support[i], support[i + 1]);
+                circuit_.rzParam(support.back(), slot);
+                for (std::size_t i = support.size() - 1; i > 0; --i)
+                    circuit_.cx(support[i - 1], support[i]);
+            }
+        }
+        // Mixer layer: RX(2 beta_k) on every qubit.
+        for (int i = 0; i < q; ++i)
+            circuit_.rxParam(
+                i, k * stride_ + static_cast<int>(terms.size()) + i);
+    }
+}
+
+std::vector<double>
+QaoaAnsatz::expandParameters(
+    const std::vector<double> &gamma_beta) const
+{
+    if (static_cast<int>(gamma_beta.size()) != numParams())
+        panic("QaoaAnsatz::expandParameters: expected 2p values");
+    const int n_terms = static_cast<int>(coefficients_.size());
+    std::vector<double> slots(numCircuitParams(), 0.0);
+    for (int k = 0; k < layers_; ++k) {
+        const double gamma = gamma_beta[k];
+        const double beta = gamma_beta[layers_ + k];
+        for (int t = 0; t < n_terms; ++t)
+            slots[k * stride_ + t] =
+                2.0 * gamma * coefficients_[t];
+        for (int i = n_terms; i < stride_; ++i)
+            slots[k * stride_ + i] = 2.0 * beta;
+    }
+    return slots;
+}
+
+std::vector<double>
+QaoaAnsatz::initialParameters(std::uint64_t seed) const
+{
+    Rng rng(seed);
+    std::vector<double> gb(numParams());
+    for (int k = 0; k < layers_; ++k) {
+        gb[k] = rng.uniform(0.1, 0.5);           // gamma_k
+        gb[layers_ + k] = rng.uniform(0.3, 0.8); // beta_k
+    }
+    return gb;
+}
+
+} // namespace varsaw

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * QAOA ansatz construction.
+ *
+ * The paper names QAOA alongside VQE as the VQA workloads VarSaw
+ * serves (Sections 2.4, 7.3). The Quantum Approximate Optimization
+ * Algorithm alternates cost layers exp(-i gamma_k C) — with C a
+ * diagonal (Z-only) Hamiltonian — and mixer layers of RX rotations
+ * on a uniform-superposition start.
+ *
+ * The optimizer-facing parameter vector is the standard
+ * [gamma_1..gamma_p, beta_1..beta_p]; the circuit itself carries one
+ * angle slot per (layer, term) and per (layer, mixer qubit) so each
+ * term's coefficient scales its angle exactly.
+ * expandParameters() maps between the two.
+ */
+
+#ifndef VARSAW_VQA_QAOA_HH
+#define VARSAW_VQA_QAOA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pauli/hamiltonian.hh"
+#include "sim/circuit.hh"
+
+namespace varsaw {
+
+/** QAOA ansatz builder for diagonal cost Hamiltonians. */
+class QaoaAnsatz
+{
+  public:
+    /**
+     * Build a p-layer QAOA circuit for @p cost.
+     *
+     * @param cost   Diagonal Hamiltonian (every term Z/I only;
+     *               fatal otherwise). Weight-1 terms compile to RZ,
+     *               weight-2 to RZZ, higher weights to a CX-ladder
+     *               parity computation around an RZ.
+     * @param layers Number p of (cost, mixer) layers.
+     */
+    QaoaAnsatz(const Hamiltonian &cost, int layers);
+
+    /** The parameterized circuit (no measurements attached). */
+    const Circuit &circuit() const { return circuit_; }
+
+    /** Optimizer-facing parameter count: 2p (gammas then betas). */
+    int numParams() const { return 2 * layers_; }
+
+    /** Circuit-facing slot count: p * (terms + qubits). */
+    int numCircuitParams() const { return layers_ * stride_; }
+
+    /** Number of layers p. */
+    int layers() const { return layers_; }
+
+    /**
+     * Expand [gamma_1..gamma_p, beta_1..beta_p] into the circuit's
+     * angle slots: slot(k, term t) = 2 * gamma_k * coeff_t and
+     * slot(k, mixer qubit i) = 2 * beta_k.
+     */
+    std::vector<double>
+    expandParameters(const std::vector<double> &gamma_beta) const;
+
+    /**
+     * A deterministic initial [gamma, beta] vector (small positive
+     * gammas, mid-range betas), seeded.
+     */
+    std::vector<double> initialParameters(std::uint64_t seed) const;
+
+  private:
+    int layers_;
+    int stride_ = 0;
+    std::vector<double> coefficients_; //!< term coefficients in order
+    Circuit circuit_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_VQA_QAOA_HH

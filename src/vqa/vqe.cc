@@ -1,0 +1,69 @@
+#include "vqa/vqe.hh"
+
+#include <algorithm>
+
+namespace varsaw {
+
+VqeDriver::VqeDriver(EnergyEstimator &estimator, Optimizer &optimizer,
+                     Executor *cost_source,
+                     ParameterExpander expander)
+    : estimator_(estimator), optimizer_(optimizer),
+      costSource_(cost_source), expander_(std::move(expander))
+{
+}
+
+VqeResult
+VqeDriver::run(std::vector<double> x0, const VqeConfig &config)
+{
+    VqeResult result;
+    result.trace.reserve(config.maxIterations);
+
+    const std::uint64_t start_circuits =
+        costSource_ ? costSource_->circuitsExecuted() : 0;
+
+    Objective objective = [this](const std::vector<double> &params) {
+        if (expander_)
+            return estimator_.estimate(expander_(params));
+        return estimator_.estimate(params);
+    };
+
+    // Open the first iteration window before the optimizer's initial
+    // evaluation; subsequent boundaries fire from the callback.
+    estimator_.onIterationBoundary();
+
+    double best = 0.0;
+    bool have_best = false;
+    IterCallback callback = [&](int iter,
+                                const std::vector<double> &,
+                                double value) {
+        if (!have_best || value < best) {
+            best = value;
+            have_best = true;
+        }
+        VqeTracePoint point;
+        point.iteration = iter;
+        point.energy = value;
+        point.bestEnergy = best;
+        point.circuits = costSource_
+            ? costSource_->circuitsExecuted() - start_circuits : 0;
+        result.trace.push_back(point);
+
+        if (config.circuitBudget > 0 &&
+            point.circuits >= config.circuitBudget)
+            return false;
+        estimator_.onIterationBoundary();
+        return true;
+    };
+
+    OptResult opt = optimizer_.minimize(objective, std::move(x0),
+                                        config.maxIterations, callback);
+
+    result.bestEnergy = opt.bestValue;
+    result.bestParams = std::move(opt.bestParams);
+    result.iterations = opt.iterations;
+    result.circuitsUsed = costSource_
+        ? costSource_->circuitsExecuted() - start_circuits : 0;
+    return result;
+}
+
+} // namespace varsaw

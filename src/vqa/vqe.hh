@@ -1,0 +1,96 @@
+/**
+ * @file
+ * VQE driver: the hybrid quantum-classical outer loop (Fig. 4).
+ *
+ * Alternates quantum objective evaluation (through an
+ * EnergyEstimator) with classical parameter updates (through an
+ * Optimizer), while recording the energy and cumulative circuit
+ * cost so fixed-budget comparisons (Figs. 13, 15) fall out of the
+ * trace directly.
+ */
+
+#ifndef VARSAW_VQA_VQE_HH
+#define VARSAW_VQA_VQE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pauli/hamiltonian.hh"
+#include "vqa/estimator.hh"
+#include "vqa/optimizer.hh"
+
+namespace varsaw {
+
+/** Stopping criteria for a VQE run. */
+struct VqeConfig
+{
+    /** Maximum optimizer iterations. */
+    int maxIterations = 200;
+
+    /**
+     * Stop once this many circuits have been executed through the
+     * cost-source executor (0 = unlimited). This is the paper's
+     * fixed-circuit-budget comparison knob.
+     */
+    std::uint64_t circuitBudget = 0;
+};
+
+/** One point of the convergence trace. */
+struct VqeTracePoint
+{
+    int iteration = 0;
+    double energy = 0.0;     //!< energy observed this iteration
+    double bestEnergy = 0.0; //!< best energy seen so far
+    std::uint64_t circuits = 0; //!< cumulative circuits executed
+};
+
+/** Outcome of a VQE run. */
+struct VqeResult
+{
+    double bestEnergy = 0.0;
+    std::vector<double> bestParams;
+    int iterations = 0;
+    std::uint64_t circuitsUsed = 0;
+    std::vector<VqeTracePoint> trace;
+};
+
+/**
+ * Optional mapping from the optimizer's parameter vector to the
+ * ansatz circuit's angle slots (identity when absent). QAOA uses
+ * this to optimize [gamma, beta] while the circuit carries one
+ * coefficient-scaled slot per term.
+ */
+using ParameterExpander =
+    std::function<std::vector<double>(const std::vector<double> &)>;
+
+/** The hybrid VQE loop. */
+class VqeDriver
+{
+  public:
+    /**
+     * @param estimator   Objective evaluator (defines the method:
+     *                    baseline / jigsaw / varsaw / exact).
+     * @param optimizer   Classical tuner.
+     * @param cost_source Executor whose circuit counter enforces the
+     *                    budget; nullptr disables budget stopping
+     *                    and reports zero cost.
+     * @param expander    Optional optimizer-to-circuit parameter
+     *                    mapping (e.g. QaoaAnsatz::expandParameters).
+     */
+    VqeDriver(EnergyEstimator &estimator, Optimizer &optimizer,
+              Executor *cost_source = nullptr,
+              ParameterExpander expander = {});
+
+    /** Run from initial parameters @p x0 under @p config. */
+    VqeResult run(std::vector<double> x0, const VqeConfig &config);
+
+  private:
+    EnergyEstimator &estimator_;
+    Optimizer &optimizer_;
+    Executor *costSource_;
+    ParameterExpander expander_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_VQA_VQE_HH

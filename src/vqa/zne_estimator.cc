@@ -1,0 +1,46 @@
+#include "vqa/zne_estimator.hh"
+
+#include "mitigation/jigsaw.hh"
+#include "util/logging.hh"
+
+namespace varsaw {
+
+ZneEstimator::ZneEstimator(const Hamiltonian &hamiltonian,
+                           const Circuit &ansatz, Executor &executor,
+                           std::uint64_t shots,
+                           std::vector<int> factors)
+    : hamiltonian_(hamiltonian), ansatz_(ansatz), executor_(executor),
+      shots_(shots), factors_(std::move(factors)),
+      reduction_(coverReduce(hamiltonian.strings()))
+{
+    if (factors_.empty())
+        fatal("ZneEstimator: need at least one fold factor");
+    for (int f : factors_)
+        if (f < 1 || f % 2 == 0)
+            fatal("ZneEstimator: fold factors must be odd and >= 1");
+}
+
+double
+ZneEstimator::estimate(const std::vector<double> &params)
+{
+    std::vector<std::pair<double, double>> points;
+    points.reserve(factors_.size());
+    for (int factor : factors_) {
+        std::vector<Pmf> pmfs;
+        pmfs.reserve(reduction_.bases.size());
+        for (const auto &basis : reduction_.bases) {
+            Circuit global =
+                makeGlobalCircuit(ansatz_, basis).bound(params);
+            Circuit folded = foldCircuit(global, factor);
+            pmfs.push_back(executor_.execute(folded, {}, shots_));
+        }
+        points.emplace_back(
+            static_cast<double>(factor),
+            energyFromBasisPmfs(hamiltonian_, reduction_, pmfs));
+    }
+    if (points.size() == 1)
+        return points[0].second;
+    return richardsonExtrapolate(points);
+}
+
+} // namespace varsaw

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Tests for the exact reference solver (Hamiltonian application,
+ * Lanczos, tridiagonal eigenvalues, ideal-VQE parameter search).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/exact_solver.hh"
+#include "chem/molecules.hh"
+#include "chem/spin_models.hh"
+#include "vqa/estimator.hh"
+
+namespace varsaw {
+namespace {
+
+using Cvec = std::vector<std::complex<double>>;
+
+TEST(ApplyHamiltonian, SingleZTerm)
+{
+    Hamiltonian h(1);
+    h.addTerm("Z", 2.0);
+    Cvec x = {{1, 0}, {1, 0}};
+    Cvec y(2, {0, 0});
+    applyHamiltonian(h, x, y);
+    EXPECT_NEAR(y[0].real(), 2.0, 1e-12);
+    EXPECT_NEAR(y[1].real(), -2.0, 1e-12);
+}
+
+TEST(ApplyHamiltonian, SingleXTermPermutes)
+{
+    Hamiltonian h(1);
+    h.addTerm("X", 1.0);
+    Cvec x = {{1, 0}, {0, 0}};
+    Cvec y(2, {0, 0});
+    applyHamiltonian(h, x, y);
+    EXPECT_NEAR(y[1].real(), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(y[0]), 0.0, 1e-12);
+}
+
+TEST(ApplyHamiltonian, YTermPhase)
+{
+    Hamiltonian h(1);
+    h.addTerm("Y", 1.0);
+    Cvec x = {{1, 0}, {0, 0}};
+    Cvec y(2, {0, 0});
+    applyHamiltonian(h, x, y);
+    // Y|0> = i|1>.
+    EXPECT_NEAR(y[1].imag(), 1.0, 1e-12);
+}
+
+TEST(ApplyHamiltonian, IdentityOffsetScales)
+{
+    Hamiltonian h(1);
+    h.addTerm("I", -2.5);
+    Cvec x = {{1, 0}, {2, 0}};
+    Cvec y(2, {0, 0});
+    applyHamiltonian(h, x, y);
+    EXPECT_NEAR(y[0].real(), -2.5, 1e-12);
+    EXPECT_NEAR(y[1].real(), -5.0, 1e-12);
+}
+
+TEST(Tridiagonal, DiagonalMatrix)
+{
+    EXPECT_NEAR(tridiagonalSmallestEigenvalue({3, -1, 5}, {0, 0}),
+                -1.0, 1e-9);
+}
+
+TEST(Tridiagonal, TwoByTwoExact)
+{
+    // [[2, 1], [1, 2]]: eigenvalues 1 and 3.
+    EXPECT_NEAR(tridiagonalSmallestEigenvalue({2, 2}, {1}), 1.0,
+                1e-9);
+}
+
+TEST(Tridiagonal, ToeplitzKnownSpectrum)
+{
+    // Tridiagonal (-2 on diag, 1 off): smallest eigenvalue is
+    // -2 + 2*cos(pi/(n+1)) ... for diag=0, off=1 and n=3 the
+    // eigenvalues are {-sqrt(2), 0, sqrt(2)}.
+    EXPECT_NEAR(tridiagonalSmallestEigenvalue({0, 0, 0}, {1, 1}),
+                -std::sqrt(2.0), 1e-9);
+}
+
+TEST(Lanczos, SingleQubitZ)
+{
+    Hamiltonian h(1);
+    h.addTerm("Z", 1.0);
+    EXPECT_NEAR(groundStateEnergy(h), -1.0, 1e-9);
+}
+
+TEST(Lanczos, OffsetShiftsSpectrum)
+{
+    Hamiltonian h(2);
+    h.addTerm("ZZ", 1.0);
+    h.addTerm("II", 10.0);
+    EXPECT_NEAR(groundStateEnergy(h), 9.0, 1e-8);
+}
+
+TEST(Lanczos, MatchesL1BoundDirection)
+{
+    Hamiltonian h = molecule("LiH-6");
+    const double e0 = groundStateEnergy(h);
+    EXPECT_GE(e0, h.energyLowerBound() - 1e-9);
+}
+
+TEST(Lanczos, DeterministicAcrossSeeds)
+{
+    Hamiltonian h = tfim(4, 1.0, 0.7);
+    const double a = groundStateEnergy(h, 120, 1);
+    const double b = groundStateEnergy(h, 120, 987);
+    EXPECT_NEAR(a, b, 1e-8);
+}
+
+TEST(IdealVqe, ReachesNearGroundEnergyForH2)
+{
+    Hamiltonian h = h2Sto3g();
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Full});
+    IdealVqeResult res = idealOptimalParameters(h, ansatz, 2, 300, 3);
+    const double e0 = groundStateEnergy(h);
+    // Hardware-efficient ansatz should close most of the gap from
+    // the Hartree-Fock-like starting region.
+    EXPECT_LT(res.energy, e0 + 0.15);
+    EXPECT_GE(res.energy, e0 - 1e-6);
+}
+
+TEST(IdealVqe, ParametersReproduceReportedEnergy)
+{
+    Hamiltonian h = tfim(3, 1.0, 0.6);
+    EfficientSU2 ansatz(AnsatzConfig{3, 2, Entanglement::Linear});
+    IdealVqeResult res = idealOptimalParameters(h, ansatz, 2, 250, 5);
+    ExactEstimator est(h, ansatz.circuit());
+    EXPECT_NEAR(est.estimate(res.parameters), res.energy, 1e-9);
+}
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the Fig. 8 analytic cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hh"
+#include "util/statistics.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(CostModel, PauliTermScaling)
+{
+    EXPECT_DOUBLE_EQ(CostModel::pauliTerms(10), 100.0);
+    EXPECT_DOUBLE_EQ(CostModel::pauliTerms(100), 1e6);
+}
+
+TEST(CostModel, JigsawIsTraditionalTimesQ)
+{
+    // JigSaw = P * Q exactly (Globals + (Q-1) windows per basis).
+    for (double q : {10.0, 50.0, 200.0})
+        EXPECT_DOUBLE_EQ(CostModel::jigsawCircuits(q),
+                         CostModel::traditionalCircuits(q) * q);
+}
+
+TEST(CostModel, VarsawAtKOneTracksTraditional)
+{
+    // The paper: "the line with k=1 overlaps Traditional VQA".
+    for (double q : {20.0, 100.0, 1000.0}) {
+        const double ratio = CostModel::varsawCircuits(q, 1.0) /
+            CostModel::traditionalCircuits(q);
+        EXPECT_GT(ratio, 1.0);
+        EXPECT_LT(ratio, 1.2); // subset term is lower order
+    }
+}
+
+TEST(CostModel, VarsawBelowTraditionalAtSmallK)
+{
+    for (double q : {100.0, 500.0, 1000.0})
+        EXPECT_LT(CostModel::varsawCircuits(q, 0.001),
+                  CostModel::traditionalCircuits(q));
+}
+
+TEST(CostModel, VarsawAlwaysBelowJigsaw)
+{
+    for (double q : {10.0, 100.0, 1000.0})
+        for (double k : {1.0, 0.1, 0.01, 0.001})
+            EXPECT_LT(CostModel::varsawCircuits(q, k),
+                      CostModel::jigsawCircuits(q));
+}
+
+TEST(CostModel, AsymptoticExponents)
+{
+    // Fit log-log slopes over large Q: traditional ~ Q^4,
+    // JigSaw ~ Q^5, VarSaw(k=1e-3) between Q^1 and Q^4.
+    std::vector<double> qs, trad, jig, var_small;
+    for (double q = 100; q <= 1000; q += 100) {
+        qs.push_back(q);
+        trad.push_back(CostModel::traditionalCircuits(q));
+        jig.push_back(CostModel::jigsawCircuits(q));
+        var_small.push_back(CostModel::varsawCircuits(q, 1e-3));
+    }
+    EXPECT_NEAR(fitPowerLaw(qs, trad).slope, 4.0, 0.01);
+    EXPECT_NEAR(fitPowerLaw(qs, jig).slope, 5.0, 0.05);
+    const double vs = fitPowerLaw(qs, var_small).slope;
+    EXPECT_GT(vs, 1.0);
+    EXPECT_LT(vs, 4.0);
+}
+
+TEST(CostModel, SweepShapesMatchFig8)
+{
+    const auto rows = sweepCostModel({4, 8, 16, 64, 256, 1000},
+                                     {1.0, 0.1, 0.01, 0.001});
+    ASSERT_EQ(rows.size(), 6u);
+    for (const auto &row : rows) {
+        ASSERT_EQ(row.varsaw.size(), 4u);
+        EXPECT_GT(row.jigsaw, row.traditional);
+        // VarSaw curves ordered by k.
+        for (std::size_t i = 1; i < row.varsaw.size(); ++i)
+            EXPECT_LE(row.varsaw[i], row.varsaw[i - 1]);
+    }
+}
+
+TEST(CostModel, PaperScaleExample)
+{
+    // At 1000 qubits JigSaw executes ~1000x more circuits than
+    // traditional VQA (the gap visible at the right edge of Fig. 8).
+    const double gap = CostModel::jigsawCircuits(1000) /
+        CostModel::traditionalCircuits(1000);
+    EXPECT_NEAR(gap, 1000.0, 1.0);
+}
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for selective term mitigation (Section 7.3 extension).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/molecules.hh"
+#include "chem/spin_models.hh"
+#include "core/selective.hh"
+#include "vqa/ansatz.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(SplitByMass, FractionOneKeepsEverythingHeavy)
+{
+    Hamiltonian h = molecule("H2-4");
+    auto [heavy, light] = splitByCoefficientMass(h, 1.0);
+    EXPECT_EQ(heavy.numTerms(), h.numTerms());
+    EXPECT_EQ(light.numTerms(), 0u);
+    EXPECT_DOUBLE_EQ(heavy.identityOffset(), h.identityOffset());
+}
+
+TEST(SplitByMass, FractionZeroKeepsEverythingLight)
+{
+    Hamiltonian h = molecule("H2-4");
+    auto [heavy, light] = splitByCoefficientMass(h, 0.0);
+    EXPECT_EQ(heavy.numTerms(), 0u);
+    EXPECT_EQ(light.numTerms(), h.numTerms());
+}
+
+TEST(SplitByMass, PartsSumToWhole)
+{
+    Hamiltonian h = molecule("CH4-6");
+    auto [heavy, light] = splitByCoefficientMass(h, 0.6);
+    EXPECT_EQ(heavy.numTerms() + light.numTerms(), h.numTerms());
+    EXPECT_NEAR(heavy.coefficientL1Norm() + light.coefficientL1Norm(),
+                h.coefficientL1Norm(), 1e-9);
+    // Heavy carries at least the requested mass.
+    EXPECT_GE(heavy.coefficientL1Norm(),
+              0.6 * h.coefficientL1Norm() - 1e-9);
+}
+
+TEST(SplitByMass, HeavyTermsDominateLight)
+{
+    Hamiltonian h = molecule("H2O-6");
+    auto [heavy, light] = splitByCoefficientMass(h, 0.5);
+    double min_heavy = 1e30;
+    for (const auto &t : heavy.terms())
+        min_heavy = std::min(min_heavy, std::abs(t.coefficient));
+    for (const auto &t : light.terms())
+        EXPECT_LE(std::abs(t.coefficient), min_heavy + 1e-12);
+}
+
+TEST(SelectiveEstimator, FullFractionMatchesPlainVarsaw)
+{
+    Hamiltonian h = tfim(4, 1.0, 0.7);
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(3);
+
+    VarsawConfig config;
+    config.subsetShots = 0;
+    config.globalShots = 0;
+    config.temporal.mode = GlobalScheduler::Mode::NoSparsity;
+
+    IdealExecutor exec_a, exec_b;
+    VarsawEstimator plain(h, ansatz.circuit(), exec_a, config);
+    SelectiveVarsawEstimator selective(h, ansatz.circuit(), exec_b,
+                                       config, 1.0, 0);
+    EXPECT_NEAR(selective.estimate(params), plain.estimate(params),
+                1e-9);
+}
+
+TEST(SelectiveEstimator, MatchesExactWithoutNoise)
+{
+    Hamiltonian h = tfim(4, 1.0, 0.7);
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(7);
+    ExactEstimator exact(h, ansatz.circuit());
+
+    VarsawConfig config;
+    config.subsetShots = 0;
+    config.globalShots = 0;
+    config.temporal.mode = GlobalScheduler::Mode::NoSparsity;
+    IdealExecutor exec;
+    SelectiveVarsawEstimator selective(h, ansatz.circuit(), exec,
+                                       config, 0.5, 0);
+    EXPECT_NEAR(selective.estimate(params), exact.estimate(params),
+                1e-6);
+}
+
+TEST(SelectiveEstimator, LowerFractionCostsFewerSubsets)
+{
+    Hamiltonian h = molecule("CH4-6");
+    EfficientSU2 ansatz(AnsatzConfig{6, 2, Entanglement::Full});
+    const auto params = ansatz.initialParameters(9);
+
+    VarsawConfig config;
+    config.subsetShots = 0;
+    config.globalShots = 0;
+    config.temporal.mode = GlobalScheduler::Mode::MaxSparsity;
+
+    auto steady_cost = [&](double fraction) {
+        IdealExecutor exec;
+        SelectiveVarsawEstimator est(h, ansatz.circuit(), exec,
+                                     config, fraction, 0);
+        est.estimate(params); // warm-up (globals)
+        const auto before = exec.circuitsExecuted();
+        est.estimate(params);
+        return exec.circuitsExecuted() - before;
+    };
+    // Mitigating fewer terms cannot raise the mitigated-subset
+    // count; light bases add their own (cheap, unmitigated) runs.
+    const auto full = steady_cost(1.0);
+    const auto half = steady_cost(0.5);
+    EXPECT_GT(full, 0u);
+    EXPECT_GT(half, 0u);
+}
+
+TEST(SelectiveEstimator, ErrorGrowsAsFractionShrinks)
+{
+    // Under readout noise, mitigating a smaller coefficient mass
+    // leaves more residual error (on average across params).
+    Hamiltonian h = molecule("CH4-6");
+    EfficientSU2 ansatz(AnsatzConfig{6, 2, Entanglement::Full});
+    const auto params = ansatz.initialParameters(11);
+    ExactEstimator exact(h, ansatz.circuit());
+    const double truth = exact.estimate(params);
+    DeviceModel device = DeviceModel::mumbai();
+
+    auto error_at = [&](double fraction) {
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 23);
+        VarsawConfig config;
+        config.subsetShots = 0;
+        config.globalShots = 0;
+        config.temporal.mode = GlobalScheduler::Mode::NoSparsity;
+        SelectiveVarsawEstimator est(h, ansatz.circuit(), exec,
+                                     config, fraction, 0);
+        return std::abs(est.estimate(params) - truth);
+    };
+    EXPECT_LT(error_at(1.0), error_at(0.3) + 1e-9);
+}
+
+TEST(SelectiveEstimator, IterationBoundaryForwards)
+{
+    Hamiltonian h = tfim(4, 1.0, 0.7);
+    EfficientSU2 ansatz(AnsatzConfig{4, 1, Entanglement::Linear});
+    IdealExecutor exec;
+    VarsawConfig config;
+    config.subsetShots = 0;
+    config.globalShots = 0;
+    SelectiveVarsawEstimator est(h, ansatz.circuit(), exec, config,
+                                 0.8, 0);
+    est.onIterationBoundary();
+    est.estimate(ansatz.initialParameters(1));
+    est.onIterationBoundary();
+    EXPECT_EQ(est.varsaw().scheduler().ticksSeen(), 2u);
+}
+
+} // namespace
+} // namespace varsaw

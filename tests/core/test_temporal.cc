@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for the Global-execution scheduler (Section 4.2, Fig. 11).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/temporal.hh"
+
+namespace varsaw {
+namespace {
+
+GlobalScheduler::Config
+adaptiveConfig(int initial = 2, int max_interval = 128)
+{
+    GlobalScheduler::Config config;
+    config.mode = GlobalScheduler::Mode::Adaptive;
+    config.initialInterval = initial;
+    config.maxInterval = max_interval;
+    return config;
+}
+
+TEST(GlobalScheduler, NoSparsityAlwaysRuns)
+{
+    GlobalScheduler::Config config;
+    config.mode = GlobalScheduler::Mode::NoSparsity;
+    GlobalScheduler sched(config);
+    for (std::uint64_t t = 0; t < 10; ++t)
+        EXPECT_TRUE(sched.shouldRunGlobal(t));
+}
+
+TEST(GlobalScheduler, MaxSparsityRunsOnlyFirst)
+{
+    GlobalScheduler::Config config;
+    config.mode = GlobalScheduler::Mode::MaxSparsity;
+    GlobalScheduler sched(config);
+    EXPECT_TRUE(sched.shouldRunGlobal(0));
+    for (std::uint64_t t = 1; t < 20; ++t)
+        EXPECT_FALSE(sched.shouldRunGlobal(t));
+}
+
+TEST(GlobalScheduler, AdaptiveRunsAtTickZero)
+{
+    GlobalScheduler sched(adaptiveConfig());
+    EXPECT_TRUE(sched.shouldRunGlobal(0));
+}
+
+TEST(GlobalScheduler, AdaptiveIntervalSchedulesNext)
+{
+    GlobalScheduler sched(adaptiveConfig(2));
+    sched.noteGlobalRun(0);
+    EXPECT_FALSE(sched.shouldRunGlobal(1));
+    EXPECT_TRUE(sched.shouldRunGlobal(2));
+}
+
+TEST(GlobalScheduler, StaleWinsDoubleInterval)
+{
+    GlobalScheduler sched(adaptiveConfig(2));
+    sched.noteGlobalRun(0);
+    sched.adjustInterval(true); // stale no worse
+    EXPECT_EQ(sched.interval(), 4);
+    sched.adjustInterval(true);
+    EXPECT_EQ(sched.interval(), 8);
+}
+
+TEST(GlobalScheduler, FreshWinsHalveInterval)
+{
+    GlobalScheduler sched(adaptiveConfig(8));
+    sched.adjustInterval(false);
+    EXPECT_EQ(sched.interval(), 4);
+    sched.adjustInterval(false);
+    EXPECT_EQ(sched.interval(), 2);
+}
+
+TEST(GlobalScheduler, IntervalClampedToBounds)
+{
+    GlobalScheduler sched(adaptiveConfig(2, 8));
+    for (int i = 0; i < 10; ++i)
+        sched.adjustInterval(true);
+    EXPECT_EQ(sched.interval(), 8);
+    for (int i = 0; i < 10; ++i)
+        sched.adjustInterval(false);
+    EXPECT_EQ(sched.interval(), 1);
+}
+
+TEST(GlobalScheduler, HillClimbingScenario)
+{
+    // Fig. 11's narrative: global at 1 (interval 2), check at 3
+    // succeeds -> next at 5 with interval 4 ... (0-indexed here).
+    GlobalScheduler sched(adaptiveConfig(2));
+    sched.noteGlobalRun(0);
+    EXPECT_TRUE(sched.shouldRunGlobal(2));
+    sched.adjustInterval(true); // stale no worse: widen to 4
+    sched.noteGlobalRun(2);
+    EXPECT_FALSE(sched.shouldRunGlobal(3));
+    EXPECT_FALSE(sched.shouldRunGlobal(5));
+    EXPECT_TRUE(sched.shouldRunGlobal(6));
+}
+
+TEST(GlobalScheduler, GlobalFractionTracksRuns)
+{
+    GlobalScheduler sched(adaptiveConfig(2));
+    for (std::uint64_t t = 0; t < 10; ++t) {
+        sched.recordTick(t);
+        if (sched.shouldRunGlobal(t)) {
+            sched.adjustInterval(true);
+            sched.noteGlobalRun(t);
+        }
+    }
+    EXPECT_EQ(sched.ticksSeen(), 10u);
+    EXPECT_GT(sched.globalsRun(), 0u);
+    EXPECT_LT(sched.globalFraction(), 0.5);
+}
+
+TEST(GlobalScheduler, AdaptiveSparsityConvergesWhenStaleAlwaysWins)
+{
+    // If the stale chain always wins, globals become exponentially
+    // rare: over 1000 ticks only ~log2(1000) + initial runs happen.
+    GlobalScheduler sched(adaptiveConfig(2, 1 << 14));
+    int globals = 0;
+    for (std::uint64_t t = 0; t < 1000; ++t) {
+        sched.recordTick(t);
+        if (sched.shouldRunGlobal(t)) {
+            if (t > 0)
+                sched.adjustInterval(true);
+            sched.noteGlobalRun(t);
+            ++globals;
+        }
+    }
+    EXPECT_LT(globals, 15);
+}
+
+TEST(GlobalScheduler, ModeNames)
+{
+    EXPECT_STREQ(GlobalScheduler::modeName(
+                     GlobalScheduler::Mode::Adaptive),
+                 "adaptive");
+    EXPECT_STREQ(GlobalScheduler::modeName(
+                     GlobalScheduler::Mode::MaxSparsity),
+                 "max-sparsity");
+}
+
+} // namespace
+} // namespace varsaw

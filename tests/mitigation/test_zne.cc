@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for circuit folding and Richardson extrapolation (ZNE).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/spin_models.hh"
+#include "mitigation/zne.hh"
+#include "sim/statevector.hh"
+#include "vqa/ansatz.hh"
+#include "vqa/zne_estimator.hh"
+
+namespace varsaw {
+namespace {
+
+Circuit
+boundTestCircuit()
+{
+    Circuit c(3);
+    c.h(0).s(1).t(2).rx(0, 0.7).cx(0, 1).rzz(1, 2, 0.4).measureAll();
+    return c;
+}
+
+TEST(Zne, InverseOpRoundTrips)
+{
+    // op followed by inverseOp(op) must restore any state.
+    Circuit c = boundTestCircuit();
+    Statevector reference(3);
+    reference.run(c, {});
+
+    Statevector round_trip(3);
+    round_trip.run(c, {});
+    for (auto it = c.ops().rbegin(); it != c.ops().rend(); ++it)
+        round_trip.applyOp(inverseOp(*it), {});
+    // Back to |000>.
+    EXPECT_NEAR(round_trip.probabilities()[0], 1.0, 1e-10);
+}
+
+TEST(Zne, FoldFactorOneIsIdentityTransform)
+{
+    Circuit c = boundTestCircuit();
+    Circuit folded = foldCircuit(c, 1);
+    EXPECT_EQ(folded.ops().size(), c.ops().size());
+    EXPECT_EQ(folded.measuredQubits(), c.measuredQubits());
+}
+
+TEST(Zne, FoldingPreservesUnitary)
+{
+    Circuit c = boundTestCircuit();
+    for (int factor : {3, 5}) {
+        Circuit folded = foldCircuit(c, factor);
+        EXPECT_EQ(folded.ops().size(),
+                  c.ops().size() * static_cast<std::size_t>(factor));
+        Statevector sv_plain(3), sv_folded(3);
+        sv_plain.run(c, {});
+        sv_folded.run(folded, {});
+        const auto ip = sv_plain.innerProduct(sv_folded);
+        EXPECT_NEAR(std::abs(ip), 1.0, 1e-9) << "factor " << factor;
+    }
+}
+
+TEST(Zne, EvenFactorRejected)
+{
+    Circuit c = boundTestCircuit();
+    EXPECT_DEATH({ foldCircuit(c, 2); }, "odd");
+}
+
+TEST(Zne, RichardsonLinearExact)
+{
+    // y = 3 - 2 lambda: extrapolation to 0 gives 3.
+    EXPECT_NEAR(richardsonExtrapolate({{1, 1}, {3, -3}}), 3.0, 1e-12);
+}
+
+TEST(Zne, RichardsonQuadraticExact)
+{
+    // y = 1 + l + l^2 at l = 1, 3, 5 -> 1 at l = 0.
+    auto y = [](double l) { return 1 + l + l * l; };
+    EXPECT_NEAR(
+        richardsonExtrapolate({{1, y(1)}, {3, y(3)}, {5, y(5)}}),
+        1.0, 1e-9);
+}
+
+TEST(Zne, RecoversEnergyUnderGateNoise)
+{
+    // Pure gate noise (no readout error): ZNE should land closer to
+    // the exact energy than the unmitigated estimate.
+    Hamiltonian h = tfim(3, 1.0, 0.6);
+    EfficientSU2 ansatz(AnsatzConfig{3, 2, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(5);
+
+    ExactEstimator exact(h, ansatz.circuit());
+    const double truth = exact.estimate(params);
+
+    DeviceModel device =
+        DeviceModel::uniform(3, 0.0, 0.0, 0.0, 5e-4, 4e-3);
+    NoisyExecutor exec_plain(device);
+    BaselineEstimator plain(h, ansatz.circuit(), exec_plain, 0);
+    const double e_plain = plain.estimate(params);
+
+    NoisyExecutor exec_zne(device);
+    ZneEstimator zne(h, ansatz.circuit(), exec_zne, 0, {1, 3, 5});
+    const double e_zne = zne.estimate(params);
+
+    EXPECT_LT(std::abs(e_zne - truth), std::abs(e_plain - truth));
+    EXPECT_LT(std::abs(e_zne - truth), 0.02);
+}
+
+TEST(Zne, CircuitCostIsFactorsTimesBases)
+{
+    Hamiltonian h = tfim(3, 1.0, 0.6);
+    EfficientSU2 ansatz(AnsatzConfig{3, 1, Entanglement::Linear});
+    IdealExecutor exec;
+    ZneEstimator zne(h, ansatz.circuit(), exec, 0, {1, 3});
+    zne.estimate(ansatz.initialParameters(2));
+    EXPECT_EQ(exec.circuitsExecuted(),
+              2 * zne.reduction().bases.size());
+}
+
+TEST(Zne, SingleFactorNoExtrapolation)
+{
+    Hamiltonian h = tfim(3, 1.0, 0.6);
+    EfficientSU2 ansatz(AnsatzConfig{3, 1, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(3);
+    IdealExecutor exec_a, exec_b;
+    ZneEstimator zne(h, ansatz.circuit(), exec_a, 0, {1});
+    BaselineEstimator plain(h, ansatz.circuit(), exec_b, 0);
+    EXPECT_NEAR(zne.estimate(params), plain.estimate(params), 1e-9);
+}
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Unit tests for the Hamiltonian container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pauli/hamiltonian.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(Hamiltonian, IdentityFoldsIntoOffset)
+{
+    Hamiltonian h(2, "test");
+    h.addTerm("II", -1.5);
+    h.addTerm("ZI", 0.5);
+    EXPECT_EQ(h.numTerms(), 1u);
+    EXPECT_DOUBLE_EQ(h.identityOffset(), -1.5);
+}
+
+TEST(Hamiltonian, DuplicateStringsAccumulate)
+{
+    Hamiltonian h(2);
+    h.addTerm("ZZ", 0.25);
+    h.addTerm("ZZ", 0.5);
+    ASSERT_EQ(h.numTerms(), 1u);
+    EXPECT_DOUBLE_EQ(h.terms()[0].coefficient, 0.75);
+}
+
+TEST(Hamiltonian, EnergyFromExpectations)
+{
+    Hamiltonian h(2);
+    h.addTerm("II", 1.0);
+    h.addTerm("ZI", 2.0);
+    h.addTerm("ZZ", -1.0);
+    // <ZI> = 0.5, <ZZ> = -1.0 -> E = 1 + 2*0.5 - 1*(-1) = 3.
+    EXPECT_DOUBLE_EQ(h.energy({0.5, -1.0}), 3.0);
+}
+
+TEST(Hamiltonian, CoefficientNormAndLowerBound)
+{
+    Hamiltonian h(2);
+    h.addTerm("II", -2.0);
+    h.addTerm("XX", 1.5);
+    h.addTerm("ZZ", -0.5);
+    EXPECT_DOUBLE_EQ(h.coefficientL1Norm(), 2.0);
+    EXPECT_DOUBLE_EQ(h.energyLowerBound(), -4.0);
+}
+
+TEST(Hamiltonian, StringsAlignedWithTerms)
+{
+    Hamiltonian h(3);
+    h.addTerm("ZII", 1.0);
+    h.addTerm("IXI", 2.0);
+    const auto strings = h.strings();
+    ASSERT_EQ(strings.size(), 2u);
+    EXPECT_EQ(strings[0].toString(), "ZII");
+    EXPECT_EQ(strings[1].toString(), "IXI");
+}
+
+TEST(Hamiltonian, NameStored)
+{
+    Hamiltonian h(2, "CH4-6");
+    EXPECT_EQ(h.name(), "CH4-6");
+    h.setName("other");
+    EXPECT_EQ(h.name(), "other");
+}
+
+TEST(Hamiltonian, ToStringContainsTerms)
+{
+    Hamiltonian h(2, "demo");
+    h.addTerm("ZZ", 0.5);
+    const std::string text = h.toString();
+    EXPECT_NE(text.find("demo"), std::string::npos);
+    EXPECT_NE(text.find("ZZ"), std::string::npos);
+}
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Subsetting tests, pinned to the Fig. 6 pipeline:
+ * 7 commuted bases -> 21 JigSaw subsets; 10 raw terms -> 9 VarSaw
+ * subsets after dedup + dominance elimination.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pauli/commutation.hh"
+#include "pauli/subsetting.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+namespace {
+
+std::vector<PauliString>
+fig6Hamiltonian()
+{
+    std::vector<PauliString> strings;
+    for (const char *text : {"ZZIZ", "ZIZX", "ZZII", "IIZX", "ZXXZ",
+                             "XZIZ", "ZXIZ", "IXZZ", "XIZZ", "XXIX"})
+        strings.push_back(PauliString::parse(text));
+    return strings;
+}
+
+TEST(WindowSubsets, SlidingWindowBasics)
+{
+    const auto basis = PauliString::parse("ZZIZ");
+    const auto windows = windowSubsets(basis, 2);
+    ASSERT_EQ(windows.size(), 3u);
+    EXPECT_EQ(windows[0].toSubsetString(), "ZZ--");
+    EXPECT_EQ(windows[1].toSubsetString(), "-Z--");
+    EXPECT_EQ(windows[2].toSubsetString(), "---Z");
+}
+
+TEST(WindowSubsets, AllIdentityWindowsDropped)
+{
+    const auto basis = PauliString::parse("ZIIZ");
+    const auto windows = windowSubsets(basis, 2);
+    // Window (1,2) is II and is weeded out.
+    ASSERT_EQ(windows.size(), 2u);
+    EXPECT_EQ(windows[0].toSubsetString(), "Z---");
+    EXPECT_EQ(windows[1].toSubsetString(), "---Z");
+}
+
+TEST(WindowSubsets, DuplicateWindowsEmittedOnce)
+{
+    // "IZII": windows (0,1) and (1,2) both restrict to '-Z--'.
+    const auto windows = windowSubsets(PauliString::parse("IZII"), 2);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(windows[0].toSubsetString(), "-Z--");
+}
+
+TEST(WindowSubsets, WindowSizeThree)
+{
+    const auto windows = windowSubsets(PauliString::parse("ZXYZ"), 3);
+    ASSERT_EQ(windows.size(), 2u);
+    EXPECT_EQ(windows[0].toString(), "ZXYI");
+    EXPECT_EQ(windows[1].toString(), "IXYZ");
+}
+
+TEST(WindowSubsets, WindowLargerThanRegisterClamps)
+{
+    const auto windows = windowSubsets(PauliString::parse("ZX"), 5);
+    ASSERT_EQ(windows.size(), 1u);
+    EXPECT_EQ(windows[0].toString(), "ZX");
+}
+
+TEST(JigsawSubsets, Fig6TwentyOneCircuits)
+{
+    const auto reduction = coverReduce(fig6Hamiltonian());
+    ASSERT_EQ(reduction.bases.size(), 7u);
+    // Eq. 3: a 2-qubit sliding window over 7 four-qubit bases gives
+    // (4-1)*7 = 21 subset circuits (duplicates across bases kept —
+    // JigSaw executes them all).
+    EXPECT_EQ(jigsawSubsets(reduction.bases, 2).size(), 21u);
+}
+
+TEST(ReduceSubsets, Fig6NineCircuits)
+{
+    // Eq. 4: VarSaw aggregates windows over all 10 raw terms and
+    // reduces them to exactly these 9.
+    const auto reduced =
+        reduceSubsets(aggregateSubsets(fig6Hamiltonian(), 2));
+    std::vector<std::string> got;
+    for (const auto &s : reduced)
+        got.push_back(s.toSubsetString());
+    std::sort(got.begin(), got.end());
+
+    std::vector<std::string> expected = {"ZZ--", "--ZX", "ZX--",
+                                         "-XX-", "--XZ", "XZ--",
+                                         "-XZ-", "--ZZ", "XX--"};
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(got, expected);
+}
+
+TEST(ReduceSubsets, DominatedSinglesEliminated)
+{
+    std::vector<PauliString> pool = {
+        PauliString::parse("ZZ--"), PauliString::parse("-Z--"),
+        PauliString::parse("Z---")};
+    const auto reduced = reduceSubsets(pool);
+    ASSERT_EQ(reduced.size(), 1u);
+    EXPECT_EQ(reduced[0].toSubsetString(), "ZZ--");
+}
+
+TEST(ReduceSubsets, IncomparableWindowsAllKept)
+{
+    std::vector<PauliString> pool = {
+        PauliString::parse("ZZ--"), PauliString::parse("ZX--"),
+        PauliString::parse("--XX")};
+    EXPECT_EQ(reduceSubsets(pool).size(), 3u);
+}
+
+TEST(ReduceSubsets, IdenticalDuplicatesCollapse)
+{
+    std::vector<PauliString> pool = {
+        PauliString::parse("ZZ--"), PauliString::parse("ZZ--")};
+    EXPECT_EQ(reduceSubsets(pool).size(), 1u);
+}
+
+TEST(ReduceSubsets, IdentityStringsDropped)
+{
+    std::vector<PauliString> pool = {PauliString::parse("----"),
+                                     PauliString::parse("ZZ--")};
+    EXPECT_EQ(reduceSubsets(pool).size(), 1u);
+}
+
+TEST(SubsetCover, ExactMatchFound)
+{
+    SubsetCover cover({PauliString::parse("ZZ--"),
+                       PauliString::parse("--XZ")});
+    auto idx = cover.findCover(PauliString::parse("ZZ--"));
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, 0u);
+}
+
+TEST(SubsetCover, DominatingCoverFound)
+{
+    SubsetCover cover({PauliString::parse("ZZ--"),
+                       PauliString::parse("--XZ")});
+    auto idx = cover.findCover(PauliString::parse("-Z--"));
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, 0u);
+    auto idx2 = cover.findCover(PauliString::parse("--X-"));
+    ASSERT_TRUE(idx2.has_value());
+    EXPECT_EQ(*idx2, 1u);
+}
+
+TEST(SubsetCover, NoCoverReturnsNullopt)
+{
+    SubsetCover cover({PauliString::parse("ZZ--")});
+    EXPECT_FALSE(cover.findCover(PauliString::parse("--XX"))
+                     .has_value());
+    EXPECT_FALSE(cover.findCover(PauliString::parse("ZX--"))
+                     .has_value());
+}
+
+/**
+ * Property: every window of every cover-reduced basis is covered by
+ * some reduced VarSaw subset — the invariant that makes subset
+ * sharing across bases sound.
+ */
+class DominanceCoverProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DominanceCoverProperty, EveryBasisWindowHasACover)
+{
+    Rng rng(500 + GetParam());
+    // Random 6-qubit "Hamiltonian" of 40 strings.
+    std::vector<PauliString> strings;
+    for (int t = 0; t < 40; ++t) {
+        PauliString s(6);
+        for (int q = 0; q < 6; ++q)
+            if (rng.bernoulli(0.5))
+                s.setOp(q, static_cast<PauliOp>(
+                    1 + rng.uniformInt(3)));
+        if (!s.isIdentity())
+            strings.push_back(s);
+    }
+
+    const auto reduction = coverReduce(strings);
+    const auto reduced = reduceSubsets(aggregateSubsets(strings, 2));
+    SubsetCover cover(reduced);
+
+    for (const auto &basis : reduction.bases)
+        for (const auto &w : windowSubsets(basis, 2))
+            EXPECT_TRUE(cover.findCover(w).has_value())
+                << "window " << w.toSubsetString()
+                << " of basis " << basis.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomHamiltonians, DominanceCoverProperty,
+                         ::testing::Range(0, 12));
+
+/** Property: reduction output is duplicate-free and dominance-free. */
+class ReductionSoundness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ReductionSoundness, OutputIsAntichain)
+{
+    Rng rng(900 + GetParam());
+    std::vector<PauliString> pool;
+    for (int t = 0; t < 60; ++t) {
+        PauliString s(5);
+        for (int q = 0; q < 5; ++q)
+            if (rng.bernoulli(0.4))
+                s.setOp(q, static_cast<PauliOp>(
+                    1 + rng.uniformInt(3)));
+        pool.push_back(s);
+    }
+    const auto reduced = reduceSubsets(pool);
+    for (std::size_t i = 0; i < reduced.size(); ++i)
+        for (std::size_t j = 0; j < reduced.size(); ++j) {
+            if (i == j)
+                continue;
+            EXPECT_FALSE(reduced[i].coveredBy(reduced[j]))
+                << reduced[i].toSubsetString() << " covered by "
+                << reduced[j].toSubsetString();
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPools, ReductionSoundness,
+                         ::testing::Range(0, 8));
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for circuit construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/circuit.hh"
+#include "sim/statevector.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(Circuit, GateAppendersRecordOps)
+{
+    Circuit c(3);
+    c.h(0).x(1).cx(0, 2).ry(1, 0.5);
+    ASSERT_EQ(c.ops().size(), 4u);
+    EXPECT_EQ(c.ops()[0].kind, GateKind::H);
+    EXPECT_EQ(c.ops()[2].kind, GateKind::CX);
+    EXPECT_EQ(c.ops()[2].q0, 0);
+    EXPECT_EQ(c.ops()[2].q1, 2);
+    EXPECT_DOUBLE_EQ(c.ops()[3].param, 0.5);
+}
+
+TEST(Circuit, ParameterIndicesTracked)
+{
+    Circuit c(2);
+    c.ryParam(0, 0).rzParam(1, 3);
+    EXPECT_EQ(c.numParams(), 4);
+    EXPECT_EQ(c.ops()[0].paramIndex, 0);
+    EXPECT_EQ(c.ops()[1].paramIndex, 3);
+}
+
+TEST(Circuit, GateCounts)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cz(1, 2).ry(2, 0.1);
+    EXPECT_EQ(c.oneQubitGateCount(), 2);
+    EXPECT_EQ(c.twoQubitGateCount(), 2);
+}
+
+TEST(Circuit, DepthPacksParallelGates)
+{
+    Circuit c(4);
+    c.h(0).h(1).h(2).h(3); // all parallel: depth 1
+    EXPECT_EQ(c.depth(), 1);
+    c.cx(0, 1).cx(2, 3); // parallel pair layer: depth 2
+    EXPECT_EQ(c.depth(), 2);
+    c.cx(1, 2); // serializes after both: depth 3
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, MeasureTracksOrder)
+{
+    Circuit c(4);
+    c.measure(2).measure(0);
+    EXPECT_EQ(c.measuredQubits(), (std::vector<int>{2, 0}));
+    EXPECT_EQ(c.numMeasured(), 2);
+}
+
+TEST(Circuit, MeasureAll)
+{
+    Circuit c(3);
+    c.measureAll();
+    EXPECT_EQ(c.measuredQubits(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Circuit, MeasureSupport)
+{
+    Circuit c(4);
+    c.measureSupport(PauliString::parse("-Z-X"));
+    EXPECT_EQ(c.measuredQubits(), (std::vector<int>{1, 3}));
+}
+
+TEST(Circuit, BasisRotationsXBecomesH)
+{
+    Circuit c(3);
+    c.appendBasisRotations(PauliString::parse("XZY"));
+    // X -> H; Z -> nothing; Y -> Sdg, H.
+    ASSERT_EQ(c.ops().size(), 3u);
+    EXPECT_EQ(c.ops()[0].kind, GateKind::H);
+    EXPECT_EQ(c.ops()[0].q0, 0);
+    EXPECT_EQ(c.ops()[1].kind, GateKind::Sdg);
+    EXPECT_EQ(c.ops()[1].q0, 2);
+    EXPECT_EQ(c.ops()[2].kind, GateKind::H);
+    EXPECT_EQ(c.ops()[2].q0, 2);
+}
+
+TEST(Circuit, BasisRotationsIdentityAddsNothing)
+{
+    Circuit c(3);
+    c.appendBasisRotations(PauliString::parse("-Z-"));
+    EXPECT_TRUE(c.ops().empty());
+}
+
+TEST(Circuit, AppendCopiesGatesNotMeasurements)
+{
+    Circuit inner(2);
+    inner.h(0).cx(0, 1).measureAll();
+    Circuit outer(2);
+    outer.append(inner);
+    EXPECT_EQ(outer.ops().size(), 2u);
+    EXPECT_EQ(outer.numMeasured(), 0);
+}
+
+TEST(Circuit, AppendPropagatesParamCount)
+{
+    Circuit inner(2);
+    inner.ryParam(0, 5);
+    Circuit outer(2);
+    outer.append(inner);
+    EXPECT_EQ(outer.numParams(), 6);
+}
+
+TEST(Circuit, SummaryMentionsLabel)
+{
+    Circuit c(2, "my-circuit");
+    c.h(0).measureAll();
+    EXPECT_NE(c.summary().find("my-circuit"), std::string::npos);
+}
+
+TEST(Circuit, RzzAppenders)
+{
+    Circuit c(3);
+    c.rzz(0, 2, 0.7).rzzParam(1, 2, 4);
+    ASSERT_EQ(c.ops().size(), 2u);
+    EXPECT_EQ(c.ops()[0].kind, GateKind::RZZ);
+    EXPECT_DOUBLE_EQ(c.ops()[0].param, 0.7);
+    EXPECT_EQ(c.ops()[1].paramIndex, 4);
+    EXPECT_EQ(c.numParams(), 5);
+    EXPECT_EQ(c.twoQubitGateCount(), 2);
+}
+
+TEST(Circuit, BoundResolvesAllParameters)
+{
+    Circuit c(2);
+    c.ryParam(0, 0).rzz(0, 1, 0.5).rzzParam(0, 1, 1).measureAll();
+    Circuit b = c.bound({1.25, -0.75});
+    EXPECT_EQ(b.numParams(), 0);
+    ASSERT_EQ(b.ops().size(), 3u);
+    EXPECT_DOUBLE_EQ(b.ops()[0].param, 1.25);
+    EXPECT_EQ(b.ops()[0].paramIndex, -1);
+    EXPECT_DOUBLE_EQ(b.ops()[1].param, 0.5);
+    EXPECT_DOUBLE_EQ(b.ops()[2].param, -0.75);
+    EXPECT_EQ(b.measuredQubits(), c.measuredQubits());
+}
+
+TEST(Circuit, BoundPreservesSimulation)
+{
+    Circuit c(2);
+    c.h(0).ryParam(1, 0).cx(0, 1);
+    const std::vector<double> params = {0.9};
+    Statevector sv_symbolic(2), sv_bound(2);
+    sv_symbolic.run(c, params);
+    sv_bound.run(c.bound(params), {});
+    const auto a = sv_symbolic.probabilities();
+    const auto b = sv_bound.probabilities();
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the density-matrix engine, including cross-validation
+ * against the state-vector simulator and the trajectory noise mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/density_matrix.hh"
+#include "sim/statevector.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+namespace {
+
+constexpr double kEps = 1e-10;
+
+TEST(DensityMatrix, InitialStateIsPureZero)
+{
+    DensityMatrix dm(2);
+    EXPECT_NEAR(dm.trace(), 1.0, kEps);
+    EXPECT_NEAR(dm.purity(), 1.0, kEps);
+    EXPECT_NEAR(dm.probabilities()[0], 1.0, kEps);
+}
+
+TEST(DensityMatrix, MatchesStatevectorOnRandomCircuits)
+{
+    Rng rng(31);
+    for (int trial = 0; trial < 5; ++trial) {
+        const int n = 2 + static_cast<int>(rng.uniformInt(3));
+        Circuit c(n);
+        for (int g = 0; g < 20; ++g) {
+            const int q = static_cast<int>(rng.uniformInt(n));
+            switch (rng.uniformInt(5)) {
+              case 0: c.h(q); break;
+              case 1: c.ry(q, rng.uniform(-3, 3)); break;
+              case 2: c.rz(q, rng.uniform(-3, 3)); break;
+              case 3: {
+                int q2 = static_cast<int>(rng.uniformInt(n));
+                if (q2 == q)
+                    q2 = (q + 1) % n;
+                c.cx(q, q2);
+                break;
+              }
+              default: {
+                int q2 = static_cast<int>(rng.uniformInt(n));
+                if (q2 == q)
+                    q2 = (q + 1) % n;
+                c.rzz(q, q2, rng.uniform(-2, 2));
+                break;
+              }
+            }
+        }
+        Statevector sv(n);
+        sv.run(c, {});
+        DensityMatrix dm(n);
+        dm.run(c, {});
+
+        EXPECT_NEAR(dm.purity(), 1.0, 1e-9);
+        const auto p_sv = sv.probabilities();
+        const auto p_dm = dm.probabilities();
+        for (std::size_t i = 0; i < p_sv.size(); ++i)
+            EXPECT_NEAR(p_dm[i], p_sv[i], 1e-9);
+
+        // Random Pauli expectation agreement.
+        PauliString p(n);
+        for (int q = 0; q < n; ++q)
+            p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+        EXPECT_NEAR(dm.expectationPauli(p), sv.expectationPauli(p),
+                    1e-9);
+    }
+}
+
+TEST(DensityMatrix, DepolarizingShrinksPurity)
+{
+    DensityMatrix dm(1);
+    dm.apply1Q(0, gates::fixedMatrix(GateKind::H));
+    EXPECT_NEAR(dm.purity(), 1.0, kEps);
+    dm.applyDepolarizing(0, 0.2);
+    EXPECT_LT(dm.purity(), 1.0);
+    EXPECT_NEAR(dm.trace(), 1.0, kEps);
+}
+
+TEST(DensityMatrix, FullDepolarizingGivesMaximallyMixed)
+{
+    // p = 3/4 sends any single-qubit state to I/2.
+    DensityMatrix dm(1);
+    dm.apply1Q(0, gates::ry(0.7));
+    dm.applyDepolarizing(0, 0.75);
+    EXPECT_NEAR(dm.probabilities()[0], 0.5, kEps);
+    EXPECT_NEAR(dm.probabilities()[1], 0.5, kEps);
+    EXPECT_NEAR(dm.purity(), 0.5, kEps);
+}
+
+TEST(DensityMatrix, DepolarizingZExpectationScaling)
+{
+    // <Z> scales by (1 - 4p/3) under depolarizing(p).
+    DensityMatrix dm(1);
+    const double p = 0.1;
+    dm.applyDepolarizing(0, p);
+    EXPECT_NEAR(dm.expectationPauli(PauliString::parse("Z")),
+                1.0 - 4.0 * p / 3.0, kEps);
+}
+
+TEST(DensityMatrix, TwoQubitDepolarizing)
+{
+    DensityMatrix dm(2);
+    dm.applyTwoQubitDepolarizing(0, 1, 15.0 / 16.0);
+    // Fully mixed: every diagonal entry 1/4.
+    for (double prob : dm.probabilities())
+        EXPECT_NEAR(prob, 0.25, kEps);
+    EXPECT_NEAR(dm.trace(), 1.0, kEps);
+}
+
+TEST(DensityMatrix, ConjugateByPauliMatchesUnitary)
+{
+    Rng rng(77);
+    DensityMatrix dm(2);
+    dm.apply1Q(0, gates::ry(1.1));
+    dm.applyCX(0, 1);
+
+    DensityMatrix conj = dm;
+    conj.conjugateByPauli(PauliString::parse("XZ"));
+
+    DensityMatrix gate = dm;
+    gate.apply1Q(0, gates::fixedMatrix(GateKind::X));
+    gate.apply1Q(1, gates::fixedMatrix(GateKind::Z));
+
+    for (std::uint64_t r = 0; r < dm.dim(); ++r)
+        for (std::uint64_t c = 0; c < dm.dim(); ++c)
+            EXPECT_NEAR(std::abs(conj.element(r, c) -
+                                 gate.element(r, c)),
+                        0.0, 1e-9);
+}
+
+TEST(DensityMatrix, RunNoisyKeepsTraceAndLowersPurity)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    DensityMatrix dm(3);
+    dm.runNoisy(c, {}, 1e-3, 1e-2);
+    EXPECT_NEAR(dm.trace(), 1.0, 1e-9);
+    EXPECT_LT(dm.purity(), 1.0);
+    EXPECT_GT(dm.purity(), 0.9);
+}
+
+TEST(DensityMatrix, MarginalProbabilities)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    DensityMatrix dm(3);
+    dm.run(c, {});
+    const auto marg = dm.marginalProbabilities({0, 2});
+    EXPECT_NEAR(marg[0b00], 0.5, kEps);
+    EXPECT_NEAR(marg[0b11], 0.5, kEps);
+}
+
+TEST(Rzz, StatevectorActionOnBasisStates)
+{
+    // RZZ only adds phases; probabilities unchanged.
+    Statevector sv(2);
+    sv.applyRZZ(0, 1, 1.3);
+    EXPECT_NEAR(sv.probabilities()[0], 1.0, kEps);
+
+    // On |++>, RZZ(theta) keeps <XX> = 1 and rotates single-qubit
+    // coherences: <X I> = cos(theta), <Y Z> = sin(theta)
+    // (parity-sector phase analysis).
+    const double theta = M_PI / 3.0;
+    Statevector sv2(2);
+    sv2.apply1Q(0, gates::fixedMatrix(GateKind::H));
+    sv2.apply1Q(1, gates::fixedMatrix(GateKind::H));
+    sv2.applyRZZ(0, 1, theta);
+    EXPECT_NEAR(sv2.norm(), 1.0, kEps);
+    EXPECT_NEAR(sv2.expectationPauli(PauliString::parse("ZZ")), 0.0,
+                kEps);
+    EXPECT_NEAR(sv2.expectationPauli(PauliString::parse("XX")), 1.0,
+                kEps);
+    EXPECT_NEAR(sv2.expectationPauli(PauliString::parse("XI")),
+                std::cos(theta), kEps);
+    EXPECT_NEAR(
+        std::abs(sv2.expectationPauli(PauliString::parse("YZ"))),
+        std::sin(theta), kEps);
+}
+
+TEST(Rzz, EquivalentToCxRzCx)
+{
+    // RZZ(t) == CX(0,1); RZ(t) on target; CX(0,1).
+    const double theta = 0.77;
+    Circuit a(2), b(2);
+    a.h(0).ry(1, 0.3).rzz(0, 1, theta);
+    b.h(0).ry(1, 0.3).cx(0, 1).rz(1, theta).cx(0, 1);
+    Statevector sva(2), svb(2);
+    sva.run(a, {});
+    svb.run(b, {});
+    const auto ip = sva.innerProduct(svb);
+    EXPECT_NEAR(std::abs(ip), 1.0, 1e-10);
+}
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit and property tests for the state-vector engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/statevector.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+TEST(Statevector, InitializesToZeroState)
+{
+    Statevector sv(3);
+    EXPECT_NEAR(std::abs(sv.amplitudes()[0]), 1.0, kEps);
+    EXPECT_NEAR(sv.norm(), 1.0, kEps);
+}
+
+TEST(Statevector, HadamardCreatesSuperposition)
+{
+    Statevector sv(1);
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::H));
+    const auto probs = sv.probabilities();
+    EXPECT_NEAR(probs[0], 0.5, kEps);
+    EXPECT_NEAR(probs[1], 0.5, kEps);
+}
+
+TEST(Statevector, XFlipsBit)
+{
+    Statevector sv(2);
+    sv.apply1Q(1, gates::fixedMatrix(GateKind::X));
+    EXPECT_NEAR(std::norm(sv.amplitudes()[0b10]), 1.0, kEps);
+}
+
+TEST(Statevector, BellState)
+{
+    Statevector sv(2);
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::H));
+    sv.applyCX(0, 1);
+    const auto probs = sv.probabilities();
+    EXPECT_NEAR(probs[0b00], 0.5, kEps);
+    EXPECT_NEAR(probs[0b11], 0.5, kEps);
+    EXPECT_NEAR(probs[0b01], 0.0, kEps);
+    EXPECT_NEAR(probs[0b10], 0.0, kEps);
+}
+
+TEST(Statevector, GhzThroughCircuitRun)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    Statevector sv(3);
+    sv.run(c, {});
+    const auto probs = sv.probabilities();
+    EXPECT_NEAR(probs[0b000], 0.5, kEps);
+    EXPECT_NEAR(probs[0b111], 0.5, kEps);
+}
+
+TEST(Statevector, CzPhasesOnlyOneOne)
+{
+    Statevector sv(2);
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::H));
+    sv.apply1Q(1, gates::fixedMatrix(GateKind::H));
+    sv.applyCZ(0, 1);
+    // |11> amplitude must be negative, others positive.
+    EXPECT_GT(sv.amplitudes()[0b00].real(), 0.0);
+    EXPECT_LT(sv.amplitudes()[0b11].real(), 0.0);
+}
+
+TEST(Statevector, SwapExchangesQubits)
+{
+    Statevector sv(2);
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::X)); // |01> (q0=1)
+    sv.applySwap(0, 1);
+    EXPECT_NEAR(std::norm(sv.amplitudes()[0b10]), 1.0, kEps);
+}
+
+TEST(Statevector, RotationPeriodicity)
+{
+    // RY(2*pi) = -I: probabilities unchanged.
+    Statevector sv(1);
+    sv.apply1Q(0, gates::ry(2.0 * M_PI));
+    EXPECT_NEAR(sv.probabilities()[0], 1.0, kEps);
+    // RY(pi)|0> = |1>.
+    Statevector sv2(1);
+    sv2.apply1Q(0, gates::ry(M_PI));
+    EXPECT_NEAR(sv2.probabilities()[1], 1.0, kEps);
+}
+
+TEST(Statevector, RxHalfPi)
+{
+    Statevector sv(1);
+    sv.apply1Q(0, gates::rx(M_PI / 2.0));
+    const auto probs = sv.probabilities();
+    EXPECT_NEAR(probs[0], 0.5, kEps);
+    EXPECT_NEAR(probs[1], 0.5, kEps);
+}
+
+TEST(Statevector, RzIsDiagonalPhase)
+{
+    Statevector sv(1);
+    sv.apply1Q(0, gates::rz(1.234));
+    EXPECT_NEAR(sv.probabilities()[0], 1.0, kEps);
+}
+
+TEST(Statevector, SdgUndoesS)
+{
+    Statevector sv(1);
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::H));
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::S));
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::Sdg));
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::H));
+    EXPECT_NEAR(sv.probabilities()[0], 1.0, kEps);
+}
+
+TEST(Statevector, ParameterBinding)
+{
+    Circuit c(1);
+    c.ryParam(0, 0);
+    Statevector sv(1);
+    sv.run(c, {M_PI});
+    EXPECT_NEAR(sv.probabilities()[1], 1.0, kEps);
+}
+
+TEST(Statevector, MarginalProbabilities)
+{
+    // GHZ on 3 qubits, marginal over {0, 2}: 00 and 11 each 0.5.
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    Statevector sv(3);
+    sv.run(c, {});
+    const auto marg = sv.marginalProbabilities({0, 2});
+    ASSERT_EQ(marg.size(), 4u);
+    EXPECT_NEAR(marg[0b00], 0.5, kEps);
+    EXPECT_NEAR(marg[0b11], 0.5, kEps);
+}
+
+TEST(Statevector, MarginalReordersBits)
+{
+    Statevector sv(2);
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::X)); // q0 = 1
+    const auto marg = sv.marginalProbabilities({1, 0});
+    // bit0 = q1 = 0, bit1 = q0 = 1 -> outcome 0b10.
+    EXPECT_NEAR(marg[0b10], 1.0, kEps);
+}
+
+TEST(Statevector, ExpectationPauliZ)
+{
+    Statevector sv(1);
+    EXPECT_NEAR(sv.expectationPauli(PauliString::parse("Z")), 1.0,
+                kEps);
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::X));
+    EXPECT_NEAR(sv.expectationPauli(PauliString::parse("Z")), -1.0,
+                kEps);
+}
+
+TEST(Statevector, ExpectationPauliXOnPlusState)
+{
+    Statevector sv(1);
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::H));
+    EXPECT_NEAR(sv.expectationPauli(PauliString::parse("X")), 1.0,
+                kEps);
+    EXPECT_NEAR(sv.expectationPauli(PauliString::parse("Z")), 0.0,
+                kEps);
+}
+
+TEST(Statevector, ExpectationPauliYOnYEigenstate)
+{
+    // |+i> = S H |0> has <Y> = +1.
+    Statevector sv(1);
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::H));
+    sv.apply1Q(0, gates::fixedMatrix(GateKind::S));
+    EXPECT_NEAR(sv.expectationPauli(PauliString::parse("Y")), 1.0,
+                kEps);
+}
+
+TEST(Statevector, ExpectationGhzParity)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    Statevector sv(3);
+    sv.run(c, {});
+    EXPECT_NEAR(sv.expectationPauli(PauliString::parse("ZZI")), 1.0,
+                kEps);
+    EXPECT_NEAR(sv.expectationPauli(PauliString::parse("ZII")), 0.0,
+                kEps);
+    EXPECT_NEAR(sv.expectationPauli(PauliString::parse("XXX")), 1.0,
+                kEps);
+}
+
+TEST(Statevector, ApplyPauliMatchesExpectation)
+{
+    Rng rng(42);
+    Circuit c(3);
+    c.h(0).cx(0, 1).ry(2, 0.7).cx(1, 2).rz(0, 0.3);
+    Statevector sv(3);
+    sv.run(c, {});
+
+    for (const char *text : {"ZZI", "XIX", "YYZ", "IXY", "ZXZ"}) {
+        const auto p = PauliString::parse(text);
+        Statevector applied = sv;
+        applied.applyPauli(p);
+        const auto ip = sv.innerProduct(applied);
+        EXPECT_NEAR(ip.real(), sv.expectationPauli(p), 1e-10) << text;
+        EXPECT_NEAR(ip.imag(), 0.0, 1e-10) << text;
+    }
+}
+
+/** Property sweep: random circuits preserve the norm. */
+class UnitarityProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(UnitarityProperty, RandomCircuitPreservesNorm)
+{
+    Rng rng(2024 + GetParam());
+    const int n = 2 + static_cast<int>(rng.uniformInt(4));
+    Circuit c(n);
+    for (int g = 0; g < 30; ++g) {
+        const int q = static_cast<int>(rng.uniformInt(n));
+        switch (rng.uniformInt(6)) {
+          case 0: c.h(q); break;
+          case 1: c.rx(q, rng.uniform(-3, 3)); break;
+          case 2: c.ry(q, rng.uniform(-3, 3)); break;
+          case 3: c.rz(q, rng.uniform(-3, 3)); break;
+          case 4: c.s(q); break;
+          default: {
+            int q2 = static_cast<int>(rng.uniformInt(n));
+            if (q2 == q)
+                q2 = (q + 1) % n;
+            c.cx(q, q2);
+            break;
+          }
+        }
+    }
+    Statevector sv(n);
+    sv.run(c, {});
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+
+    // Pauli expectations stay within [-1, 1].
+    PauliString p(n);
+    for (int q = 0; q < n; ++q)
+        p.setOp(q, static_cast<PauliOp>(rng.uniformInt(4)));
+    const double e = sv.expectationPauli(p);
+    EXPECT_LE(e, 1.0 + 1e-10);
+    EXPECT_GE(e, -1.0 - 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCircuits, UnitarityProperty,
+                         ::testing::Range(0, 15));
+
+} // namespace
+} // namespace varsaw

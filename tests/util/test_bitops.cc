@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit and property tests for bit-string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(BitOps, Popcount)
+{
+    EXPECT_EQ(popcount(0), 0);
+    EXPECT_EQ(popcount(1), 1);
+    EXPECT_EQ(popcount(0b1011), 3);
+    EXPECT_EQ(popcount(~0ull), 64);
+}
+
+TEST(BitOps, ParityAndSign)
+{
+    EXPECT_EQ(parity(0), 0);
+    EXPECT_EQ(parity(0b11), 0);
+    EXPECT_EQ(parity(0b111), 1);
+    EXPECT_EQ(paritySign(0), 1);
+    EXPECT_EQ(paritySign(0b1), -1);
+    EXPECT_EQ(paritySign(0b101), 1);
+}
+
+TEST(BitOps, GatherBitsBasic)
+{
+    // value 0b1010: bit1=1, bit3=1.
+    EXPECT_EQ(gatherBits(0b1010, {1, 3}), 0b11u);
+    EXPECT_EQ(gatherBits(0b1010, {0, 2}), 0b00u);
+    EXPECT_EQ(gatherBits(0b1010, {3, 1}), 0b11u);
+    EXPECT_EQ(gatherBits(0b0010, {3, 1}), 0b10u);
+}
+
+TEST(BitOps, ScatterBitsBasic)
+{
+    EXPECT_EQ(scatterBits(0b11, {1, 3}), 0b1010u);
+    EXPECT_EQ(scatterBits(0b10, {3, 1}), 0b0010u);
+    EXPECT_EQ(scatterBits(0b01, {5}), 0b100000u);
+}
+
+TEST(BitOps, GatherScatterRoundTrip)
+{
+    Rng rng(99);
+    const std::vector<int> positions = {0, 2, 5, 9, 17};
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint64_t compact = rng.uniformInt(1ull << 5);
+        EXPECT_EQ(gatherBits(scatterBits(compact, positions),
+                             positions),
+                  compact);
+    }
+}
+
+TEST(BitOps, ScatterGatherProjects)
+{
+    Rng rng(101);
+    const std::vector<int> positions = {1, 3, 4};
+    const std::uint64_t mask = positionsMask(positions);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::uint64_t value = rng.uniformInt(1ull << 6);
+        EXPECT_EQ(scatterBits(gatherBits(value, positions), positions),
+                  value & mask);
+    }
+}
+
+TEST(BitOps, PositionsMask)
+{
+    EXPECT_EQ(positionsMask({}), 0u);
+    EXPECT_EQ(positionsMask({0}), 1u);
+    EXPECT_EQ(positionsMask({0, 3, 5}), 0b101001u);
+}
+
+TEST(BitOps, BitsToStringQubitZeroLeftmost)
+{
+    EXPECT_EQ(bitsToString(0b001, 3), "100");
+    EXPECT_EQ(bitsToString(0b100, 3), "001");
+    EXPECT_EQ(bitsToString(0, 4), "0000");
+    EXPECT_EQ(bitsToString(0b1111, 4), "1111");
+}
+
+} // namespace
+} // namespace varsaw

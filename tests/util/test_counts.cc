@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Unit tests for measurement-count histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/counts.hh"
+#include "util/pmf.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(Counts, StartsEmpty)
+{
+    Counts counts(3);
+    EXPECT_EQ(counts.numBits(), 3);
+    EXPECT_EQ(counts.totalShots(), 0u);
+    EXPECT_EQ(counts.numOutcomes(), 0u);
+}
+
+TEST(Counts, AddAccumulates)
+{
+    Counts counts(2);
+    counts.add(0b01);
+    counts.add(0b01, 4);
+    counts.add(0b10);
+    EXPECT_EQ(counts.count(0b01), 5u);
+    EXPECT_EQ(counts.count(0b10), 1u);
+    EXPECT_EQ(counts.count(0b11), 0u);
+    EXPECT_EQ(counts.totalShots(), 6u);
+    EXPECT_EQ(counts.numOutcomes(), 2u);
+}
+
+TEST(Counts, MergeCombinesHistograms)
+{
+    Counts a(2), b(2);
+    a.add(0, 3);
+    a.add(1, 1);
+    b.add(1, 2);
+    b.add(2, 5);
+    a.merge(b);
+    EXPECT_EQ(a.count(0), 3u);
+    EXPECT_EQ(a.count(1), 3u);
+    EXPECT_EQ(a.count(2), 5u);
+    EXPECT_EQ(a.totalShots(), 11u);
+}
+
+TEST(Counts, ToPmfNormalizes)
+{
+    Counts counts(2);
+    counts.add(0, 30);
+    counts.add(3, 10);
+    Pmf pmf = counts.toPmf();
+    EXPECT_EQ(pmf.numBits(), 2);
+    EXPECT_NEAR(pmf.prob(0), 0.75, 1e-12);
+    EXPECT_NEAR(pmf.prob(3), 0.25, 1e-12);
+    EXPECT_NEAR(pmf.totalMass(), 1.0, 1e-12);
+}
+
+TEST(Counts, ToPmfEmptyIsEmpty)
+{
+    Counts counts(2);
+    Pmf pmf = counts.toPmf();
+    EXPECT_EQ(pmf.supportSize(), 0u);
+}
+
+} // namespace
+} // namespace varsaw

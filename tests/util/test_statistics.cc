@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/statistics.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(Statistics, MeanBasic)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({-1, 1}), 0.0);
+}
+
+TEST(Statistics, StddevBasic)
+{
+    EXPECT_DOUBLE_EQ(stddev({5, 5, 5}), 0.0);
+    EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(stddev({1}), 0.0);
+}
+
+TEST(Statistics, MedianOddEven)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Statistics, GeometricMean)
+{
+    EXPECT_NEAR(geometricMean({1, 100}), 10.0, 1e-9);
+    EXPECT_NEAR(geometricMean({2, 8}), 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(geometricMean({1, -1}), 0.0);
+}
+
+TEST(Statistics, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3, -2, 7}), -2.0);
+    EXPECT_DOUBLE_EQ(maxOf({3, -2, 7}), 7.0);
+}
+
+TEST(Statistics, FitLineExact)
+{
+    // y = 2x + 1.
+    LineFit fit = fitLine({0, 1, 2, 3}, {1, 3, 5, 7});
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Statistics, FitPowerLawRecoversExponent)
+{
+    // y = 3 x^4.
+    std::vector<double> xs = {2, 4, 8, 16, 32};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(3.0 * std::pow(x, 4.0));
+    LineFit fit = fitPowerLaw(xs, ys);
+    EXPECT_NEAR(fit.slope, 4.0, 1e-9);
+    EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(Statistics, EwmaFirstObservationDominates)
+{
+    Ewma ewma(0.1);
+    EXPECT_FALSE(ewma.initialized());
+    EXPECT_DOUBLE_EQ(ewma.update(5.0), 5.0);
+    EXPECT_TRUE(ewma.initialized());
+}
+
+TEST(Statistics, EwmaConvergesToConstant)
+{
+    Ewma ewma(0.3);
+    for (int i = 0; i < 100; ++i)
+        ewma.update(2.0);
+    EXPECT_NEAR(ewma.value(), 2.0, 1e-9);
+}
+
+TEST(Statistics, EwmaWeightsRecentObservations)
+{
+    Ewma ewma(0.5);
+    ewma.update(0.0);
+    ewma.update(10.0);
+    EXPECT_DOUBLE_EQ(ewma.value(), 5.0);
+}
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Unit tests for the table and CSV writers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hh"
+#include "util/table.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(TablePrinter, RendersHeaderAndRows)
+{
+    TablePrinter table("Demo");
+    table.setHeader({"Workload", "Value"});
+    table.addRow({"CH4-6", "1.25"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("Demo"), std::string::npos);
+    EXPECT_NE(out.find("Workload"), std::string::npos);
+    EXPECT_NE(out.find("CH4-6"), std::string::npos);
+    EXPECT_NE(out.find("1.25"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter table("");
+    table.setHeader({"A", "B"});
+    table.addRow({"long-cell-content", "x"});
+    const std::string out = table.render();
+    // Every data/header line must have the same length.
+    std::istringstream stream(out);
+    std::string line;
+    std::size_t expected = 0;
+    while (std::getline(stream, line)) {
+        if (expected == 0)
+            expected = line.size();
+        EXPECT_EQ(line.size(), expected);
+    }
+}
+
+TEST(TablePrinter, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(static_cast<long long>(42)), "42");
+    EXPECT_EQ(TablePrinter::ratio(25.04, 1), "25.0x");
+    EXPECT_EQ(TablePrinter::percent(0.4512, 1), "45.1%");
+}
+
+TEST(CsvWriter, WritesAndEscapes)
+{
+    const std::string path = "/tmp/varsaw_test_csv.csv";
+    {
+        CsvWriter csv(path);
+        ASSERT_TRUE(csv.ok());
+        csv.writeRow({"a", "with,comma", "with\"quote"});
+        csv.writeNumericRow({1.5, 2.0});
+    }
+    std::ifstream in(path);
+    std::string line1, line2;
+    std::getline(in, line1);
+    std::getline(in, line2);
+    EXPECT_EQ(line1, "a,\"with,comma\",\"with\"\"quote\"");
+    EXPECT_EQ(line2, "1.5,2");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, BadPathIsNonFatal)
+{
+    CsvWriter csv("/nonexistent-dir/out.csv");
+    EXPECT_FALSE(csv.ok());
+    csv.writeRow({"dropped"});
+}
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the EfficientSU2 ansatz builder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vqa/ansatz.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(Ansatz, ParameterCountFormula)
+{
+    // numParams = 2 * Q * (reps + 1).
+    for (int q : {2, 4, 6}) {
+        for (int p : {1, 2, 4, 8}) {
+            AnsatzConfig config;
+            config.numQubits = q;
+            config.reps = p;
+            EfficientSU2 ansatz(config);
+            EXPECT_EQ(ansatz.numParams(), 2 * q * (p + 1))
+                << "q=" << q << " p=" << p;
+        }
+    }
+}
+
+TEST(Ansatz, FullEntanglementPairCount)
+{
+    const auto pairs =
+        EfficientSU2::entanglementPairs(5, Entanglement::Full);
+    EXPECT_EQ(pairs.size(), 10u); // C(5,2)
+}
+
+TEST(Ansatz, LinearEntanglementIsChain)
+{
+    const auto pairs =
+        EfficientSU2::entanglementPairs(4, Entanglement::Linear);
+    ASSERT_EQ(pairs.size(), 3u);
+    EXPECT_EQ(pairs[0], (std::pair<int, int>{0, 1}));
+    EXPECT_EQ(pairs[2], (std::pair<int, int>{2, 3}));
+}
+
+TEST(Ansatz, CircularAddsWrapAround)
+{
+    const auto pairs =
+        EfficientSU2::entanglementPairs(4, Entanglement::Circular);
+    ASSERT_EQ(pairs.size(), 4u);
+    EXPECT_EQ(pairs.back(), (std::pair<int, int>{3, 0}));
+}
+
+TEST(Ansatz, AsymmetricConnectsAllQubits)
+{
+    const auto pairs =
+        EfficientSU2::entanglementPairs(6, Entanglement::Asymmetric);
+    // Skip-one staircase (4 pairs) + the (0,1) parity connector.
+    EXPECT_EQ(pairs.size(), 5u);
+    // Every qubit appears in at least one pair.
+    std::vector<bool> touched(6, false);
+    for (const auto &[a, b] : pairs) {
+        touched[a] = true;
+        touched[b] = true;
+    }
+    for (int q = 0; q < 6; ++q)
+        EXPECT_TRUE(touched[q]) << "qubit " << q;
+}
+
+TEST(Ansatz, CxCountScalesWithReps)
+{
+    AnsatzConfig config;
+    config.numQubits = 4;
+    config.entanglement = Entanglement::Linear;
+    config.reps = 1;
+    EfficientSU2 a1(config);
+    config.reps = 3;
+    EfficientSU2 a3(config);
+    EXPECT_EQ(a1.circuit().twoQubitGateCount(), 3);
+    EXPECT_EQ(a3.circuit().twoQubitGateCount(), 9);
+}
+
+TEST(Ansatz, RotationGateCount)
+{
+    AnsatzConfig config;
+    config.numQubits = 3;
+    config.reps = 2;
+    EfficientSU2 ansatz(config);
+    // (reps + 1) rotation layers, each 2 gates per qubit.
+    EXPECT_EQ(ansatz.circuit().oneQubitGateCount(), 3 * 2 * 3);
+}
+
+TEST(Ansatz, NoMeasurementsAttached)
+{
+    EfficientSU2 ansatz(AnsatzConfig{});
+    EXPECT_EQ(ansatz.circuit().numMeasured(), 0);
+}
+
+TEST(Ansatz, InitialParametersDeterministicAndBounded)
+{
+    EfficientSU2 ansatz(AnsatzConfig{});
+    const auto a = ansatz.initialParameters(5);
+    const auto b = ansatz.initialParameters(5);
+    const auto c = ansatz.initialParameters(6);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    for (double p : a) {
+        EXPECT_GE(p, -0.4);
+        EXPECT_LE(p, 0.4);
+    }
+}
+
+TEST(Ansatz, EntanglementNames)
+{
+    EXPECT_STREQ(entanglementName(Entanglement::Full), "full");
+    EXPECT_STREQ(entanglementName(Entanglement::Asymmetric),
+                 "asymmetric");
+}
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the QAOA ansatz and MaxCut workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chem/exact_solver.hh"
+#include "chem/maxcut.hh"
+#include "sim/statevector.hh"
+#include "vqa/estimator.hh"
+#include "vqa/optimizer.hh"
+#include "vqa/qaoa.hh"
+#include "vqa/vqe.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(MaxCut, RingGraphStructure)
+{
+    Graph g = ringGraph(5);
+    EXPECT_EQ(g.numVertices, 5);
+    EXPECT_EQ(g.edges.size(), 5u);
+}
+
+TEST(MaxCut, CompleteGraphEdgeCount)
+{
+    EXPECT_EQ(completeGraph(6).edges.size(), 15u);
+}
+
+TEST(MaxCut, RandomGraphDeterministic)
+{
+    Graph a = randomGraph(8, 0.5, 3);
+    Graph b = randomGraph(8, 0.5, 3);
+    EXPECT_EQ(a.edges.size(), b.edges.size());
+}
+
+TEST(MaxCut, CutValueByHand)
+{
+    Graph g = ringGraph(4);
+    // Alternating assignment cuts every edge.
+    EXPECT_DOUBLE_EQ(cutValue(g, 0b0101), 4.0);
+    // All-same cuts nothing.
+    EXPECT_DOUBLE_EQ(cutValue(g, 0b0000), 0.0);
+}
+
+TEST(MaxCut, BruteForceKnownValues)
+{
+    // Even ring: perfect cut. Odd ring: one frustrated edge.
+    EXPECT_DOUBLE_EQ(maxcutBruteForce(ringGraph(4)), 4.0);
+    EXPECT_DOUBLE_EQ(maxcutBruteForce(ringGraph(5)), 4.0);
+    // Complete graph K4: best cut 2x2 -> 4 edges.
+    EXPECT_DOUBLE_EQ(maxcutBruteForce(completeGraph(4)), 4.0);
+}
+
+TEST(MaxCut, HamiltonianGroundEqualsMinusMaxcut)
+{
+    for (const Graph &g : {ringGraph(4), ringGraph(5),
+                           completeGraph(4),
+                           randomGraph(5, 0.6, 11)}) {
+        Hamiltonian h = maxcutHamiltonian(g);
+        EXPECT_NEAR(groundStateEnergy(h), -maxcutBruteForce(g), 1e-8);
+    }
+}
+
+TEST(Qaoa, RejectsNonDiagonalCost)
+{
+    Hamiltonian h(2);
+    h.addTerm("XZ", 1.0);
+    EXPECT_DEATH({ QaoaAnsatz ansatz(h, 1); }, "diagonal");
+}
+
+TEST(Qaoa, ParameterCounts)
+{
+    Hamiltonian h = maxcutHamiltonian(ringGraph(4));
+    QaoaAnsatz ansatz(h, 3);
+    EXPECT_EQ(ansatz.numParams(), 6);
+    EXPECT_EQ(ansatz.numCircuitParams(),
+              3 * (static_cast<int>(h.numTerms()) + 4));
+    EXPECT_EQ(ansatz.circuit().numParams(),
+              ansatz.numCircuitParams());
+}
+
+TEST(Qaoa, ExpandParametersScalesByCoefficient)
+{
+    Hamiltonian h(2);
+    h.addTerm("ZZ", 0.5);
+    QaoaAnsatz ansatz(h, 1);
+    const auto slots = ansatz.expandParameters({0.3, 0.7});
+    // slot 0: 2 * gamma * coeff = 2 * 0.3 * 0.5 = 0.3.
+    EXPECT_NEAR(slots[0], 0.3, 1e-12);
+    // mixer slots: 2 * beta = 1.4.
+    EXPECT_NEAR(slots[1], 1.4, 1e-12);
+    EXPECT_NEAR(slots[2], 1.4, 1e-12);
+}
+
+TEST(Qaoa, ZeroAnglesGiveUniformSuperposition)
+{
+    Hamiltonian h = maxcutHamiltonian(ringGraph(4));
+    QaoaAnsatz ansatz(h, 2);
+    std::vector<double> zeros(ansatz.numParams(), 0.0);
+    Statevector sv(4);
+    sv.run(ansatz.circuit(), ansatz.expandParameters(zeros));
+    for (double p : sv.probabilities())
+        EXPECT_NEAR(p, 1.0 / 16.0, 1e-10);
+}
+
+TEST(Qaoa, SingleLayerRingAnalyticOptimum)
+{
+    // QAOA p=1 on an even ring reaches an approximation ratio of
+    // ~0.75 or better at its optimal angles; verify the optimizer
+    // finds a state whose expected cut beats random (0.5 ratio).
+    Graph g = ringGraph(4);
+    Hamiltonian h = maxcutHamiltonian(g);
+    QaoaAnsatz ansatz(h, 1);
+    ExactEstimator exact(h, ansatz.circuit());
+
+    Objective objective = [&](const std::vector<double> &gb) {
+        return exact.estimate(ansatz.expandParameters(gb));
+    };
+    Spsa::Config sc;
+    sc.seed = 5;
+    Spsa spsa(sc);
+    OptResult res =
+        spsa.minimize(objective, ansatz.initialParameters(3), 250,
+                      {});
+    const double expected_cut = -res.bestValue;
+    EXPECT_GT(expected_cut, 0.5 * maxcutBruteForce(g));
+}
+
+TEST(Qaoa, DriverIntegrationViaExpander)
+{
+    Graph g = ringGraph(4);
+    Hamiltonian h = maxcutHamiltonian(g);
+    QaoaAnsatz ansatz(h, 2);
+    ExactEstimator exact(h, ansatz.circuit());
+    Spsa spsa;
+    VqeDriver driver(exact, spsa, nullptr,
+                     [&](const std::vector<double> &gb) {
+                         return ansatz.expandParameters(gb);
+                     });
+    VqeConfig vc;
+    vc.maxIterations = 200;
+    VqeResult res = driver.run(ansatz.initialParameters(9), vc);
+    EXPECT_LT(res.bestEnergy, -2.0); // cut > 2 on the 4-ring
+    EXPECT_GE(res.bestEnergy, -4.0 - 1e-9);
+}
+
+TEST(Qaoa, HighWeightTermCompilesViaCxLadder)
+{
+    // A 3-local diagonal term must still produce a valid circuit
+    // whose action is the expected phase rotation.
+    Hamiltonian h(3);
+    h.addTerm("ZZZ", 1.0);
+    QaoaAnsatz ansatz(h, 1);
+    // exp(-i g ZZZ) on |+++> with g = pi/4 gives <YXX>-type
+    // correlations; verify unitarity and phase-only diagonal action.
+    Statevector sv(3);
+    sv.run(ansatz.circuit(),
+           ansatz.expandParameters({M_PI / 4.0, 0.0}));
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-10);
+    // With beta = 0 the mixer is identity; probabilities remain
+    // uniform (diagonal phases only).
+    for (double p : sv.probabilities())
+        EXPECT_NEAR(p, 1.0 / 8.0, 1e-10);
+}
+
+} // namespace
+} // namespace varsaw

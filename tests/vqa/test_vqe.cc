@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the VQE driver (the hybrid loop of Fig. 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "chem/exact_solver.hh"
+#include "chem/spin_models.hh"
+#include "mitigation/executor.hh"
+#include "vqa/ansatz.hh"
+#include "vqa/vqe.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(VqeDriver, ExactVqeOnTfimApproachesGroundEnergy)
+{
+    Hamiltonian h = tfim(3, 1.0, 0.5);
+    EfficientSU2 ansatz(AnsatzConfig{3, 2, Entanglement::Linear});
+    ExactEstimator est(h, ansatz.circuit());
+    Spsa spsa;
+    VqeDriver driver(est, spsa);
+
+    VqeConfig config;
+    config.maxIterations = 600;
+    VqeResult res = driver.run(ansatz.initialParameters(4), config);
+
+    // Within 0.2 Ha of the exact ground energy, never below it.
+    const double e0 = groundStateEnergy(h);
+    EXPECT_LT(res.bestEnergy, e0 + 0.2);
+    EXPECT_GE(res.bestEnergy, e0 - 1e-9);
+}
+
+TEST(VqeDriver, TraceIsMonotoneInBestEnergy)
+{
+    Hamiltonian h = tfim(3, 1.0, 0.5);
+    EfficientSU2 ansatz(AnsatzConfig{3, 1, Entanglement::Linear});
+    ExactEstimator est(h, ansatz.circuit());
+    Spsa spsa;
+    VqeDriver driver(est, spsa);
+
+    VqeConfig config;
+    config.maxIterations = 100;
+    VqeResult res = driver.run(ansatz.initialParameters(5), config);
+
+    ASSERT_FALSE(res.trace.empty());
+    for (std::size_t i = 1; i < res.trace.size(); ++i)
+        EXPECT_LE(res.trace[i].bestEnergy,
+                  res.trace[i - 1].bestEnergy + 1e-12);
+}
+
+TEST(VqeDriver, CircuitBudgetStopsRun)
+{
+    Hamiltonian h = tfim(3, 1.0, 0.5);
+    EfficientSU2 ansatz(AnsatzConfig{3, 1, Entanglement::Linear});
+    IdealExecutor exec;
+    BaselineEstimator est(h, ansatz.circuit(), exec, 256);
+    Spsa spsa;
+    VqeDriver driver(est, spsa, &exec);
+
+    VqeConfig config;
+    config.maxIterations = 10000;
+    config.circuitBudget = 100;
+    VqeResult res = driver.run(ansatz.initialParameters(6), config);
+
+    EXPECT_LT(res.iterations, 10000);
+    EXPECT_GE(res.circuitsUsed, 100u);
+    // Budget overshoot bounded by one iteration's circuits.
+    EXPECT_LT(res.circuitsUsed, 100u + 3 * 2 + 2);
+}
+
+TEST(VqeDriver, TraceRecordsCumulativeCircuits)
+{
+    Hamiltonian h = tfim(3, 1.0, 0.5);
+    EfficientSU2 ansatz(AnsatzConfig{3, 1, Entanglement::Linear});
+    IdealExecutor exec;
+    BaselineEstimator est(h, ansatz.circuit(), exec, 64);
+    Spsa spsa;
+    VqeDriver driver(est, spsa, &exec);
+
+    VqeConfig config;
+    config.maxIterations = 20;
+    VqeResult res = driver.run(ansatz.initialParameters(7), config);
+
+    ASSERT_GE(res.trace.size(), 2u);
+    for (std::size_t i = 1; i < res.trace.size(); ++i)
+        EXPECT_GT(res.trace[i].circuits, res.trace[i - 1].circuits);
+    EXPECT_EQ(res.trace.back().circuits, res.circuitsUsed);
+}
+
+TEST(VqeDriver, NoCostSourceReportsZeroCircuits)
+{
+    Hamiltonian h = tfim(3, 1.0, 0.5);
+    EfficientSU2 ansatz(AnsatzConfig{3, 1, Entanglement::Linear});
+    ExactEstimator est(h, ansatz.circuit());
+    Spsa spsa;
+    VqeDriver driver(est, spsa);
+    VqeConfig config;
+    config.maxIterations = 5;
+    VqeResult res = driver.run(ansatz.initialParameters(8), config);
+    EXPECT_EQ(res.circuitsUsed, 0u);
+}
+
+TEST(VqeDriver, ImfilAlsoDrives)
+{
+    Hamiltonian h = tfim(3, 1.0, 0.5);
+    EfficientSU2 ansatz(AnsatzConfig{3, 1, Entanglement::Linear});
+    ExactEstimator est(h, ansatz.circuit());
+    ImplicitFiltering imfil;
+    VqeDriver driver(est, imfil);
+    VqeConfig config;
+    config.maxIterations = 120;
+    VqeResult res = driver.run(ansatz.initialParameters(9), config);
+    EXPECT_LT(res.bestEnergy, -2.0);
+}
+
+} // namespace
+} // namespace varsaw
