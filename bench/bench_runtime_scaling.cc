@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Runtime scaling: batched-execution throughput (circuits/sec) and
+ * result-cache hit rate vs worker thread count {1, 2, 4, 8} on a
+ * fig8-style TFIM workload (per-tick VarSaw batches: shared subset
+ * circuits plus one Global per reduced basis, repeated over
+ * optimizer-style parameter points with SPSA-like double probes).
+ *
+ * Expected shape: near-linear throughput scaling up to the physical
+ * core count (flat on a single-core host), identical energies at
+ * every thread count, and a cache hit rate reflecting the workload's
+ * redundancy (duplicate Z-basis Globals within a tick plus repeated
+ * probes at the same parameter point across ticks).
+ *
+ * Knobs: VARSAW_BENCH_TICKS (parameter points), VARSAW_BENCH_SHOTS.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common.hh"
+#include "chem/spin_models.hh"
+#include "mitigation/jigsaw.hh"
+#include "noise/device_model.hh"
+#include "pauli/subsetting.hh"
+#include "runtime/batch_executor.hh"
+#include "util/csv.hh"
+#include "vqa/ansatz.hh"
+
+using namespace varsaw;
+using namespace varsaw::bench;
+
+namespace {
+
+/** One VarSaw-tick batch: shared subsets + per-basis Globals. */
+Batch
+tickBatch(const SpatialPlan &plan, const Circuit &ansatz,
+          const std::vector<double> &params, std::uint64_t shots)
+{
+    Batch batch;
+    batch.reserve(plan.executedSubsets.size() +
+                  plan.bases.bases.size());
+    for (const auto &subset : plan.executedSubsets)
+        batch.add(makeSubsetCircuit(ansatz, subset), params, shots);
+    for (const auto &basis : plan.bases.bases)
+        batch.add(makeGlobalCircuit(ansatz, basis), params,
+                  2 * shots);
+    return batch;
+}
+
+struct Measurement
+{
+    int threads = 0;
+    double seconds = 0.0;
+    std::uint64_t circuitsSubmitted = 0;
+    std::uint64_t circuitsExecuted = 0;
+    double hitRate = 0.0;
+    double checksum = 0.0; //!< sum over all result PMFs, for identity
+};
+
+Measurement
+measure(int threads, const SpatialPlan &plan, const Circuit &ansatz,
+        const std::vector<std::vector<double>> &points,
+        std::uint64_t shots, const DeviceModel &device)
+{
+    NoisyExecutor exec(device, GateNoiseMode::AnalyticDepolarizing,
+                       1234);
+    RuntimeConfig config;
+    config.threads = threads;
+    config.cacheResults = true;
+    BatchExecutor runtime(exec, config);
+
+    Measurement m;
+    m.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto &params : points) {
+        // SPSA-style double probe: the second evaluation at the same
+        // point is pure temporal redundancy for the cache.
+        for (int probe = 0; probe < 2; ++probe) {
+            const auto results =
+                runtime.run(tickBatch(plan, ansatz, params, shots));
+            for (const auto &pmf : results)
+                m.checksum += pmf.prob(0);
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    m.seconds =
+        std::chrono::duration<double>(stop - start).count();
+    m.circuitsSubmitted = runtime.jobsSubmitted();
+    m.circuitsExecuted = exec.circuitsExecuted();
+    m.hitRate = runtime.cacheStats().hitRate();
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Runtime scaling - batched execution throughput",
+           "near-linear circuits/sec scaling up to the physical core "
+           "count; identical results at every thread count");
+
+    const int qubits = 8;
+    const Hamiltonian h = tfim(qubits, 1.0, 0.7);
+    EfficientSU2 ansatz(
+        AnsatzConfig{qubits, 2, Entanglement::Linear});
+    const SpatialPlan plan = buildSpatialPlan(h, 2);
+    const DeviceModel device = DeviceModel::uniform(
+        qubits, 0.02, 0.05, 0.02, 1e-4, 1e-3);
+
+    const int ticks =
+        static_cast<int>(envInt("VARSAW_BENCH_TICKS", 24));
+    const auto shots = static_cast<std::uint64_t>(
+        envInt("VARSAW_BENCH_SHOTS", 2048));
+
+    // Optimizer-style trajectory of parameter points.
+    Rng rng(7);
+    std::vector<std::vector<double>> points;
+    std::vector<double> params = ansatz.initialParameters(7);
+    for (int t = 0; t < ticks; ++t) {
+        for (auto &p : params)
+            p += rng.normal(0.0, 0.05);
+        points.push_back(params);
+    }
+
+    std::printf("hardware threads available: %u\n\n",
+                std::thread::hardware_concurrency());
+
+    TablePrinter table(
+        "Throughput and cache hit rate vs worker threads");
+    table.setHeader({"Threads", "Circuits", "Executed", "Seconds",
+                     "Circuits/sec", "Speedup", "Cache hits"});
+    CsvWriter csv("bench_runtime_scaling.csv");
+    csv.writeRow({"threads", "circuits_submitted",
+                  "circuits_executed", "seconds", "circuits_per_sec",
+                  "speedup", "cache_hit_rate"});
+
+    double serial_rate = 0.0;
+    double serial_checksum = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+        const Measurement m =
+            measure(threads, plan, ansatz.circuit(), points, shots,
+                    device);
+        const double rate = m.seconds > 0.0
+            ? static_cast<double>(m.circuitsSubmitted) / m.seconds
+            : 0.0;
+        if (threads == 1) {
+            serial_rate = rate;
+            serial_checksum = m.checksum;
+        } else if (m.checksum != serial_checksum) {
+            std::printf("WARNING: results at %d threads differ from "
+                        "serial!\n",
+                        threads);
+        }
+        table.addRow(
+            {TablePrinter::num(static_cast<long long>(threads)),
+             TablePrinter::num(
+                 static_cast<long long>(m.circuitsSubmitted)),
+             TablePrinter::num(
+                 static_cast<long long>(m.circuitsExecuted)),
+             TablePrinter::num(m.seconds, 3),
+             TablePrinter::num(rate, 1),
+             TablePrinter::ratio(
+                 serial_rate > 0.0 ? rate / serial_rate : 1.0),
+             TablePrinter::percent(m.hitRate)});
+        csv.writeNumericRow(
+            {static_cast<double>(threads),
+             static_cast<double>(m.circuitsSubmitted),
+             static_cast<double>(m.circuitsExecuted), m.seconds,
+             rate, serial_rate > 0.0 ? rate / serial_rate : 1.0,
+             m.hitRate});
+    }
+    table.print();
+    return 0;
+}

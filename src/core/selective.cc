@@ -64,7 +64,8 @@ SelectiveVarsawEstimator::SelectiveVarsawEstimator(
                                                 executor, config);
     if (light_.numTerms() > 0)
         baseline_ = std::make_unique<BaselineEstimator>(
-            light_, ansatz, executor, light_shots);
+            light_, ansatz, executor, light_shots, BasisMode::Cover,
+            ShotAllocation::Uniform, config.runtime);
 }
 
 double

@@ -9,8 +9,8 @@ VarsawEstimator::VarsawEstimator(const Hamiltonian &hamiltonian,
                                  const Circuit &ansatz,
                                  Executor &executor,
                                  const VarsawConfig &config)
-    : hamiltonian_(hamiltonian), ansatz_(ansatz), executor_(executor),
-      config_(config),
+    : hamiltonian_(hamiltonian), ansatz_(ansatz),
+      runtime_(executor, config.runtime), config_(config),
       plan_(buildSpatialPlan(hamiltonian, config.subsetSize,
                              config.basisMode)),
       scheduler_(config.temporal)
@@ -56,14 +56,14 @@ VarsawEstimator::onIterationBoundary()
 std::vector<std::vector<LocalPmf>>
 VarsawEstimator::collectLocals(const std::vector<double> &params)
 {
-    // Execute each reduced subset exactly once this tick.
-    std::vector<Pmf> subset_pmfs;
-    subset_pmfs.reserve(plan_.executedSubsets.size());
-    for (const auto &subset : plan_.executedSubsets) {
-        Circuit c = makeSubsetCircuit(ansatz_, subset);
-        subset_pmfs.push_back(
-            executor_.execute(c, params, config_.subsetShots));
-    }
+    // Execute each reduced subset exactly once this tick, as one
+    // parallel batch.
+    Batch batch;
+    batch.reserve(plan_.executedSubsets.size());
+    for (const auto &subset : plan_.executedSubsets)
+        batch.add(makeSubsetCircuit(ansatz_, subset), params,
+                  config_.subsetShots);
+    const std::vector<Pmf> subset_pmfs = runtime_.run(batch);
 
     // Answer every basis window from the shared results.
     std::vector<std::vector<LocalPmf>> locals(
@@ -97,15 +97,15 @@ VarsawEstimator::reconstructAll(
 std::vector<Pmf>
 VarsawEstimator::runGlobals(const std::vector<double> &params)
 {
-    std::vector<Pmf> globals;
-    globals.reserve(plan_.bases.bases.size());
-    for (const auto &basis : plan_.bases.bases) {
-        Circuit c = makeGlobalCircuit(ansatz_, basis);
-        Pmf pmf = executor_.execute(c, params, config_.globalShots);
-        if (config_.mbm)
+    Batch batch;
+    batch.reserve(plan_.bases.bases.size());
+    for (const auto &basis : plan_.bases.bases)
+        batch.add(makeGlobalCircuit(ansatz_, basis), params,
+                  config_.globalShots);
+    std::vector<Pmf> globals = runtime_.run(batch);
+    if (config_.mbm)
+        for (auto &pmf : globals)
             pmf = config_.mbm->apply(pmf);
-        globals.push_back(std::move(pmf));
-    }
     return globals;
 }
 

@@ -28,6 +28,7 @@
 #include "mitigation/executor.hh"
 #include "mitigation/mbm.hh"
 #include "pauli/hamiltonian.hh"
+#include "runtime/batch_executor.hh"
 #include "sim/circuit.hh"
 #include "vqa/estimator.hh"
 
@@ -60,6 +61,9 @@ struct VarsawConfig
      * unset.
      */
     std::optional<MbmCalibration> mbm;
+
+    /** Batch runtime tunables (threads, result cache). */
+    RuntimeConfig runtime;
 };
 
 /** The VarSaw estimator (the paper's proposed system). */
@@ -104,6 +108,10 @@ class VarsawEstimator : public EnergyEstimator
     /** Reset temporal state (stale chain + scheduler + counters). */
     void resetTemporalState();
 
+    /** The batch runtime circuits are submitted through. */
+    BatchExecutor &runtime() { return runtime_; }
+    const BatchExecutor &runtime() const { return runtime_; }
+
   private:
     /** Build per-basis LocalPmfs from this tick's subset runs. */
     std::vector<std::vector<LocalPmf>>
@@ -123,7 +131,7 @@ class VarsawEstimator : public EnergyEstimator
 
     const Hamiltonian &hamiltonian_;
     const Circuit &ansatz_;
-    Executor &executor_;
+    BatchExecutor runtime_;
     VarsawConfig config_;
     SpatialPlan plan_;
     GlobalScheduler scheduler_;

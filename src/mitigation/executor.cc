@@ -8,6 +8,10 @@
 
 namespace varsaw {
 
+Executor::Executor(std::uint64_t seed) : seed_(seed), rng_(seed)
+{
+}
+
 Pmf
 Executor::execute(const Circuit &circuit,
                   const std::vector<double> &params,
@@ -15,26 +19,39 @@ Executor::execute(const Circuit &circuit,
 {
     if (circuit.numMeasured() == 0)
         panic("Executor::execute: circuit has no measurements");
-    ++circuits_;
-    shots_ += shots;
-    return executeImpl(circuit, params, shots);
+    circuits_.fetch_add(1, std::memory_order_relaxed);
+    shots_.fetch_add(shots, std::memory_order_relaxed);
+    return executeImpl(circuit, params, shots, rng_);
+}
+
+Pmf
+Executor::executeJob(const Circuit &circuit,
+                     const std::vector<double> &params,
+                     std::uint64_t shots, std::uint64_t stream)
+{
+    if (circuit.numMeasured() == 0)
+        panic("Executor::executeJob: circuit has no measurements");
+    circuits_.fetch_add(1, std::memory_order_relaxed);
+    shots_.fetch_add(shots, std::memory_order_relaxed);
+    Rng rng = Rng::forStream(seed_, stream);
+    return executeImpl(circuit, params, shots, rng);
 }
 
 void
 Executor::resetCounters()
 {
-    circuits_ = 0;
-    shots_ = 0;
+    circuits_.store(0, std::memory_order_relaxed);
+    shots_.store(0, std::memory_order_relaxed);
 }
 
-IdealExecutor::IdealExecutor(std::uint64_t seed) : rng_(seed)
+IdealExecutor::IdealExecutor(std::uint64_t seed) : Executor(seed)
 {
 }
 
 Pmf
 IdealExecutor::executeImpl(const Circuit &circuit,
                            const std::vector<double> &params,
-                           std::uint64_t shots)
+                           std::uint64_t shots, Rng &rng)
 {
     Statevector sv(circuit.numQubits());
     sv.run(circuit, params);
@@ -42,13 +59,13 @@ IdealExecutor::executeImpl(const Circuit &circuit,
     Pmf exact = Pmf::fromDense(circuit.numMeasured(), probs, 1e-14);
     if (shots == 0)
         return exact;
-    Pmf sampled = exact.sample(rng_, shots).toPmf();
+    Pmf sampled = exact.sample(rng, shots).toPmf();
     return sampled;
 }
 
 NoisyExecutor::NoisyExecutor(DeviceModel device, GateNoiseMode mode,
                              std::uint64_t seed, int trajectories)
-    : device_(std::move(device)), mode_(mode), rng_(seed),
+    : Executor(seed), device_(std::move(device)), mode_(mode),
       trajectories_(trajectories)
 {
     if (trajectories_ < 1)
@@ -85,7 +102,8 @@ NoisyExecutor::noisyMarginal(const Circuit &circuit,
 
 std::vector<double>
 NoisyExecutor::trajectoryMarginal(const Circuit &circuit,
-                                  const std::vector<double> &params)
+                                  const std::vector<double> &params,
+                                  Rng &rng)
 {
     const auto &measured = circuit.measuredQubits();
     std::vector<double> acc(1ull << measured.size(), 0.0);
@@ -103,9 +121,9 @@ NoisyExecutor::trajectoryMarginal(const Circuit &circuit,
             // This is exactly the channel DensityMatrixExecutor
             // applies, so the two backends agree in the limit.
             auto kick = [&](int q) {
-                if (!rng_.bernoulli(err))
+                if (!rng.bernoulli(err))
                     return;
-                switch (rng_.uniformInt(3)) {
+                switch (rng.uniformInt(3)) {
                   case 0:
                     sv.apply1Q(q, gates::fixedMatrix(GateKind::X));
                     break;
@@ -134,7 +152,7 @@ NoisyExecutor::trajectoryMarginal(const Circuit &circuit,
 Pmf
 NoisyExecutor::executeImpl(const Circuit &circuit,
                            const std::vector<double> &params,
-                           std::uint64_t shots)
+                           std::uint64_t shots, Rng &rng)
 {
     if (circuit.numQubits() > device_.numQubits())
         fatal("NoisyExecutor: circuit is wider than device '" +
@@ -142,7 +160,7 @@ NoisyExecutor::executeImpl(const Circuit &circuit,
 
     std::vector<double> probs =
         mode_ == GateNoiseMode::PauliTrajectories
-            ? trajectoryMarginal(circuit, params)
+            ? trajectoryMarginal(circuit, params, rng)
             : noisyMarginal(circuit, params);
 
     // Readout error: subsets (partial measurement) are mapped onto
@@ -158,7 +176,7 @@ NoisyExecutor::executeImpl(const Circuit &circuit,
     Pmf noisy = Pmf::fromDense(m, probs, 1e-14);
     if (shots == 0)
         return noisy;
-    return noisy.sample(rng_, shots).toPmf();
+    return noisy.sample(rng, shots).toPmf();
 }
 
 DensityMatrixExecutor::DensityMatrixExecutor(DeviceModel device,

@@ -12,6 +12,7 @@
 #ifndef VARSAW_MITIGATION_EXECUTOR_HH
 #define VARSAW_MITIGATION_EXECUTOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -26,8 +27,18 @@ namespace varsaw {
 /**
  * Abstract circuit-execution backend with cost accounting.
  *
- * Every call to execute() increments the circuit counter by one and
- * the shot counter by the requested shots, regardless of backend.
+ * Every call to execute()/executeJob() increments the circuit
+ * counter by one and the shot counter by the requested shots,
+ * regardless of backend. Counters are atomic so concurrent
+ * submissions through the batch runtime account exactly.
+ *
+ * Two entry points:
+ *  - execute() draws samples from the executor's own serial RNG
+ *    stream (the historical behaviour; not thread-safe);
+ *  - executeJob() draws from a stream derived purely from
+ *    (executor seed, stream id) and touches no mutable sampling
+ *    state, so any number of jobs may run concurrently and results
+ *    are independent of execution order.
  */
 class Executor
 {
@@ -47,24 +58,66 @@ class Executor
                 const std::vector<double> &params,
                 std::uint64_t shots);
 
+    /**
+     * Thread-safe execution with an explicit RNG stream id: samples
+     * are drawn from Rng::forStream(seed(), stream). Two calls with
+     * the same (circuit, params, shots, stream) return bit-identical
+     * results no matter which thread runs them or in what order —
+     * this is what makes batched execution reproducible.
+     */
+    Pmf executeJob(const Circuit &circuit,
+                   const std::vector<double> &params,
+                   std::uint64_t shots, std::uint64_t stream);
+
     /** Total circuits submitted since construction / reset. */
-    std::uint64_t circuitsExecuted() const { return circuits_; }
+    std::uint64_t circuitsExecuted() const
+    {
+        return circuits_.load(std::memory_order_relaxed);
+    }
 
     /** Total shots submitted since construction / reset. */
-    std::uint64_t shotsExecuted() const { return shots_; }
+    std::uint64_t shotsExecuted() const
+    {
+        return shots_.load(std::memory_order_relaxed);
+    }
 
     /** Reset the cost counters. */
     void resetCounters();
 
+    /** The base seed of this executor's sampling streams. */
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Claim a distinct stream-salt. Each BatchExecutor wrapping this
+     * backend takes one at construction and folds it into its job
+     * stream ids, so multiple runtimes over one executor draw
+     * uncorrelated samples instead of replaying each other's
+     * streams. Deterministic: salts follow construction order.
+     */
+    std::uint64_t acquireStreamSalt()
+    {
+        return streamSalts_.fetch_add(1, std::memory_order_relaxed);
+    }
+
   protected:
-    /** Backend-specific execution. */
+    /** @param seed Base seed for all sampling streams. */
+    explicit Executor(std::uint64_t seed);
+
+    /**
+     * Backend-specific execution. Must be const w.r.t. backend
+     * state apart from @p rng: executeJob() calls this concurrently
+     * from multiple threads.
+     */
     virtual Pmf executeImpl(const Circuit &circuit,
                             const std::vector<double> &params,
-                            std::uint64_t shots) = 0;
+                            std::uint64_t shots, Rng &rng) = 0;
 
   private:
-    std::uint64_t circuits_ = 0;
-    std::uint64_t shots_ = 0;
+    std::atomic<std::uint64_t> circuits_{0};
+    std::atomic<std::uint64_t> shots_{0};
+    std::atomic<std::uint64_t> streamSalts_{0};
+    std::uint64_t seed_;
+    Rng rng_; //!< serial stream backing the legacy execute() path
 };
 
 /** Noise-free backend: exact simulation plus optional sampling. */
@@ -77,10 +130,7 @@ class IdealExecutor : public Executor
   protected:
     Pmf executeImpl(const Circuit &circuit,
                     const std::vector<double> &params,
-                    std::uint64_t shots) override;
-
-  private:
-    Rng rng_;
+                    std::uint64_t shots, Rng &rng) override;
 };
 
 /**
@@ -125,7 +175,7 @@ class NoisyExecutor : public Executor
   protected:
     Pmf executeImpl(const Circuit &circuit,
                     const std::vector<double> &params,
-                    std::uint64_t shots) override;
+                    std::uint64_t shots, Rng &rng) override;
 
   protected:
     /** Exact measured-qubit distribution with gate noise folded in. */
@@ -138,11 +188,10 @@ class NoisyExecutor : public Executor
     /** Trajectory-averaged measured-qubit distribution. */
     std::vector<double>
     trajectoryMarginal(const Circuit &circuit,
-                       const std::vector<double> &params);
+                       const std::vector<double> &params, Rng &rng);
 
     DeviceModel device_;
     GateNoiseMode mode_;
-    Rng rng_;
     int trajectories_;
     bool bestMapping_ = true;
 };

@@ -41,29 +41,57 @@ runSubset(Executor &executor, const Circuit &prepared,
     return local;
 }
 
+JigsawCircuitSet
+makeJigsawCircuits(const Circuit &prepared, const PauliString &basis,
+                   int subset_size)
+{
+    JigsawCircuitSet set;
+    set.windows = windowSubsets(basis, subset_size);
+    set.subsetCircuits.reserve(set.windows.size());
+    for (const auto &w : set.windows)
+        set.subsetCircuits.push_back(makeSubsetCircuit(prepared, w));
+    set.globalCircuit = makeGlobalCircuit(prepared, basis);
+    return set;
+}
+
+Pmf
+reconstructJigsaw(const JigsawCircuitSet &set,
+                  const std::vector<Pmf> &subset_pmfs,
+                  const Pmf &global_pmf, int reconstruction_passes)
+{
+    if (subset_pmfs.size() != set.windows.size())
+        panic("reconstructJigsaw: subset PMF count != window count");
+    std::vector<LocalPmf> locals;
+    locals.reserve(set.windows.size());
+    for (std::size_t w = 0; w < set.windows.size(); ++w) {
+        LocalPmf local;
+        local.positions = set.windows[w].support();
+        local.pmf = subset_pmfs[w];
+        locals.push_back(std::move(local));
+    }
+    return bayesianReconstruct(global_pmf, locals,
+                               reconstruction_passes);
+}
+
 Pmf
 jigsawMitigate(Executor &executor, const Circuit &prepared,
                const std::vector<double> &params,
                const PauliString &basis, const JigsawConfig &config)
 {
-    // Step 1: CPMs from the basis's sliding windows.
-    const auto windows = windowSubsets(basis, config.subsetSize);
-
-    // Step 2: execute subsets and the Global.
-    std::vector<LocalPmf> locals;
-    locals.reserve(windows.size());
-    for (const auto &w : windows)
-        locals.push_back(
-            runSubset(executor, prepared, params, w,
-                      config.subsetShots));
-
-    Circuit global = makeGlobalCircuit(prepared, basis);
-    Pmf global_pmf =
-        executor.execute(global, params, config.globalShots);
+    // Steps 1-2: build and execute the CPMs, then the Global.
+    JigsawCircuitSet set =
+        makeJigsawCircuits(prepared, basis, config.subsetSize);
+    std::vector<Pmf> subset_pmfs;
+    subset_pmfs.reserve(set.subsetCircuits.size());
+    for (const auto &c : set.subsetCircuits)
+        subset_pmfs.push_back(
+            executor.execute(c, params, config.subsetShots));
+    Pmf global_pmf = executor.execute(set.globalCircuit, params,
+                                      config.globalShots);
 
     // Step 3: Bayesian reconstruction.
-    return bayesianReconstruct(global_pmf, locals,
-                               config.reconstructionPasses);
+    return reconstructJigsaw(set, subset_pmfs, global_pmf,
+                             config.reconstructionPasses);
 }
 
 } // namespace varsaw

@@ -66,6 +66,38 @@ LocalPmf runSubset(Executor &executor, const Circuit &prepared,
                    const PauliString &subset, std::uint64_t shots);
 
 /**
+ * The circuits one JigSaw mitigation needs, separated from their
+ * execution so a batch runtime can run them (alongside the circuit
+ * sets of every other basis) in parallel.
+ */
+struct JigsawCircuitSet
+{
+    /** Sliding-window subsets of the basis. */
+    std::vector<PauliString> windows;
+
+    /** CPM circuits, aligned with windows. */
+    std::vector<Circuit> subsetCircuits;
+
+    /** The fully-measured Global circuit. */
+    Circuit globalCircuit;
+};
+
+/** Build the CPM + Global circuits for one (prepared, basis) pair. */
+JigsawCircuitSet makeJigsawCircuits(const Circuit &prepared,
+                                    const PauliString &basis,
+                                    int subset_size);
+
+/**
+ * Reconstruction half of the pipeline: fuse already-executed subset
+ * PMFs (aligned with @p set.windows) and the Global PMF into the
+ * Output PMF.
+ */
+Pmf reconstructJigsaw(const JigsawCircuitSet &set,
+                      const std::vector<Pmf> &subset_pmfs,
+                      const Pmf &global_pmf,
+                      int reconstruction_passes);
+
+/**
  * Full JigSaw mitigation of one (prepared circuit, basis) pair:
  * run Global + all sliding-window CPMs through @p executor and
  * return the reconstructed Output PMF over all qubits.

@@ -1,0 +1,197 @@
+#include "runtime/batch_executor.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+
+BatchExecutor::BatchExecutor(Executor &backend, RuntimeConfig config)
+    : backend_(backend), config_(config),
+      cache_(config.cacheMaxEntries),
+      streamSalt_(backend.acquireStreamSalt())
+{
+    if (config_.threads < 1)
+        panic("BatchExecutor: thread count must be >= 1");
+}
+
+void
+BatchExecutor::ensurePool()
+{
+    if (config_.threads <= 1)
+        return;
+    std::lock_guard<std::mutex> lock(poolMutex_);
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(config_.threads);
+}
+
+Pmf
+BatchExecutor::executeCached(const CircuitJob &job,
+                             const JobKey &key, std::uint64_t stream,
+                             std::uint64_t epoch)
+{
+    // Epoch checks and cache access are atomic under the primaries
+    // lock (clears bump the epoch under the same lock). A job whose
+    // epoch rolled between submission and execution runs uncached:
+    // its lookup could otherwise hit a NEW epoch's insert of the
+    // same key (skipping an execution the serial order performs),
+    // and its insert would plant a stale result in the cleared
+    // cache — either would make results or counters depend on
+    // worker timing. Within an epoch a primary's lookup always
+    // misses (the primaries map gates execution), so the lookup
+    // only records the miss statistic.
+    if (config_.cacheResults) {
+        std::lock_guard<std::mutex> lock(primariesMutex_);
+        if (epoch == cacheEpoch_.load(std::memory_order_relaxed)) {
+            if (auto hit = cache_.lookup(key))
+                return std::move(*hit);
+        }
+    }
+    Pmf result = backend_.executeJob(job.circuit, job.params,
+                                     job.shots, stream);
+    if (config_.cacheResults) {
+        std::lock_guard<std::mutex> lock(primariesMutex_);
+        // Within the integrated path duplicates are answered from
+        // the primaries map's futures, so these entries are the
+        // persistent, inspectable record of computed results (and
+        // the store standalone ResultCache users read from) rather
+        // than the hot dedupe path.
+        if (epoch == cacheEpoch_.load(std::memory_order_relaxed))
+            cache_.insert(key, result);
+    }
+    return result;
+}
+
+std::future<Pmf>
+BatchExecutor::submitOne(
+    const CircuitJob &job,
+    const std::shared_ptr<const std::vector<CircuitJob>> &owned)
+{
+    const JobKey key = makeJobKey(job);
+    const std::uint64_t index =
+        nextJobIndex_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t stream = mix64(streamSalt_, index);
+
+    // Duplicates take the primary's published result directly — a
+    // cache lookup here could cross an epoch clear and return a
+    // NEWER submission's sample instead of the primary's. The hit
+    // is credited to the statistics explicitly.
+    auto wait_for_primary =
+        [this, shots = job.shots](
+            const std::shared_future<Pmf> &primary) -> Pmf {
+        cache_.creditHit(shots);
+        return primary.get();
+    };
+
+    // Cache mode: decide under the lock — in submission order —
+    // whether this submission is the key's primary (the one that
+    // executes) or a duplicate deferred onto the primary's result.
+    // Duplicates never execute, so backend cost counters and hit
+    // statistics are exact and independent of worker timing.
+    std::shared_ptr<std::promise<Pmf>> publish;
+    std::shared_future<Pmf> primary;
+    std::uint64_t epoch = 0;
+    if (config_.cacheResults) {
+        std::lock_guard<std::mutex> lock(primariesMutex_);
+        // Bound both maps at a point that depends only on the key
+        // sequence, never on worker timing, so runs stay
+        // reproducible across thread counts and the cache never
+        // reaches its own (completion-order) FIFO eviction.
+        if (primaries_.size() >= config_.cacheMaxEntries) {
+            primaries_.clear();
+            cache_.clear();
+            cacheEpoch_.fetch_add(1, std::memory_order_release);
+        }
+        epoch = cacheEpoch_.load(std::memory_order_relaxed);
+        auto it = primaries_.find(key);
+        if (it != primaries_.end()) {
+            primary = it->second;
+        } else {
+            publish = std::make_shared<std::promise<Pmf>>();
+            primaries_.emplace(key, publish->get_future().share());
+        }
+    }
+
+    if (primary.valid()) {
+        // Duplicate: no task is enqueued at all — the deferred
+        // future runs the wait on the consumer's thread at get()
+        // time, so no pool worker ever blocks on another task.
+        return std::async(std::launch::deferred,
+                          [wait_for_primary, primary] {
+                              return wait_for_primary(primary);
+                          });
+    }
+
+    if (config_.threads <= 1) {
+        // Inline: execute on the submitting thread, no job copy.
+        std::promise<Pmf> done;
+        Pmf result = executeCached(job, key, stream, epoch);
+        if (publish)
+            publish->set_value(result);
+        done.set_value(std::move(result));
+        return done.get_future();
+    }
+
+    ensurePool();
+    // Pooled tasks reference the job through shared batch storage
+    // (one copy per submit(), not per task), so futures stay valid
+    // even if the caller drops the Batch before they resolve.
+    const CircuitJob *job_ptr = &job;
+    auto task = std::make_shared<std::packaged_task<Pmf()>>(
+        [this, owned, job_ptr, key, stream, epoch, publish] {
+            Pmf result = executeCached(*job_ptr, key, stream, epoch);
+            if (publish)
+                publish->set_value(result);
+            return result;
+        });
+    std::future<Pmf> future = task->get_future();
+    pool_->enqueue([task] { (*task)(); });
+    return future;
+}
+
+std::vector<std::future<Pmf>>
+BatchExecutor::submit(const Batch &batch)
+{
+    std::vector<std::future<Pmf>> futures;
+    futures.reserve(batch.size());
+    if (config_.threads <= 1) {
+        // Inline execution completes before submit() returns; no
+        // shared copy of the batch is needed.
+        for (const CircuitJob &job : batch.jobs())
+            futures.push_back(submitOne(job, nullptr));
+        return futures;
+    }
+    auto owned = std::make_shared<const std::vector<CircuitJob>>(
+        batch.jobs());
+    for (const CircuitJob &job : *owned)
+        futures.push_back(submitOne(job, owned));
+    return futures;
+}
+
+std::vector<Pmf>
+BatchExecutor::run(const Batch &batch)
+{
+    auto futures = submit(batch);
+    std::vector<Pmf> results;
+    results.reserve(futures.size());
+    for (auto &future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+Pmf
+BatchExecutor::runOne(const Circuit &circuit,
+                      const std::vector<double> &params,
+                      std::uint64_t shots)
+{
+    if (config_.threads <= 1) {
+        CircuitJob job{circuit, params, shots};
+        return submitOne(job, nullptr).get();
+    }
+    auto owned = std::make_shared<const std::vector<CircuitJob>>(
+        std::vector<CircuitJob>{{circuit, params, shots}});
+    return submitOne(owned->front(), owned).get();
+}
+
+} // namespace varsaw

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The batched, parallel, cached execution runtime.
+ *
+ * BatchExecutor sits between the estimators and an Executor
+ * backend: estimators describe a tick's worth of circuits as a
+ * Batch; the runtime runs the jobs across a fixed thread pool,
+ * answers repeats from the ResultCache, and returns results in
+ * submission order (futures for async consumers, a plain vector for
+ * the common blocking case).
+ *
+ * Determinism: every job samples from an RNG stream derived from
+ * (backend seed, runtime salt, job index), where the index is a
+ * per-runtime sequence number assigned on the submitting thread in
+ * submission order and the salt distinguishes runtimes sharing one
+ * backend. Worker scheduling therefore cannot affect any result: a
+ * 4-thread run is bit-identical to the 1-thread run of the same
+ * submission sequence. Repeated identical submissions get fresh
+ * indices, hence fresh samples — unless the cache is on, in which
+ * case only the first submission of a key ever executes and later
+ * ones wait for (or reuse) its result, keeping results, cost
+ * counters, and hit/miss statistics all thread-count-independent.
+ */
+
+#ifndef VARSAW_RUNTIME_BATCH_EXECUTOR_HH
+#define VARSAW_RUNTIME_BATCH_EXECUTOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "mitigation/executor.hh"
+#include "runtime/job.hh"
+#include "runtime/result_cache.hh"
+#include "runtime/thread_pool.hh"
+
+namespace varsaw {
+
+/** Tunables of the execution runtime. */
+struct RuntimeConfig
+{
+    /**
+     * Worker threads. 1 (the default) runs every job inline on the
+     * submitting thread — no pool is created, and behaviour matches
+     * a plain serial loop over executeJob().
+     */
+    int threads = 1;
+
+    /** Dedupe identical submissions through the result cache. */
+    bool cacheResults = false;
+
+    /** Entry cap of the result cache. */
+    std::size_t cacheMaxEntries = 1 << 16;
+};
+
+/** Batched front-end over an Executor backend. */
+class BatchExecutor
+{
+  public:
+    /**
+     * @param backend Executor that runs (and cost-counts) jobs.
+     * @param config  Runtime tunables.
+     */
+    explicit BatchExecutor(Executor &backend,
+                           RuntimeConfig config = {});
+
+    /**
+     * Submit every job of @p batch; the returned futures are
+     * aligned with the batch's job indices. With threads == 1 the
+     * jobs run inline before this returns.
+     */
+    std::vector<std::future<Pmf>> submit(const Batch &batch);
+
+    /** Submit and wait: results aligned with the job indices. */
+    std::vector<Pmf> run(const Batch &batch);
+
+    /** Convenience: run a single job through the runtime. */
+    Pmf runOne(const Circuit &circuit,
+               const std::vector<double> &params,
+               std::uint64_t shots);
+
+    /** The wrapped backend (cost counters live there). */
+    Executor &backend() { return backend_; }
+    const Executor &backend() const { return backend_; }
+
+    /** Runtime configuration in use. */
+    const RuntimeConfig &config() const { return config_; }
+
+    /** The result cache (hit/miss statistics). */
+    const ResultCache &cache() const { return cache_; }
+    ResultCache &cache() { return cache_; }
+
+    /** Shorthand for cache().stats(). */
+    CacheStats cacheStats() const { return cache_.stats(); }
+
+    /** Jobs submitted through this runtime since construction. */
+    std::uint64_t jobsSubmitted() const
+    {
+        return nextJobIndex_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /**
+     * Submit one job. @p owned shares ownership of the job's
+     * storage with the task closures (null on the inline path,
+     * where execution finishes before this returns).
+     */
+    std::future<Pmf>
+    submitOne(const CircuitJob &job,
+              const std::shared_ptr<const std::vector<CircuitJob>>
+                  &owned);
+
+    /**
+     * Cache-aware execution of one job on stream @p stream.
+     * @p epoch is the cache epoch the job was submitted in; if the
+     * epoch has rolled (bulk clear) by the time the job runs, the
+     * job executes uncached so it can neither revive stale entries
+     * nor be answered by a newer epoch's insert of the same key.
+     */
+    Pmf executeCached(const CircuitJob &job, const JobKey &key,
+                      std::uint64_t stream, std::uint64_t epoch);
+
+    /** Create the worker pool on first parallel use. */
+    void ensurePool();
+
+    Executor &backend_;
+    RuntimeConfig config_;
+    ResultCache cache_;
+    std::mutex poolMutex_;
+    /** Salt distinguishing this runtime's streams on the backend. */
+    std::uint64_t streamSalt_;
+    /** Next job index; streams are mix64(salt, index). */
+    std::atomic<std::uint64_t> nextJobIndex_{0};
+    /**
+     * Cache mode only: the in-flight/completed result of each key's
+     * first (primary) submission. Duplicates never execute — they
+     * wait on the primary's future — so exactly one backend
+     * execution happens per key regardless of thread timing.
+     *
+     * Bounded together with the cache: when this map reaches
+     * cacheMaxEntries (a point that depends only on the submitted
+     * key sequence, never on worker timing), both are cleared, so
+     * the cache itself never overflows into its timing-sensitive
+     * FIFO eviction and runs stay reproducible across thread
+     * counts.
+     */
+    std::unordered_map<JobKey, std::shared_future<Pmf>, JobKeyHasher>
+        primaries_;
+    std::mutex primariesMutex_;
+    /** Bumped on every bulk clear; guards late old-epoch tasks. */
+    std::atomic<std::uint64_t> cacheEpoch_{0};
+    /**
+     * Declared last on purpose: ~ThreadPool drains and joins the
+     * workers first, so no in-flight task can touch the cache,
+     * primaries map, mutexes, or epoch after they are destroyed.
+     */
+    std::unique_ptr<ThreadPool> pool_; //!< created on first submit
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_RUNTIME_BATCH_EXECUTOR_HH

@@ -1,0 +1,99 @@
+#include "runtime/circuit_hash.hh"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.hh"
+
+namespace varsaw {
+
+namespace {
+
+/** Incremental 64-bit hash accumulator over words. */
+class HashStream
+{
+  public:
+    void fold(std::uint64_t word) { h_ = mix64(h_, word); }
+
+    void fold(double value)
+    {
+        // Canonicalize signed zero and NaN payloads so equal-valued
+        // doubles hash equally.
+        if (value == 0.0)
+            value = 0.0;
+        if (std::isnan(value))
+            value = std::numeric_limits<double>::quiet_NaN();
+        fold(std::bit_cast<std::uint64_t>(value));
+    }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 0x243F6A8885A308D3ull; // pi fractional bits
+};
+
+/** Quantize an angle to a 2^-32-resolution grid. */
+std::uint64_t
+quantize(double value)
+{
+    const double scaled = value * 4294967296.0; // 2^32
+    // Angles are O(1); anything outside the representable grid is
+    // hashed by its raw bits instead of being clamped together.
+    if (!std::isfinite(scaled) || std::abs(scaled) >= 9.0e18)
+        return std::bit_cast<std::uint64_t>(value);
+    return static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(std::llround(scaled)));
+}
+
+} // namespace
+
+std::uint64_t
+circuitStructuralHash(const Circuit &circuit)
+{
+    HashStream h;
+    h.fold(static_cast<std::uint64_t>(circuit.numQubits()));
+    h.fold(static_cast<std::uint64_t>(circuit.numParams()));
+    for (const auto &op : circuit.ops()) {
+        h.fold(static_cast<std::uint64_t>(op.kind));
+        h.fold(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(op.q0)));
+        h.fold(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(op.q1)));
+        h.fold(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(op.paramIndex)));
+        h.fold(op.param);
+    }
+    // Separate the ops from the measurement spec.
+    h.fold(static_cast<std::uint64_t>(0xFEEDFACEu));
+    for (int q : circuit.measuredQubits())
+        h.fold(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(q)));
+    return h.value();
+}
+
+std::uint64_t
+parameterHash(const std::vector<double> &params)
+{
+    HashStream h;
+    h.fold(static_cast<std::uint64_t>(params.size()));
+    for (double p : params)
+        h.fold(quantize(p));
+    return h.value();
+}
+
+std::size_t
+JobKeyHasher::operator()(const JobKey &key) const
+{
+    return static_cast<std::size_t>(
+        mix64(mix64(key.circuitHash, key.paramsHash), key.shots));
+}
+
+JobKey
+makeJobKey(const CircuitJob &job)
+{
+    return {circuitStructuralHash(job.circuit),
+            parameterHash(job.params), job.shots};
+}
+
+} // namespace varsaw

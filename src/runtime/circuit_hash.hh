@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Structural hashing of circuit jobs.
+ *
+ * A JobKey identifies a submission by what it computes — the
+ * circuit's structure (gates, qubits, measurement spec), the bound
+ * parameter values (quantized to a ~2.3e-10 rad grid, far below
+ * shot noise or any optimizer step this stack takes, so only
+ * physically indistinguishable angles collide), and the shot
+ * count. Two submissions
+ * with equal keys are redundant work: the ResultCache answers the
+ * later one with the earlier one's sampled result instead of
+ * re-executing.
+ *
+ * Keys are compared by (circuitHash, paramsHash, shots) without
+ * re-checking the underlying job, so an accidental collision would
+ * silently alias two jobs. Distinct jobs differing in params or
+ * shots need a joint 128-bit collision; the worst case — distinct
+ * circuits at identical params — needs a single 64-bit circuit-hash
+ * collision, i.e. ~2^32 distinct circuit structures in one cache
+ * epoch before the birthday bound bites. Workloads here submit a
+ * few thousand structures per run, so this is accepted rather than
+ * paid for with per-entry job storage.
+ */
+
+#ifndef VARSAW_RUNTIME_CIRCUIT_HASH_HH
+#define VARSAW_RUNTIME_CIRCUIT_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/job.hh"
+#include "sim/circuit.hh"
+
+namespace varsaw {
+
+/**
+ * Structural hash of a circuit: qubit count, gate sequence (kind,
+ * operands, bound angles, parameter slots) and measurement spec.
+ * Labels are ignored — they are diagnostics, not semantics.
+ */
+std::uint64_t circuitStructuralHash(const Circuit &circuit);
+
+/**
+ * Hash of a parameter vector, quantized to ~2^-32 radians per slot
+ * so that values closer than floating-point noise map to the same
+ * key while any physically distinct angles stay apart.
+ */
+std::uint64_t parameterHash(const std::vector<double> &params);
+
+/** Content identity of one job: structure + params + shots. */
+struct JobKey
+{
+    std::uint64_t circuitHash = 0;
+    std::uint64_t paramsHash = 0;
+    std::uint64_t shots = 0;
+
+    bool operator==(const JobKey &other) const
+    {
+        return circuitHash == other.circuitHash &&
+            paramsHash == other.paramsHash && shots == other.shots;
+    }
+};
+
+/** Hash functor so JobKey can key an unordered_map. */
+struct JobKeyHasher
+{
+    std::size_t operator()(const JobKey &key) const;
+};
+
+/** Compute the content key of a job. */
+JobKey makeJobKey(const CircuitJob &job);
+
+} // namespace varsaw
+
+#endif // VARSAW_RUNTIME_CIRCUIT_HASH_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Units of work for the batched execution runtime.
+ *
+ * A CircuitJob is one (circuit, parameters, shots) submission; a
+ * Batch is the ordered set of jobs one estimator tick produces.
+ * Estimators build a Batch per objective evaluation and hand it to
+ * BatchExecutor instead of looping over Executor::execute().
+ */
+
+#ifndef VARSAW_RUNTIME_JOB_HH
+#define VARSAW_RUNTIME_JOB_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/circuit.hh"
+
+namespace varsaw {
+
+/** One circuit submission. */
+struct CircuitJob
+{
+    Circuit circuit;
+    std::vector<double> params;
+    std::uint64_t shots = 0;
+};
+
+/** An ordered collection of jobs submitted together. */
+class Batch
+{
+  public:
+    Batch() = default;
+
+    /** Reserve capacity for @p n jobs. */
+    void reserve(std::size_t n) { jobs_.reserve(n); }
+
+    /**
+     * Append a job; returns its index within the batch, which is
+     * also the index of its result in the runtime's output vector.
+     */
+    std::size_t add(Circuit circuit, std::vector<double> params,
+                    std::uint64_t shots)
+    {
+        jobs_.push_back(
+            {std::move(circuit), std::move(params), shots});
+        return jobs_.size() - 1;
+    }
+
+    /** The jobs, in submission order. */
+    const std::vector<CircuitJob> &jobs() const { return jobs_; }
+
+    /** Number of jobs. */
+    std::size_t size() const { return jobs_.size(); }
+
+    /** Whether the batch holds no jobs. */
+    bool empty() const { return jobs_.empty(); }
+
+    /** Sum of the shots over all jobs. */
+    std::uint64_t totalShots() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &job : jobs_)
+            total += job.shots;
+        return total;
+    }
+
+  private:
+    std::vector<CircuitJob> jobs_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_RUNTIME_JOB_HH

@@ -1,0 +1,82 @@
+#include "runtime/result_cache.hh"
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+ResultCache::ResultCache(std::size_t max_entries)
+    : maxEntries_(max_entries)
+{
+    if (maxEntries_ == 0)
+        panic("ResultCache: max_entries must be positive");
+}
+
+std::optional<Pmf>
+ResultCache::lookup(const JobKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    ++stats_.circuitsSaved;
+    stats_.shotsSaved += key.shots;
+    return it->second;
+}
+
+void
+ResultCache::creditHit(std::uint64_t shots)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    ++stats_.circuitsSaved;
+    stats_.shotsSaved += shots;
+}
+
+void
+ResultCache::insert(const JobKey &key, const Pmf &result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!entries_.emplace(key, result).second)
+        return; // concurrent miss already stored the same result
+    insertionOrder_.push_back(key);
+    ++stats_.insertions;
+    while (entries_.size() > maxEntries_) {
+        entries_.erase(insertionOrder_.front());
+        insertionOrder_.pop_front();
+        ++stats_.evictions;
+    }
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    insertionOrder_.clear();
+}
+
+std::size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ResultCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = CacheStats{};
+}
+
+} // namespace varsaw

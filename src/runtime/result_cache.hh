@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Content-addressed cache of circuit execution results.
+ *
+ * The runtime analogue of VarSaw's spatial redundancy elimination:
+ * identical (circuit, params, shots) submissions — within a batch
+ * or across estimator ticks — execute once; later submissions are
+ * answered with the first submission's sampled result instead of
+ * drawing fresh shots. On a workload with no duplicate submissions
+ * the cache is inert (every lookup misses) and results are
+ * bit-identical to cache-off; on redundant workloads it removes
+ * quantum work, which the hit/miss statistics quantify next to the
+ * paper's circuit/shot cost counters.
+ */
+
+#ifndef VARSAW_RUNTIME_RESULT_CACHE_HH
+#define VARSAW_RUNTIME_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "runtime/circuit_hash.hh"
+#include "util/pmf.hh"
+
+namespace varsaw {
+
+/** Hit/miss and avoided-cost accounting. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+
+    /** Circuit executions avoided (== hits). */
+    std::uint64_t circuitsSaved = 0;
+
+    /** Shots avoided across all hits. */
+    std::uint64_t shotsSaved = 0;
+
+    /** hits / (hits + misses); 0 when no lookups happened. */
+    double hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/** Thread-safe FIFO-bounded result cache keyed by job content. */
+class ResultCache
+{
+  public:
+    /** @param max_entries Entry cap; oldest insertions evict first. */
+    explicit ResultCache(std::size_t max_entries = 1 << 16);
+
+    /**
+     * Look up a job key. A hit also credits the avoided circuit and
+     * key.shots to the saved-cost statistics.
+     */
+    std::optional<Pmf> lookup(const JobKey &key);
+
+    /**
+     * Record a hit that was answered outside the map (a duplicate
+     * submission deduped onto its primary's future): credits one
+     * avoided circuit and @p shots to the statistics.
+     */
+    void creditHit(std::uint64_t shots);
+
+    /** Store a result (no-op if the key is already present). */
+    void insert(const JobKey &key, const Pmf &result);
+
+    /** Drop all entries (statistics are kept). */
+    void clear();
+
+    /** Current entry count. */
+    std::size_t size() const;
+
+    /** Entry cap. */
+    std::size_t maxEntries() const { return maxEntries_; }
+
+    /** Snapshot of the statistics. */
+    CacheStats stats() const;
+
+    /** Zero the statistics (entries are kept). */
+    void resetStats();
+
+  private:
+    mutable std::mutex mutex_;
+    std::size_t maxEntries_;
+    std::unordered_map<JobKey, Pmf, JobKeyHasher> entries_;
+    std::deque<JobKey> insertionOrder_;
+    CacheStats stats_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_RUNTIME_RESULT_CACHE_HH

@@ -1,0 +1,56 @@
+#include "runtime/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 1)
+        panic("ThreadPool: thread count must be >= 1");
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    available_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+    }
+    available_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock, [this] {
+                return stopping_ || !tasks_.empty();
+            });
+            if (tasks_.empty())
+                return; // stopping and drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace varsaw

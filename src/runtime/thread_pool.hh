@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fixed-size worker pool for the batch execution runtime.
+ *
+ * Deliberately minimal: a locked deque of type-erased tasks drained
+ * by N workers. Result plumbing (futures) lives in BatchExecutor;
+ * determinism lives in the per-job RNG streams — the pool makes no
+ * ordering promises and does not need to.
+ */
+
+#ifndef VARSAW_RUNTIME_THREAD_POOL_HH
+#define VARSAW_RUNTIME_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace varsaw {
+
+/** Fixed pool of worker threads draining a shared task queue. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(int threads);
+
+    /** Drains remaining tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Queue a task for execution on some worker. */
+    void enqueue(std::function<void()> task);
+
+    /** Number of worker threads. */
+    int threadCount() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable available_;
+    bool stopping_ = false;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_RUNTIME_THREAD_POOL_HH

@@ -140,4 +140,19 @@ Rng::split()
     return Rng(next() ^ 0xA5A5A5A55A5A5A5Aull);
 }
 
+Rng
+Rng::forStream(std::uint64_t seed, std::uint64_t stream)
+{
+    return Rng(mix64(seed, stream));
+}
+
+std::uint64_t
+mix64(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a + 0x9E3779B97F4A7C15ull * (b + 1);
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
 } // namespace varsaw

@@ -64,11 +64,27 @@ class Rng
     /** Derive an independent child generator (for parallel streams). */
     Rng split();
 
+    /**
+     * Deterministic stream generator: an Rng seeded purely by
+     * (base seed, stream id), independent of any generator state.
+     * Parallel runtimes use this to give every job its own stream so
+     * results do not depend on execution order or thread count.
+     */
+    static Rng forStream(std::uint64_t seed, std::uint64_t stream);
+
   private:
     std::uint64_t s_[4];
     bool hasCachedNormal_ = false;
     double cachedNormal_ = 0.0;
 };
+
+/**
+ * Strong 64-bit mix of two words (splitmix64 finalizer over a
+ * golden-ratio combination). Used to derive stream seeds and to
+ * combine structural hashes; nearby inputs give uncorrelated
+ * outputs.
+ */
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
 
 } // namespace varsaw
 

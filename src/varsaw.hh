@@ -37,6 +37,13 @@
 #include "noise/device_model.hh"
 #include "noise/readout_error.hh"
 
+// Execution runtime
+#include "runtime/batch_executor.hh"
+#include "runtime/circuit_hash.hh"
+#include "runtime/job.hh"
+#include "runtime/result_cache.hh"
+#include "runtime/thread_pool.hh"
+
 // Mitigation substrate
 #include "mitigation/bayesian.hh"
 #include "mitigation/executor.hh"

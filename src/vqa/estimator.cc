@@ -49,9 +49,10 @@ BaselineEstimator::BaselineEstimator(const Hamiltonian &hamiltonian,
                                      Executor &executor,
                                      std::uint64_t shots,
                                      BasisMode basis_mode,
-                                     ShotAllocation allocation)
-    : hamiltonian_(hamiltonian), ansatz_(ansatz), executor_(executor),
-      shots_(shots),
+                                     ShotAllocation allocation,
+                                     const RuntimeConfig &runtime)
+    : hamiltonian_(hamiltonian), ansatz_(ansatz),
+      runtime_(executor, runtime), shots_(shots),
       reduction_(reduceBases(hamiltonian.strings(), basis_mode))
 {
     const std::size_t n = reduction_.bases.size();
@@ -82,12 +83,12 @@ BaselineEstimator::BaselineEstimator(const Hamiltonian &hamiltonian,
 double
 BaselineEstimator::estimate(const std::vector<double> &params)
 {
-    std::vector<Pmf> pmfs;
-    pmfs.reserve(reduction_.bases.size());
-    for (std::size_t b = 0; b < reduction_.bases.size(); ++b) {
-        Circuit c = makeGlobalCircuit(ansatz_, reduction_.bases[b]);
-        pmfs.push_back(executor_.execute(c, params, basisShots_[b]));
-    }
+    Batch batch;
+    batch.reserve(reduction_.bases.size());
+    for (std::size_t b = 0; b < reduction_.bases.size(); ++b)
+        batch.add(makeGlobalCircuit(ansatz_, reduction_.bases[b]),
+                  params, basisShots_[b]);
+    const std::vector<Pmf> pmfs = runtime_.run(batch);
     return energyFromBasisPmfs(hamiltonian_, reduction_, pmfs);
 }
 
@@ -95,9 +96,10 @@ JigsawEstimator::JigsawEstimator(const Hamiltonian &hamiltonian,
                                  const Circuit &ansatz,
                                  Executor &executor,
                                  const JigsawConfig &config,
-                                 BasisMode basis_mode)
-    : hamiltonian_(hamiltonian), ansatz_(ansatz), executor_(executor),
-      config_(config),
+                                 BasisMode basis_mode,
+                                 const RuntimeConfig &runtime)
+    : hamiltonian_(hamiltonian), ansatz_(ansatz),
+      runtime_(executor, runtime), config_(config),
       reduction_(reduceBases(hamiltonian.strings(), basis_mode))
 {
 }
@@ -105,11 +107,41 @@ JigsawEstimator::JigsawEstimator(const Hamiltonian &hamiltonian,
 double
 JigsawEstimator::estimate(const std::vector<double> &params)
 {
+    // One batch holds every basis's CPMs and Global so independent
+    // circuits from different bases can run concurrently.
+    std::vector<JigsawCircuitSet> sets;
+    sets.reserve(reduction_.bases.size());
+    Batch batch;
+    std::vector<std::size_t> first_subset_index;
+    std::vector<std::size_t> global_index;
+    for (const auto &basis : reduction_.bases) {
+        sets.push_back(makeJigsawCircuits(ansatz_, basis,
+                                          config_.subsetSize));
+        const JigsawCircuitSet &set = sets.back();
+        first_subset_index.push_back(batch.size());
+        for (const auto &c : set.subsetCircuits)
+            batch.add(c, params, config_.subsetShots);
+        global_index.push_back(
+            batch.add(set.globalCircuit, params,
+                      config_.globalShots));
+    }
+
+    const std::vector<Pmf> results = runtime_.run(batch);
+
     std::vector<Pmf> pmfs;
-    pmfs.reserve(reduction_.bases.size());
-    for (const auto &basis : reduction_.bases)
-        pmfs.push_back(jigsawMitigate(executor_, ansatz_, params,
-                                      basis, config_));
+    pmfs.reserve(sets.size());
+    for (std::size_t b = 0; b < sets.size(); ++b) {
+        const JigsawCircuitSet &set = sets[b];
+        std::vector<Pmf> subset_pmfs(
+            results.begin() +
+                static_cast<std::ptrdiff_t>(first_subset_index[b]),
+            results.begin() +
+                static_cast<std::ptrdiff_t>(
+                    first_subset_index[b] + set.windows.size()));
+        pmfs.push_back(reconstructJigsaw(set, subset_pmfs,
+                                         results[global_index[b]],
+                                         config_.reconstructionPasses));
+    }
     return energyFromBasisPmfs(hamiltonian_, reduction_, pmfs);
 }
 

@@ -27,6 +27,7 @@
 #include "mitigation/jigsaw.hh"
 #include "pauli/commutation.hh"
 #include "pauli/hamiltonian.hh"
+#include "runtime/batch_executor.hh"
 #include "sim/circuit.hh"
 
 namespace varsaw {
@@ -104,12 +105,14 @@ class BaselineEstimator : public EnergyEstimator
      *                    *average* per basis (total preserved).
      * @param basis_mode  Commutation reduction flavor.
      * @param allocation  Shot distribution across bases.
+     * @param runtime     Batch runtime tunables (threads, cache).
      */
     BaselineEstimator(
         const Hamiltonian &hamiltonian, const Circuit &ansatz,
         Executor &executor, std::uint64_t shots,
         BasisMode basis_mode = BasisMode::Cover,
-        ShotAllocation allocation = ShotAllocation::Uniform);
+        ShotAllocation allocation = ShotAllocation::Uniform,
+        const RuntimeConfig &runtime = {});
 
     double estimate(const std::vector<double> &params) override;
 
@@ -124,10 +127,14 @@ class BaselineEstimator : public EnergyEstimator
         return basisShots_;
     }
 
+    /** The batch runtime circuits are submitted through. */
+    BatchExecutor &runtime() { return runtime_; }
+    const BatchExecutor &runtime() const { return runtime_; }
+
   private:
     const Hamiltonian &hamiltonian_;
     const Circuit &ansatz_;
-    Executor &executor_;
+    BatchExecutor runtime_;
     std::uint64_t shots_;
     BasisReduction reduction_;
     std::vector<std::uint64_t> basisShots_;
@@ -146,11 +153,14 @@ class JigsawEstimator : public EnergyEstimator
      * @param ansatz      Parameterized preparation circuit.
      * @param executor    Backend (counts the circuit cost).
      * @param config      Subset size, shots, reconstruction passes.
+     * @param basis_mode  Commutation reduction flavor.
+     * @param runtime     Batch runtime tunables (threads, cache).
      */
     JigsawEstimator(const Hamiltonian &hamiltonian,
                     const Circuit &ansatz, Executor &executor,
                     const JigsawConfig &config,
-                    BasisMode basis_mode = BasisMode::Cover);
+                    BasisMode basis_mode = BasisMode::Cover,
+                    const RuntimeConfig &runtime = {});
 
     double estimate(const std::vector<double> &params) override;
 
@@ -159,10 +169,14 @@ class JigsawEstimator : public EnergyEstimator
     /** The cover-reduced measurement bases in use. */
     const BasisReduction &reduction() const { return reduction_; }
 
+    /** The batch runtime circuits are submitted through. */
+    BatchExecutor &runtime() { return runtime_; }
+    const BatchExecutor &runtime() const { return runtime_; }
+
   private:
     const Hamiltonian &hamiltonian_;
     const Circuit &ansatz_;
-    Executor &executor_;
+    BatchExecutor runtime_;
     JigsawConfig config_;
     BasisReduction reduction_;
 };

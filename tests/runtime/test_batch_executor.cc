@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the batched parallel execution runtime: submission-order
+ * determinism across thread counts, futures plumbing, cost
+ * accounting, and estimator integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "chem/spin_models.hh"
+#include "core/varsaw.hh"
+#include "mitigation/jigsaw.hh"
+#include "noise/device_model.hh"
+#include "pauli/subsetting.hh"
+#include "runtime/batch_executor.hh"
+#include "vqa/ansatz.hh"
+#include "vqa/estimator.hh"
+
+namespace varsaw {
+namespace {
+
+/** Exact (bitwise) equality of two PMFs. */
+void
+expectBitIdentical(const Pmf &a, const Pmf &b)
+{
+    ASSERT_EQ(a.numBits(), b.numBits());
+    ASSERT_EQ(a.raw().size(), b.raw().size());
+    for (const auto &[outcome, p] : a.raw()) {
+        auto it = b.raw().find(outcome);
+        ASSERT_NE(it, b.raw().end()) << "outcome " << outcome;
+        // Exact double equality on purpose: the runtime promises
+        // bit-identical results across thread counts.
+        EXPECT_EQ(p, it->second) << "outcome " << outcome;
+    }
+}
+
+/**
+ * A fixed-seed TFIM workload shaped like one VarSaw tick: every
+ * basis's Global plus the shared subset circuits, with shots.
+ */
+Batch
+tfimWorkload(const Hamiltonian &h, const Circuit &ansatz,
+             const std::vector<double> &params)
+{
+    Batch batch;
+    BasisReduction reduction = coverReduce(h.strings());
+    for (const auto &basis : reduction.bases)
+        batch.add(makeGlobalCircuit(ansatz, basis), params, 4096);
+    for (const auto &basis : reduction.bases) {
+        for (const auto &w : windowSubsets(basis, 2))
+            batch.add(makeSubsetCircuit(ansatz, w), params, 2048);
+    }
+    return batch;
+}
+
+TEST(BatchExecutor, ParallelBitIdenticalToSerialOnTfim)
+{
+    const Hamiltonian h = tfim(4, 1.0, 0.7);
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(17);
+    const DeviceModel device = DeviceModel::uniform(4, 0.02, 0.05);
+    const Batch batch = tfimWorkload(h, ansatz.circuit(), params);
+    ASSERT_GT(batch.size(), 4u);
+
+    NoisyExecutor serial_exec(
+        device, GateNoiseMode::AnalyticDepolarizing, 7);
+    BatchExecutor serial(serial_exec, RuntimeConfig{1, false, 64});
+    const auto serial_results = serial.run(batch);
+
+    NoisyExecutor parallel_exec(
+        device, GateNoiseMode::AnalyticDepolarizing, 7);
+    BatchExecutor parallel(parallel_exec,
+                           RuntimeConfig{4, false, 64});
+    const auto parallel_results = parallel.run(batch);
+
+    ASSERT_EQ(serial_results.size(), parallel_results.size());
+    for (std::size_t i = 0; i < serial_results.size(); ++i)
+        expectBitIdentical(serial_results[i], parallel_results[i]);
+}
+
+TEST(BatchExecutor, TrajectoryNoiseAlsoDeterministic)
+{
+    // The trajectory sampler consumes far more RNG than plain shot
+    // sampling; it must be equally order-independent.
+    const Hamiltonian h = tfim(3, 1.0, 0.5);
+    EfficientSU2 ansatz(AnsatzConfig{3, 1, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(3);
+    const DeviceModel device =
+        DeviceModel::uniform(3, 0.01, 0.02, 0.0, 1e-3, 1e-2);
+    const Batch batch = tfimWorkload(h, ansatz.circuit(), params);
+
+    NoisyExecutor a(device, GateNoiseMode::PauliTrajectories, 9, 8);
+    NoisyExecutor b(device, GateNoiseMode::PauliTrajectories, 9, 8);
+    BatchExecutor serial(a, RuntimeConfig{1, false, 64});
+    BatchExecutor parallel(b, RuntimeConfig{4, false, 64});
+
+    const auto ra = serial.run(batch);
+    const auto rb = parallel.run(batch);
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        expectBitIdentical(ra[i], rb[i]);
+}
+
+TEST(BatchExecutor, FuturesAlignWithJobIndices)
+{
+    IdealExecutor exec(1);
+    BatchExecutor runtime(exec, RuntimeConfig{2, false, 64});
+
+    // Distinguishable jobs: job i prepares |1> on qubit i of 3.
+    Batch batch;
+    for (int q = 0; q < 3; ++q) {
+        Circuit c(3);
+        c.x(q).measureAll();
+        batch.add(c, {}, 0);
+    }
+    auto futures = runtime.submit(batch);
+    ASSERT_EQ(futures.size(), 3u);
+    for (int q = 0; q < 3; ++q) {
+        Pmf pmf = futures[static_cast<std::size_t>(q)].get();
+        EXPECT_DOUBLE_EQ(pmf.prob(1ull << q), 1.0);
+    }
+}
+
+TEST(BatchExecutor, CountsCircuitsAndShotsExactly)
+{
+    IdealExecutor exec(1);
+    BatchExecutor runtime(exec, RuntimeConfig{4, false, 64});
+    Circuit c(2);
+    c.h(0).cx(0, 1).measureAll();
+
+    Batch batch;
+    for (int i = 0; i < 64; ++i)
+        batch.add(c, {}, 100 + static_cast<std::uint64_t>(i));
+    runtime.run(batch);
+
+    EXPECT_EQ(exec.circuitsExecuted(), 64u);
+    EXPECT_EQ(exec.shotsExecuted(), batch.totalShots());
+    EXPECT_EQ(runtime.jobsSubmitted(), 64u);
+}
+
+TEST(BatchExecutor, EmptyBatchIsANoop)
+{
+    IdealExecutor exec(1);
+    BatchExecutor runtime(exec);
+    EXPECT_TRUE(runtime.run(Batch{}).empty());
+    EXPECT_EQ(exec.circuitsExecuted(), 0u);
+}
+
+TEST(BatchExecutor, CacheDedupesIdenticalJobsWithinABatch)
+{
+    IdealExecutor exec(1);
+    RuntimeConfig config;
+    config.threads = 1;
+    config.cacheResults = true;
+    BatchExecutor runtime(exec, config);
+
+    Circuit c(2);
+    c.h(0).cx(0, 1).measureAll();
+    Batch batch;
+    for (int i = 0; i < 10; ++i)
+        batch.add(c, {}, 256);
+    const auto results = runtime.run(batch);
+
+    EXPECT_EQ(exec.circuitsExecuted(), 1u);
+    EXPECT_EQ(runtime.cacheStats().hits, 9u);
+    EXPECT_EQ(runtime.cacheStats().shotsSaved, 9u * 256u);
+    for (std::size_t i = 1; i < results.size(); ++i)
+        expectBitIdentical(results[0], results[i]);
+}
+
+TEST(BatchExecutor, CachedDuplicatesDeterministicUnderThreads)
+{
+    // With the cache on, only the first submission of a key ever
+    // executes — duplicates wait on its future — so results AND
+    // cost counters are identical between serial and parallel runs
+    // even when duplicates hit a cold cache.
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2).measureAll();
+    Batch batch;
+    for (int i = 0; i < 32; ++i)
+        batch.add(c, {}, 512);
+
+    IdealExecutor serial_exec(3);
+    RuntimeConfig serial_config;
+    serial_config.threads = 1;
+    serial_config.cacheResults = true;
+    BatchExecutor serial(serial_exec, serial_config);
+    const auto serial_results = serial.run(batch);
+
+    IdealExecutor parallel_exec(3);
+    RuntimeConfig parallel_config;
+    parallel_config.threads = 4;
+    parallel_config.cacheResults = true;
+    BatchExecutor parallel(parallel_exec, parallel_config);
+    const auto parallel_results = parallel.run(batch);
+
+    for (std::size_t i = 0; i < parallel_results.size(); ++i)
+        expectBitIdentical(serial_results[0], parallel_results[i]);
+    EXPECT_EQ(serial_exec.circuitsExecuted(), 1u);
+    EXPECT_EQ(parallel_exec.circuitsExecuted(), 1u);
+    EXPECT_EQ(parallel.cacheStats().hits, 31u);
+}
+
+TEST(VarsawEstimator, EnergyIdenticalAcrossThreadCounts)
+{
+    const Hamiltonian h = tfim(4, 1.0, 0.7);
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(21);
+    const DeviceModel device = DeviceModel::uniform(4, 0.03, 0.06);
+
+    auto energy = [&](int threads) {
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 13);
+        VarsawConfig config;
+        config.subsetShots = 1024;
+        config.globalShots = 2048;
+        config.runtime.threads = threads;
+        VarsawEstimator est(h, ansatz.circuit(), exec, config);
+        return est.estimate(params);
+    };
+    EXPECT_DOUBLE_EQ(energy(1), energy(4));
+}
+
+TEST(JigsawEstimator, EnergyIdenticalAcrossThreadCounts)
+{
+    const Hamiltonian h = tfim(4, 1.0, 0.7);
+    EfficientSU2 ansatz(AnsatzConfig{4, 1, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(29);
+    const DeviceModel device = DeviceModel::uniform(4, 0.03, 0.06);
+
+    auto energy = [&](int threads) {
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 13);
+        JigsawConfig config;
+        config.subsetShots = 512;
+        config.globalShots = 1024;
+        RuntimeConfig runtime;
+        runtime.threads = threads;
+        JigsawEstimator est(h, ansatz.circuit(), exec, config,
+                            BasisMode::Cover, runtime);
+        return est.estimate(params);
+    };
+    EXPECT_DOUBLE_EQ(energy(1), energy(4));
+}
+
+TEST(BaselineEstimator, EnergyIdenticalAcrossThreadCounts)
+{
+    const Hamiltonian h = tfim(4, 1.0, 0.7);
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(21);
+
+    auto energy = [&](int threads) {
+        IdealExecutor exec(99);
+        RuntimeConfig runtime;
+        runtime.threads = threads;
+        BaselineEstimator est(h, ansatz.circuit(), exec, 4096,
+                              BasisMode::Cover,
+                              ShotAllocation::Uniform, runtime);
+        return est.estimate(params);
+    };
+    EXPECT_DOUBLE_EQ(energy(1), energy(4));
+}
+
+} // namespace
+} // namespace varsaw

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for structural circuit/job hashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/circuit_hash.hh"
+
+namespace varsaw {
+namespace {
+
+Circuit
+sampleCircuit()
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).ry(2, 0.8).rzParam(1, 0).measureAll();
+    return c;
+}
+
+TEST(CircuitHash, DeterministicAcrossRebuilds)
+{
+    EXPECT_EQ(circuitStructuralHash(sampleCircuit()),
+              circuitStructuralHash(sampleCircuit()));
+}
+
+TEST(CircuitHash, LabelIsIgnored)
+{
+    Circuit a = sampleCircuit();
+    Circuit b = sampleCircuit();
+    b.setLabel("different-label");
+    EXPECT_EQ(circuitStructuralHash(a), circuitStructuralHash(b));
+}
+
+TEST(CircuitHash, GateSequenceMatters)
+{
+    Circuit a = sampleCircuit();
+    Circuit b(3);
+    b.h(0).cx(1, 0).ry(2, 0.8).rzParam(1, 0).measureAll(); // cx flip
+    EXPECT_NE(circuitStructuralHash(a), circuitStructuralHash(b));
+}
+
+TEST(CircuitHash, BoundAngleMatters)
+{
+    Circuit a(2), b(2);
+    a.ry(0, 0.5).measureAll();
+    b.ry(0, 0.5000001).measureAll();
+    EXPECT_NE(circuitStructuralHash(a), circuitStructuralHash(b));
+}
+
+TEST(CircuitHash, MeasurementSpecMatters)
+{
+    Circuit a(2), b(2), c(2);
+    a.h(0).measure(0);
+    b.h(0).measure(1);
+    c.h(0).measureAll();
+    EXPECT_NE(circuitStructuralHash(a), circuitStructuralHash(b));
+    EXPECT_NE(circuitStructuralHash(a), circuitStructuralHash(c));
+}
+
+TEST(ParameterHash, DistinctValuesDiffer)
+{
+    EXPECT_NE(parameterHash({0.1, 0.2}), parameterHash({0.2, 0.1}));
+    EXPECT_NE(parameterHash({0.1}), parameterHash({0.1, 0.0}));
+    EXPECT_NE(parameterHash({}), parameterHash({0.0}));
+}
+
+TEST(ParameterHash, SubQuantumPerturbationCollides)
+{
+    // The grid is 2^-32 per slot: differences below floating-point
+    // noise map to the same key on purpose.
+    EXPECT_EQ(parameterHash({0.5}), parameterHash({0.5 + 1e-11}));
+}
+
+TEST(JobKey, DistinctShotsDistinctKeys)
+{
+    CircuitJob a{sampleCircuit(), {0.3}, 1024};
+    CircuitJob b{sampleCircuit(), {0.3}, 2048};
+    CircuitJob c{sampleCircuit(), {0.4}, 1024};
+    EXPECT_TRUE(makeJobKey(a) == makeJobKey(a));
+    EXPECT_FALSE(makeJobKey(a) == makeJobKey(b));
+    EXPECT_FALSE(makeJobKey(a) == makeJobKey(c));
+}
+
+} // namespace
+} // namespace varsaw
