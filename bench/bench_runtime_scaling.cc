@@ -74,7 +74,7 @@ measure(int threads, const SpatialPlan &plan, const Circuit &ansatz,
 
     Measurement m;
     m.threads = threads;
-    const auto start = std::chrono::steady_clock::now();
+    Stopwatch watch;
     for (const auto &params : points) {
         // SPSA-style double probe: the second evaluation at the same
         // point is pure temporal redundancy for the cache.
@@ -85,9 +85,7 @@ measure(int threads, const SpatialPlan &plan, const Circuit &ansatz,
                 m.checksum += pmf.prob(0);
         }
     }
-    const auto stop = std::chrono::steady_clock::now();
-    m.seconds =
-        std::chrono::duration<double>(stop - start).count();
+    m.seconds = watch.seconds();
     m.circuitsSubmitted = runtime.jobsSubmitted();
     m.circuitsExecuted = exec.circuitsExecuted();
     m.hitRate = runtime.cacheStats().hitRate();
@@ -144,9 +142,7 @@ main()
         const Measurement m =
             measure(threads, plan, ansatz.circuit(), points, shots,
                     device);
-        const double rate = m.seconds > 0.0
-            ? static_cast<double>(m.circuitsSubmitted) / m.seconds
-            : 0.0;
+        const double rate = perSecond(m.circuitsSubmitted, m.seconds);
         if (threads == 1) {
             serial_rate = rate;
             serial_checksum = m.checksum;

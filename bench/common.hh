@@ -16,6 +16,7 @@
 #ifndef VARSAW_BENCH_COMMON_HH
 #define VARSAW_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -122,6 +123,36 @@ percentMitigated(double reference, double improved, double ideal)
     if (gap <= 1e-12)
         return 0.0;
     return 100.0 * (reference - improved) / gap;
+}
+
+/** Wall-clock stopwatch for the throughput benches. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds since construction (or the last restart()). */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** Reset the origin to now. */
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/** Throughput in events/sec, guarding the zero-time corner. */
+inline double
+perSecond(std::uint64_t events, double seconds)
+{
+    return seconds > 0.0
+        ? static_cast<double>(events) / seconds
+        : 0.0;
 }
 
 /** Print a short banner naming the reproduced table/figure. */

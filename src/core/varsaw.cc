@@ -9,12 +9,23 @@ VarsawEstimator::VarsawEstimator(const Hamiltonian &hamiltonian,
                                  const Circuit &ansatz,
                                  Executor &executor,
                                  const VarsawConfig &config)
-    : hamiltonian_(hamiltonian), ansatz_(ansatz),
+    : hamiltonian_(hamiltonian),
+      prep_(std::make_shared<const Circuit>(ansatz)),
       runtime_(executor, config.runtime), config_(config),
       plan_(buildSpatialPlan(hamiltonian, config.subsetSize,
                              config.basisMode)),
       scheduler_(config.temporal)
 {
+    // The spatial plan and bases are fixed, so every measurement
+    // suffix is built once; each tick submits them against the
+    // shared ansatz prep instead of cloning the prepared circuit
+    // per subset/basis.
+    subsetSuffixes_.reserve(plan_.executedSubsets.size());
+    for (const auto &subset : plan_.executedSubsets)
+        subsetSuffixes_.push_back(makeSubsetSuffix(subset));
+    globalSuffixes_.reserve(plan_.bases.bases.size());
+    for (const auto &basis : plan_.bases.bases)
+        globalSuffixes_.push_back(makeGlobalSuffix(basis));
 }
 
 void
@@ -57,12 +68,12 @@ std::vector<std::vector<LocalPmf>>
 VarsawEstimator::collectLocals(const std::vector<double> &params)
 {
     // Execute each reduced subset exactly once this tick, as one
-    // parallel batch.
+    // parallel batch of suffix jobs over the shared prep.
     Batch batch;
-    batch.reserve(plan_.executedSubsets.size());
-    for (const auto &subset : plan_.executedSubsets)
-        batch.add(makeSubsetCircuit(ansatz_, subset), params,
-                  config_.subsetShots);
+    batch.reserve(subsetSuffixes_.size());
+    for (const auto &suffix : subsetSuffixes_)
+        batch.addPrefixed(prep_, suffix, params,
+                          config_.subsetShots);
     const std::vector<Pmf> subset_pmfs = runtime_.run(batch);
 
     // Answer every basis window from the shared results.
@@ -98,10 +109,10 @@ std::vector<Pmf>
 VarsawEstimator::runGlobals(const std::vector<double> &params)
 {
     Batch batch;
-    batch.reserve(plan_.bases.bases.size());
-    for (const auto &basis : plan_.bases.bases)
-        batch.add(makeGlobalCircuit(ansatz_, basis), params,
-                  config_.globalShots);
+    batch.reserve(globalSuffixes_.size());
+    for (const auto &suffix : globalSuffixes_)
+        batch.addPrefixed(prep_, suffix, params,
+                          config_.globalShots);
     std::vector<Pmf> globals = runtime_.run(batch);
     if (config_.mbm)
         for (auto &pmf : globals)

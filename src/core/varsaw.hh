@@ -18,6 +18,7 @@
 #define VARSAW_CORE_VARSAW_HH
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -72,7 +73,10 @@ class VarsawEstimator : public EnergyEstimator
   public:
     /**
      * @param hamiltonian Problem Hamiltonian.
-     * @param ansatz      Parameterized preparation circuit.
+     * @param ansatz      Parameterized preparation circuit,
+     *                    snapshotted at construction — later
+     *                    changes to the caller's circuit do not
+     *                    affect this estimator.
      * @param executor    Backend (counts the circuit cost).
      * @param config      VarSaw tunables.
      */
@@ -130,11 +134,16 @@ class VarsawEstimator : public EnergyEstimator
     void advanceIteration();
 
     const Hamiltonian &hamiltonian_;
-    const Circuit &ansatz_;
+    /** Construction-time ansatz snapshot, shared by every job. */
+    std::shared_ptr<const Circuit> prep_;
     BatchExecutor runtime_;
     VarsawConfig config_;
     SpatialPlan plan_;
     GlobalScheduler scheduler_;
+    /** Suffixes of the reduced subset set (fixed per estimator). */
+    std::vector<Circuit> subsetSuffixes_;
+    /** Per-basis Global suffixes (fixed per estimator). */
+    std::vector<Circuit> globalSuffixes_;
 
     /** Reconstruction prior for all probes of this iteration. */
     std::vector<Pmf> prior_;

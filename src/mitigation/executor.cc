@@ -8,7 +8,9 @@
 
 namespace varsaw {
 
-Executor::Executor(std::uint64_t seed) : seed_(seed), rng_(seed)
+Executor::Executor(std::uint64_t seed)
+    : seed_(seed), rng_(seed),
+      simEngine_(std::make_unique<SimEngine>())
 {
 }
 
@@ -21,7 +23,8 @@ Executor::execute(const Circuit &circuit,
         panic("Executor::execute: circuit has no measurements");
     circuits_.fetch_add(1, std::memory_order_relaxed);
     shots_.fetch_add(shots, std::memory_order_relaxed);
-    return executeImpl(circuit, params, shots, rng_);
+    CircuitJob job{circuit, params, shots, nullptr};
+    return executeImpl(job, rng_);
 }
 
 Pmf
@@ -29,12 +32,21 @@ Executor::executeJob(const Circuit &circuit,
                      const std::vector<double> &params,
                      std::uint64_t shots, std::uint64_t stream)
 {
-    if (circuit.numMeasured() == 0)
+    return executeJob(CircuitJob{circuit, params, shots, nullptr},
+                      stream);
+}
+
+Pmf
+Executor::executeJob(const CircuitJob &job, std::uint64_t stream)
+{
+    if (job.numMeasured() == 0)
         panic("Executor::executeJob: circuit has no measurements");
+    if (job.prep && job.prep->numQubits() != job.circuit.numQubits())
+        panic("Executor::executeJob: prep/suffix width mismatch");
     circuits_.fetch_add(1, std::memory_order_relaxed);
-    shots_.fetch_add(shots, std::memory_order_relaxed);
+    shots_.fetch_add(job.shots, std::memory_order_relaxed);
     Rng rng = Rng::forStream(seed_, stream);
-    return executeImpl(circuit, params, shots, rng);
+    return executeImpl(job, rng);
 }
 
 void
@@ -49,17 +61,14 @@ IdealExecutor::IdealExecutor(std::uint64_t seed) : Executor(seed)
 }
 
 Pmf
-IdealExecutor::executeImpl(const Circuit &circuit,
-                           const std::vector<double> &params,
-                           std::uint64_t shots, Rng &rng)
+IdealExecutor::executeImpl(const CircuitJob &job, Rng &rng)
 {
-    Statevector sv(circuit.numQubits());
-    sv.run(circuit, params);
-    auto probs = sv.marginalProbabilities(circuit.measuredQubits());
-    Pmf exact = Pmf::fromDense(circuit.numMeasured(), probs, 1e-14);
-    if (shots == 0)
+    auto probs = simEngine().measuredMarginal(
+        job.prep.get(), job.circuit, job.params);
+    Pmf exact = Pmf::fromDense(job.numMeasured(), probs, 1e-14);
+    if (job.shots == 0)
         return exact;
-    Pmf sampled = exact.sample(rng, shots).toPmf();
+    Pmf sampled = exact.sample(rng, job.shots).toPmf();
     return sampled;
 }
 
@@ -73,22 +82,21 @@ NoisyExecutor::NoisyExecutor(DeviceModel device, GateNoiseMode mode,
 }
 
 std::vector<double>
-NoisyExecutor::noisyMarginal(const Circuit &circuit,
-                             const std::vector<double> &params)
+NoisyExecutor::noisyMarginal(const CircuitJob &job)
 {
-    Statevector sv(circuit.numQubits());
-    sv.run(circuit, params);
-    auto probs = sv.marginalProbabilities(circuit.measuredQubits());
+    auto probs = simEngine().measuredMarginal(
+        job.prep.get(), job.circuit, job.params);
 
     if (mode_ == GateNoiseMode::AnalyticDepolarizing) {
-        // Survival probability of the whole gate sequence; the lost
-        // weight becomes the maximally mixed state, which marginalizes
-        // to the uniform distribution over the measured bits.
+        // Survival probability of the whole gate sequence (prep +
+        // suffix); the lost weight becomes the maximally mixed
+        // state, which marginalizes to the uniform distribution
+        // over the measured bits.
         const double survive =
             std::pow(1.0 - device_.gate1Error(),
-                     circuit.oneQubitGateCount()) *
+                     job.oneQubitGateCount()) *
             std::pow(1.0 - device_.gate2Error(),
-                     circuit.twoQubitGateCount());
+                     job.twoQubitGateCount());
         const double lambda = 1.0 - survive;
         if (lambda > 0.0) {
             const double uniform =
@@ -101,44 +109,54 @@ NoisyExecutor::noisyMarginal(const Circuit &circuit,
 }
 
 std::vector<double>
-NoisyExecutor::trajectoryMarginal(const Circuit &circuit,
-                                  const std::vector<double> &params,
-                                  Rng &rng)
+NoisyExecutor::trajectoryMarginal(const CircuitJob &job, Rng &rng)
 {
-    const auto &measured = circuit.measuredQubits();
+    const auto &measured = job.measuredQubits();
     std::vector<double> acc(1ull << measured.size(), 0.0);
 
+    // Noise kicks are injected inside the prep too, so trajectories
+    // cannot share a prepared state; the statevector itself is
+    // still reused across trajectories via reset() instead of
+    // reconstructing (and re-allocating 2^n amplitudes) every time.
+    Statevector sv(job.numQubits());
+    const auto applyNoisy = [&](const GateOp &op) {
+        sv.applyOp(op, job.params);
+        const double err = isTwoQubitGate(op.kind)
+            ? device_.gate2Error() : device_.gate1Error();
+        if (err <= 0.0)
+            return;
+        // Independent per-touched-qubit depolarizing: with
+        // probability err insert a uniformly random X/Y/Z.
+        // This is exactly the channel DensityMatrixExecutor
+        // applies, so the two backends agree in the limit.
+        auto kick = [&](int q) {
+            if (!rng.bernoulli(err))
+                return;
+            switch (rng.uniformInt(3)) {
+              case 0:
+                sv.apply1Q(q, gates::fixedMatrix(GateKind::X));
+                break;
+              case 1:
+                sv.apply1Q(q, gates::fixedMatrix(GateKind::Y));
+                break;
+              default:
+                sv.apply1Q(q, gates::fixedMatrix(GateKind::Z));
+                break;
+            }
+        };
+        kick(op.q0);
+        if (isTwoQubitGate(op.kind))
+            kick(op.q1);
+    };
+
     for (int t = 0; t < trajectories_; ++t) {
-        Statevector sv(circuit.numQubits());
-        for (const auto &op : circuit.ops()) {
-            sv.applyOp(op, params);
-            const double err = isTwoQubitGate(op.kind)
-                ? device_.gate2Error() : device_.gate1Error();
-            if (err <= 0.0)
-                continue;
-            // Independent per-touched-qubit depolarizing: with
-            // probability err insert a uniformly random X/Y/Z.
-            // This is exactly the channel DensityMatrixExecutor
-            // applies, so the two backends agree in the limit.
-            auto kick = [&](int q) {
-                if (!rng.bernoulli(err))
-                    return;
-                switch (rng.uniformInt(3)) {
-                  case 0:
-                    sv.apply1Q(q, gates::fixedMatrix(GateKind::X));
-                    break;
-                  case 1:
-                    sv.apply1Q(q, gates::fixedMatrix(GateKind::Y));
-                    break;
-                  default:
-                    sv.apply1Q(q, gates::fixedMatrix(GateKind::Z));
-                    break;
-                }
-            };
-            kick(op.q0);
-            if (isTwoQubitGate(op.kind))
-                kick(op.q1);
-        }
+        if (t > 0)
+            sv.reset();
+        if (job.prep)
+            for (const auto &op : job.prep->ops())
+                applyNoisy(op);
+        for (const auto &op : job.circuit.ops())
+            applyNoisy(op);
         auto probs = sv.marginalProbabilities(measured);
         for (std::size_t i = 0; i < acc.size(); ++i)
             acc[i] += probs[i];
@@ -150,33 +168,30 @@ NoisyExecutor::trajectoryMarginal(const Circuit &circuit,
 }
 
 Pmf
-NoisyExecutor::executeImpl(const Circuit &circuit,
-                           const std::vector<double> &params,
-                           std::uint64_t shots, Rng &rng)
+NoisyExecutor::executeImpl(const CircuitJob &job, Rng &rng)
 {
-    if (circuit.numQubits() > device_.numQubits())
+    if (job.numQubits() > device_.numQubits())
         fatal("NoisyExecutor: circuit is wider than device '" +
               device_.name() + "'");
 
     std::vector<double> probs =
         mode_ == GateNoiseMode::PauliTrajectories
-            ? trajectoryMarginal(circuit, params, rng)
-            : noisyMarginal(circuit, params);
+            ? trajectoryMarginal(job, rng)
+            : noisyMarginal(job);
 
     // Readout error: subsets (partial measurement) are mapped onto
     // the device's best-readout qubits; full measurement keeps the
     // default physical assignment. Crosstalk scales with the number
     // of simultaneously measured qubits in both cases.
-    const int m = circuit.numMeasured();
-    const bool partial =
-        bestMapping_ && m < circuit.numQubits();
+    const int m = job.numMeasured();
+    const bool partial = bestMapping_ && m < job.numQubits();
     auto errors = device_.effectiveReadout(m, partial);
     applyReadoutConfusion(probs, errors);
 
     Pmf noisy = Pmf::fromDense(m, probs, 1e-14);
-    if (shots == 0)
+    if (job.shots == 0)
         return noisy;
-    return noisy.sample(rng, shots).toPmf();
+    return noisy.sample(rng, job.shots).toPmf();
 }
 
 DensityMatrixExecutor::DensityMatrixExecutor(DeviceModel device,
@@ -187,13 +202,16 @@ DensityMatrixExecutor::DensityMatrixExecutor(DeviceModel device,
 }
 
 std::vector<double>
-DensityMatrixExecutor::noisyMarginal(const Circuit &circuit,
-                                     const std::vector<double> &params)
+DensityMatrixExecutor::noisyMarginal(const CircuitJob &job)
 {
-    DensityMatrix dm(circuit.numQubits());
-    dm.runNoisy(circuit, params, device().gate1Error(),
+    // The density-matrix evolution interleaves noise channels with
+    // every gate, so it cannot reuse a pure prepared state; run the
+    // flattened circuit.
+    const Circuit full = job.flattened();
+    DensityMatrix dm(full.numQubits());
+    dm.runNoisy(full, job.params, device().gate1Error(),
                 device().gate2Error());
-    return dm.marginalProbabilities(circuit.measuredQubits());
+    return dm.marginalProbabilities(full.measuredQubits());
 }
 
 } // namespace varsaw

@@ -7,6 +7,15 @@
  * the paper's quantum computational cost metric is exactly this
  * counter. Two backends are provided: an ideal one and the noisy
  * simulated-device one used throughout the evaluation.
+ *
+ * Both exact backends simulate through the prefix-sharing SimEngine
+ * (src/sim/sim_engine.hh): each job's state-prep prefix is
+ * simulated once per unique (prefix, params) key and shared across
+ * every measurement suffix, whether the job arrived as an explicit
+ * (prep, suffix) pair or as a plain circuit the engine splits
+ * itself. Prepared states are deterministic, so the engine changes
+ * cost, never results; simEngine().setCacheEnabled(false) restores
+ * the one-full-simulation-per-circuit behaviour bit for bit.
  */
 
 #ifndef VARSAW_MITIGATION_EXECUTOR_HH
@@ -14,10 +23,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "noise/device_model.hh"
+#include "runtime/job.hh"
 #include "sim/circuit.hh"
+#include "sim/sim_engine.hh"
 #include "sim/statevector.hh"
 #include "util/pmf.hh"
 #include "util/rng.hh"
@@ -69,6 +81,13 @@ class Executor
                    const std::vector<double> &params,
                    std::uint64_t shots, std::uint64_t stream);
 
+    /**
+     * Thread-safe execution of a (possibly prefix-sharing) job.
+     * Equivalent to flattening the job into one circuit, but lets
+     * the SimEngine reuse the shared prepared state directly.
+     */
+    Pmf executeJob(const CircuitJob &job, std::uint64_t stream);
+
     /** Total circuits submitted since construction / reset. */
     std::uint64_t circuitsExecuted() const
     {
@@ -88,6 +107,26 @@ class Executor
     std::uint64_t seed() const { return seed_; }
 
     /**
+     * The prefix-sharing simulation engine backing exact state
+     * evolution (prep cache, work counters). Shared by every job
+     * this executor runs; internally synchronized.
+     */
+    SimEngine &simEngine() { return *simEngine_; }
+    const SimEngine &simEngine() const { return *simEngine_; }
+
+    /**
+     * Replace the engine with one built from @p config — the way to
+     * size the prepared-state cache for the register width in play
+     * (each entry is a dense 2^n-amplitude vector). Discards the
+     * current engine's cache and counters. NOT thread-safe: call
+     * before submitting jobs, never concurrently with them.
+     */
+    void configureSimEngine(SimEngineConfig config)
+    {
+        simEngine_ = std::make_unique<SimEngine>(config);
+    }
+
+    /**
      * Claim a distinct stream-salt. Each BatchExecutor wrapping this
      * backend takes one at construction and folds it into its job
      * stream ids, so multiple runtimes over one executor draw
@@ -105,12 +144,11 @@ class Executor
 
     /**
      * Backend-specific execution. Must be const w.r.t. backend
-     * state apart from @p rng: executeJob() calls this concurrently
-     * from multiple threads.
+     * state apart from @p rng and the (internally synchronized)
+     * SimEngine: executeJob() calls this concurrently from multiple
+     * threads.
      */
-    virtual Pmf executeImpl(const Circuit &circuit,
-                            const std::vector<double> &params,
-                            std::uint64_t shots, Rng &rng) = 0;
+    virtual Pmf executeImpl(const CircuitJob &job, Rng &rng) = 0;
 
   private:
     std::atomic<std::uint64_t> circuits_{0};
@@ -118,6 +156,7 @@ class Executor
     std::atomic<std::uint64_t> streamSalts_{0};
     std::uint64_t seed_;
     Rng rng_; //!< serial stream backing the legacy execute() path
+    std::unique_ptr<SimEngine> simEngine_;
 };
 
 /** Noise-free backend: exact simulation plus optional sampling. */
@@ -128,18 +167,19 @@ class IdealExecutor : public Executor
     explicit IdealExecutor(std::uint64_t seed = 1);
 
   protected:
-    Pmf executeImpl(const Circuit &circuit,
-                    const std::vector<double> &params,
-                    std::uint64_t shots, Rng &rng) override;
+    Pmf executeImpl(const CircuitJob &job, Rng &rng) override;
 };
 
 /**
  * Noisy simulated-device backend.
  *
- * Pipeline: exact state-vector evolution -> gate-noise channel
- * (analytic depolarizing mix or stochastic Pauli trajectories) ->
- * per-qubit readout confusion with crosstalk scaling and best-qubit
- * mapping for partial measurements -> finite-shot sampling.
+ * Pipeline: exact state-vector evolution (prefix-shared through the
+ * SimEngine) -> gate-noise channel (analytic depolarizing mix or
+ * stochastic Pauli trajectories) -> per-qubit readout confusion
+ * with crosstalk scaling and best-qubit mapping for partial
+ * measurements -> finite-shot sampling. The trajectory mode cannot
+ * share prepared states (noise is injected inside the prefix), but
+ * keeps the per-trajectory RNG stream structure.
  */
 class NoisyExecutor : public Executor
 {
@@ -173,22 +213,17 @@ class NoisyExecutor : public Executor
     bool bestMapping() const { return bestMapping_; }
 
   protected:
-    Pmf executeImpl(const Circuit &circuit,
-                    const std::vector<double> &params,
-                    std::uint64_t shots, Rng &rng) override;
+    Pmf executeImpl(const CircuitJob &job, Rng &rng) override;
 
   protected:
     /** Exact measured-qubit distribution with gate noise folded in. */
-    virtual std::vector<double>
-    noisyMarginal(const Circuit &circuit,
-                  const std::vector<double> &params);
+    virtual std::vector<double> noisyMarginal(const CircuitJob &job);
 
   private:
 
     /** Trajectory-averaged measured-qubit distribution. */
-    std::vector<double>
-    trajectoryMarginal(const Circuit &circuit,
-                       const std::vector<double> &params, Rng &rng);
+    std::vector<double> trajectoryMarginal(const CircuitJob &job,
+                                           Rng &rng);
 
     DeviceModel device_;
     GateNoiseMode mode_;
@@ -212,9 +247,7 @@ class DensityMatrixExecutor : public NoisyExecutor
                                    std::uint64_t seed = 1);
 
   protected:
-    std::vector<double>
-    noisyMarginal(const Circuit &circuit,
-                  const std::vector<double> &params) override;
+    std::vector<double> noisyMarginal(const CircuitJob &job) override;
 };
 
 } // namespace varsaw

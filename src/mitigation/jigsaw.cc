@@ -29,6 +29,27 @@ makeSubsetCircuit(const Circuit &prepared, const PauliString &subset)
     return c;
 }
 
+Circuit
+makeGlobalSuffix(const PauliString &basis)
+{
+    Circuit c(basis.numQubits(), "global:" + basis.toString());
+    c.appendBasisRotations(basis);
+    c.measureAll();
+    return c;
+}
+
+Circuit
+makeSubsetSuffix(const PauliString &subset)
+{
+    if (subset.isIdentity())
+        panic("makeSubsetSuffix: subset measures nothing");
+    Circuit c(subset.numQubits(),
+              "subset:" + subset.toSubsetString());
+    c.appendBasisRotations(subset);
+    c.measureSupport(subset);
+    return c;
+}
+
 LocalPmf
 runSubset(Executor &executor, const Circuit &prepared,
           const std::vector<double> &params, const PauliString &subset,
@@ -51,6 +72,18 @@ makeJigsawCircuits(const Circuit &prepared, const PauliString &basis,
     for (const auto &w : set.windows)
         set.subsetCircuits.push_back(makeSubsetCircuit(prepared, w));
     set.globalCircuit = makeGlobalCircuit(prepared, basis);
+    return set;
+}
+
+JigsawCircuitSet
+makeJigsawSuffixes(const PauliString &basis, int subset_size)
+{
+    JigsawCircuitSet set;
+    set.windows = windowSubsets(basis, subset_size);
+    set.subsetCircuits.reserve(set.windows.size());
+    for (const auto &w : set.windows)
+        set.subsetCircuits.push_back(makeSubsetSuffix(w));
+    set.globalCircuit = makeGlobalSuffix(basis);
     return set;
 }
 

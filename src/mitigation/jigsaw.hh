@@ -58,6 +58,21 @@ Circuit makeSubsetCircuit(const Circuit &prepared,
                           const PauliString &subset);
 
 /**
+ * Measurement suffix of a Global: basis rotations + measurement of
+ * every qubit, with NO prepared circuit attached. Submitted via
+ * Batch::addPrefixed() against a shared prep, this denotes exactly
+ * the circuit makeGlobalCircuit() builds — without cloning the
+ * ansatz per basis.
+ */
+Circuit makeGlobalSuffix(const PauliString &basis);
+
+/**
+ * Measurement suffix of a CPM: rotations on the subset's support +
+ * measurement of the support, no prepared circuit attached.
+ */
+Circuit makeSubsetSuffix(const PauliString &subset);
+
+/**
  * Execute one subset circuit and wrap its distribution as a
  * LocalPmf positioned at the subset's support qubits.
  */
@@ -85,6 +100,16 @@ struct JigsawCircuitSet
 /** Build the CPM + Global circuits for one (prepared, basis) pair. */
 JigsawCircuitSet makeJigsawCircuits(const Circuit &prepared,
                                     const PauliString &basis,
+                                    int subset_size);
+
+/**
+ * Suffix-only variant of makeJigsawCircuits(): the same windows,
+ * but subsetCircuits/globalCircuit hold measurement suffixes to be
+ * submitted against a shared prep via Batch::addPrefixed(). The
+ * reconstruction half (reconstructJigsaw) is shape-agnostic — it
+ * only reads the windows.
+ */
+JigsawCircuitSet makeJigsawSuffixes(const PauliString &basis,
                                     int subset_size);
 
 /**

@@ -1,7 +1,10 @@
 #include "runtime/batch_executor.hh"
 
+#include <algorithm>
+#include <unordered_map>
 #include <utility>
 
+#include "sim/sim_engine.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -48,8 +51,7 @@ BatchExecutor::executeCached(const CircuitJob &job,
                 return std::move(*hit);
         }
     }
-    Pmf result = backend_.executeJob(job.circuit, job.params,
-                                     job.shots, stream);
+    Pmf result = backend_.executeJob(job, stream);
     if (config_.cacheResults) {
         std::lock_guard<std::mutex> lock(primariesMutex_);
         // Within the integrated path duplicates are answered from
@@ -66,7 +68,8 @@ BatchExecutor::executeCached(const CircuitJob &job,
 std::future<Pmf>
 BatchExecutor::submitOne(
     const CircuitJob &job,
-    const std::shared_ptr<const std::vector<CircuitJob>> &owned)
+    const std::shared_ptr<const std::vector<CircuitJob>> &owned,
+    std::vector<PendingTask> *pending, std::uint64_t prep_key)
 {
     const JobKey key = makeJobKey(job);
     const std::uint64_t index =
@@ -146,8 +149,68 @@ BatchExecutor::submitOne(
             return result;
         });
     std::future<Pmf> future = task->get_future();
-    pool_->enqueue([task] { (*task)(); });
+    if (pending)
+        pending->push_back({prep_key, [task] { (*task)(); }});
+    else
+        pool_->enqueue([task] { (*task)(); });
     return future;
+}
+
+void
+BatchExecutor::schedulePending(std::vector<PendingTask> pending)
+{
+    if (pending.empty())
+        return;
+    if (!config_.prefixAwareScheduling) {
+        for (auto &p : pending)
+            pool_->enqueue(std::move(p.run));
+        return;
+    }
+
+    // Group tasks by prep key, preserving first-appearance order of
+    // the groups and submission order within each group.
+    std::vector<std::vector<std::function<void()>>> groups;
+    std::unordered_map<std::uint64_t, std::size_t> group_of;
+    for (auto &p : pending) {
+        auto [it, inserted] =
+            group_of.try_emplace(p.prepKey, groups.size());
+        if (inserted)
+            groups.emplace_back();
+        groups[it->second].push_back(std::move(p.run));
+    }
+
+    // Enough groups to feed every worker: one sequential task per
+    // group, so a prep's jobs stay on one worker and its cached
+    // state is never shared across threads. Otherwise split the
+    // groups into contiguous chunks so the pool is not starved —
+    // the first job of each chunk may wait on another chunk's
+    // in-flight preparation, which the engine resolves via its
+    // shared futures.
+    const std::size_t threads =
+        static_cast<std::size_t>(config_.threads);
+    const std::size_t per_group_chunks =
+        groups.size() >= threads
+            ? 1
+            : (threads + groups.size() - 1) / groups.size();
+    for (auto &group : groups) {
+        const std::size_t chunk_size = std::max<std::size_t>(
+            1, (group.size() + per_group_chunks - 1) /
+                   per_group_chunks);
+        for (std::size_t begin = 0; begin < group.size();
+             begin += chunk_size) {
+            const std::size_t end =
+                std::min(group.size(), begin + chunk_size);
+            auto chunk = std::make_shared<
+                std::vector<std::function<void()>>>();
+            chunk->reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i)
+                chunk->push_back(std::move(group[i]));
+            pool_->enqueue([chunk] {
+                for (auto &run : *chunk)
+                    run();
+            });
+        }
+    }
 }
 
 std::vector<std::future<Pmf>>
@@ -159,13 +222,40 @@ BatchExecutor::submit(const Batch &batch)
         // Inline execution completes before submit() returns; no
         // shared copy of the batch is needed.
         for (const CircuitJob &job : batch.jobs())
-            futures.push_back(submitOne(job, nullptr));
+            futures.push_back(submitOne(job, nullptr, nullptr, 0));
         return futures;
     }
     auto owned = std::make_shared<const std::vector<CircuitJob>>(
         batch.jobs());
-    for (const CircuitJob &job : *owned)
-        futures.push_back(submitOne(job, owned));
+    std::vector<PendingTask> pending;
+    pending.reserve(owned->size());
+    // Grouping keys for the prefix-aware scheduler. The prep
+    // structural hash is memoized per distinct shared prep — safe
+    // to key by pointer here because the shared_ptrs in `owned`
+    // keep every prep alive for the whole loop.
+    std::unordered_map<const Circuit *, std::uint64_t> prep_hash;
+    for (const CircuitJob &job : *owned) {
+        std::uint64_t prep_key = 0;
+        if (config_.prefixAwareScheduling) {
+            if (job.prep) {
+                auto [it, inserted] =
+                    prep_hash.try_emplace(job.prep.get(), 0);
+                if (inserted)
+                    it->second = circuitPrefixHash(
+                        *job.prep,
+                        splitPrepSuffix(*job.prep).prefixOps);
+                prep_key =
+                    PrepKey{it->second, parameterHash(job.params)}
+                        .combined();
+            } else {
+                prep_key = prepKeyOf(nullptr, job.circuit,
+                                     job.params)
+                               .combined();
+            }
+        }
+        futures.push_back(submitOne(job, owned, &pending, prep_key));
+    }
+    schedulePending(std::move(pending));
     return futures;
 }
 
@@ -186,12 +276,12 @@ BatchExecutor::runOne(const Circuit &circuit,
                       std::uint64_t shots)
 {
     if (config_.threads <= 1) {
-        CircuitJob job{circuit, params, shots};
-        return submitOne(job, nullptr).get();
+        CircuitJob job{circuit, params, shots, nullptr};
+        return submitOne(job, nullptr, nullptr, 0).get();
     }
     auto owned = std::make_shared<const std::vector<CircuitJob>>(
-        std::vector<CircuitJob>{{circuit, params, shots}});
-    return submitOne(owned->front(), owned).get();
+        std::vector<CircuitJob>{{circuit, params, shots, nullptr}});
+    return submitOne(owned->front(), owned, nullptr, 0).get();
 }
 
 } // namespace varsaw

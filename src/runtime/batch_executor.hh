@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,21 @@ struct RuntimeConfig
 
     /** Entry cap of the result cache. */
     std::size_t cacheMaxEntries = 1 << 16;
+
+    /**
+     * Prefix-aware scheduling (threads > 1): jobs of one batch that
+     * share a prep key are grouped so that, when there are at least
+     * as many distinct preps as workers, each prep's jobs run on
+     * one worker — its first job populates the SimEngine's state
+     * cache and the rest hit it without ever contending with other
+     * threads. With fewer preps than workers the groups are split
+     * into contiguous chunks to keep every worker busy (the engine
+     * tolerates the resulting cross-thread sharing; its cache
+     * guarantees exactly one preparation per key either way).
+     * Purely a placement policy — results and streams are assigned
+     * at submission and cannot change.
+     */
+    bool prefixAwareScheduling = true;
 };
 
 /** Batched front-end over an Executor backend. */
@@ -104,15 +120,32 @@ class BatchExecutor
     }
 
   private:
+    /** A pooled task not yet enqueued, tagged for prep grouping. */
+    struct PendingTask
+    {
+        std::uint64_t prepKey;
+        std::function<void()> run;
+    };
+
     /**
      * Submit one job. @p owned shares ownership of the job's
      * storage with the task closures (null on the inline path,
-     * where execution finishes before this returns).
+     * where execution finishes before this returns). When
+     * @p pending is non-null, pooled tasks are collected there for
+     * prefix-aware placement instead of being enqueued directly,
+     * tagged with @p prep_key (computed by submit(), which memoizes
+     * the prep hash per distinct shared prep; 0 when the
+     * prefix-aware scheduler is off).
      */
     std::future<Pmf>
     submitOne(const CircuitJob &job,
               const std::shared_ptr<const std::vector<CircuitJob>>
-                  &owned);
+                  &owned,
+              std::vector<PendingTask> *pending,
+              std::uint64_t prep_key);
+
+    /** Enqueue collected tasks, grouping same-prep jobs together. */
+    void schedulePending(std::vector<PendingTask> pending);
 
     /**
      * Cache-aware execution of one job on stream @p stream.

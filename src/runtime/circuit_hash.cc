@@ -1,9 +1,11 @@
 #include "runtime/circuit_hash.hh"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <limits>
 
+#include "runtime/job.hh"
 #include "util/rng.hh"
 
 namespace varsaw {
@@ -46,6 +48,30 @@ quantize(double value)
         static_cast<std::int64_t>(std::llround(scaled)));
 }
 
+/** Fold one gate op into the stream. */
+void
+foldOp(HashStream &h, const GateOp &op)
+{
+    h.fold(static_cast<std::uint64_t>(op.kind));
+    h.fold(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(op.q0)));
+    h.fold(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(op.q1)));
+    h.fold(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(op.paramIndex)));
+    h.fold(op.param);
+}
+
+/** Fold the measurement spec (preceded by its separator). */
+void
+foldMeasurements(HashStream &h, const std::vector<int> &measured)
+{
+    h.fold(static_cast<std::uint64_t>(0xFEEDFACEu));
+    for (int q : measured)
+        h.fold(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(q)));
+}
+
 } // namespace
 
 std::uint64_t
@@ -54,21 +80,42 @@ circuitStructuralHash(const Circuit &circuit)
     HashStream h;
     h.fold(static_cast<std::uint64_t>(circuit.numQubits()));
     h.fold(static_cast<std::uint64_t>(circuit.numParams()));
-    for (const auto &op : circuit.ops()) {
-        h.fold(static_cast<std::uint64_t>(op.kind));
-        h.fold(static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(op.q0)));
-        h.fold(static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(op.q1)));
-        h.fold(static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(op.paramIndex)));
-        h.fold(op.param);
-    }
-    // Separate the ops from the measurement spec.
-    h.fold(static_cast<std::uint64_t>(0xFEEDFACEu));
-    for (int q : circuit.measuredQubits())
-        h.fold(static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(q)));
+    for (const auto &op : circuit.ops())
+        foldOp(h, op);
+    foldMeasurements(h, circuit.measuredQubits());
+    return h.value();
+}
+
+std::uint64_t
+circuitPrefixHash(const Circuit &circuit, std::size_t count)
+{
+    const auto &ops = circuit.ops();
+    if (count > ops.size())
+        count = ops.size();
+    HashStream h;
+    h.fold(static_cast<std::uint64_t>(circuit.numQubits()));
+    for (std::size_t i = 0; i < count; ++i)
+        foldOp(h, ops[i]);
+    return h.value();
+}
+
+std::uint64_t
+jobCircuitHash(const CircuitJob &job)
+{
+    if (!job.prep)
+        return circuitStructuralHash(job.circuit);
+    // Mirror circuitStructuralHash over the flattened circuit:
+    // width, combined parameter count, prep ops then suffix ops,
+    // then the suffix's measurement spec.
+    HashStream h;
+    h.fold(static_cast<std::uint64_t>(job.prep->numQubits()));
+    h.fold(static_cast<std::uint64_t>(std::max(
+        job.prep->numParams(), job.circuit.numParams())));
+    for (const auto &op : job.prep->ops())
+        foldOp(h, op);
+    for (const auto &op : job.circuit.ops())
+        foldOp(h, op);
+    foldMeasurements(h, job.circuit.measuredQubits());
     return h.value();
 }
 
@@ -92,8 +139,8 @@ JobKeyHasher::operator()(const JobKey &key) const
 JobKey
 makeJobKey(const CircuitJob &job)
 {
-    return {circuitStructuralHash(job.circuit),
-            parameterHash(job.params), job.shots};
+    return {jobCircuitHash(job), parameterHash(job.params),
+            job.shots};
 }
 
 } // namespace varsaw

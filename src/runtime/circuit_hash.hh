@@ -30,10 +30,11 @@
 #include <cstdint>
 #include <vector>
 
-#include "runtime/job.hh"
 #include "sim/circuit.hh"
 
 namespace varsaw {
+
+struct CircuitJob;
 
 /**
  * Structural hash of a circuit: qubit count, gate sequence (kind,
@@ -41,6 +42,16 @@ namespace varsaw {
  * Labels are ignored — they are diagnostics, not semantics.
  */
 std::uint64_t circuitStructuralHash(const Circuit &circuit);
+
+/**
+ * Structural hash of a circuit's leading @p count ops (qubit count
+ * included, measurement spec and parameter count excluded). This is
+ * the prep-state identity of the prefix-sharing engine: a state-prep
+ * prefix hashes the same whether it is the leading slice of a full
+ * measurement circuit or a standalone shared prep circuit.
+ */
+std::uint64_t circuitPrefixHash(const Circuit &circuit,
+                                std::size_t count);
 
 /**
  * Hash of a parameter vector, quantized to ~2^-32 radians per slot
@@ -68,6 +79,16 @@ struct JobKeyHasher
 {
     std::size_t operator()(const JobKey &key) const;
 };
+
+/**
+ * Structural hash of the circuit a job denotes. For a plain job
+ * this is circuitStructuralHash(job.circuit); for a prefix-sharing
+ * job it hashes prep ops followed by suffix ops and the suffix's
+ * measurement spec, producing the SAME value as hashing the
+ * flattened (prep + suffix) circuit — so prefixed and cloned
+ * submissions of identical work dedupe against each other.
+ */
+std::uint64_t jobCircuitHash(const CircuitJob &job);
 
 /** Compute the content key of a job. */
 JobKey makeJobKey(const CircuitJob &job);

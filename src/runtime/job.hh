@@ -6,12 +6,22 @@
  * Batch is the ordered set of jobs one estimator tick produces.
  * Estimators build a Batch per objective evaluation and hand it to
  * BatchExecutor instead of looping over Executor::execute().
+ *
+ * Jobs come in two shapes:
+ *  - plain: `circuit` is the complete measurement circuit;
+ *  - prefix-sharing: `prep` points at a state-prep circuit shared
+ *    (by shared_ptr) across many jobs, and `circuit` holds only the
+ *    measurement suffix (basis rotations + measurement spec) over
+ *    it. This is how one objective evaluation's N basis circuits
+ *    are submitted without cloning the ansatz N times, and how the
+ *    SimEngine recognizes that they share one prepared state.
  */
 
 #ifndef VARSAW_RUNTIME_JOB_HH
 #define VARSAW_RUNTIME_JOB_HH
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -22,9 +32,60 @@ namespace varsaw {
 /** One circuit submission. */
 struct CircuitJob
 {
+    /** Full circuit, or the measurement suffix when prep is set. */
     Circuit circuit;
     std::vector<double> params;
     std::uint64_t shots = 0;
+    /** Shared state-prep prefix; null for a plain job. */
+    std::shared_ptr<const Circuit> prep;
+
+    /** Register width (the prep's width when one is attached). */
+    int numQubits() const
+    {
+        return prep ? prep->numQubits() : circuit.numQubits();
+    }
+
+    /** Qubits read out, in classical-bit order. */
+    const std::vector<int> &measuredQubits() const
+    {
+        return circuit.measuredQubits();
+    }
+
+    /** Number of measured qubits. */
+    int numMeasured() const { return circuit.numMeasured(); }
+
+    /** One-qubit gates across prep + suffix. */
+    int oneQubitGateCount() const
+    {
+        return (prep ? prep->oneQubitGateCount() : 0) +
+            circuit.oneQubitGateCount();
+    }
+
+    /** Two-qubit gates across prep + suffix. */
+    int twoQubitGateCount() const
+    {
+        return (prep ? prep->twoQubitGateCount() : 0) +
+            circuit.twoQubitGateCount();
+    }
+
+    /**
+     * The complete circuit this job denotes: the plain circuit, or
+     * prep + suffix concatenated (with the suffix's measurement
+     * spec). Used by backends that cannot split execution (density
+     * matrix) and by diagnostics; hot paths work on the two halves
+     * directly.
+     */
+    Circuit flattened() const
+    {
+        if (!prep)
+            return circuit;
+        Circuit full(prep->numQubits(), circuit.label());
+        full.append(*prep);
+        full.append(circuit);
+        for (int q : circuit.measuredQubits())
+            full.measure(q);
+        return full;
+    }
 };
 
 /** An ordered collection of jobs submitted together. */
@@ -44,7 +105,23 @@ class Batch
                     std::uint64_t shots)
     {
         jobs_.push_back(
-            {std::move(circuit), std::move(params), shots});
+            {std::move(circuit), std::move(params), shots, nullptr});
+        return jobs_.size() - 1;
+    }
+
+    /**
+     * Append a prefix-sharing job: @p suffix (basis rotations +
+     * measurement spec) executes over the state @p prep prepares.
+     * The prep circuit is shared, not copied — every basis circuit
+     * of one evaluation should pass the same shared_ptr.
+     */
+    std::size_t addPrefixed(std::shared_ptr<const Circuit> prep,
+                            Circuit suffix,
+                            std::vector<double> params,
+                            std::uint64_t shots)
+    {
+        jobs_.push_back({std::move(suffix), std::move(params), shots,
+                         std::move(prep)});
         return jobs_.size() - 1;
     }
 

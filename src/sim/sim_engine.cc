@@ -1,0 +1,157 @@
+#include "sim/sim_engine.hh"
+
+#include <memory>
+
+// The prep-identity hashes deliberately reuse the runtime's content
+// hashing (structural circuit hash + quantized parameter hash) so
+// that the engine's prep keys, the ResultCache's job keys, and the
+// batch scheduler's grouping keys all agree on what "the same
+// computation" means. circuit_hash depends only on sim/ types.
+#include "runtime/circuit_hash.hh"
+#include "sim/statevector.hh"
+#include "util/logging.hh"
+
+namespace varsaw {
+
+namespace {
+
+/** Whether a gate kind may sit in the measurement suffix. */
+bool
+isBasisChangeGate(GateKind kind)
+{
+    return kind == GateKind::H || kind == GateKind::S ||
+        kind == GateKind::Sdg;
+}
+
+} // namespace
+
+PrefixSplit
+splitPrepSuffix(const Circuit &circuit)
+{
+    const auto &ops = circuit.ops();
+    std::size_t k = ops.size();
+    while (k > 0 && isBasisChangeGate(ops[k - 1].kind))
+        --k;
+    return {k};
+}
+
+PrepKey
+prepKeyOf(const Circuit *prep, const Circuit &circuit,
+          const std::vector<double> &params)
+{
+    // The prep circuit gets the same trailing-run split as a plain
+    // circuit: if the ansatz itself ends with H/S/Sdg gates, those
+    // belong to the suffix in BOTH shapes, so a (prep, suffix) job
+    // and its flattened twin always hash to the same prep key.
+    PrepKey key;
+    if (prep)
+        key.structure = circuitPrefixHash(
+            *prep, splitPrepSuffix(*prep).prefixOps);
+    else
+        key.structure = circuitPrefixHash(
+            circuit, splitPrepSuffix(circuit).prefixOps);
+    key.params = parameterHash(params);
+    return key;
+}
+
+SimEngine::SimEngine(SimEngineConfig config)
+    : cacheEnabled_(config.cacheEnabled),
+      cache_(config.cacheMaxEntries)
+{
+}
+
+std::vector<double>
+SimEngine::measuredMarginal(const Circuit *prep,
+                            const Circuit &circuit,
+                            const std::vector<double> &params)
+{
+    if (prep && prep->numQubits() != circuit.numQubits())
+        panic("SimEngine: prep/suffix width mismatch");
+    const int n = circuit.numQubits();
+
+    // Resolve the op spans for both job shapes. The prep circuit
+    // gets the same trailing-run split as a plain circuit (see
+    // prepKeyOf), so its trailing H/S/Sdg gates — if any — become a
+    // middle "tail" span applied after the cached prefix; for
+    // typical rotation-terminated ansatze the tail is empty.
+    const auto &circuitOps = circuit.ops();
+    const GateOp *prefixOps;
+    std::size_t prefixCount;
+    const GateOp *tailOps = nullptr;
+    std::size_t tailCount = 0;
+    const GateOp *suffixOps;
+    std::size_t suffixCount;
+    if (prep) {
+        const PrefixSplit split = splitPrepSuffix(*prep);
+        prefixOps = prep->ops().data();
+        prefixCount = split.prefixOps;
+        tailOps = prep->ops().data() + split.prefixOps;
+        tailCount = prep->ops().size() - split.prefixOps;
+        suffixOps = circuitOps.data();
+        suffixCount = circuitOps.size();
+    } else {
+        const PrefixSplit split = splitPrepSuffix(circuit);
+        prefixOps = circuitOps.data();
+        prefixCount = split.prefixOps;
+        suffixOps = circuitOps.data() + split.prefixOps;
+        suffixCount = circuitOps.size() - split.prefixOps;
+    }
+
+    if (!cacheEnabled()) {
+        // Uncached: the identical gate sequence on one fresh state.
+        Statevector sv(n);
+        sv.applyOps(prefixOps, prefixCount, params);
+        sv.applyOps(tailOps, tailCount, params);
+        sv.applyOps(suffixOps, suffixCount, params);
+        fullSimulations_.fetch_add(1, std::memory_order_relaxed);
+        return sv.marginalProbabilities(circuit.measuredQubits());
+    }
+
+    const PrepKey key = prepKeyOf(prep, circuit, params);
+    StateCache::StatePtr prepared = cache_.getOrPrepare(key, [&] {
+        auto state = std::make_shared<Statevector>(n);
+        state->applyOps(prefixOps, prefixCount, params);
+        prepSimulations_.fetch_add(1, std::memory_order_relaxed);
+        return StateCache::StatePtr(std::move(state));
+    });
+
+    suffixApplications_.fetch_add(1, std::memory_order_relaxed);
+
+    // All-Z bases have no suffix gates at all: answer straight from
+    // the shared immutable state, skipping the dense copy.
+    if (tailCount == 0 && suffixCount == 0)
+        return prepared->marginalProbabilities(
+            circuit.measuredQubits());
+
+    // Each suffix works on its own copy of the prepared amplitudes;
+    // the shared state itself is immutable.
+    Statevector sv(*prepared);
+    sv.applyOps(tailOps, tailCount, params);
+    sv.applyOps(suffixOps, suffixCount, params);
+    return sv.marginalProbabilities(circuit.measuredQubits());
+}
+
+SimEngineStats
+SimEngine::stats() const
+{
+    SimEngineStats out;
+    out.prepSimulations =
+        prepSimulations_.load(std::memory_order_relaxed);
+    out.suffixApplications =
+        suffixApplications_.load(std::memory_order_relaxed);
+    out.fullSimulations =
+        fullSimulations_.load(std::memory_order_relaxed);
+    out.cache = cache_.stats();
+    return out;
+}
+
+void
+SimEngine::resetStats()
+{
+    prepSimulations_.store(0, std::memory_order_relaxed);
+    suffixApplications_.store(0, std::memory_order_relaxed);
+    fullSimulations_.store(0, std::memory_order_relaxed);
+    cache_.resetStats();
+}
+
+} // namespace varsaw

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Prefix-shared simulation engine.
+ *
+ * VarSaw workloads are dominated by redundancy: every circuit of an
+ * objective evaluation shares the same ansatz state-prep and differs
+ * only in a measurement suffix (basis rotations + measured-qubit
+ * set). The SimEngine exploits this below the executor layer: it
+ * splits each circuit into a prep **prefix** and a measurement
+ * **suffix**, content-hashes the prefix together with the bound
+ * parameter values, and caches the prepared Statevector — so N
+ * basis/subset circuits per evaluation cost ONE full simulation
+ * plus N cheap suffix applications and marginals.
+ *
+ * Circuits arrive in two shapes:
+ *  - an explicit (prep, suffix) pair — the shape the estimators
+ *    submit via Batch::addPrefixed();
+ *  - a plain full circuit, which splitPrepSuffix() divides at the
+ *    trailing run of basis-rotation gates (H/S/Sdg). Both shapes of
+ *    the same work hash to the same prep key and share cache
+ *    entries.
+ *
+ * Determinism: a prepared state is a pure function of (prefix,
+ * params) with no randomness, so caching can never change results —
+ * only skip work. The cache guarantees exactly one preparation per
+ * key per epoch even under concurrent access (see StateCache), so
+ * the engine counters are thread-count-independent too. With the
+ * cache disabled the engine simply runs prefix + suffix on one
+ * fresh Statevector, which applies the identical gate sequence and
+ * is bit-identical to simulating the full circuit in one go.
+ */
+
+#ifndef VARSAW_SIM_SIM_ENGINE_HH
+#define VARSAW_SIM_SIM_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.hh"
+#include "sim/state_cache.hh"
+
+namespace varsaw {
+
+/** Where a plain circuit divides into prep prefix and suffix. */
+struct PrefixSplit
+{
+    /** Ops [0, prefixOps) prepare the state; the rest measure it. */
+    std::size_t prefixOps = 0;
+};
+
+/**
+ * Split a full circuit at the trailing run of basis-change gates
+ * (H, S, Sdg). The same ansatz therefore yields the same prefix
+ * under every measurement basis, which is what lets the prepared
+ * state be shared across them.
+ */
+PrefixSplit splitPrepSuffix(const Circuit &circuit);
+
+/**
+ * Prep-state identity of a circuit: the structural hash of its prep
+ * prefix (the attached prep circuit's ops, or the leading
+ * splitPrepSuffix() slice of a plain circuit) combined with the
+ * quantized parameter hash. @p prep may be null.
+ */
+PrepKey prepKeyOf(const Circuit *prep, const Circuit &circuit,
+                  const std::vector<double> &params);
+
+/** Work counters of the engine (all monotonic). */
+struct SimEngineStats
+{
+    /** Full state-prep simulations actually run. */
+    std::uint64_t prepSimulations = 0;
+
+    /** Suffix applications over a (cached or fresh) prepared state. */
+    std::uint64_t suffixApplications = 0;
+
+    /** Whole-circuit simulations on the cache-disabled path. */
+    std::uint64_t fullSimulations = 0;
+
+    /** Prep-cache lookup statistics. */
+    StateCacheStats cache;
+};
+
+/** Tunables of the engine. */
+struct SimEngineConfig
+{
+    /** Share prepared states across suffixes (on by default). */
+    bool cacheEnabled = true;
+
+    /**
+     * Prepared-state cache entry cap. Each entry is a dense
+     * 2^n-amplitude vector (16 B per amplitude: 1 MiB at 16 qubits,
+     * 1 GiB at kMaxQubits), and entries from superseded parameter
+     * points stay resident until the cap trips a bulk clear — size
+     * this for the register width in play, not just the key count.
+     * Counters stay exact across thread counts as long as distinct
+     * keys per epoch fit the cap (results are unaffected either
+     * way).
+     */
+    std::size_t cacheMaxEntries = 32;
+};
+
+/**
+ * The prefix-sharing simulation engine. Thread-safe: executors call
+ * measuredMarginal() concurrently from every runtime worker.
+ */
+class SimEngine
+{
+  public:
+    explicit SimEngine(SimEngineConfig config = {});
+
+    /**
+     * Exact marginal distribution over @p circuit's measured qubits
+     * after preparing with @p prep (may be null for a plain
+     * circuit) and applying the suffix, at parameter values
+     * @p params. Entry y sums |amp|^2 over basis states whose bits
+     * at the measured positions spell y.
+     */
+    std::vector<double>
+    measuredMarginal(const Circuit *prep, const Circuit &circuit,
+                     const std::vector<double> &params);
+
+    /** Toggle prepared-state sharing (results are unaffected). */
+    void setCacheEnabled(bool enabled)
+    {
+        cacheEnabled_.store(enabled, std::memory_order_relaxed);
+    }
+
+    /** Whether prepared states are shared. */
+    bool cacheEnabled() const
+    {
+        return cacheEnabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Snapshot of the work counters. */
+    SimEngineStats stats() const;
+
+    /** Zero the counters and statistics (entries are kept). */
+    void resetStats();
+
+    /** Drop all cached prepared states. */
+    void clearCache() { cache_.clear(); }
+
+    /** The prepared-state cache. */
+    const StateCache &cache() const { return cache_; }
+
+  private:
+    std::atomic<bool> cacheEnabled_;
+    StateCache cache_;
+    std::atomic<std::uint64_t> prepSimulations_{0};
+    std::atomic<std::uint64_t> suffixApplications_{0};
+    std::atomic<std::uint64_t> fullSimulations_{0};
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_SIM_SIM_ENGINE_HH

@@ -1,0 +1,99 @@
+#include "sim/state_cache.hh"
+
+#include "util/logging.hh"
+
+namespace varsaw {
+
+StateCache::StateCache(std::size_t max_entries)
+    : maxEntries_(max_entries)
+{
+    if (maxEntries_ < 1)
+        panic("StateCache: entry cap must be >= 1");
+}
+
+StateCache::StatePtr
+StateCache::getOrPrepare(const PrepKey &key,
+                         const std::function<StatePtr()> &prepare)
+{
+    std::shared_future<StatePtr> waitOn;
+    std::promise<StatePtr> publish;
+    std::uint64_t epoch = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.hits;
+            waitOn = it->second;
+        } else {
+            // Bound the map before claiming. Under concurrency the
+            // clear point follows claim-arrival order, so once a
+            // workload exceeds the cap within one epoch the
+            // *counters* (not results — prepared states are pure)
+            // can vary with worker timing; keep distinct keys per
+            // evaluation under the cap to keep them exact.
+            // In-flight waiters hold their own shared_future
+            // copies, so clearing under them is safe.
+            if (entries_.size() >= maxEntries_) {
+                entries_.clear();
+                ++stats_.clears;
+            }
+            ++stats_.misses;
+            epoch = stats_.clears;
+            entries_.emplace(key, publish.get_future().share());
+        }
+    }
+
+    if (waitOn.valid())
+        return waitOn.get();
+
+    // This caller claimed the key: run the preparation and publish
+    // the state for everyone waiting on the shared future.
+    StatePtr state;
+    try {
+        state = prepare();
+    } catch (...) {
+        // Propagate to the waiters and retract the claim so later
+        // callers retry instead of hitting a forever-broken future.
+        // The entry is provably still ours iff no clear happened
+        // since the claim (duplicate claims within an epoch are
+        // impossible).
+        publish.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stats_.clears == epoch)
+            entries_.erase(key);
+        throw;
+    }
+    publish.set_value(state);
+    return state;
+}
+
+void
+StateCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    ++stats_.clears;
+}
+
+std::size_t
+StateCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+StateCacheStats
+StateCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+StateCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_ = StateCacheStats{};
+}
+
+} // namespace varsaw

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Cache of prepared quantum states, keyed by prep-circuit content.
+ *
+ * The storage half of the prefix-sharing SimEngine: a prepared
+ * Statevector is a deterministic pure function of (prefix gate
+ * sequence, parameter values), so once one caller has simulated it,
+ * every other measurement suffix over the same prep can start from
+ * the cached amplitudes instead of re-running the ansatz from
+ * |0...0>.
+ *
+ * Concurrency contract: getOrPrepare() guarantees that exactly one
+ * caller runs the preparation for a given key per cache epoch —
+ * later callers (including concurrent ones) block on the first
+ * caller's shared future. Because preparation is deterministic,
+ * worker timing can influence neither the returned states nor
+ * (thanks to the exactly-once claim) the preparation counters.
+ */
+
+#ifndef VARSAW_SIM_STATE_CACHE_HH
+#define VARSAW_SIM_STATE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "sim/statevector.hh"
+#include "util/rng.hh"
+
+namespace varsaw {
+
+/** Content identity of a prepared state: prefix structure + params. */
+struct PrepKey
+{
+    std::uint64_t structure = 0; //!< prefix-ops structural hash
+    std::uint64_t params = 0;    //!< quantized parameter hash
+
+    bool operator==(const PrepKey &other) const
+    {
+        return structure == other.structure &&
+            params == other.params;
+    }
+
+    /** Single-word digest (grouping key for the batch scheduler). */
+    std::uint64_t combined() const
+    {
+        return mix64(structure, params);
+    }
+};
+
+/** Hash functor so PrepKey can key an unordered_map. */
+struct PrepKeyHasher
+{
+    std::size_t operator()(const PrepKey &key) const
+    {
+        return static_cast<std::size_t>(
+            mix64(key.structure, key.params));
+    }
+};
+
+/** Hit/miss accounting for the prepared-state cache. */
+struct StateCacheStats
+{
+    std::uint64_t hits = 0;        //!< answered from a cached state
+    std::uint64_t misses = 0;      //!< preparations run (exactly one per key per epoch)
+    std::uint64_t clears = 0;      //!< bulk evictions on reaching the cap
+
+    double hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0
+            ? 0.0
+            : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/** Thread-safe, bounded cache of prepared states. */
+class StateCache
+{
+  public:
+    using StatePtr = std::shared_ptr<const Statevector>;
+
+    /**
+     * @param max_entries Entry cap. Prepared states are dense
+     * (2^n amplitudes), so the default is deliberately small; on
+     * reaching the cap the cache clears in bulk (a point determined
+     * purely by the key sequence, never by worker timing).
+     */
+    explicit StateCache(std::size_t max_entries = 32);
+
+    /**
+     * Return the prepared state for @p key, running @p prepare at
+     * most once per key per epoch. Concurrent callers with the same
+     * key block on the preparing caller's shared future.
+     */
+    StatePtr getOrPrepare(const PrepKey &key,
+                          const std::function<StatePtr()> &prepare);
+
+    /** Drop all entries (statistics are kept). */
+    void clear();
+
+    /** Current entry count (including in-flight preparations). */
+    std::size_t size() const;
+
+    /** Entry cap. */
+    std::size_t maxEntries() const { return maxEntries_; }
+
+    /** Snapshot of the statistics. */
+    StateCacheStats stats() const;
+
+    /** Zero the statistics (entries are kept). */
+    void resetStats();
+
+  private:
+    mutable std::mutex mutex_;
+    std::size_t maxEntries_;
+    /**
+     * Key -> shared future of the prepared state. Entries are
+     * inserted at claim time (before preparation finishes), so the
+     * map doubles as the in-flight dedupe table: whoever inserts
+     * runs the preparation, everyone else waits on the future.
+     */
+    std::unordered_map<PrepKey, std::shared_future<StatePtr>,
+                       PrepKeyHasher>
+        entries_;
+    StateCacheStats stats_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_SIM_STATE_CACHE_HH

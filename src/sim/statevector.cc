@@ -63,8 +63,12 @@ rz(double theta)
 
 Statevector::Statevector(int num_qubits) : numQubits_(num_qubits)
 {
-    if (num_qubits < 1 || num_qubits > 26)
-        panic("Statevector: qubit count must be in [1, 26]");
+    if (num_qubits < 1 || num_qubits > kMaxQubits)
+        panic("Statevector: register of " +
+              std::to_string(num_qubits) +
+              " qubits is not densely simulable; supported range is "
+              "[1, " + std::to_string(kMaxQubits) +
+              "] (kMaxQubits: 2^26 amplitudes = 1 GiB)");
     amps_.assign(1ull << num_qubits, Amplitude(0.0, 0.0));
     amps_[0] = Amplitude(1.0, 0.0);
 }
@@ -79,11 +83,13 @@ Statevector::reset()
 void
 Statevector::apply1Q(int q, const Matrix2 &m)
 {
+    // Enumerate the 2^(n-1) amplitude pairs directly: k runs over
+    // the free bits and a zero is inserted at the target position,
+    // so no index is visited and skipped.
     const std::uint64_t bit = 1ull << q;
-    const std::uint64_t n = amps_.size();
-    for (std::uint64_t i = 0; i < n; ++i) {
-        if (i & bit)
-            continue;
+    const std::uint64_t pairs = amps_.size() >> 1;
+    for (std::uint64_t k = 0; k < pairs; ++k) {
+        const std::uint64_t i = insertZeroBit(k, q);
         const Amplitude a0 = amps_[i];
         const Amplitude a1 = amps_[i | bit];
         amps_[i] = m.m00 * a0 + m.m01 * a1;
@@ -94,25 +100,29 @@ Statevector::apply1Q(int q, const Matrix2 &m)
 void
 Statevector::applyCX(int control, int target)
 {
+    // 2^(n-2) affected pairs: control set, target clear.
     const std::uint64_t cbit = 1ull << control;
     const std::uint64_t tbit = 1ull << target;
-    const std::uint64_t n = amps_.size();
-    for (std::uint64_t i = 0; i < n; ++i) {
-        // Visit each affected pair once: control set, target clear.
-        if ((i & cbit) && !(i & tbit))
-            std::swap(amps_[i], amps_[i | tbit]);
+    const std::uint64_t quads = amps_.size() >> 2;
+    for (std::uint64_t k = 0; k < quads; ++k) {
+        const std::uint64_t i =
+            insertTwoZeroBits(k, control, target) | cbit;
+        std::swap(amps_[i], amps_[i | tbit]);
     }
 }
 
 void
 Statevector::applyCZ(int a, int b)
 {
+    // Only the 2^(n-2) amplitudes with both bits set change sign.
     const std::uint64_t abit = 1ull << a;
     const std::uint64_t bbit = 1ull << b;
-    const std::uint64_t n = amps_.size();
-    for (std::uint64_t i = 0; i < n; ++i)
-        if ((i & abit) && (i & bbit))
-            amps_[i] = -amps_[i];
+    const std::uint64_t quads = amps_.size() >> 2;
+    for (std::uint64_t k = 0; k < quads; ++k) {
+        const std::uint64_t i =
+            insertTwoZeroBits(k, a, b) | abit | bbit;
+        amps_[i] = -amps_[i];
+    }
 }
 
 void
@@ -134,12 +144,14 @@ Statevector::applyRZZ(int a, int b, double theta)
 void
 Statevector::applySwap(int a, int b)
 {
+    // 2^(n-2) swapped pairs: a set / b clear <-> a clear / b set.
     const std::uint64_t abit = 1ull << a;
     const std::uint64_t bbit = 1ull << b;
-    const std::uint64_t n = amps_.size();
-    for (std::uint64_t i = 0; i < n; ++i)
-        if ((i & abit) && !(i & bbit))
-            std::swap(amps_[i ^ abit ^ bbit], amps_[i]);
+    const std::uint64_t quads = amps_.size() >> 2;
+    for (std::uint64_t k = 0; k < quads; ++k) {
+        const std::uint64_t i = insertTwoZeroBits(k, a, b) | abit;
+        std::swap(amps_[i ^ abit ^ bbit], amps_[i]);
+    }
 }
 
 void
@@ -180,6 +192,141 @@ Statevector::applyOp(const GateOp &op, const std::vector<double> &params)
     }
 }
 
+namespace {
+
+/** Whether a gate kind is diagonal in the computational basis. */
+bool
+isDiagonalGate(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::RZ:
+      case GateKind::CZ:
+      case GateKind::RZZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** One fused diagonal gate: how to pick this gate's phase factor. */
+struct DiagFactor
+{
+    enum class Sel
+    {
+        Bit,    //!< f1 if the masked bit is set, else f0
+        AllOf,  //!< negate when every masked bit is set (CZ)
+        Parity, //!< f1 on odd masked parity, else f0 (RZZ)
+    };
+
+    Sel sel = Sel::Bit;
+    std::uint64_t mask = 0;
+    Statevector::Amplitude f0{1.0, 0.0};
+    Statevector::Amplitude f1{1.0, 0.0};
+};
+
+} // namespace
+
+void
+Statevector::applyDiagonalRun(const GateOp *ops, std::size_t count,
+                              const std::vector<double> &params)
+{
+    using namespace std::complex_literals;
+    std::vector<DiagFactor> factors(count);
+    for (std::size_t g = 0; g < count; ++g) {
+        const GateOp &op = ops[g];
+        double theta = op.param;
+        if (op.paramIndex >= 0) {
+            if (static_cast<std::size_t>(op.paramIndex) >=
+                params.size())
+                panic("Statevector::applyDiagonalRun: parameter "
+                      "index out of range");
+            theta = params[op.paramIndex];
+        }
+        DiagFactor &f = factors[g];
+        switch (op.kind) {
+          case GateKind::RZ: {
+            const Matrix2 m = gates::rz(theta);
+            f.mask = 1ull << op.q0;
+            f.f0 = m.m00;
+            f.f1 = m.m11;
+            break;
+          }
+          case GateKind::CZ:
+            f.sel = DiagFactor::Sel::AllOf;
+            f.mask = (1ull << op.q0) | (1ull << op.q1);
+            break;
+          case GateKind::RZZ:
+            f.sel = DiagFactor::Sel::Parity;
+            f.mask = (1ull << op.q0) | (1ull << op.q1);
+            f.f0 = std::exp(-1i * (theta / 2.0));
+            f.f1 = std::exp(1i * (theta / 2.0));
+            break;
+          default: {
+            const Matrix2 m = gates::fixedMatrix(op.kind);
+            f.mask = 1ull << op.q0;
+            f.f0 = m.m00;
+            f.f1 = m.m11;
+            break;
+          }
+        }
+    }
+
+    // One read-modify-write pass: every amplitude is multiplied by
+    // each gate's phase in gate order, exactly the per-amplitude
+    // arithmetic the unfused kernels perform.
+    const std::uint64_t n = amps_.size();
+    for (std::uint64_t i = 0; i < n; ++i) {
+        Amplitude a = amps_[i];
+        for (const DiagFactor &f : factors) {
+            switch (f.sel) {
+              case DiagFactor::Sel::Bit:
+                a *= (i & f.mask) ? f.f1 : f.f0;
+                break;
+              case DiagFactor::Sel::AllOf:
+                if ((i & f.mask) == f.mask)
+                    a = -a;
+                break;
+              case DiagFactor::Sel::Parity:
+                a *= parity(i & f.mask) ? f.f1 : f.f0;
+                break;
+            }
+        }
+        amps_[i] = a;
+    }
+}
+
+void
+Statevector::applyOps(const GateOp *ops, std::size_t count,
+                      const std::vector<double> &params)
+{
+    std::size_t i = 0;
+    while (i < count) {
+        if (isDiagonalGate(ops[i].kind)) {
+            std::size_t j = i + 1;
+            bool full_pass = ops[i].kind != GateKind::CZ;
+            while (j < count && isDiagonalGate(ops[j].kind)) {
+                full_pass |= ops[j].kind != GateKind::CZ;
+                ++j;
+            }
+            // Fuse only when the run contains a gate that touches
+            // every amplitude anyway (RZ/RZZ/Z/S/Sdg/T): a CZ-only
+            // run is cheaper as quarter-pass kernels than as a
+            // fused full sweep.
+            if (j - i >= 2 && full_pass) {
+                applyDiagonalRun(ops + i, j - i, params);
+                i = j;
+                continue;
+            }
+        }
+        applyOp(ops[i], params);
+        ++i;
+    }
+}
+
 void
 Statevector::run(const Circuit &circuit, const std::vector<double> &params)
 {
@@ -187,8 +334,7 @@ Statevector::run(const Circuit &circuit, const std::vector<double> &params)
         panic("Statevector::run: circuit width mismatch");
     if (circuit.numParams() > static_cast<int>(params.size()))
         panic("Statevector::run: parameter vector too short");
-    for (const auto &op : circuit.ops())
-        applyOp(op, params);
+    applyOps(circuit.ops().data(), circuit.ops().size(), params);
 }
 
 double
@@ -214,6 +360,28 @@ Statevector::marginalProbabilities(const std::vector<int> &measured) const
 {
     const int m = static_cast<int>(measured.size());
     std::vector<double> probs(1ull << m, 0.0);
+
+    // Identity layout (measured qubits are 0..m-1 in order — every
+    // measureAll() circuit): the compact index is just the low bits,
+    // so skip the per-amplitude bit gather.
+    bool identity = true;
+    for (int q = 0; q < m; ++q)
+        if (measured[static_cast<std::size_t>(q)] != q) {
+            identity = false;
+            break;
+        }
+    if (identity) {
+        const std::uint64_t mask = (m == 64) ? ~0ull
+                                             : (1ull << m) - 1ull;
+        for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+            const double p = std::norm(amps_[i]);
+            if (p == 0.0)
+                continue;
+            probs[i & mask] += p;
+        }
+        return probs;
+    }
+
     for (std::uint64_t i = 0; i < amps_.size(); ++i) {
         const double p = std::norm(amps_[i]);
         if (p == 0.0)
@@ -271,12 +439,25 @@ Statevector::applyPauli(const PauliString &p)
         {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
     const std::complex<double> phase = i_pow[n_y & 3];
 
-    std::vector<Amplitude> out(amps_.size());
+    if (x == 0) {
+        // Z-type string: a pure phase, applied truly in place.
+        for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+            const double sign = paritySign(i & z);
+            amps_[i] = phase * sign * amps_[i];
+        }
+        return;
+    }
+
+    // Bit-permuting case: write into the ping-pong buffer and swap.
+    // The buffer is allocated on first use and reused afterwards, so
+    // repeated applications (trajectory sampling, expectation sweeps)
+    // perform no per-call allocation.
+    scratch_.resize(amps_.size());
     for (std::uint64_t i = 0; i < amps_.size(); ++i) {
         const double sign = paritySign(i & z);
-        out[i ^ x] = phase * sign * amps_[i];
+        scratch_[i ^ x] = phase * sign * amps_[i];
     }
-    amps_ = std::move(out);
+    amps_.swap(scratch_);
 }
 
 } // namespace varsaw

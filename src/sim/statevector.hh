@@ -22,14 +22,42 @@
 
 namespace varsaw {
 
-/** Dense complex state vector over up to ~26 qubits. */
+/** Dense complex state vector over up to kMaxQubits qubits. */
 class Statevector
 {
   public:
     using Amplitude = std::complex<double>;
 
+    /**
+     * Widest simulable register: 2^26 amplitudes = 1 GiB of
+     * complex<double>. Wider registers must go through sparse or
+     * tensor-network methods this library does not provide.
+     */
+    static constexpr int kMaxQubits = 26;
+
     /** Initialize to |0...0> over @p num_qubits qubits. */
     explicit Statevector(int num_qubits);
+
+    /**
+     * Copies transfer the quantum state only; the ping-pong scratch
+     * buffer backing applyPauli() is an allocation cache and stays
+     * with its owner (and is left untouched in the assigned-to
+     * object, so its capacity is reused).
+     */
+    Statevector(const Statevector &other)
+        : numQubits_(other.numQubits_), amps_(other.amps_)
+    {
+    }
+
+    Statevector &operator=(const Statevector &other)
+    {
+        numQubits_ = other.numQubits_;
+        amps_ = other.amps_;
+        return *this;
+    }
+
+    Statevector(Statevector &&) = default;
+    Statevector &operator=(Statevector &&) = default;
 
     /** Number of qubits. */
     int numQubits() const { return numQubits_; }
@@ -60,6 +88,18 @@ class Statevector
      * @p params (may be empty if the op is fully bound).
      */
     void applyOp(const GateOp &op, const std::vector<double> &params);
+
+    /**
+     * Apply a contiguous gate sequence. Consecutive runs of
+     * diagonal gates (RZ/CZ/RZZ and the fixed diagonals Z/S/Sdg/T)
+     * are fused into a single pass over the amplitudes: each
+     * amplitude is read once, multiplied by every phase of the run
+     * in gate order, and written once. The per-amplitude arithmetic
+     * sequence is identical to applying the gates one by one, so
+     * fusion changes memory traffic, not results.
+     */
+    void applyOps(const GateOp *ops, std::size_t count,
+                  const std::vector<double> &params);
 
     /**
      * Run all gates of @p circuit with the given parameter vector.
@@ -95,8 +135,19 @@ class Statevector
     void applyPauli(const PauliString &p);
 
   private:
+    /** Fused single-pass application of >= 2 diagonal gates. */
+    void applyDiagonalRun(const GateOp *ops, std::size_t count,
+                          const std::vector<double> &params);
+
     int numQubits_;
     std::vector<Amplitude> amps_;
+    /**
+     * Ping-pong buffer for applyPauli's bit-permuting case:
+     * allocated on first use, then swapped with amps_ each call so
+     * neither vector is ever reallocated. Not part of the state —
+     * copies do not transfer it.
+     */
+    std::vector<Amplitude> scratch_;
 };
 
 /** Rotation/Clifford gate matrices. */

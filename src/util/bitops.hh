@@ -70,6 +70,33 @@ scatterBits(std::uint64_t value, const std::vector<int> &positions)
     return out;
 }
 
+/**
+ * Insert a zero bit at position @p pos: bits at positions >= pos
+ * shift up by one, bits below stay. The workhorse of pair-iteration
+ * state-vector kernels: enumerating k over [0, 2^(n-1)) and
+ * inserting a zero at the target qubit visits every amplitude pair
+ * (i, i | 1<<pos) exactly once without scanning the skipped half.
+ */
+inline std::uint64_t
+insertZeroBit(std::uint64_t value, int pos)
+{
+    const std::uint64_t low = value & ((1ull << pos) - 1ull);
+    return ((value >> pos) << (pos + 1)) | low;
+}
+
+/**
+ * Insert zero bits at two distinct positions (final coordinates).
+ * Positions are sorted internally; insertion proceeds lowest-first
+ * so both indices refer to the resulting word.
+ */
+inline std::uint64_t
+insertTwoZeroBits(std::uint64_t value, int a, int b)
+{
+    const int lo = a < b ? a : b;
+    const int hi = a < b ? b : a;
+    return insertZeroBit(insertZeroBit(value, lo), hi);
+}
+
 /** Mask with bits at all listed positions set. */
 inline std::uint64_t
 positionsMask(const std::vector<int> &positions)

@@ -31,6 +31,8 @@
 #include "sim/circuit.hh"
 #include "sim/density_matrix.hh"
 #include "sim/gate.hh"
+#include "sim/sim_engine.hh"
+#include "sim/state_cache.hh"
 #include "sim/statevector.hh"
 
 // Noise substrate

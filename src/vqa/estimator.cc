@@ -51,10 +51,19 @@ BaselineEstimator::BaselineEstimator(const Hamiltonian &hamiltonian,
                                      BasisMode basis_mode,
                                      ShotAllocation allocation,
                                      const RuntimeConfig &runtime)
-    : hamiltonian_(hamiltonian), ansatz_(ansatz),
+    : hamiltonian_(hamiltonian),
+      prep_(std::make_shared<const Circuit>(ansatz)),
       runtime_(executor, runtime), shots_(shots),
       reduction_(reduceBases(hamiltonian.strings(), basis_mode))
 {
+    // The ansatz and bases are fixed for the estimator's lifetime,
+    // so the measurement suffixes are built once; each evaluation
+    // submits them against the shared prep instead of cloning the
+    // full prepared circuit per basis.
+    suffixes_.reserve(reduction_.bases.size());
+    for (const auto &basis : reduction_.bases)
+        suffixes_.push_back(makeGlobalSuffix(basis));
+
     const std::size_t n = reduction_.bases.size();
     basisShots_.assign(n, shots);
     if (allocation == ShotAllocation::CoefficientWeighted &&
@@ -84,10 +93,10 @@ double
 BaselineEstimator::estimate(const std::vector<double> &params)
 {
     Batch batch;
-    batch.reserve(reduction_.bases.size());
-    for (std::size_t b = 0; b < reduction_.bases.size(); ++b)
-        batch.add(makeGlobalCircuit(ansatz_, reduction_.bases[b]),
-                  params, basisShots_[b]);
+    batch.reserve(suffixes_.size());
+    for (std::size_t b = 0; b < suffixes_.size(); ++b)
+        batch.addPrefixed(prep_, suffixes_[b], params,
+                          basisShots_[b]);
     const std::vector<Pmf> pmfs = runtime_.run(batch);
     return energyFromBasisPmfs(hamiltonian_, reduction_, pmfs);
 }
@@ -98,40 +107,42 @@ JigsawEstimator::JigsawEstimator(const Hamiltonian &hamiltonian,
                                  const JigsawConfig &config,
                                  BasisMode basis_mode,
                                  const RuntimeConfig &runtime)
-    : hamiltonian_(hamiltonian), ansatz_(ansatz),
+    : hamiltonian_(hamiltonian),
+      prep_(std::make_shared<const Circuit>(ansatz)),
       runtime_(executor, runtime), config_(config),
       reduction_(reduceBases(hamiltonian.strings(), basis_mode))
 {
+    suffixSets_.reserve(reduction_.bases.size());
+    for (const auto &basis : reduction_.bases)
+        suffixSets_.push_back(
+            makeJigsawSuffixes(basis, config_.subsetSize));
 }
 
 double
 JigsawEstimator::estimate(const std::vector<double> &params)
 {
     // One batch holds every basis's CPMs and Global so independent
-    // circuits from different bases can run concurrently.
-    std::vector<JigsawCircuitSet> sets;
-    sets.reserve(reduction_.bases.size());
+    // circuits from different bases can run concurrently; all jobs
+    // share the single prep prefix.
     Batch batch;
     std::vector<std::size_t> first_subset_index;
     std::vector<std::size_t> global_index;
-    for (const auto &basis : reduction_.bases) {
-        sets.push_back(makeJigsawCircuits(ansatz_, basis,
-                                          config_.subsetSize));
-        const JigsawCircuitSet &set = sets.back();
+    for (const JigsawCircuitSet &set : suffixSets_) {
         first_subset_index.push_back(batch.size());
         for (const auto &c : set.subsetCircuits)
-            batch.add(c, params, config_.subsetShots);
+            batch.addPrefixed(prep_, c, params,
+                              config_.subsetShots);
         global_index.push_back(
-            batch.add(set.globalCircuit, params,
-                      config_.globalShots));
+            batch.addPrefixed(prep_, set.globalCircuit, params,
+                              config_.globalShots));
     }
 
     const std::vector<Pmf> results = runtime_.run(batch);
 
     std::vector<Pmf> pmfs;
-    pmfs.reserve(sets.size());
-    for (std::size_t b = 0; b < sets.size(); ++b) {
-        const JigsawCircuitSet &set = sets[b];
+    pmfs.reserve(suffixSets_.size());
+    for (std::size_t b = 0; b < suffixSets_.size(); ++b) {
+        const JigsawCircuitSet &set = suffixSets_[b];
         std::vector<Pmf> subset_pmfs(
             results.begin() +
                 static_cast<std::ptrdiff_t>(first_subset_index[b]),

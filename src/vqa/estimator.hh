@@ -20,6 +20,7 @@
 #define VARSAW_VQA_ESTIMATOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -98,7 +99,10 @@ class BaselineEstimator : public EnergyEstimator
   public:
     /**
      * @param hamiltonian Problem Hamiltonian.
-     * @param ansatz      Parameterized preparation circuit.
+     * @param ansatz      Parameterized preparation circuit,
+     *                    snapshotted at construction — later
+     *                    changes to the caller's circuit do not
+     *                    affect this estimator.
      * @param executor    Backend (counts the circuit cost).
      * @param shots       Shots per basis circuit (0 = exact); under
      *                    CoefficientWeighted allocation this is the
@@ -133,10 +137,13 @@ class BaselineEstimator : public EnergyEstimator
 
   private:
     const Hamiltonian &hamiltonian_;
-    const Circuit &ansatz_;
+    /** Construction-time ansatz snapshot, shared by every job. */
+    std::shared_ptr<const Circuit> prep_;
     BatchExecutor runtime_;
     std::uint64_t shots_;
     BasisReduction reduction_;
+    /** Per-basis measurement suffixes (fixed across evaluations). */
+    std::vector<Circuit> suffixes_;
     std::vector<std::uint64_t> basisShots_;
 };
 
@@ -150,7 +157,8 @@ class JigsawEstimator : public EnergyEstimator
   public:
     /**
      * @param hamiltonian Problem Hamiltonian.
-     * @param ansatz      Parameterized preparation circuit.
+     * @param ansatz      Parameterized preparation circuit,
+     *                    snapshotted at construction.
      * @param executor    Backend (counts the circuit cost).
      * @param config      Subset size, shots, reconstruction passes.
      * @param basis_mode  Commutation reduction flavor.
@@ -175,10 +183,13 @@ class JigsawEstimator : public EnergyEstimator
 
   private:
     const Hamiltonian &hamiltonian_;
-    const Circuit &ansatz_;
+    /** Construction-time ansatz snapshot, shared by every job. */
+    std::shared_ptr<const Circuit> prep_;
     BatchExecutor runtime_;
     JigsawConfig config_;
     BasisReduction reduction_;
+    /** Per-basis suffix sets (windows + CPM/Global suffixes). */
+    std::vector<JigsawCircuitSet> suffixSets_;
 };
 
 /**

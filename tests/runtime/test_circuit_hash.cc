@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "runtime/circuit_hash.hh"
+#include "runtime/job.hh"
 
 namespace varsaw {
 namespace {
@@ -74,9 +75,9 @@ TEST(ParameterHash, SubQuantumPerturbationCollides)
 
 TEST(JobKey, DistinctShotsDistinctKeys)
 {
-    CircuitJob a{sampleCircuit(), {0.3}, 1024};
-    CircuitJob b{sampleCircuit(), {0.3}, 2048};
-    CircuitJob c{sampleCircuit(), {0.4}, 1024};
+    CircuitJob a{sampleCircuit(), {0.3}, 1024, nullptr};
+    CircuitJob b{sampleCircuit(), {0.3}, 2048, nullptr};
+    CircuitJob c{sampleCircuit(), {0.4}, 1024, nullptr};
     EXPECT_TRUE(makeJobKey(a) == makeJobKey(a));
     EXPECT_FALSE(makeJobKey(a) == makeJobKey(b));
     EXPECT_FALSE(makeJobKey(a) == makeJobKey(c));

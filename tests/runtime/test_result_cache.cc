@@ -29,7 +29,7 @@ tfimJob(double theta, std::uint64_t shots)
 {
     Circuit c(2);
     c.ry(0, theta).cx(0, 1).measureAll();
-    return {c, {}, shots};
+    return {c, {}, shots, nullptr};
 }
 
 TEST(ResultCache, MissThenHit)
@@ -66,7 +66,7 @@ TEST(ResultCache, DistinctParamsAndShotsNeverCollide)
     Circuit other(2);
     other.ry(0, 0.3).cx(1, 0).measureAll();
     EXPECT_FALSE(
-        cache.lookup(makeJobKey(CircuitJob{other, {}, 1024}))
+        cache.lookup(makeJobKey(CircuitJob{other, {}, 1024, nullptr}))
             .has_value());
 
     // The original still hits.
@@ -79,11 +79,11 @@ TEST(ResultCache, SymbolicParamsKeyedByValues)
     Circuit c(1);
     c.ryParam(0, 0).measureAll();
     ResultCache cache;
-    cache.insert(makeJobKey(CircuitJob{c, {0.5}, 64}),
+    cache.insert(makeJobKey(CircuitJob{c, {0.5}, 64, nullptr}),
                  pointMass(1, 0));
-    EXPECT_TRUE(cache.lookup(makeJobKey(CircuitJob{c, {0.5}, 64}))
+    EXPECT_TRUE(cache.lookup(makeJobKey(CircuitJob{c, {0.5}, 64, nullptr}))
                     .has_value());
-    EXPECT_FALSE(cache.lookup(makeJobKey(CircuitJob{c, {0.6}, 64}))
+    EXPECT_FALSE(cache.lookup(makeJobKey(CircuitJob{c, {0.6}, 64, nullptr}))
                      .has_value());
 }
 
