@@ -17,6 +17,9 @@
  * evaluation, and bit-identical energies on both paths.
  *
  * Knobs: VARSAW_BENCH_TICKS (evaluations), VARSAW_BENCH_SHOTS.
+ * VARSAW_BENCH_CHECK=1 turns the bench into a CI gate: exit
+ * non-zero unless the two paths are bit-identical, the prep-cache
+ * hit rate reaches (bases-1)/bases, and preps run once per point.
  */
 
 #include <cstdio>
@@ -200,5 +203,39 @@ main()
                 "parameter point over %d points)\n",
                 static_cast<unsigned long long>(shared.prepSims),
                 ticks);
+
+    if (envInt("VARSAW_BENCH_CHECK", 0) != 0) {
+        // CI smoke gate: the engine must stay transparent and the
+        // cache must keep its per-evaluation hit rate — every basis
+        // after the first hits the prepared state, so the workload's
+        // floor is (bases-1)/bases (95% here).
+        const double min_hit_rate =
+            static_cast<double>(num_bases - 1) /
+            static_cast<double>(num_bases);
+        int failures = 0;
+        if (legacy.checksum != shared.checksum) {
+            std::printf("CHECK FAILED: results differ between "
+                        "paths\n");
+            ++failures;
+        }
+        if (shared.prepHitRate + 1e-12 < min_hit_rate) {
+            std::printf("CHECK FAILED: prep hit rate %.4f < %.4f\n",
+                        shared.prepHitRate, min_hit_rate);
+            ++failures;
+        }
+        if (shared.prepSims != static_cast<std::uint64_t>(ticks)) {
+            std::printf("CHECK FAILED: %llu prep sims for %d "
+                        "points\n",
+                        static_cast<unsigned long long>(
+                            shared.prepSims),
+                        ticks);
+            ++failures;
+        }
+        if (failures != 0)
+            return 1;
+        std::printf("CHECK PASSED: bit-identical, hit rate %.1f%%, "
+                    "one prep per point\n",
+                    100.0 * shared.prepHitRate);
+    }
     return 0;
 }

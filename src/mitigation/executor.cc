@@ -23,7 +23,10 @@ Executor::execute(const Circuit &circuit,
         panic("Executor::execute: circuit has no measurements");
     circuits_.fetch_add(1, std::memory_order_relaxed);
     shots_.fetch_add(shots, std::memory_order_relaxed);
-    CircuitJob job{circuit, params, shots, nullptr};
+    // Non-owning view: the caller's circuit and params are borrowed
+    // for the duration of the call, never deep-copied into a
+    // transient job.
+    const JobView job{circuit, params, shots, nullptr};
     return executeImpl(job, rng_);
 }
 
@@ -32,12 +35,18 @@ Executor::executeJob(const Circuit &circuit,
                      const std::vector<double> &params,
                      std::uint64_t shots, std::uint64_t stream)
 {
-    return executeJob(CircuitJob{circuit, params, shots, nullptr},
+    return executeJob(JobView{circuit, params, shots, nullptr},
                       stream);
 }
 
 Pmf
 Executor::executeJob(const CircuitJob &job, std::uint64_t stream)
+{
+    return executeJob(job.view(), stream);
+}
+
+Pmf
+Executor::executeJob(const JobView &job, std::uint64_t stream)
 {
     if (job.numMeasured() == 0)
         panic("Executor::executeJob: circuit has no measurements");
@@ -61,10 +70,10 @@ IdealExecutor::IdealExecutor(std::uint64_t seed) : Executor(seed)
 }
 
 Pmf
-IdealExecutor::executeImpl(const CircuitJob &job, Rng &rng)
+IdealExecutor::executeImpl(const JobView &job, Rng &rng)
 {
     auto probs = simEngine().measuredMarginal(
-        job.prep.get(), job.circuit, job.params);
+        job.prep, job.circuit, job.params);
     Pmf exact = Pmf::fromDense(job.numMeasured(), probs, 1e-14);
     if (job.shots == 0)
         return exact;
@@ -82,10 +91,10 @@ NoisyExecutor::NoisyExecutor(DeviceModel device, GateNoiseMode mode,
 }
 
 std::vector<double>
-NoisyExecutor::noisyMarginal(const CircuitJob &job)
+NoisyExecutor::noisyMarginal(const JobView &job)
 {
     auto probs = simEngine().measuredMarginal(
-        job.prep.get(), job.circuit, job.params);
+        job.prep, job.circuit, job.params);
 
     if (mode_ == GateNoiseMode::AnalyticDepolarizing) {
         // Survival probability of the whole gate sequence (prep +
@@ -109,7 +118,7 @@ NoisyExecutor::noisyMarginal(const CircuitJob &job)
 }
 
 std::vector<double>
-NoisyExecutor::trajectoryMarginal(const CircuitJob &job, Rng &rng)
+NoisyExecutor::trajectoryMarginal(const JobView &job, Rng &rng)
 {
     const auto &measured = job.measuredQubits();
     std::vector<double> acc(1ull << measured.size(), 0.0);
@@ -168,7 +177,7 @@ NoisyExecutor::trajectoryMarginal(const CircuitJob &job, Rng &rng)
 }
 
 Pmf
-NoisyExecutor::executeImpl(const CircuitJob &job, Rng &rng)
+NoisyExecutor::executeImpl(const JobView &job, Rng &rng)
 {
     if (job.numQubits() > device_.numQubits())
         fatal("NoisyExecutor: circuit is wider than device '" +
@@ -202,7 +211,7 @@ DensityMatrixExecutor::DensityMatrixExecutor(DeviceModel device,
 }
 
 std::vector<double>
-DensityMatrixExecutor::noisyMarginal(const CircuitJob &job)
+DensityMatrixExecutor::noisyMarginal(const JobView &job)
 {
     // The density-matrix evolution interleaves noise channels with
     // every gate, so it cannot reuse a pure prepared state; run the

@@ -27,8 +27,8 @@
 #include <vector>
 
 #include "noise/device_model.hh"
-#include "runtime/job.hh"
 #include "sim/circuit.hh"
+#include "sim/job.hh"
 #include "sim/sim_engine.hh"
 #include "sim/statevector.hh"
 #include "util/pmf.hh"
@@ -88,6 +88,13 @@ class Executor
      */
     Pmf executeJob(const CircuitJob &job, std::uint64_t stream);
 
+    /**
+     * Thread-safe execution of a non-owning job view: the borrowed
+     * circuit/params are only read for the duration of the call.
+     * This is the zero-copy entry the other overloads funnel into.
+     */
+    Pmf executeJob(const JobView &job, std::uint64_t stream);
+
     /** Total circuits submitted since construction / reset. */
     std::uint64_t circuitsExecuted() const
     {
@@ -143,12 +150,13 @@ class Executor
     explicit Executor(std::uint64_t seed);
 
     /**
-     * Backend-specific execution. Must be const w.r.t. backend
-     * state apart from @p rng and the (internally synchronized)
-     * SimEngine: executeJob() calls this concurrently from multiple
-     * threads.
+     * Backend-specific execution over a non-owning view (no job
+     * copy is ever made on the way down). Must be const w.r.t.
+     * backend state apart from @p rng and the (internally
+     * synchronized) SimEngine: executeJob() calls this concurrently
+     * from multiple threads.
      */
-    virtual Pmf executeImpl(const CircuitJob &job, Rng &rng) = 0;
+    virtual Pmf executeImpl(const JobView &job, Rng &rng) = 0;
 
   private:
     std::atomic<std::uint64_t> circuits_{0};
@@ -167,7 +175,7 @@ class IdealExecutor : public Executor
     explicit IdealExecutor(std::uint64_t seed = 1);
 
   protected:
-    Pmf executeImpl(const CircuitJob &job, Rng &rng) override;
+    Pmf executeImpl(const JobView &job, Rng &rng) override;
 };
 
 /**
@@ -213,16 +221,16 @@ class NoisyExecutor : public Executor
     bool bestMapping() const { return bestMapping_; }
 
   protected:
-    Pmf executeImpl(const CircuitJob &job, Rng &rng) override;
+    Pmf executeImpl(const JobView &job, Rng &rng) override;
 
   protected:
     /** Exact measured-qubit distribution with gate noise folded in. */
-    virtual std::vector<double> noisyMarginal(const CircuitJob &job);
+    virtual std::vector<double> noisyMarginal(const JobView &job);
 
   private:
 
     /** Trajectory-averaged measured-qubit distribution. */
-    std::vector<double> trajectoryMarginal(const CircuitJob &job,
+    std::vector<double> trajectoryMarginal(const JobView &job,
                                            Rng &rng);
 
     DeviceModel device_;
@@ -247,7 +255,7 @@ class DensityMatrixExecutor : public NoisyExecutor
                                    std::uint64_t seed = 1);
 
   protected:
-    std::vector<double> noisyMarginal(const CircuitJob &job) override;
+    std::vector<double> noisyMarginal(const JobView &job) override;
 };
 
 } // namespace varsaw

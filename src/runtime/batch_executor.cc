@@ -65,11 +65,26 @@ BatchExecutor::executeCached(const CircuitJob &job,
     return result;
 }
 
+std::vector<std::vector<std::size_t>>
+groupByPrepKey(const std::vector<PrepKey> &keys)
+{
+    std::vector<std::vector<std::size_t>> groups;
+    std::unordered_map<PrepKey, std::size_t, PrepKeyHasher> group_of;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+        auto [it, inserted] =
+            group_of.try_emplace(keys[i], groups.size());
+        if (inserted)
+            groups.emplace_back();
+        groups[it->second].push_back(i);
+    }
+    return groups;
+}
+
 std::future<Pmf>
 BatchExecutor::submitOne(
     const CircuitJob &job,
     const std::shared_ptr<const std::vector<CircuitJob>> &owned,
-    std::vector<PendingTask> *pending, std::uint64_t prep_key)
+    std::vector<PendingTask> *pending, const PrepKey &prep_key)
 {
     const JobKey key = makeJobKey(job);
     const std::uint64_t index =
@@ -100,7 +115,7 @@ BatchExecutor::submitOne(
         // Bound both maps at a point that depends only on the key
         // sequence, never on worker timing, so runs stay
         // reproducible across thread counts and the cache never
-        // reaches its own (completion-order) FIFO eviction.
+        // reaches its own (completion-order) LRU eviction.
         if (primaries_.size() >= config_.cacheMaxEntries) {
             primaries_.clear();
             cache_.clear();
@@ -167,16 +182,19 @@ BatchExecutor::schedulePending(std::vector<PendingTask> pending)
         return;
     }
 
-    // Group tasks by prep key, preserving first-appearance order of
-    // the groups and submission order within each group.
+    // Group tasks by full prep key (digest collisions cannot merge
+    // distinct preps), preserving first-appearance order of the
+    // groups and submission order within each group.
+    std::vector<PrepKey> keys;
+    keys.reserve(pending.size());
+    for (const auto &p : pending)
+        keys.push_back(p.prepKey);
     std::vector<std::vector<std::function<void()>>> groups;
-    std::unordered_map<std::uint64_t, std::size_t> group_of;
-    for (auto &p : pending) {
-        auto [it, inserted] =
-            group_of.try_emplace(p.prepKey, groups.size());
-        if (inserted)
-            groups.emplace_back();
-        groups[it->second].push_back(std::move(p.run));
+    for (const auto &indices : groupByPrepKey(keys)) {
+        groups.emplace_back();
+        groups.back().reserve(indices.size());
+        for (std::size_t i : indices)
+            groups.back().push_back(std::move(pending[i].run));
     }
 
     // Enough groups to feed every worker: one sequential task per
@@ -222,7 +240,8 @@ BatchExecutor::submit(const Batch &batch)
         // Inline execution completes before submit() returns; no
         // shared copy of the batch is needed.
         for (const CircuitJob &job : batch.jobs())
-            futures.push_back(submitOne(job, nullptr, nullptr, 0));
+            futures.push_back(
+                submitOne(job, nullptr, nullptr, PrepKey{}));
         return futures;
     }
     auto owned = std::make_shared<const std::vector<CircuitJob>>(
@@ -235,7 +254,7 @@ BatchExecutor::submit(const Batch &batch)
     // keep every prep alive for the whole loop.
     std::unordered_map<const Circuit *, std::uint64_t> prep_hash;
     for (const CircuitJob &job : *owned) {
-        std::uint64_t prep_key = 0;
+        PrepKey prep_key;
         if (config_.prefixAwareScheduling) {
             if (job.prep) {
                 auto [it, inserted] =
@@ -245,12 +264,10 @@ BatchExecutor::submit(const Batch &batch)
                         *job.prep,
                         splitPrepSuffix(*job.prep).prefixOps);
                 prep_key =
-                    PrepKey{it->second, parameterHash(job.params)}
-                        .combined();
+                    PrepKey{it->second, parameterHash(job.params)};
             } else {
-                prep_key = prepKeyOf(nullptr, job.circuit,
-                                     job.params)
-                               .combined();
+                prep_key =
+                    prepKeyOf(nullptr, job.circuit, job.params);
             }
         }
         futures.push_back(submitOne(job, owned, &pending, prep_key));
@@ -277,11 +294,12 @@ BatchExecutor::runOne(const Circuit &circuit,
 {
     if (config_.threads <= 1) {
         CircuitJob job{circuit, params, shots, nullptr};
-        return submitOne(job, nullptr, nullptr, 0).get();
+        return submitOne(job, nullptr, nullptr, PrepKey{}).get();
     }
     auto owned = std::make_shared<const std::vector<CircuitJob>>(
         std::vector<CircuitJob>{{circuit, params, shots, nullptr}});
-    return submitOne(owned->front(), owned, nullptr, 0).get();
+    return submitOne(owned->front(), owned, nullptr, PrepKey{})
+        .get();
 }
 
 } // namespace varsaw

@@ -35,9 +35,9 @@
 #include <vector>
 
 #include "mitigation/executor.hh"
-#include "runtime/job.hh"
 #include "runtime/result_cache.hh"
 #include "runtime/thread_pool.hh"
+#include "sim/state_cache.hh"
 
 namespace varsaw {
 
@@ -72,6 +72,18 @@ struct RuntimeConfig
      */
     bool prefixAwareScheduling = true;
 };
+
+/**
+ * Partition indices [0, keys.size()) into scheduler groups of equal
+ * prep identity, preserving first-appearance order of the groups
+ * and index order within each group. Groups compare **full**
+ * PrepKeys, never their 64-bit combined() digest: two distinct
+ * preps whose digests collide share at most a hash bucket — they
+ * can never be merged into (or corrupt) one group, and equal keys
+ * always serialize into the same group. Exposed for tests.
+ */
+std::vector<std::vector<std::size_t>>
+groupByPrepKey(const std::vector<PrepKey> &keys);
 
 /** Batched front-end over an Executor backend. */
 class BatchExecutor
@@ -123,7 +135,7 @@ class BatchExecutor
     /** A pooled task not yet enqueued, tagged for prep grouping. */
     struct PendingTask
     {
-        std::uint64_t prepKey;
+        PrepKey prepKey;
         std::function<void()> run;
     };
 
@@ -134,15 +146,15 @@ class BatchExecutor
      * @p pending is non-null, pooled tasks are collected there for
      * prefix-aware placement instead of being enqueued directly,
      * tagged with @p prep_key (computed by submit(), which memoizes
-     * the prep hash per distinct shared prep; 0 when the
-     * prefix-aware scheduler is off).
+     * the prep hash per distinct shared prep; a default PrepKey
+     * when the prefix-aware scheduler is off).
      */
     std::future<Pmf>
     submitOne(const CircuitJob &job,
               const std::shared_ptr<const std::vector<CircuitJob>>
                   &owned,
               std::vector<PendingTask> *pending,
-              std::uint64_t prep_key);
+              const PrepKey &prep_key);
 
     /** Enqueue collected tasks, grouping same-prep jobs together. */
     void schedulePending(std::vector<PendingTask> pending);
@@ -178,7 +190,7 @@ class BatchExecutor
      * cacheMaxEntries (a point that depends only on the submitted
      * key sequence, never on worker timing), both are cleared, so
      * the cache itself never overflows into its timing-sensitive
-     * FIFO eviction and runs stay reproducible across thread
+     * LRU eviction and runs stay reproducible across thread
      * counts.
      */
     std::unordered_map<JobKey, std::shared_future<Pmf>, JobKeyHasher>

@@ -23,7 +23,8 @@ ResultCache::lookup(const JobKey &key)
     ++stats_.hits;
     ++stats_.circuitsSaved;
     stats_.shotsSaved += key.shots;
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+    return it->second.result;
 }
 
 void
@@ -39,13 +40,15 @@ void
 ResultCache::insert(const JobKey &key, const Pmf &result)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!entries_.emplace(key, result).second)
+    auto [it, inserted] = entries_.emplace(key, Entry{result, {}});
+    if (!inserted)
         return; // concurrent miss already stored the same result
-    insertionOrder_.push_back(key);
+    lru_.push_front(key);
+    it->second.lruIt = lru_.begin();
     ++stats_.insertions;
     while (entries_.size() > maxEntries_) {
-        entries_.erase(insertionOrder_.front());
-        insertionOrder_.pop_front();
+        entries_.erase(lru_.back());
+        lru_.pop_back();
         ++stats_.evictions;
     }
 }
@@ -55,7 +58,7 @@ ResultCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
-    insertionOrder_.clear();
+    lru_.clear();
 }
 
 std::size_t

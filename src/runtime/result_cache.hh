@@ -17,12 +17,12 @@
 #define VARSAW_RUNTIME_RESULT_CACHE_HH
 
 #include <cstdint>
-#include <deque>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 
-#include "runtime/circuit_hash.hh"
+#include "sim/circuit_hash.hh"
 #include "util/pmf.hh"
 
 namespace varsaw {
@@ -51,16 +51,26 @@ struct CacheStats
     }
 };
 
-/** Thread-safe FIFO-bounded result cache keyed by job content. */
+/**
+ * Thread-safe LRU-bounded result cache keyed by job content.
+ *
+ * Eviction is least-recently-used, where a lookup hit counts as a
+ * use: VQA loops re-touch the same job keys every iteration, so the
+ * hot working set survives the cap while keys from superseded
+ * parameter points age out. (The previous FIFO policy evicted the
+ * oldest *insertion* first — exactly the hottest keys in such
+ * loops.)
+ */
 class ResultCache
 {
   public:
-    /** @param max_entries Entry cap; oldest insertions evict first. */
+    /** @param max_entries Entry cap; least-recently-used evict first. */
     explicit ResultCache(std::size_t max_entries = 1 << 16);
 
     /**
      * Look up a job key. A hit also credits the avoided circuit and
-     * key.shots to the saved-cost statistics.
+     * key.shots to the saved-cost statistics, and marks the entry
+     * most-recently-used.
      */
     std::optional<Pmf> lookup(const JobKey &key);
 
@@ -90,10 +100,18 @@ class ResultCache
     void resetStats();
 
   private:
+    struct Entry
+    {
+        Pmf result;
+        /** Position in lru_ (spliced to the front on every use). */
+        std::list<JobKey>::iterator lruIt;
+    };
+
     mutable std::mutex mutex_;
     std::size_t maxEntries_;
-    std::unordered_map<JobKey, Pmf, JobKeyHasher> entries_;
-    std::deque<JobKey> insertionOrder_;
+    std::unordered_map<JobKey, Entry, JobKeyHasher> entries_;
+    /** Keys ordered most-recently-used first. */
+    std::list<JobKey> lru_;
     CacheStats stats_;
 };
 

@@ -1,11 +1,11 @@
-#include "runtime/circuit_hash.hh"
+#include "sim/circuit_hash.hh"
 
 #include <algorithm>
 #include <bit>
 #include <cmath>
 #include <limits>
 
-#include "runtime/job.hh"
+#include "sim/job.hh"
 #include "util/rng.hh"
 
 namespace varsaw {
@@ -132,8 +132,14 @@ parameterHash(const std::vector<double> &params)
 std::size_t
 JobKeyHasher::operator()(const JobKey &key) const
 {
-    return static_cast<std::size_t>(
-        mix64(mix64(key.circuitHash, key.paramsHash), key.shots));
+    const std::uint64_t h =
+        mix64(mix64(key.circuitHash, key.paramsHash), key.shots);
+    if constexpr (sizeof(std::size_t) >= sizeof(std::uint64_t)) {
+        return static_cast<std::size_t>(h);
+    } else {
+        // 32-bit size_t: fold rather than truncate the high word.
+        return static_cast<std::size_t>(h ^ (h >> 32));
+    }
 }
 
 JobKey

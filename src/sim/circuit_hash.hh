@@ -23,8 +23,8 @@
  * paid for with per-entry job storage.
  */
 
-#ifndef VARSAW_RUNTIME_CIRCUIT_HASH_HH
-#define VARSAW_RUNTIME_CIRCUIT_HASH_HH
+#ifndef VARSAW_SIM_CIRCUIT_HASH_HH
+#define VARSAW_SIM_CIRCUIT_HASH_HH
 
 #include <cstddef>
 #include <cstdint>
@@ -95,4 +95,4 @@ JobKey makeJobKey(const CircuitJob &job);
 
 } // namespace varsaw
 
-#endif // VARSAW_RUNTIME_CIRCUIT_HASH_HH
+#endif // VARSAW_SIM_CIRCUIT_HASH_HH

@@ -1,11 +1,14 @@
 /**
  * @file
- * Units of work for the batched execution runtime.
+ * Units of work shared by the executors and the batched runtime.
  *
  * A CircuitJob is one (circuit, parameters, shots) submission; a
  * Batch is the ordered set of jobs one estimator tick produces.
  * Estimators build a Batch per objective evaluation and hand it to
- * BatchExecutor instead of looping over Executor::execute().
+ * BatchExecutor instead of looping over Executor::execute(). A
+ * JobView is the non-owning shape of the same submission: backends
+ * consume views, so the legacy serial execute() path can describe a
+ * caller's circuit without deep-copying it into a transient job.
  *
  * Jobs come in two shapes:
  *  - plain: `circuit` is the complete measurement circuit;
@@ -15,10 +18,15 @@
  *    it. This is how one objective evaluation's N basis circuits
  *    are submitted without cloning the ansatz N times, and how the
  *    SimEngine recognizes that they share one prepared state.
+ *
+ * This header lives in sim/ (not runtime/) on purpose: jobs and
+ * their content hashes are the vocabulary shared by sim/,
+ * mitigation/, and runtime/, and the lower layers must build
+ * without the runtime.
  */
 
-#ifndef VARSAW_RUNTIME_JOB_HH
-#define VARSAW_RUNTIME_JOB_HH
+#ifndef VARSAW_SIM_JOB_HH
+#define VARSAW_SIM_JOB_HH
 
 #include <cstdint>
 #include <memory>
@@ -29,15 +37,23 @@
 
 namespace varsaw {
 
-/** One circuit submission. */
-struct CircuitJob
+/**
+ * Non-owning view of one circuit submission.
+ *
+ * The shape backends execute: it borrows the caller's circuit and
+ * parameter storage instead of copying them, so the serial
+ * Executor::execute() path costs no per-call clone. The referenced
+ * circuit/params must outlive the view — trivially true for the
+ * synchronous backend calls this type is passed through.
+ */
+struct JobView
 {
     /** Full circuit, or the measurement suffix when prep is set. */
-    Circuit circuit;
-    std::vector<double> params;
+    const Circuit &circuit;
+    const std::vector<double> &params;
     std::uint64_t shots = 0;
     /** Shared state-prep prefix; null for a plain job. */
-    std::shared_ptr<const Circuit> prep;
+    const Circuit *prep = nullptr;
 
     /** Register width (the prep's width when one is attached). */
     int numQubits() const
@@ -69,11 +85,11 @@ struct CircuitJob
     }
 
     /**
-     * The complete circuit this job denotes: the plain circuit, or
-     * prep + suffix concatenated (with the suffix's measurement
-     * spec). Used by backends that cannot split execution (density
-     * matrix) and by diagnostics; hot paths work on the two halves
-     * directly.
+     * The complete circuit this submission denotes: the plain
+     * circuit, or prep + suffix concatenated (with the suffix's
+     * measurement spec). Used by backends that cannot split
+     * execution (density matrix) and by diagnostics; hot paths work
+     * on the two halves directly.
      */
     Circuit flattened() const
     {
@@ -86,6 +102,50 @@ struct CircuitJob
             full.measure(q);
         return full;
     }
+};
+
+/** One circuit submission. */
+struct CircuitJob
+{
+    /** Full circuit, or the measurement suffix when prep is set. */
+    Circuit circuit;
+    std::vector<double> params;
+    std::uint64_t shots = 0;
+    /** Shared state-prep prefix; null for a plain job. */
+    std::shared_ptr<const Circuit> prep;
+
+    /** Non-owning view of this job (valid while the job lives). */
+    JobView view() const
+    {
+        return {circuit, params, shots, prep.get()};
+    }
+
+    /** Register width (the prep's width when one is attached). */
+    int numQubits() const { return view().numQubits(); }
+
+    /** Qubits read out, in classical-bit order. */
+    const std::vector<int> &measuredQubits() const
+    {
+        return circuit.measuredQubits();
+    }
+
+    /** Number of measured qubits. */
+    int numMeasured() const { return view().numMeasured(); }
+
+    /** One-qubit gates across prep + suffix. */
+    int oneQubitGateCount() const
+    {
+        return view().oneQubitGateCount();
+    }
+
+    /** Two-qubit gates across prep + suffix. */
+    int twoQubitGateCount() const
+    {
+        return view().twoQubitGateCount();
+    }
+
+    /** The complete circuit this job denotes (see JobView). */
+    Circuit flattened() const { return view().flattened(); }
 };
 
 /** An ordered collection of jobs submitted together. */
@@ -149,4 +209,4 @@ class Batch
 
 } // namespace varsaw
 
-#endif // VARSAW_RUNTIME_JOB_HH
+#endif // VARSAW_SIM_JOB_HH

@@ -1,13 +1,15 @@
 #include "sim/sim_engine.hh"
 
+#include <cerrno>
+#include <cstdlib>
 #include <memory>
 
-// The prep-identity hashes deliberately reuse the runtime's content
+// The prep-identity hashes deliberately reuse the shared content
 // hashing (structural circuit hash + quantized parameter hash) so
 // that the engine's prep keys, the ResultCache's job keys, and the
 // batch scheduler's grouping keys all agree on what "the same
-// computation" means. circuit_hash depends only on sim/ types.
-#include "runtime/circuit_hash.hh"
+// computation" means.
+#include "sim/circuit_hash.hh"
 #include "sim/statevector.hh"
 #include "util/logging.hh"
 
@@ -54,9 +56,30 @@ prepKeyOf(const Circuit *prep, const Circuit &circuit,
     return key;
 }
 
+std::uint64_t
+defaultCacheByteBudget()
+{
+    static const std::uint64_t budget = [] {
+        if (const char *env = std::getenv("VARSAW_STATE_CACHE_BYTES")) {
+            // strtoull silently wraps negatives and clamps overflow
+            // to ULLONG_MAX; both would turn a misconfiguration
+            // into an unbounded cache, so reject them explicitly.
+            char *end = nullptr;
+            errno = 0;
+            const unsigned long long parsed =
+                std::strtoull(env, &end, 10);
+            if (end != env && *end == '\0' && parsed > 0 &&
+                errno != ERANGE && env[0] != '-')
+                return static_cast<std::uint64_t>(parsed);
+        }
+        return StateCache::kDefaultByteBudget;
+    }();
+    return budget;
+}
+
 SimEngine::SimEngine(SimEngineConfig config)
     : cacheEnabled_(config.cacheEnabled),
-      cache_(config.cacheMaxEntries)
+      cache_(config.cacheByteBudget, config.cacheMaxEntries)
 {
 }
 

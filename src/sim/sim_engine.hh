@@ -23,8 +23,8 @@
  * Determinism: a prepared state is a pure function of (prefix,
  * params) with no randomness, so caching can never change results —
  * only skip work. The cache guarantees exactly one preparation per
- * key per epoch even under concurrent access (see StateCache), so
- * the engine counters are thread-count-independent too. With the
+ * key per residency even under concurrent access (see StateCache),
+ * so the engine counters are thread-count-independent too. With the
  * cache disabled the engine simply runs prefix + suffix on one
  * fresh Statevector, which applies the identical gate sequence and
  * is bit-identical to simulating the full circuit in one go.
@@ -82,6 +82,15 @@ struct SimEngineStats
     StateCacheStats cache;
 };
 
+/**
+ * Default prepared-state cache byte budget: the value of the
+ * VARSAW_STATE_CACHE_BYTES environment variable when set to a
+ * positive integer (read once; CI uses a tiny value to smoke-test
+ * constant eviction), otherwise StateCache::kDefaultByteBudget
+ * (2 GiB).
+ */
+std::uint64_t defaultCacheByteBudget();
+
 /** Tunables of the engine. */
 struct SimEngineConfig
 {
@@ -89,16 +98,25 @@ struct SimEngineConfig
     bool cacheEnabled = true;
 
     /**
-     * Prepared-state cache entry cap. Each entry is a dense
-     * 2^n-amplitude vector (16 B per amplitude: 1 MiB at 16 qubits,
-     * 1 GiB at kMaxQubits), and entries from superseded parameter
-     * points stay resident until the cap trips a bulk clear — size
-     * this for the register width in play, not just the key count.
-     * Counters stay exact across thread counts as long as distinct
-     * keys per epoch fit the cap (results are unaffected either
-     * way).
+     * Secondary entry cap of the prepared-state cache. The primary
+     * bound is cacheByteBudget; this cap only matters for workloads
+     * with many narrow states, where per-entry bookkeeping (not
+     * amplitude bytes) would dominate.
      */
     std::size_t cacheMaxEntries = 32;
+
+    /**
+     * Prepared-state cache byte budget. Each entry is a dense
+     * 2^n-amplitude vector charged StateCache::entryBytes(n) bytes
+     * (16 B per amplitude: 1 MiB at 16 qubits, 1 GiB at
+     * kMaxQubits). Exceeding the budget evicts least-recently-used
+     * completed states one at a time; superseded parameter points
+     * therefore age out instead of accumulating until OOM. Results
+     * never depend on the budget; the engine counters stay exact
+     * across thread counts as long as the per-evaluation working
+     * set fits.
+     */
+    std::uint64_t cacheByteBudget = defaultCacheByteBudget();
 };
 
 /**
@@ -139,7 +157,7 @@ class SimEngine
     /** Zero the counters and statistics (entries are kept). */
     void resetStats();
 
-    /** Drop all cached prepared states. */
+    /** Drop all completed cached states (in-flight claims survive). */
     void clearCache() { cache_.clear(); }
 
     /** The prepared-state cache. */

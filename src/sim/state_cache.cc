@@ -1,14 +1,28 @@
 #include "sim/state_cache.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 
 namespace varsaw {
 
-StateCache::StateCache(std::size_t max_entries)
-    : maxEntries_(max_entries)
+StateCache::StateCache(std::uint64_t byte_budget,
+                       std::size_t max_entries)
+    : byteBudget_(byte_budget), maxEntries_(max_entries)
 {
     if (maxEntries_ < 1)
         panic("StateCache: entry cap must be >= 1");
+}
+
+void
+StateCache::evictOneLocked()
+{
+    const PrepKey victim = lru_.back();
+    auto it = entries_.find(victim);
+    stats_.bytesResident -= it->second.bytes;
+    entries_.erase(it);
+    lru_.pop_back();
+    ++stats_.evictions;
 }
 
 StateCache::StatePtr
@@ -17,29 +31,33 @@ StateCache::getOrPrepare(const PrepKey &key,
 {
     std::shared_future<StatePtr> waitOn;
     std::promise<StatePtr> publish;
-    std::uint64_t epoch = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             ++stats_.hits;
-            waitOn = it->second;
+            // Touch: a completed entry moves to the front of the
+            // LRU order. In-flight entries are not in lru_ yet;
+            // they enter at the front on completion, which places
+            // them exactly where this touch would have.
+            if (it->second.completed)
+                lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            waitOn = it->second.future;
         } else {
-            // Bound the map before claiming. Under concurrency the
-            // clear point follows claim-arrival order, so once a
-            // workload exceeds the cap within one epoch the
-            // *counters* (not results — prepared states are pure)
-            // can vary with worker timing; keep distinct keys per
-            // evaluation under the cap to keep them exact.
-            // In-flight waiters hold their own shared_future
-            // copies, so clearing under them is safe.
-            if (entries_.size() >= maxEntries_) {
-                entries_.clear();
-                ++stats_.clears;
-            }
             ++stats_.misses;
-            epoch = stats_.clears;
-            entries_.emplace(key, publish.get_future().share());
+            entries_.emplace(key,
+                             Entry{publish.get_future().share(), 0,
+                                   false, lru_.end()});
+            // Secondary entry bound, paid at claim time so the map
+            // cannot grow without limit even before any preparation
+            // completes. Only completed entries are evictable, and
+            // — like the byte-budget loop below — never the
+            // most-recently-completed one, which may be mid-
+            // evaluation; if the excess is in-flight claims or that
+            // protected entry, the cap is temporarily exceeded
+            // rather than a claim broken (completion re-checks it).
+            while (entries_.size() > maxEntries_ && lru_.size() > 1)
+                evictOneLocked();
         }
     }
 
@@ -54,14 +72,36 @@ StateCache::getOrPrepare(const PrepKey &key,
     } catch (...) {
         // Propagate to the waiters and retract the claim so later
         // callers retry instead of hitting a forever-broken future.
-        // The entry is provably still ours iff no clear happened
-        // since the claim (duplicate claims within an epoch are
-        // impossible).
+        // The entry is provably still ours: in-flight claims are
+        // never evicted or cleared, and duplicate claims for a live
+        // key are impossible.
         publish.set_exception(std::current_exception());
         std::lock_guard<std::mutex> lock(mutex_);
-        if (stats_.clears == epoch)
-            entries_.erase(key);
+        entries_.erase(key);
         throw;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        Entry &entry = it->second;
+        entry.completed = true;
+        entry.bytes = entryBytes(state->numQubits());
+        lru_.push_front(key);
+        entry.lruIt = lru_.begin();
+        stats_.bytesResident += entry.bytes;
+        stats_.peakBytes =
+            std::max(stats_.peakBytes, stats_.bytesResident);
+        // Byte budget (and the entry cap deferred at claim time),
+        // paid at completion (the first point the entry's width —
+        // hence size — is known). The entry that just completed is
+        // never its own victim: an oversized state stays resident,
+        // still serving hits, until a newer completion displaces
+        // it.
+        while ((stats_.bytesResident > byteBudget_ ||
+                entries_.size() > maxEntries_) &&
+               lru_.size() > 1)
+            evictOneLocked();
     }
     publish.set_value(state);
     return state;
@@ -71,7 +111,13 @@ void
 StateCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_.clear();
+    // Completed entries only: in-flight claims must survive so
+    // their waiters' futures resolve and the exactly-once contract
+    // holds across the clear.
+    for (const PrepKey &key : lru_)
+        entries_.erase(key);
+    lru_.clear();
+    stats_.bytesResident = 0;
     ++stats_.clears;
 }
 
@@ -80,6 +126,13 @@ StateCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return entries_.size();
+}
+
+std::uint64_t
+StateCache::bytesResident() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_.bytesResident;
 }
 
 StateCacheStats
@@ -93,7 +146,10 @@ void
 StateCache::resetStats()
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t resident = stats_.bytesResident;
     stats_ = StateCacheStats{};
+    stats_.bytesResident = resident;
+    stats_.peakBytes = resident;
 }
 
 } // namespace varsaw

@@ -32,6 +32,8 @@
 #include "sim/density_matrix.hh"
 #include "sim/gate.hh"
 #include "sim/sim_engine.hh"
+#include "sim/circuit_hash.hh"
+#include "sim/job.hh"
 #include "sim/state_cache.hh"
 #include "sim/statevector.hh"
 
@@ -41,8 +43,6 @@
 
 // Execution runtime
 #include "runtime/batch_executor.hh"
-#include "runtime/circuit_hash.hh"
-#include "runtime/job.hh"
 #include "runtime/result_cache.hh"
 #include "runtime/thread_pool.hh"
 

@@ -200,6 +200,85 @@ TEST(BatchExecutor, CachedDuplicatesDeterministicUnderThreads)
     EXPECT_EQ(parallel.cacheStats().hits, 31u);
 }
 
+TEST(PrefixScheduler, GroupsCompareFullKeysNotDigests)
+{
+    // mix64(a, b) finalizes a + phi * (b + 1), so {s, p} and
+    // {s + phi, p - 1} have identical combined() digests while
+    // being different prep identities. The scheduler groups by full
+    // PrepKey: the colliding pair must land in two groups (they may
+    // share a hash bucket, never a group), while equal keys
+    // serialize into one group in submission order.
+    constexpr std::uint64_t kPhi = 0x9E3779B97F4A7C15ull;
+    const PrepKey a{123, 456};
+    const PrepKey collides_with_a{123 + kPhi, 455};
+    const PrepKey b{777, 888};
+    ASSERT_EQ(a.combined(), collides_with_a.combined());
+    ASSERT_FALSE(a == collides_with_a);
+
+    const auto groups =
+        groupByPrepKey({a, b, collides_with_a, a, b, a});
+    ASSERT_EQ(groups.size(), 3u);
+    // First-appearance order of groups, submission order within.
+    EXPECT_EQ(groups[0], (std::vector<std::size_t>{0, 3, 5})); // a
+    EXPECT_EQ(groups[1], (std::vector<std::size_t>{1, 4}));    // b
+    EXPECT_EQ(groups[2], (std::vector<std::size_t>{2})); // collider
+}
+
+TEST(PrefixScheduler, MultiPrepBatchDeterministicAcrossPlacement)
+{
+    // Several distinct preps (distinct group keys) in one batch:
+    // results must be bit-identical whether the prefix-aware
+    // scheduler places them or not, at any thread count, and each
+    // prep must still be simulated exactly once.
+    const int qubits = 4;
+    const std::vector<PauliString> bases = {
+        PauliString::parse("XYZX"), PauliString::parse("ZZXX"),
+        PauliString::parse("YXYZ")};
+    std::vector<std::shared_ptr<const Circuit>> preps;
+    std::vector<std::vector<double>> prep_params;
+    for (int depth : {1, 2, 3}) {
+        EfficientSU2 ansatz(
+            AnsatzConfig{qubits, depth, Entanglement::Linear});
+        preps.push_back(
+            std::make_shared<const Circuit>(ansatz.circuit()));
+        prep_params.push_back(ansatz.initialParameters(7));
+    }
+
+    auto run = [&](int threads, bool prefix_aware,
+                   std::uint64_t *prep_sims) {
+        IdealExecutor exec(23);
+        RuntimeConfig config;
+        config.threads = threads;
+        config.prefixAwareScheduling = prefix_aware;
+        BatchExecutor runtime(exec, config);
+        Batch batch;
+        for (std::size_t p = 0; p < preps.size(); ++p)
+            for (const auto &basis : bases)
+                batch.addPrefixed(preps[p], makeGlobalSuffix(basis),
+                                  prep_params[p], 512);
+        const auto results = runtime.run(batch);
+        if (prep_sims)
+            *prep_sims =
+                exec.simEngine().stats().prepSimulations;
+        return results;
+    };
+
+    std::uint64_t serial_preps = 0;
+    const auto reference = run(1, true, &serial_preps);
+    EXPECT_EQ(serial_preps, preps.size());
+    for (int threads : {2, 4}) {
+        for (bool prefix_aware : {true, false}) {
+            std::uint64_t prep_sims = 0;
+            const auto got = run(threads, prefix_aware, &prep_sims);
+            EXPECT_EQ(prep_sims, preps.size())
+                << threads << "/" << prefix_aware;
+            ASSERT_EQ(got.size(), reference.size());
+            for (std::size_t i = 0; i < got.size(); ++i)
+                expectBitIdentical(reference[i], got[i]);
+        }
+    }
+}
+
 TEST(VarsawEstimator, EnergyIdenticalAcrossThreadCounts)
 {
     const Hamiltonian h = tfim(4, 1.0, 0.7);

@@ -87,7 +87,7 @@ TEST(ResultCache, SymbolicParamsKeyedByValues)
                      .has_value());
 }
 
-TEST(ResultCache, FifoEvictionRespectsCap)
+TEST(ResultCache, LruEvictionRespectsCap)
 {
     ResultCache cache(2);
     const JobKey k1 = makeJobKey(tfimJob(0.1, 1));
@@ -99,9 +99,41 @@ TEST(ResultCache, FifoEvictionRespectsCap)
 
     EXPECT_EQ(cache.size(), 2u);
     EXPECT_EQ(cache.stats().evictions, 1u);
-    EXPECT_FALSE(cache.lookup(k1).has_value()); // oldest evicted
+    EXPECT_FALSE(cache.lookup(k1).has_value()); // least recent evicted
     EXPECT_TRUE(cache.lookup(k2).has_value());
     EXPECT_TRUE(cache.lookup(k3).has_value());
+}
+
+TEST(ResultCache, HotKeySurvivesEviction)
+{
+    // LRU, not FIFO: a VQA loop re-touches the same keys every
+    // iteration, and those hot keys must outlive colder insertions
+    // even though they were inserted first.
+    ResultCache cache(2);
+    const JobKey hot = makeJobKey(tfimJob(0.1, 1));
+    const JobKey cold = makeJobKey(tfimJob(0.2, 1));
+    const JobKey fresh = makeJobKey(tfimJob(0.3, 1));
+    cache.insert(hot, pointMass(2, 0));
+    cache.insert(cold, pointMass(2, 1));
+
+    // Touch the oldest insertion, then push past the cap: the
+    // untouched key is the victim, not the oldest one.
+    EXPECT_TRUE(cache.lookup(hot).has_value());
+    cache.insert(fresh, pointMass(2, 2));
+
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_TRUE(cache.lookup(hot).has_value());
+    EXPECT_TRUE(cache.lookup(fresh).has_value());
+    EXPECT_FALSE(cache.lookup(cold).has_value());
+
+    // Re-touching every "iteration" keeps the hot key resident
+    // across any number of one-shot insertions.
+    for (double theta : {0.4, 0.5, 0.6}) {
+        EXPECT_TRUE(cache.lookup(hot).has_value()) << theta;
+        cache.insert(makeJobKey(tfimJob(theta, 1)),
+                     pointMass(2, 3));
+    }
+    EXPECT_TRUE(cache.lookup(hot).has_value());
 }
 
 TEST(ResultCache, ClearDropsEntriesKeepsStats)

@@ -5,8 +5,8 @@
 
 #include <gtest/gtest.h>
 
-#include "runtime/circuit_hash.hh"
-#include "runtime/job.hh"
+#include "sim/circuit_hash.hh"
+#include "sim/job.hh"
 
 namespace varsaw {
 namespace {

@@ -15,7 +15,7 @@
 #include "mitigation/jigsaw.hh"
 #include "noise/device_model.hh"
 #include "runtime/batch_executor.hh"
-#include "runtime/circuit_hash.hh"
+#include "sim/circuit_hash.hh"
 #include "sim/sim_engine.hh"
 #include "sim/state_cache.hh"
 #include "vqa/ansatz.hh"
@@ -288,23 +288,6 @@ TEST(ExecutorJob, TrajectoryModeHandlesPrefixedJobs)
         EXPECT_EQ(prefixed.prob(outcome), p);
 }
 
-TEST(StateCache, ClearsInBulkAtCap)
-{
-    StateCache cache(2);
-    auto make = [] {
-        return std::make_shared<const Statevector>(1);
-    };
-    cache.getOrPrepare(PrepKey{1, 0}, make);
-    cache.getOrPrepare(PrepKey{2, 0}, make);
-    EXPECT_EQ(cache.size(), 2u);
-    // Third distinct key trips the bulk clear first.
-    cache.getOrPrepare(PrepKey{3, 0}, make);
-    EXPECT_EQ(cache.size(), 1u);
-    const StateCacheStats stats = cache.stats();
-    EXPECT_EQ(stats.misses, 3u);
-    EXPECT_EQ(stats.clears, 1u);
-}
-
 TEST(SimEngine, PrepWithTrailingBasisGatesSharesKeyAndMatches)
 {
     // An ansatz that itself ends with H: the trailing gate belongs
@@ -337,41 +320,6 @@ TEST(SimEngine, PrepWithTrailingBasisGatesSharesKeyAndMatches)
         EXPECT_EQ(plain[i], expected[i]);
         EXPECT_EQ(prefixed[i], expected[i]);
     }
-}
-
-TEST(StateCache, PreparationFailureIsRetriable)
-{
-    StateCache cache(8);
-    int attempts = 0;
-    const auto failing = [&]() -> StateCache::StatePtr {
-        ++attempts;
-        throw std::runtime_error("transient");
-    };
-    EXPECT_THROW(cache.getOrPrepare(PrepKey{4, 2}, failing),
-                 std::runtime_error);
-    // The failed claim is retracted: the next caller re-prepares
-    // instead of inheriting a broken future.
-    auto state = cache.getOrPrepare(PrepKey{4, 2}, [&] {
-        ++attempts;
-        return std::make_shared<const Statevector>(1);
-    });
-    EXPECT_EQ(attempts, 2);
-    EXPECT_NE(state, nullptr);
-}
-
-TEST(StateCache, HitReturnsSameState)
-{
-    StateCache cache(8);
-    int prepared = 0;
-    auto make = [&] {
-        ++prepared;
-        return std::make_shared<const Statevector>(2);
-    };
-    auto a = cache.getOrPrepare(PrepKey{7, 9}, make);
-    auto b = cache.getOrPrepare(PrepKey{7, 9}, make);
-    EXPECT_EQ(prepared, 1);
-    EXPECT_EQ(a.get(), b.get());
-    EXPECT_EQ(cache.stats().hits, 1u);
 }
 
 } // namespace

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Unit tests for the byte-budgeted LRU prepared-state cache: exact
+ * byte accounting across mixed qubit widths, per-entry LRU eviction
+ * (hot entries survive, no bulk clears), the secondary entry cap,
+ * the in-flight-claims-are-never-evicted contract under concurrent
+ * hammering past the budget, and clear() vs live claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sim/state_cache.hh"
+
+namespace varsaw {
+namespace {
+
+/** Preparation returning a fresh n-qubit state, counting calls. */
+std::function<StateCache::StatePtr()>
+makePrep(int qubits, int *count = nullptr)
+{
+    return [qubits, count]() -> StateCache::StatePtr {
+        if (count)
+            ++*count;
+        return std::make_shared<const Statevector>(qubits);
+    };
+}
+
+TEST(StateCacheBytes, EntriesChargedSixteenShiftN)
+{
+    EXPECT_EQ(StateCache::entryBytes(0), 16u);
+    EXPECT_EQ(StateCache::entryBytes(1), 32u);
+    EXPECT_EQ(StateCache::entryBytes(10), 16u << 10);
+    EXPECT_EQ(StateCache::entryBytes(26), 16ull << 26); // 1 GiB
+}
+
+TEST(StateCacheBytes, ResidentAndPeakExactSingleThreaded)
+{
+    // Budget fits two 3-qubit states (128 B each) but not three.
+    StateCache cache(/*byte_budget=*/300, /*max_entries=*/32);
+    cache.getOrPrepare(PrepKey{1, 0}, makePrep(3));
+    EXPECT_EQ(cache.bytesResident(), 128u);
+    cache.getOrPrepare(PrepKey{2, 0}, makePrep(3));
+    EXPECT_EQ(cache.bytesResident(), 256u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // The third completion peaks at 384 B, then evicts exactly one
+    // LRU entry (key 1) to get back under the budget.
+    cache.getOrPrepare(PrepKey{3, 0}, makePrep(3));
+    const StateCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.bytesResident, 256u);
+    EXPECT_EQ(stats.peakBytes, 384u);
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // Key 1 was the victim; keys 2 and 3 are still resident.
+    int prepared = 0;
+    cache.getOrPrepare(PrepKey{2, 0}, makePrep(3, &prepared));
+    cache.getOrPrepare(PrepKey{3, 0}, makePrep(3, &prepared));
+    EXPECT_EQ(prepared, 0);
+    cache.getOrPrepare(PrepKey{1, 0}, makePrep(3, &prepared));
+    EXPECT_EQ(prepared, 1);
+}
+
+TEST(StateCacheBytes, MixedWidthsEvictOneAtATime)
+{
+    // Four 2-qubit states (64 B each), then one 5-qubit state
+    // (512 B) against a 600 B budget: the wide completion must
+    // evict exactly three narrow LRU entries, one at a time.
+    StateCache cache(/*byte_budget=*/600, /*max_entries=*/32);
+    for (std::uint64_t k = 1; k <= 4; ++k)
+        cache.getOrPrepare(PrepKey{k, 0}, makePrep(2));
+    EXPECT_EQ(cache.bytesResident(), 256u);
+
+    cache.getOrPrepare(PrepKey{5, 0}, makePrep(5));
+    const StateCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 3u);
+    EXPECT_EQ(stats.bytesResident, 64u + 512u);
+    EXPECT_EQ(stats.peakBytes, 256u + 512u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    // Eviction was LRU: keys 1-3 are gone, key 4 survived.
+    int prepared = 0;
+    cache.getOrPrepare(PrepKey{4, 0}, makePrep(2, &prepared));
+    EXPECT_EQ(prepared, 0);
+    cache.getOrPrepare(PrepKey{1, 0}, makePrep(2, &prepared));
+    EXPECT_EQ(prepared, 1);
+}
+
+TEST(StateCacheBytes, TouchedEntrySurvivesEviction)
+{
+    // LRU, not FIFO: re-touching the oldest insertion protects it.
+    StateCache cache(/*byte_budget=*/2 * 128, /*max_entries=*/32);
+    cache.getOrPrepare(PrepKey{1, 0}, makePrep(3));
+    cache.getOrPrepare(PrepKey{2, 0}, makePrep(3));
+    cache.getOrPrepare(PrepKey{1, 0}, makePrep(3)); // touch 1
+    cache.getOrPrepare(PrepKey{3, 0}, makePrep(3)); // evicts 2
+
+    int prepared = 0;
+    cache.getOrPrepare(PrepKey{1, 0}, makePrep(3, &prepared));
+    EXPECT_EQ(prepared, 0) << "hot key must survive";
+    cache.getOrPrepare(PrepKey{2, 0}, makePrep(3, &prepared));
+    EXPECT_EQ(prepared, 1) << "cold key was the victim";
+}
+
+TEST(StateCacheBytes, OversizedEntryStaysResidentUntilDisplaced)
+{
+    // A single state wider than the whole budget is admitted (its
+    // waiters and later hits still benefit) and only leaves when a
+    // newer completion displaces it.
+    StateCache cache(/*byte_budget=*/100, /*max_entries=*/32);
+    int prepared = 0;
+    cache.getOrPrepare(PrepKey{1, 0}, makePrep(4, &prepared));
+    EXPECT_EQ(cache.bytesResident(), 256u);
+    cache.getOrPrepare(PrepKey{1, 0}, makePrep(4, &prepared));
+    EXPECT_EQ(prepared, 1) << "oversized entry still serves hits";
+
+    cache.getOrPrepare(PrepKey{2, 0}, makePrep(4, &prepared));
+    const StateCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.bytesResident, 256u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(StateCacheBytes, SecondaryEntryCapStillBounds)
+{
+    // A huge byte budget does not disable the entry cap.
+    StateCache cache(StateCache::kDefaultByteBudget,
+                     /*max_entries=*/2);
+    for (std::uint64_t k = 1; k <= 5; ++k)
+        cache.getOrPrepare(PrepKey{k, 0}, makePrep(1));
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.stats().evictions, 3u);
+
+    // LRU order: the two newest keys survived.
+    int prepared = 0;
+    cache.getOrPrepare(PrepKey{4, 0}, makePrep(1, &prepared));
+    cache.getOrPrepare(PrepKey{5, 0}, makePrep(1, &prepared));
+    EXPECT_EQ(prepared, 0);
+}
+
+TEST(StateCache, NoBulkClearEvictionIsOneAtATime)
+{
+    // Filling far past the budget evicts exactly one entry per
+    // completion: the resident set stays full-sized instead of
+    // collapsing to one entry the way the old bulk clear did.
+    StateCache cache(/*byte_budget=*/4 * 32, /*max_entries=*/32);
+    for (std::uint64_t k = 1; k <= 20; ++k) {
+        cache.getOrPrepare(PrepKey{k, 0}, makePrep(1));
+        EXPECT_EQ(cache.size(), std::min<std::size_t>(k, 4u));
+    }
+    EXPECT_EQ(cache.stats().evictions, 16u);
+    EXPECT_EQ(cache.bytesResident(), 4u * 32u);
+}
+
+TEST(StateCache, EntryCapNeverEvictsNewestCompletedEntry)
+{
+    // Claim pressure at a tiny entry cap must not evict the
+    // most-recently-completed entry (it may be mid-evaluation):
+    // while a new key's preparation is in flight, hits on the
+    // completed entry keep being answered without re-preparing.
+    // Only the in-flight key's completion may displace it.
+    StateCache cache(StateCache::kDefaultByteBudget,
+                     /*max_entries=*/1);
+    int prepared_a = 0;
+    cache.getOrPrepare(PrepKey{1, 0}, makePrep(2, &prepared_a));
+
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    std::thread claimer([&] {
+        cache.getOrPrepare(PrepKey{2, 0}, [&] {
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [&] { return release; });
+            return std::make_shared<const Statevector>(2);
+        });
+    });
+    while (cache.size() < 2)
+        std::this_thread::yield();
+
+    // The cap (1) is exceeded by the claim, yet the completed entry
+    // survives: hitting it runs no preparation.
+    cache.getOrPrepare(PrepKey{1, 0}, makePrep(2, &prepared_a));
+    EXPECT_EQ(prepared_a, 1);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    claimer.join();
+
+    // Completion re-applies the cap: the older entry is evicted.
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    int prepared_b = 0;
+    cache.getOrPrepare(PrepKey{2, 0}, makePrep(2, &prepared_b));
+    EXPECT_EQ(prepared_b, 0);
+}
+
+TEST(StateCache, HitReturnsSameState)
+{
+    StateCache cache;
+    int prepared = 0;
+    auto a = cache.getOrPrepare(PrepKey{7, 9}, makePrep(2, &prepared));
+    auto b = cache.getOrPrepare(PrepKey{7, 9}, makePrep(2, &prepared));
+    EXPECT_EQ(prepared, 1);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(StateCache, PreparationFailureIsRetriable)
+{
+    StateCache cache;
+    int attempts = 0;
+    const auto failing = [&]() -> StateCache::StatePtr {
+        ++attempts;
+        throw std::runtime_error("transient");
+    };
+    EXPECT_THROW(cache.getOrPrepare(PrepKey{4, 2}, failing),
+                 std::runtime_error);
+    // The failed claim is retracted: the next caller re-prepares
+    // instead of inheriting a broken future.
+    auto state = cache.getOrPrepare(PrepKey{4, 2}, makePrep(1, &attempts));
+    EXPECT_EQ(attempts, 2);
+    EXPECT_NE(state, nullptr);
+    EXPECT_EQ(cache.bytesResident(), 32u);
+}
+
+TEST(StateCache, ClearKeepsInFlightClaims)
+{
+    // clear() while a preparation is in flight: the claim survives,
+    // the waiter's future resolves normally, the state enters the
+    // cache afterwards, and no second preparation ever runs.
+    StateCache cache;
+    std::mutex m;
+    std::condition_variable cv;
+    bool release = false;
+    std::atomic<int> prepared{0};
+
+    std::thread preparer([&] {
+        cache.getOrPrepare(PrepKey{1, 1}, [&] {
+            ++prepared;
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock, [&] { return release; });
+            return std::make_shared<const Statevector>(2);
+        });
+    });
+    // Wait until the claim is registered, then clear under it.
+    while (cache.size() == 0)
+        std::this_thread::yield();
+    cache.clear();
+    EXPECT_EQ(cache.size(), 1u) << "in-flight claim must survive";
+
+    // A concurrent caller for the same key must share the claim.
+    std::thread waiter([&] {
+        auto state = cache.getOrPrepare(PrepKey{1, 1}, [&] {
+            ++prepared;
+            return std::make_shared<const Statevector>(2);
+        });
+        EXPECT_NE(state, nullptr);
+    });
+
+    {
+        std::lock_guard<std::mutex> lock(m);
+        release = true;
+    }
+    cv.notify_all();
+    preparer.join();
+    waiter.join();
+
+    EXPECT_EQ(prepared.load(), 1);
+    // The state completed after the clear, so it is resident now.
+    int again = 0;
+    cache.getOrPrepare(PrepKey{1, 1}, makePrep(2, &again));
+    EXPECT_EQ(again, 0);
+    EXPECT_EQ(cache.stats().clears, 1u);
+}
+
+TEST(StateCache, ConcurrentHammerPastBudgetExactlyOncePerWave)
+{
+    // The concurrency regression the byte budget must not break:
+    // many threads request the same key simultaneously while the
+    // budget forces constant eviction of older keys. Per wave,
+    // exactly one preparation runs and every caller gets the same
+    // (valid) state — no broken futures, no evicted claims.
+    constexpr int kThreads = 8;
+    constexpr int kWaves = 40;
+    // Budget fits ~2 of the 4-qubit states (256 B each).
+    StateCache cache(/*byte_budget=*/600, /*max_entries=*/32);
+    std::atomic<std::uint64_t> prepared{0};
+
+    for (int wave = 0; wave < kWaves; ++wave) {
+        const PrepKey key{static_cast<std::uint64_t>(wave + 1), 17};
+        std::vector<StateCache::StatePtr> got(kThreads);
+        std::vector<std::thread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&, t] {
+                got[static_cast<std::size_t>(t)] =
+                    cache.getOrPrepare(key, [&] {
+                        prepared.fetch_add(1);
+                        return std::make_shared<const Statevector>(4);
+                    });
+            });
+        }
+        for (auto &thread : threads)
+            thread.join();
+        for (int t = 1; t < kThreads; ++t)
+            EXPECT_EQ(got[0].get(),
+                      got[static_cast<std::size_t>(t)].get())
+                << "wave " << wave;
+        ASSERT_NE(got[0], nullptr);
+        EXPECT_EQ(got[0]->numQubits(), 4);
+    }
+
+    // Exactly one preparation per wave despite eviction pressure.
+    EXPECT_EQ(prepared.load(), static_cast<std::uint64_t>(kWaves));
+    const StateCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, static_cast<std::uint64_t>(kWaves));
+    EXPECT_EQ(stats.hits,
+              static_cast<std::uint64_t>(kWaves * (kThreads - 1)));
+    EXPECT_LE(cache.bytesResident(), 600u);
+}
+
+TEST(StateCache, ConcurrentMixedKeysAllResultsValid)
+{
+    // Unsynchronized hammering over a small key set with a tiny
+    // budget: every call must return a valid state of the width its
+    // key encodes, and the stats must stay internally consistent.
+    constexpr int kThreads = 8;
+    constexpr int kIters = 200;
+    StateCache cache(/*byte_budget=*/200, /*max_entries=*/4);
+    std::atomic<std::uint64_t> prepared{0};
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                const int width = 1 + (t + i) % 3;
+                const PrepKey key{static_cast<std::uint64_t>(width),
+                                  42};
+                auto state = cache.getOrPrepare(key, [&] {
+                    prepared.fetch_add(1);
+                    return std::make_shared<const Statevector>(
+                        width);
+                });
+                ASSERT_NE(state, nullptr);
+                EXPECT_EQ(state->numQubits(), width);
+            }
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    const StateCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, prepared.load());
+    EXPECT_EQ(stats.hits + stats.misses,
+              static_cast<std::uint64_t>(kThreads * kIters));
+    EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(PrepKey, CombinedDigestCollisionsKeepDistinctKeys)
+{
+    // mix64(a, b) finalizes a + phi * (b + 1), so {s, p} and
+    // {s + phi, p - 1} collide in combined() (and in PrepKeyHasher)
+    // while comparing unequal. Everything that groups or caches by
+    // prep identity must compare full keys, so a collision may share
+    // a hash bucket but never an entry.
+    constexpr std::uint64_t kPhi = 0x9E3779B97F4A7C15ull;
+    const PrepKey a{123, 456};
+    const PrepKey b{123 + kPhi, 455};
+    ASSERT_EQ(a.combined(), b.combined());
+    ASSERT_EQ(PrepKeyHasher{}(a), PrepKeyHasher{}(b));
+    ASSERT_FALSE(a == b);
+
+    // The cache keeps one prepared state per KEY, not per digest.
+    StateCache cache;
+    int prepared = 0;
+    auto sa = cache.getOrPrepare(a, makePrep(1, &prepared));
+    auto sb = cache.getOrPrepare(b, makePrep(2, &prepared));
+    EXPECT_EQ(prepared, 2);
+    EXPECT_NE(sa.get(), sb.get());
+    EXPECT_EQ(sa->numQubits(), 1);
+    EXPECT_EQ(sb->numQubits(), 2);
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+} // namespace
+} // namespace varsaw
