@@ -1,164 +1,378 @@
 /**
  * @file
- * Micro-benchmarks (google-benchmark) for the hot kernels: gate
- * application, marginalization, Bayesian reconstruction, basis
- * reduction, subset reduction, and the end-to-end spatial plan.
+ * Micro-benchmarks for the hot statevector kernels: serial vs
+ * kernel-thread-parallel throughput (amps/s and GiB/s of estimated
+ * traffic) for every kernel the intra-state parallel layer rewrote
+ * — apply1Q (adjacent and high-qubit targets), applyCX, applyCZ,
+ * applyRZZ, applySwap, the fused diagonal run, applyPauli, norm,
+ * probabilities, marginalProbabilities, expectationPauli, and
+ * innerProduct — at 16/20/24 qubits (VARSAW_BENCH_QUBITS overrides,
+ * e.g. "16,18"). Only the kernel call is inside the stopwatch;
+ * state fingerprinting happens outside it.
+ *
+ * Every threaded row is checked bit-identical against the
+ * 1-thread serial reference (a leading 1 is forced into the thread
+ * sweep so the reference is always truly serial); the comparison
+ * uses a full-state FNV-1a fingerprint plus the kernel's exact
+ * reduction outputs. VARSAW_BENCH_CHECK=1 turns any mismatch into
+ * a non-zero exit, which is how CI gates the determinism contract.
+ * Speedups are reported, not gated — CI runners pin cores.
+ *
+ * Knobs: VARSAW_BENCH_REPS (timing repetitions per row, default 3),
+ * VARSAW_BENCH_THREADS (comma list, default "1,2,4,8"),
+ * --cache-bytes/--kernel-threads via common.hh. When
+ * --kernel-threads/VARSAW_KERNEL_THREADS raises the process
+ * setting above 1 it also caps the sweep (no rows above it), so a
+ * 2-core operator passing --kernel-threads=2 never runs
+ * oversubscribed 8-thread rows.
  */
 
-#include <benchmark/benchmark.h>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "chem/molecules.hh"
-#include "core/spatial.hh"
-#include "mitigation/bayesian.hh"
-#include "mitigation/executor.hh"
+#include "common.hh"
 #include "sim/statevector.hh"
-#include "util/rng.hh"
-#include "vqa/ansatz.hh"
+#include "util/csv.hh"
+#include "util/parallel.hh"
 
-namespace varsaw {
+using namespace varsaw;
+using namespace varsaw::bench;
+
 namespace {
 
-void
-BM_ApplyHadamardLayer(benchmark::State &state)
+/** FNV-1a over raw amplitude bytes: a bit-exact state fingerprint. */
+std::uint64_t
+fingerprint(const Statevector &sv)
 {
-    const int n = static_cast<int>(state.range(0));
-    Statevector sv(n);
-    const Matrix2 h = gates::fixedMatrix(GateKind::H);
-    for (auto _ : state) {
-        for (int q = 0; q < n; ++q)
-            sv.apply1Q(q, h);
-        benchmark::DoNotOptimize(sv.amplitudes().data());
+    const auto &amps = sv.amplitudes();
+    const unsigned char *bytes =
+        reinterpret_cast<const unsigned char *>(amps.data());
+    const std::size_t size =
+        amps.size() * sizeof(Statevector::Amplitude);
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ull;
     }
-    state.SetItemsProcessed(state.iterations() * n *
-                            (1ll << (n - 1)));
+    return h;
 }
-BENCHMARK(BM_ApplyHadamardLayer)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
 
-void
-BM_ApplyCxChain(benchmark::State &state)
+/** Fold a double vector into an FNV-1a stream, bit-exactly. */
+std::uint64_t
+fingerprintDoubles(const std::vector<double> &v)
 {
-    const int n = static_cast<int>(state.range(0));
-    Statevector sv(n);
-    sv.apply1Q(0, gates::fixedMatrix(GateKind::H));
-    for (auto _ : state) {
-        for (int q = 0; q + 1 < n; ++q)
-            sv.applyCX(q, q + 1);
-        benchmark::DoNotOptimize(sv.amplitudes().data());
+    std::uint64_t h = 1469598103934665603ull;
+    for (const double d : v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        for (int b = 0; b < 8; ++b) {
+            h ^= (bits >> (8 * b)) & 0xffull;
+            h *= 1099511628211ull;
+        }
     }
+    return h;
 }
-BENCHMARK(BM_ApplyCxChain)->Arg(6)->Arg(10)->Arg(14)->Arg(18);
 
-void
-BM_AnsatzSimulation(benchmark::State &state)
+/**
+ * One benchmarked kernel. `run` is the TIMED region: exactly the
+ * kernel call, returning its reduction outputs (empty for mutating
+ * kernels). `mutates` adds the post-run state fingerprint to the
+ * bit-identity signature (computed outside the stopwatch).
+ * `passBytes` estimates one invocation's memory traffic for the
+ * GiB/s column.
+ */
+struct KernelCase
 {
-    const int n = static_cast<int>(state.range(0));
-    EfficientSU2 ansatz(AnsatzConfig{n, 2, Entanglement::Full});
-    const auto params = ansatz.initialParameters(1);
-    for (auto _ : state) {
-        Statevector sv(n);
-        sv.run(ansatz.circuit(), params);
-        benchmark::DoNotOptimize(sv.norm());
-    }
-}
-BENCHMARK(BM_AnsatzSimulation)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+    std::string name;
+    double passBytes = 0.0;
+    bool mutates = true;
+    std::function<std::vector<double>(Statevector &)> run;
+};
 
-void
-BM_MarginalProbabilities(benchmark::State &state)
+/** Deterministic dense input state: layered rotations + entanglers. */
+Statevector
+makeInput(int n)
 {
-    const int n = static_cast<int>(state.range(0));
-    EfficientSU2 ansatz(AnsatzConfig{n, 2, Entanglement::Linear});
-    Statevector sv(n);
-    sv.run(ansatz.circuit(), ansatz.initialParameters(2));
-    const std::vector<int> measured = {0, 1};
-    for (auto _ : state) {
-        auto probs = sv.marginalProbabilities(measured);
-        benchmark::DoNotOptimize(probs.data());
-    }
-}
-BENCHMARK(BM_MarginalProbabilities)->Arg(8)->Arg(12)->Arg(16);
-
-void
-BM_BayesianReconstruction(benchmark::State &state)
-{
-    const int n = static_cast<int>(state.range(0));
-    Rng rng(9);
-    Pmf global(n);
-    for (int i = 0; i < (1 << n); ++i)
-        global.set(i, rng.uniform());
-    global.normalize();
-    std::vector<LocalPmf> locals;
-    for (int s = 0; s + 1 < n; ++s) {
-        LocalPmf local;
-        local.positions = {s, s + 1};
-        local.pmf = Pmf(2);
-        for (int i = 0; i < 4; ++i)
-            local.pmf.set(i, rng.uniform());
-        local.pmf.normalize();
-        locals.push_back(std::move(local));
-    }
-    for (auto _ : state) {
-        Pmf out = bayesianReconstruct(global, locals, 1);
-        benchmark::DoNotOptimize(out.supportSize());
-    }
-}
-BENCHMARK(BM_BayesianReconstruction)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
-
-void
-BM_CoverReduce(benchmark::State &state)
-{
-    Hamiltonian h = molecule(state.range(0) == 0 ? "CH4-8"
-                                                 : "H6-10");
-    const auto strings = h.strings();
-    for (auto _ : state) {
-        auto red = coverReduce(strings);
-        benchmark::DoNotOptimize(red.bases.size());
-    }
-    state.SetLabel(h.name());
-}
-BENCHMARK(BM_CoverReduce)->Arg(0)->Arg(1);
-
-void
-BM_ReduceSubsets(benchmark::State &state)
-{
-    Hamiltonian h = molecule("H6-10");
-    const auto pool = aggregateSubsets(h.strings(), 2);
-    for (auto _ : state) {
-        auto reduced = reduceSubsets(pool);
-        benchmark::DoNotOptimize(reduced.size());
-    }
-    state.SetItemsProcessed(state.iterations() * pool.size());
-}
-BENCHMARK(BM_ReduceSubsets);
-
-void
-BM_BuildSpatialPlan(benchmark::State &state)
-{
-    Hamiltonian h = molecule("CH4-8");
-    for (auto _ : state) {
-        auto plan = buildSpatialPlan(h, 2);
-        benchmark::DoNotOptimize(plan.executedSubsets.size());
-    }
-}
-BENCHMARK(BM_BuildSpatialPlan);
-
-void
-BM_NoisyExecution(benchmark::State &state)
-{
-    const int n = static_cast<int>(state.range(0));
-    EfficientSU2 ansatz(AnsatzConfig{n, 2, Entanglement::Full});
-    const auto params = ansatz.initialParameters(3);
-    NoisyExecutor exec(DeviceModel::mumbai());
     Circuit c(n);
-    c.append(ansatz.circuit());
-    c.measureAll();
-    for (auto _ : state) {
-        Pmf pmf = exec.execute(c, params, 1024);
-        benchmark::DoNotOptimize(pmf.supportSize());
-    }
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int q = 0; q < n; ++q)
+        c.ry(q, 0.3 + 0.11 * q);
+    for (int q = 0; q + 1 < n; ++q)
+        c.cx(q, q + 1);
+    for (int q = 0; q < n; ++q)
+        c.rz(q, 0.7 - 0.05 * q);
+    Statevector sv(n);
+    sv.run(c, {});
+    return sv;
 }
-BENCHMARK(BM_NoisyExecution)->Arg(4)->Arg(6)->Arg(8);
+
+std::vector<KernelCase>
+kernelCases(int n, const Statevector &input)
+{
+    const double amp_bytes =
+        16.0 * static_cast<double>(1ull << n); // state read once
+    const Matrix2 h = gates::fixedMatrix(GateKind::H);
+    const Matrix2 ry = gates::ry(0.37);
+
+    std::vector<KernelCase> cases;
+    cases.push_back({"apply1Q_q0", 2.0 * amp_bytes, true,
+                     [=](Statevector &sv) {
+                         sv.apply1Q(0, h);
+                         return std::vector<double>{};
+                     }});
+    cases.push_back({"apply1Q_qhi", 2.0 * amp_bytes, true,
+                     [=, q = n - 1](Statevector &sv) {
+                         sv.apply1Q(q, ry);
+                         return std::vector<double>{};
+                     }});
+    cases.push_back({"applyCX", amp_bytes, true,
+                     [q = n - 1](Statevector &sv) {
+                         sv.applyCX(0, q);
+                         return std::vector<double>{};
+                     }});
+    cases.push_back({"applyCZ", 0.5 * amp_bytes, true,
+                     [q = n / 2](Statevector &sv) {
+                         sv.applyCZ(1, q);
+                         return std::vector<double>{};
+                     }});
+    cases.push_back({"applyRZZ", 2.0 * amp_bytes, true,
+                     [q = n - 2](Statevector &sv) {
+                         sv.applyRZZ(1, q, 0.83);
+                         return std::vector<double>{};
+                     }});
+    cases.push_back({"applySwap", amp_bytes, true,
+                     [q = n - 1](Statevector &sv) {
+                         sv.applySwap(0, q);
+                         return std::vector<double>{};
+                     }});
+    {
+        // RZ layer + CZ + RZZ: one fused pass via applyOps.
+        auto run_circuit = std::make_shared<Circuit>(n);
+        for (int q = 0; q < n; ++q)
+            run_circuit->rz(q, 0.21 + 0.07 * q);
+        run_circuit->cz(0, n - 1);
+        run_circuit->rzz(1, n - 2, 0.55);
+        cases.push_back({"applyDiagonalRun", 2.0 * amp_bytes, true,
+                         [run_circuit](Statevector &sv) {
+                             sv.applyOps(run_circuit->ops().data(),
+                                         run_circuit->ops().size(),
+                                         {});
+                             return std::vector<double>{};
+                         }});
+    }
+    {
+        auto pauli = std::make_shared<PauliString>(n);
+        for (int q = 0; q < n; ++q)
+            pauli->setOp(q, q % 3 == 0
+                                ? PauliOp::X
+                                : (q % 3 == 1 ? PauliOp::Y
+                                              : PauliOp::Z));
+        cases.push_back({"applyPauli", 2.0 * amp_bytes, true,
+                         [pauli](Statevector &sv) {
+                             sv.applyPauli(*pauli);
+                             return std::vector<double>{};
+                         }});
+    }
+    cases.push_back({"norm", amp_bytes, false,
+                     [](Statevector &sv) {
+                         return std::vector<double>{sv.norm()};
+                     }});
+    cases.push_back({"probabilities",
+                     amp_bytes + 0.5 * amp_bytes, false,
+                     [](Statevector &sv) {
+                         return sv.probabilities();
+                     }});
+    cases.push_back(
+        {"marginalProbs_8q", amp_bytes, false,
+         [](Statevector &sv) {
+             return sv.marginalProbabilities(
+                 {0, 1, 2, 3, 4, 5, 6, 7});
+         }});
+    cases.push_back(
+        {"marginalProbs_perm", amp_bytes, false,
+         [=](Statevector &sv) {
+             return sv.marginalProbabilities({n - 1, 2, 5, 0});
+         }});
+    {
+        auto pauli = std::make_shared<PauliString>(n);
+        for (int q = 0; q < n; ++q)
+            pauli->setOp(q, q % 2 == 0 ? PauliOp::Z : PauliOp::X);
+        cases.push_back(
+            {"expectationPauli", 2.0 * amp_bytes, false,
+             [pauli](Statevector &sv) {
+                 return std::vector<double>{
+                     sv.expectationPauli(*pauli)};
+             }});
+    }
+    {
+        // The partner state is built ONCE here; the timed region
+        // is the inner product alone.
+        auto other = std::make_shared<Statevector>(input);
+        other->apply1Q(0, ry);
+        cases.push_back(
+            {"innerProduct", 2.0 * amp_bytes, false,
+             [other](Statevector &sv) {
+                 const auto ip = sv.innerProduct(*other);
+                 return std::vector<double>{ip.real(), ip.imag()};
+             }});
+    }
+    return cases;
+}
+
+std::vector<int>
+parseIntList(const char *env, const std::vector<int> &dflt)
+{
+    const char *text = std::getenv(env);
+    if (!text)
+        return dflt;
+    std::vector<int> out;
+    std::string token;
+    for (const char *p = text;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!token.empty())
+                out.push_back(std::atoi(token.c_str()));
+            token.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            token += *p;
+        }
+    }
+    return out.empty() ? dflt : out;
+}
 
 } // namespace
-} // namespace varsaw
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    if (!parseStandardArgs(argc, argv))
+        return 2;
+    banner("Micro-kernels - serial vs kernel-thread-parallel "
+           "statevector sweeps",
+           ">= 2.5x on 22q+ apply1Q/applyDiagonalRun at 8 kernel "
+           "threads on unpinned multicore hosts; bit-identical "
+           "results at every thread count");
+
+    const int entry_threads = kernelThreads();
+    const std::vector<int> sizes =
+        parseIntList("VARSAW_BENCH_QUBITS", {16, 20, 24});
+    std::vector<int> threads =
+        parseIntList("VARSAW_BENCH_THREADS", {1, 2, 4, 8});
+    // An explicit --kernel-threads/VARSAW_KERNEL_THREADS above 1
+    // caps the sweep: never run rows wider than the operator asked
+    // for. And the serial reference must be truly serial, so a
+    // leading 1 is forced into the list.
+    if (entry_threads > 1) {
+        std::vector<int> capped;
+        for (const int t : threads)
+            if (t <= entry_threads)
+                capped.push_back(t);
+        threads = capped.empty() ? std::vector<int>{entry_threads}
+                                 : capped;
+    }
+    if (threads.empty() || threads.front() != 1)
+        threads.insert(threads.begin(), 1);
+    const int reps =
+        static_cast<int>(envInt("VARSAW_BENCH_REPS", 3));
+    const bool check = envInt("VARSAW_BENCH_CHECK", 0) != 0;
+
+    TablePrinter table("Statevector kernels: amps/s by kernel "
+                       "threads (speedup vs serial)");
+    table.setHeader({"Kernel", "Qubits", "Threads", "Seconds",
+                     "Amps/s", "GiB/s", "Speedup", "Identical"});
+    CsvWriter csv("bench_micro_kernels.csv");
+    csv.writeRow({"kernel", "qubits", "threads", "seconds",
+                  "amps_per_sec", "gib_per_sec", "speedup",
+                  "identical"});
+
+    int mismatches = 0;
+    for (const int n : sizes) {
+        const Statevector input = makeInput(n);
+        Statevector work(n);
+        const double amps =
+            static_cast<double>(1ull << n) *
+            static_cast<double>(reps);
+        for (const KernelCase &kc : kernelCases(n, input)) {
+            double serial_rate = 0.0;
+            std::uint64_t reference = 0;
+            for (const int t : threads) {
+                setKernelThreads(t);
+                std::uint64_t sig = 0;
+                double seconds = 0.0;
+                for (int r = 0; r < reps; ++r) {
+                    work.copyFrom(input);
+                    Stopwatch watch;
+                    const auto values = kc.run(work);
+                    seconds += watch.seconds();
+                    // Fingerprints live OUTSIDE the stopwatch (the
+                    // row times the kernel, not the checksum) and
+                    // EVERY rep folds into sig, so a single
+                    // diverging repetition fails the gate.
+                    const std::uint64_t rep_sig =
+                        fingerprintDoubles(values) ^
+                        (kc.mutates ? fingerprint(work) : 0);
+                    sig = (sig ^ rep_sig) * 1099511628211ull;
+                }
+                const bool identical =
+                    (t == 1) || sig == reference;
+                if (t == 1) {
+                    reference = sig;
+                    serial_rate = perSecond(
+                        static_cast<std::uint64_t>(amps), seconds);
+                }
+                if (!identical)
+                    ++mismatches;
+                const double rate = perSecond(
+                    static_cast<std::uint64_t>(amps), seconds);
+                const double gibs = seconds > 0.0
+                    ? kc.passBytes * reps / seconds /
+                        (1024.0 * 1024.0 * 1024.0)
+                    : 0.0;
+                const double speedup =
+                    serial_rate > 0.0 ? rate / serial_rate : 0.0;
+                table.addRow(
+                    {kc.name,
+                     TablePrinter::num(
+                         static_cast<long long>(n)),
+                     TablePrinter::num(
+                         static_cast<long long>(t)),
+                     TablePrinter::num(seconds, 4),
+                     TablePrinter::num(rate, 0),
+                     TablePrinter::num(gibs, 2),
+                     TablePrinter::ratio(speedup),
+                     identical ? "yes" : "NO"});
+                csv.writeRow(
+                    {kc.name, std::to_string(n),
+                     std::to_string(t), std::to_string(seconds),
+                     std::to_string(rate), std::to_string(gibs),
+                     std::to_string(speedup),
+                     identical ? "1" : "0"});
+            }
+        }
+    }
+    setKernelThreads(entry_threads);
+    table.print();
+
+    if (mismatches != 0) {
+        std::printf("\n%d threaded kernel row(s) diverged from the "
+                    "serial reference!\n",
+                    mismatches);
+        if (check) {
+            std::printf("CHECK FAILED: kernels must be "
+                        "bit-identical across kernel threads\n");
+            return 1;
+        }
+    } else if (check) {
+        std::printf("\nCHECK PASSED: all kernels bit-identical "
+                    "across kernel threads {%d..%d}\n",
+                    threads.front(), threads.back());
+    }
+    return 0;
+}

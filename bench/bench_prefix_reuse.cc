@@ -63,6 +63,9 @@ struct Measurement
     double seconds = 0.0;
     std::uint64_t circuits = 0;
     std::uint64_t prepSims = 0;
+    std::uint64_t suffixApps = 0;
+    std::uint64_t scratchAllocs = 0;
+    std::uint64_t scratchReuses = 0;
     double prepHitRate = 0.0;
     double checksum = 0.0; //!< sum over result PMFs, for identity
 };
@@ -106,6 +109,9 @@ measure(bool prefix_shared, const Circuit &ansatz,
     m.circuits = exec.circuitsExecuted();
     const SimEngineStats stats = exec.simEngine().stats();
     m.prepSims = stats.prepSimulations;
+    m.suffixApps = stats.suffixApplications;
+    m.scratchAllocs = stats.suffixScratchAllocs;
+    m.scratchReuses = stats.suffixScratchReuses;
     m.prepHitRate = stats.cache.hitRate();
     return m;
 }
@@ -113,8 +119,10 @@ measure(bool prefix_shared, const Circuit &ansatz,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!parseStandardArgs(argc, argv))
+        return 2;
     banner("Prefix reuse - shared state-prep vs per-circuit "
            "simulation",
            ">= 3x circuits/sec on a 12-qubit, 20-basis evaluation; "
@@ -203,6 +211,13 @@ main()
                 "parameter point over %d points)\n",
                 static_cast<unsigned long long>(shared.prepSims),
                 ticks);
+    std::printf("suffix scratch: %llu reuses, %llu allocations "
+                "(zero-copy suffix path: allocations are per "
+                "worker thread, never per basis)\n",
+                static_cast<unsigned long long>(
+                    shared.scratchReuses),
+                static_cast<unsigned long long>(
+                    shared.scratchAllocs));
 
     if (envInt("VARSAW_BENCH_CHECK", 0) != 0) {
         // CI smoke gate: the engine must stay transparent and the
@@ -231,10 +246,40 @@ main()
                         ticks);
             ++failures;
         }
+        // Zero-copy suffix path: the runtime here is
+        // single-threaded, so every suffix that copies the
+        // prepared state (all of them except gate-free all-Z
+        // bases) must land in ONE reusable scratch — at most one
+        // allocation total, never one per basis.
+        std::uint64_t copy_suffixes = 0;
+        for (const auto &basis : bases)
+            if (!makeGlobalSuffix(basis).ops().empty())
+                ++copy_suffixes;
+        copy_suffixes *= static_cast<std::uint64_t>(ticks);
+        if (shared.scratchAllocs > 1) {
+            std::printf("CHECK FAILED: %llu suffix scratch "
+                        "allocations (max 1 on a single-threaded "
+                        "runtime)\n",
+                        static_cast<unsigned long long>(
+                            shared.scratchAllocs));
+            ++failures;
+        }
+        if (shared.scratchAllocs + shared.scratchReuses !=
+            copy_suffixes) {
+            std::printf("CHECK FAILED: scratch allocs+reuses "
+                        "%llu != %llu copying suffixes\n",
+                        static_cast<unsigned long long>(
+                            shared.scratchAllocs +
+                            shared.scratchReuses),
+                        static_cast<unsigned long long>(
+                            copy_suffixes));
+            ++failures;
+        }
         if (failures != 0)
             return 1;
         std::printf("CHECK PASSED: bit-identical, hit rate %.1f%%, "
-                    "one prep per point\n",
+                    "one prep per point, zero per-basis "
+                    "allocations\n",
                     100.0 * shared.prepHitRate);
     }
     return 0;

@@ -95,8 +95,10 @@ measure(int threads, const SpatialPlan &plan, const Circuit &ansatz,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!parseStandardArgs(argc, argv))
+        return 2;
     banner("Runtime scaling - batched execution throughput",
            "near-linear circuits/sec scaling up to the physical core "
            "count; identical results at every thread count");

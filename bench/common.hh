@@ -11,6 +11,14 @@
  *   VARSAW_BENCH_BUDGET  circuit budget per fixed-budget scenario
  *   VARSAW_BENCH_TRIALS  random-seed trials to average over
  *   VARSAW_BENCH_SHOTS   shots per circuit
+ *
+ * Per-run knobs are command-line flags (see parseStandardArgs):
+ *
+ *   --cache-bytes=N      prepared-state cache byte budget for this
+ *                        run (instead of the process-wide
+ *                        VARSAW_STATE_CACHE_BYTES variable)
+ *   --kernel-threads=N   intra-kernel statevector threads (instead
+ *                        of VARSAW_KERNEL_THREADS)
  */
 
 #ifndef VARSAW_BENCH_COMMON_HH
@@ -24,10 +32,26 @@
 #include "chem/exact_solver.hh"
 #include "chem/molecules.hh"
 #include "core/varsaw.hh"
+#include "sim/sim_engine.hh"
 #include "util/table.hh"
 #include "vqa/vqe.hh"
 
 namespace varsaw::bench {
+
+/**
+ * Apply the standard per-run flags (--cache-bytes, --kernel-threads)
+ * shared by every bench and example driver. Call first thing in
+ * main(), before any executor/engine is constructed and before
+ * positional argument parsing — consumed flags are stripped from
+ * argv and argc is updated. Returns false (after a diagnostic on
+ * stderr) when a recognized flag has a bad value; drivers should
+ * exit non-zero in that case.
+ */
+inline bool
+parseStandardArgs(int &argc, char **argv)
+{
+    return applyRuntimeFlags(argc, argv);
+}
 
 /** Integer knob from the environment with a default. */
 inline long long

@@ -15,6 +15,7 @@
 
 #include "chem/maxcut.hh"
 #include "core/varsaw.hh"
+#include "sim/sim_engine.hh"
 #include "util/table.hh"
 #include "vqa/qaoa.hh"
 #include "vqa/vqe.hh"
@@ -24,6 +25,8 @@ using namespace varsaw;
 int
 main(int argc, char **argv)
 {
+    if (!applyRuntimeFlags(argc, argv))
+        return 2;
     const int vertices = argc > 1 ? std::atoi(argv[1]) : 6;
     const int layers = argc > 2 ? std::atoi(argv[2]) : 2;
     const std::uint64_t budget =

@@ -6,7 +6,7 @@
  * optimizations on a simulated noisy device — unmitigated baseline,
  * JigSaw, and VarSaw — and prints final energies and circuit costs.
  *
- *   $ ./quickstart
+ *   $ ./quickstart [--cache-bytes=N] [--kernel-threads=N]
  */
 
 #include <cstdio>
@@ -14,14 +14,17 @@
 #include "chem/exact_solver.hh"
 #include "chem/molecules.hh"
 #include "core/varsaw.hh"
+#include "sim/sim_engine.hh"
 #include "util/table.hh"
 #include "vqa/vqe.hh"
 
 using namespace varsaw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    if (!applyRuntimeFlags(argc, argv))
+        return 2;
     // 1. The problem: H2 ground-state energy estimation.
     Hamiltonian h = h2Sto3g();
     std::printf("workload: %s, %d qubits, %zu Pauli terms\n",

@@ -15,6 +15,7 @@
 #include "chem/molecules.hh"
 #include "core/spatial.hh"
 #include "pauli/commutation.hh"
+#include "sim/sim_engine.hh"
 #include "util/table.hh"
 
 using namespace varsaw;
@@ -51,6 +52,8 @@ printFig7Families()
 int
 main(int argc, char **argv)
 {
+    if (!applyRuntimeFlags(argc, argv))
+        return 2;
     const std::string workload = argc > 1 ? argv[1] : "fig6";
     const int window = argc > 2 ? std::atoi(argv[2]) : 2;
 

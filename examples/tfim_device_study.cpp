@@ -14,6 +14,7 @@
 #include "chem/exact_solver.hh"
 #include "chem/spin_models.hh"
 #include "core/varsaw.hh"
+#include "sim/sim_engine.hh"
 #include "util/table.hh"
 #include "vqa/vqe.hh"
 
@@ -55,6 +56,8 @@ runMode(const Hamiltonian &h, const EfficientSU2 &ansatz,
 int
 main(int argc, char **argv)
 {
+    if (!applyRuntimeFlags(argc, argv))
+        return 2;
     const int qubits = argc > 1 ? std::atoi(argv[1]) : 5;
     const std::uint64_t budget =
         argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4000;

@@ -23,6 +23,7 @@
 #include "chem/exact_solver.hh"
 #include "chem/molecules.hh"
 #include "core/varsaw.hh"
+#include "sim/sim_engine.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 #include "vqa/vqe.hh"
@@ -32,6 +33,8 @@ using namespace varsaw;
 int
 main(int argc, char **argv)
 {
+    if (!applyRuntimeFlags(argc, argv))
+        return 2;
     const std::string mol_name = argc > 1 ? argv[1] : "CH4-6";
     const std::string strategy = argc > 2 ? argv[2] : "varsaw";
     const std::uint64_t budget =

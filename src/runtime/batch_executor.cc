@@ -6,6 +6,7 @@
 
 #include "sim/sim_engine.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/rng.hh"
 
 namespace varsaw {
@@ -17,6 +18,8 @@ BatchExecutor::BatchExecutor(Executor &backend, RuntimeConfig config)
 {
     if (config_.threads < 1)
         panic("BatchExecutor: thread count must be >= 1");
+    if (config_.kernelThreads > 0)
+        setKernelThreads(config_.kernelThreads);
 }
 
 void

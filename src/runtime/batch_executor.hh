@@ -71,6 +71,16 @@ struct RuntimeConfig
      * at submission and cannot change.
      */
     bool prefixAwareScheduling = true;
+
+    /**
+     * Intra-kernel threads to apply at runtime construction via
+     * setKernelThreads() (see util/parallel.hh). The kernel pool is
+     * process-wide, so this is a convenience knob rather than
+     * per-runtime state: 0 (the default) leaves the current setting
+     * untouched. Results never depend on it; for throughput keep
+     * threads * kernelThreads <= cores.
+     */
+    int kernelThreads = 0;
 };
 
 /**

@@ -50,6 +50,22 @@ isParameterizedGate(GateKind kind)
         kind == GateKind::RZ || kind == GateKind::RZZ;
 }
 
+/**
+ * Whether a gate kind may sit in a measurement suffix / prep tail.
+ * THE single definition shared by splitPrepSuffix (which divides
+ * circuits at the trailing run of these gates) and the
+ * Statevector's Matrix2 fusion exemptions (which must refuse to
+ * fuse across any boundary that split could introduce) — the
+ * determinism contract between a (prep, suffix) job and its
+ * flattened twin depends on the two call sites agreeing.
+ */
+inline bool
+isBasisChangeGate(GateKind kind)
+{
+    return kind == GateKind::H || kind == GateKind::S ||
+        kind == GateKind::Sdg;
+}
+
 /** Printable mnemonic. */
 inline const char *
 gateName(GateKind kind)
@@ -95,6 +111,20 @@ struct Matrix2
 {
     std::complex<double> m00, m01, m10, m11;
 };
+
+/**
+ * Matrix product a * b: applying the result is applying b then a.
+ * Used to fuse runs of single-qubit gates on one qubit into a
+ * single kernel pass.
+ */
+inline Matrix2
+matmul(const Matrix2 &a, const Matrix2 &b)
+{
+    return {a.m00 * b.m00 + a.m01 * b.m10,
+            a.m00 * b.m01 + a.m01 * b.m11,
+            a.m10 * b.m00 + a.m11 * b.m10,
+            a.m10 * b.m01 + a.m11 * b.m11};
+}
 
 } // namespace varsaw
 

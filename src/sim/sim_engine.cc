@@ -1,8 +1,12 @@
 #include "sim/sim_engine.hh"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 
 // The prep-identity hashes deliberately reuse the shared content
 // hashing (structural circuit hash + quantized parameter hash) so
@@ -12,17 +16,36 @@
 #include "sim/circuit_hash.hh"
 #include "sim/statevector.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace varsaw {
 
 namespace {
 
-/** Whether a gate kind may sit in the measurement suffix. */
+/**
+ * Per-thread reusable suffix scratch. Shared by every SimEngine on
+ * the thread (it is capacity, not state — each use overwrites it
+ * via copyFrom) and released at thread exit. Retention is bounded:
+ * when the scratch holds at least 4x the capacity the current
+ * register needs AND the excess tops kScratchSlackBytes, it is
+ * dropped and reallocated at the needed size — so one wide (e.g.
+ * 26-qubit, 1 GiB) evaluation cannot pin that memory for the rest
+ * of a narrow-register process, while same-width and
+ * mildly-mixed-width workloads keep the zero-allocation steady
+ * state.
+ */
+thread_local std::unique_ptr<Statevector> t_suffixScratch;
+
+/** Excess capacity tolerated before the scratch is shrunk. */
+constexpr std::uint64_t kScratchSlackBytes = 64ull << 20;
+
+/** Whether a scratch of @p capacity amps should shrink to @p need. */
 bool
-isBasisChangeGate(GateKind kind)
+scratchShouldShrink(std::uint64_t capacity, std::uint64_t need)
 {
-    return kind == GateKind::H || kind == GateKind::S ||
-        kind == GateKind::Sdg;
+    return capacity >= 4 * need &&
+        (capacity - need) * sizeof(Statevector::Amplitude) >
+        kScratchSlackBytes;
 }
 
 } // namespace
@@ -56,9 +79,27 @@ prepKeyOf(const Circuit *prep, const Circuit &circuit,
     return key;
 }
 
+namespace {
+
+/** Programmatic override of the default cache budget (0 = none). */
+std::atomic<std::uint64_t> g_cacheByteBudgetOverride{0};
+
+} // namespace
+
+void
+setDefaultCacheByteBudget(std::uint64_t bytes)
+{
+    g_cacheByteBudgetOverride.store(bytes,
+                                    std::memory_order_relaxed);
+}
+
 std::uint64_t
 defaultCacheByteBudget()
 {
+    const std::uint64_t override_bytes =
+        g_cacheByteBudgetOverride.load(std::memory_order_relaxed);
+    if (override_bytes > 0)
+        return override_bytes;
     static const std::uint64_t budget = [] {
         if (const char *env = std::getenv("VARSAW_STATE_CACHE_BYTES")) {
             // strtoull silently wraps negatives and clamps overflow
@@ -77,10 +118,83 @@ defaultCacheByteBudget()
     return budget;
 }
 
+namespace {
+
+/** Strict positive-integer parse (rejects sign, junk, overflow). */
+bool
+parsePositive(const char *text, std::uint64_t *out)
+{
+    if (!text || text[0] == '\0' || text[0] == '-')
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0' || parsed == 0 ||
+        errno == ERANGE)
+        return false;
+    *out = static_cast<std::uint64_t>(parsed);
+    return true;
+}
+
+} // namespace
+
+bool
+applyRuntimeFlags(int &argc, char **argv)
+{
+    bool ok = true;
+    int keep = 1; // argv[0] always stays
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string name = arg;
+        const char *value = nullptr;
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = argv[i] + eq + 1;
+        }
+        if (name != "--cache-bytes" && name != "--kernel-threads") {
+            argv[keep++] = argv[i];
+            continue;
+        }
+        // Recognized flag: consumed (dropped from argv) whether it
+        // parses or not, so positional parsing never sees it.
+        if (!value) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "%s requires a positive integer "
+                             "value\n",
+                             name.c_str());
+                ok = false;
+                continue;
+            }
+            value = argv[++i];
+        }
+        std::uint64_t parsed = 0;
+        if (!parsePositive(value, &parsed)) {
+            std::fprintf(stderr,
+                         "%s: invalid value '%s' (want a positive "
+                         "integer)\n",
+                         name.c_str(), value);
+            ok = false;
+            continue;
+        }
+        if (name == "--cache-bytes")
+            setDefaultCacheByteBudget(parsed);
+        else
+            setKernelThreads(static_cast<int>(
+                std::min<std::uint64_t>(parsed, kMaxKernelThreads)));
+    }
+    argc = keep;
+    argv[argc] = nullptr;
+    return ok;
+}
+
 SimEngine::SimEngine(SimEngineConfig config)
     : cacheEnabled_(config.cacheEnabled),
       cache_(config.cacheByteBudget, config.cacheMaxEntries)
 {
+    if (config.kernelThreads > 0)
+        setKernelThreads(config.kernelThreads);
 }
 
 std::vector<double>
@@ -146,12 +260,31 @@ SimEngine::measuredMarginal(const Circuit *prep,
         return prepared->marginalProbabilities(
             circuit.measuredQubits());
 
-    // Each suffix works on its own copy of the prepared amplitudes;
-    // the shared state itself is immutable.
-    Statevector sv(*prepared);
-    sv.applyOps(tailOps, tailCount, params);
-    sv.applyOps(suffixOps, suffixCount, params);
-    return sv.marginalProbabilities(circuit.measuredQubits());
+    // Each suffix works on a copy of the prepared amplitudes (the
+    // shared state itself is immutable) — but the copy lands in
+    // this thread's reusable scratch, so the per-basis cost is one
+    // memcpy, not a fresh 16·2^n-byte allocation.
+    Statevector *sv = t_suffixScratch.get();
+    if (sv && scratchShouldShrink(sv->amplitudeCapacity(),
+                                  1ull << n)) {
+        t_suffixScratch.reset();
+        sv = nullptr;
+    }
+    if (!sv) {
+        t_suffixScratch = std::make_unique<Statevector>(*prepared);
+        sv = t_suffixScratch.get();
+        suffixScratchAllocs_.fetch_add(1,
+                                       std::memory_order_relaxed);
+    } else if (sv->copyFrom(*prepared)) {
+        suffixScratchReuses_.fetch_add(1,
+                                       std::memory_order_relaxed);
+    } else {
+        suffixScratchAllocs_.fetch_add(1,
+                                       std::memory_order_relaxed);
+    }
+    sv->applyOps(tailOps, tailCount, params);
+    sv->applyOps(suffixOps, suffixCount, params);
+    return sv->marginalProbabilities(circuit.measuredQubits());
 }
 
 SimEngineStats
@@ -164,6 +297,10 @@ SimEngine::stats() const
         suffixApplications_.load(std::memory_order_relaxed);
     out.fullSimulations =
         fullSimulations_.load(std::memory_order_relaxed);
+    out.suffixScratchReuses =
+        suffixScratchReuses_.load(std::memory_order_relaxed);
+    out.suffixScratchAllocs =
+        suffixScratchAllocs_.load(std::memory_order_relaxed);
     out.cache = cache_.stats();
     return out;
 }
@@ -174,6 +311,8 @@ SimEngine::resetStats()
     prepSimulations_.store(0, std::memory_order_relaxed);
     suffixApplications_.store(0, std::memory_order_relaxed);
     fullSimulations_.store(0, std::memory_order_relaxed);
+    suffixScratchReuses_.store(0, std::memory_order_relaxed);
+    suffixScratchAllocs_.store(0, std::memory_order_relaxed);
     cache_.resetStats();
 }
 

@@ -12,6 +12,18 @@
  * basis/subset circuits per evaluation cost ONE full simulation
  * plus N cheap suffix applications and marginals.
  *
+ * The suffix path is zero-allocation on the steady state: each
+ * worker thread owns a reusable scratch Statevector into which the
+ * prepared amplitudes are copied (Statevector::copyFrom recycles
+ * the capacity), so a 20-basis evaluation performs 20 memcpys, not
+ * 20 fresh 16·2^n-byte allocations. The scratch is thread-local
+ * and sized to the widest register the thread has evaluated, with
+ * bounded retention: a scratch holding >= 4x the needed capacity
+ * (and > 64 MiB of excess) is shrunk to the current width, so one
+ * wide evaluation cannot pin gigabytes under later narrow
+ * workloads. The suffixScratchAllocs/Reuses counters make the
+ * reuse observable.
+ *
  * Circuits arrive in two shapes:
  *  - an explicit (prep, suffix) pair — the shape the estimators
  *    submit via Batch::addPrefixed();
@@ -78,6 +90,23 @@ struct SimEngineStats
     /** Whole-circuit simulations on the cache-disabled path. */
     std::uint64_t fullSimulations = 0;
 
+    /**
+     * Suffix evaluations whose prepared-state copy landed in a
+     * worker's existing scratch capacity — no allocation performed.
+     * On the steady state this counts every suffix with gates:
+     * allocations happen at most once per (worker thread, register
+     * growth), never per basis.
+     */
+    std::uint64_t suffixScratchReuses = 0;
+
+    /**
+     * Suffix evaluations that had to (re)allocate the per-thread
+     * scratch: the thread's first suffix, or a wider register than
+     * any it has seen. Bounded by threads x distinct widths, not by
+     * the basis count.
+     */
+    std::uint64_t suffixScratchAllocs = 0;
+
     /** Prep-cache lookup statistics. */
     StateCacheStats cache;
 };
@@ -90,6 +119,34 @@ struct SimEngineStats
  * (2 GiB).
  */
 std::uint64_t defaultCacheByteBudget();
+
+/**
+ * Override the default prepared-state cache byte budget for
+ * engines constructed after this call (takes precedence over the
+ * environment variable). 0 restores the environment/compiled
+ * default. This is what the drivers' --cache-bytes flag plumbs
+ * into; engines whose config sets cacheByteBudget explicitly are
+ * unaffected.
+ */
+void setDefaultCacheByteBudget(std::uint64_t bytes);
+
+/**
+ * Apply the standard per-run command-line flags shared by every
+ * bench and example driver:
+ *
+ *   --cache-bytes=N      prepared-state cache byte budget
+ *                        (setDefaultCacheByteBudget)
+ *   --kernel-threads=N   intra-kernel threads (setKernelThreads,
+ *                        clamped to [1, kMaxKernelThreads])
+ *
+ * Both accept `--flag N` as well as `--flag=N`. Consumed flags
+ * (and their value arguments) are REMOVED from argv and @p argc is
+ * updated, so positional argument parsing in the drivers is
+ * undisturbed. Unrecognized arguments are kept in place (drivers
+ * may define their own). Returns false after printing a diagnostic
+ * when a recognized flag has a malformed or missing value.
+ */
+bool applyRuntimeFlags(int &argc, char **argv);
 
 /** Tunables of the engine. */
 struct SimEngineConfig
@@ -117,6 +174,15 @@ struct SimEngineConfig
      * set fits.
      */
     std::uint64_t cacheByteBudget = defaultCacheByteBudget();
+
+    /**
+     * Intra-kernel threads to apply at engine construction via
+     * setKernelThreads(). The kernel pool is process-wide (see
+     * util/parallel.hh), so this is a convenience knob, not
+     * per-engine state: 0 (the default) leaves the current
+     * process-wide setting untouched. Results never depend on it.
+     */
+    int kernelThreads = 0;
 };
 
 /**
@@ -169,6 +235,8 @@ class SimEngine
     std::atomic<std::uint64_t> prepSimulations_{0};
     std::atomic<std::uint64_t> suffixApplications_{0};
     std::atomic<std::uint64_t> fullSimulations_{0};
+    std::atomic<std::uint64_t> suffixScratchReuses_{0};
+    std::atomic<std::uint64_t> suffixScratchAllocs_{0};
 };
 
 } // namespace varsaw

@@ -1,9 +1,11 @@
 #include "sim/statevector.hh"
 
 #include <cmath>
+#include <cstring>
 
 #include "util/bitops.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace varsaw {
 
@@ -59,7 +61,85 @@ rz(double theta)
             std::exp(1i * (theta / 2.0))};
 }
 
+std::pair<std::complex<double>, std::complex<double>>
+rzzFactors(double theta)
+{
+    using namespace std::complex_literals;
+    return {std::exp(-1i * (theta / 2.0)),
+            std::exp(1i * (theta / 2.0))};
+}
+
 } // namespace gates
+
+namespace {
+
+/** Resolve a gate op's angle against the parameter vector. */
+double
+resolveTheta(const GateOp &op, const std::vector<double> &params)
+{
+    if (op.paramIndex < 0)
+        return op.param;
+    if (static_cast<std::size_t>(op.paramIndex) >= params.size())
+        panic("Statevector: parameter index out of range");
+    return params[op.paramIndex];
+}
+
+/** Matrix of any one-qubit gate op (rotation or fixed). */
+Matrix2
+gateMatrix1Q(const GateOp &op, const std::vector<double> &params)
+{
+    switch (op.kind) {
+      case GateKind::RX:
+        return gates::rx(resolveTheta(op, params));
+      case GateKind::RY:
+        return gates::ry(resolveTheta(op, params));
+      case GateKind::RZ:
+        return gates::rz(resolveTheta(op, params));
+      default:
+        return gates::fixedMatrix(op.kind);
+    }
+}
+
+/**
+ * Shared traversal of the 2^(n-1) amplitude pairs of target qubit
+ * @p q, invoking body(lo, hi) on each pair's two amplitude slots.
+ * The ONLY copy of the pair index math: adjacent stride-2 pairs for
+ * q == 0, otherwise 2^(q+1)-sized blocks whose lower/upper halves
+ * are both contiguous (unit-stride streams for every target), with
+ * chunk boundaries allowed to land mid-block. body is inlined, so
+ * the specialized kernels keep their vectorizable inner loops.
+ */
+template <typename Body>
+void
+sweepPairs(Statevector::Amplitude *amps, int q,
+           std::uint64_t pairs, Body body)
+{
+    const std::uint64_t bit = 1ull << q;
+    parallelForItems(
+        pairs, [=](std::uint64_t k0, std::uint64_t k1) {
+            if (q == 0) {
+                for (std::uint64_t i = 2 * k0; i < 2 * k1; i += 2)
+                    body(amps[i], amps[i + 1]);
+                return;
+            }
+            std::uint64_t k = k0;
+            while (k < k1) {
+                const std::uint64_t block = k >> q;
+                const std::uint64_t off0 = k & (bit - 1);
+                const std::uint64_t off_end =
+                    std::min<std::uint64_t>(bit, off0 + (k1 - k));
+                Statevector::Amplitude *lo =
+                    amps + (block << (q + 1));
+                Statevector::Amplitude *hi = lo + bit;
+                for (std::uint64_t off = off0; off < off_end;
+                     ++off)
+                    body(lo[off], hi[off]);
+                k += off_end - off0;
+            }
+        });
+}
+
+} // namespace
 
 Statevector::Statevector(int num_qubits) : numQubits_(num_qubits)
 {
@@ -80,21 +160,39 @@ Statevector::reset()
     amps_[0] = Amplitude(1.0, 0.0);
 }
 
+bool
+Statevector::copyFrom(const Statevector &other)
+{
+    if (this == &other)
+        return true;
+    const std::size_t n = other.amps_.size();
+    const bool reused = amps_.capacity() >= n;
+    numQubits_ = other.numQubits_;
+    amps_.resize(n);
+    const Amplitude *src = other.amps_.data();
+    Amplitude *dst = amps_.data();
+    parallelForItems(n, [=](std::uint64_t begin, std::uint64_t end) {
+        std::memcpy(dst + begin, src + begin,
+                    (end - begin) * sizeof(Amplitude));
+    });
+    return reused;
+}
+
 void
 Statevector::apply1Q(int q, const Matrix2 &m)
 {
-    // Enumerate the 2^(n-1) amplitude pairs directly: k runs over
-    // the free bits and a zero is inserted at the target position,
-    // so no index is visited and skipped.
-    const std::uint64_t bit = 1ull << q;
-    const std::uint64_t pairs = amps_.size() >> 1;
-    for (std::uint64_t k = 0; k < pairs; ++k) {
-        const std::uint64_t i = insertZeroBit(k, q);
-        const Amplitude a0 = amps_[i];
-        const Amplitude a1 = amps_[i | bit];
-        amps_[i] = m.m00 * a0 + m.m01 * a1;
-        amps_[i | bit] = m.m10 * a0 + m.m11 * a1;
-    }
+    // Enumerate the 2^(n-1) amplitude pairs directly (sweepPairs):
+    // no index is visited and skipped, and both amplitude streams
+    // are unit-stride for every target qubit.
+    const Amplitude m00 = m.m00, m01 = m.m01;
+    const Amplitude m10 = m.m10, m11 = m.m11;
+    sweepPairs(amps_.data(), q, amps_.size() >> 1,
+               [=](Amplitude &lo, Amplitude &hi) {
+                   const Amplitude a0 = lo;
+                   const Amplitude a1 = hi;
+                   lo = m00 * a0 + m01 * a1;
+                   hi = m10 * a0 + m11 * a1;
+               });
 }
 
 void
@@ -104,11 +202,15 @@ Statevector::applyCX(int control, int target)
     const std::uint64_t cbit = 1ull << control;
     const std::uint64_t tbit = 1ull << target;
     const std::uint64_t quads = amps_.size() >> 2;
-    for (std::uint64_t k = 0; k < quads; ++k) {
-        const std::uint64_t i =
-            insertTwoZeroBits(k, control, target) | cbit;
-        std::swap(amps_[i], amps_[i | tbit]);
-    }
+    Amplitude *amps = amps_.data();
+    parallelForItems(
+        quads, [=](std::uint64_t k0, std::uint64_t k1) {
+            for (std::uint64_t k = k0; k < k1; ++k) {
+                const std::uint64_t i =
+                    insertTwoZeroBits(k, control, target) | cbit;
+                std::swap(amps[i], amps[i | tbit]);
+            }
+        });
 }
 
 void
@@ -118,27 +220,56 @@ Statevector::applyCZ(int a, int b)
     const std::uint64_t abit = 1ull << a;
     const std::uint64_t bbit = 1ull << b;
     const std::uint64_t quads = amps_.size() >> 2;
-    for (std::uint64_t k = 0; k < quads; ++k) {
-        const std::uint64_t i =
-            insertTwoZeroBits(k, a, b) | abit | bbit;
-        amps_[i] = -amps_[i];
-    }
+    Amplitude *amps = amps_.data();
+    parallelForItems(
+        quads, [=](std::uint64_t k0, std::uint64_t k1) {
+            for (std::uint64_t k = k0; k < k1; ++k) {
+                const std::uint64_t i =
+                    insertTwoZeroBits(k, a, b) | abit | bbit;
+                amps[i] = -amps[i];
+            }
+        });
+}
+
+void
+Statevector::applyParityPhase(int a, int b, const Amplitude &f0,
+                              const Amplitude &f1)
+{
+    // table[bit_a | bit_b << 1]: even parity (00, 11) -> f0, odd
+    // (01, 10) -> f1. No popcount, no branch in the sweep.
+    const Amplitude table[4] = {f0, f1, f1, f0};
+    const std::uint64_t n = amps_.size();
+    Amplitude *amps = amps_.data();
+    parallelForItems(
+        n, [=](std::uint64_t i0, std::uint64_t i1) {
+            for (std::uint64_t i = i0; i < i1; ++i) {
+                const std::uint64_t sel =
+                    ((i >> a) & 1ull) | (((i >> b) & 1ull) << 1);
+                amps[i] *= table[sel];
+            }
+        });
+}
+
+void
+Statevector::applyDiagonal1Q(int q, const Amplitude &f0,
+                             const Amplitude &f1)
+{
+    // Same pair enumeration as apply1Q, but purely diagonal: the
+    // clear-bit amplitude is scaled by f0 and the set-bit one by
+    // f1, with no zero off-diagonal term mixed in.
+    const Amplitude g0 = f0, g1 = f1;
+    sweepPairs(amps_.data(), q, amps_.size() >> 1,
+               [=](Amplitude &lo, Amplitude &hi) {
+                   lo *= g0;
+                   hi *= g1;
+               });
 }
 
 void
 Statevector::applyRZZ(int a, int b, double theta)
 {
-    using namespace std::complex_literals;
-    const std::uint64_t abit = 1ull << a;
-    const std::uint64_t bbit = 1ull << b;
-    const Amplitude even = std::exp(-1i * (theta / 2.0));
-    const Amplitude odd = std::exp(1i * (theta / 2.0));
-    const std::uint64_t n = amps_.size();
-    for (std::uint64_t i = 0; i < n; ++i) {
-        const bool parity =
-            ((i & abit) != 0) != ((i & bbit) != 0);
-        amps_[i] *= parity ? odd : even;
-    }
+    const auto [even, odd] = gates::rzzFactors(theta);
+    applyParityPhase(a, b, even, odd);
 }
 
 void
@@ -148,32 +279,21 @@ Statevector::applySwap(int a, int b)
     const std::uint64_t abit = 1ull << a;
     const std::uint64_t bbit = 1ull << b;
     const std::uint64_t quads = amps_.size() >> 2;
-    for (std::uint64_t k = 0; k < quads; ++k) {
-        const std::uint64_t i = insertTwoZeroBits(k, a, b) | abit;
-        std::swap(amps_[i ^ abit ^ bbit], amps_[i]);
-    }
+    Amplitude *amps = amps_.data();
+    parallelForItems(
+        quads, [=](std::uint64_t k0, std::uint64_t k1) {
+            for (std::uint64_t k = k0; k < k1; ++k) {
+                const std::uint64_t i =
+                    insertTwoZeroBits(k, a, b) | abit;
+                std::swap(amps[i ^ abit ^ bbit], amps[i]);
+            }
+        });
 }
 
 void
 Statevector::applyOp(const GateOp &op, const std::vector<double> &params)
 {
-    double theta = op.param;
-    if (op.paramIndex >= 0) {
-        if (static_cast<std::size_t>(op.paramIndex) >= params.size())
-            panic("Statevector::applyOp: parameter index out of range");
-        theta = params[op.paramIndex];
-    }
-
     switch (op.kind) {
-      case GateKind::RX:
-        apply1Q(op.q0, gates::rx(theta));
-        break;
-      case GateKind::RY:
-        apply1Q(op.q0, gates::ry(theta));
-        break;
-      case GateKind::RZ:
-        apply1Q(op.q0, gates::rz(theta));
-        break;
       case GateKind::CX:
         applyCX(op.q0, op.q1);
         break;
@@ -181,13 +301,25 @@ Statevector::applyOp(const GateOp &op, const std::vector<double> &params)
         applyCZ(op.q0, op.q1);
         break;
       case GateKind::RZZ:
-        applyRZZ(op.q0, op.q1, theta);
+        applyRZZ(op.q0, op.q1, resolveTheta(op, params));
         break;
       case GateKind::SWAP:
         applySwap(op.q0, op.q1);
         break;
+      case GateKind::RZ:
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T: {
+        // Diagonal singles skip the generic pair kernel: two
+        // half-block scalings instead of mixing in a zero
+        // off-diagonal term per pair.
+        const Matrix2 m = gateMatrix1Q(op, params);
+        applyDiagonal1Q(op.q0, m.m00, m.m11);
+        break;
+      }
       default:
-        apply1Q(op.q0, gates::fixedMatrix(op.kind));
+        apply1Q(op.q0, gateMatrix1Q(op, params));
         break;
     }
 }
@@ -234,22 +366,18 @@ void
 Statevector::applyDiagonalRun(const GateOp *ops, std::size_t count,
                               const std::vector<double> &params)
 {
-    using namespace std::complex_literals;
+    // Per-gate factor tables are built once, outside the sweep; the
+    // sweep itself is dispatched to a specialized kernel where the
+    // run's shape allows, so the per-amplitude inner loop carries
+    // no selector switch in the common cases.
     std::vector<DiagFactor> factors(count);
     for (std::size_t g = 0; g < count; ++g) {
         const GateOp &op = ops[g];
-        double theta = op.param;
-        if (op.paramIndex >= 0) {
-            if (static_cast<std::size_t>(op.paramIndex) >=
-                params.size())
-                panic("Statevector::applyDiagonalRun: parameter "
-                      "index out of range");
-            theta = params[op.paramIndex];
-        }
         DiagFactor &f = factors[g];
         switch (op.kind) {
           case GateKind::RZ: {
-            const Matrix2 m = gates::rz(theta);
+            const Matrix2 m =
+                gates::rz(resolveTheta(op, params));
             f.mask = 1ull << op.q0;
             f.f0 = m.m00;
             f.f1 = m.m11;
@@ -259,12 +387,15 @@ Statevector::applyDiagonalRun(const GateOp *ops, std::size_t count,
             f.sel = DiagFactor::Sel::AllOf;
             f.mask = (1ull << op.q0) | (1ull << op.q1);
             break;
-          case GateKind::RZZ:
+          case GateKind::RZZ: {
+            const auto [even, odd] =
+                gates::rzzFactors(resolveTheta(op, params));
             f.sel = DiagFactor::Sel::Parity;
             f.mask = (1ull << op.q0) | (1ull << op.q1);
-            f.f0 = std::exp(-1i * (theta / 2.0));
-            f.f1 = std::exp(1i * (theta / 2.0));
+            f.f0 = even;
+            f.f1 = odd;
             break;
+          }
           default: {
             const Matrix2 m = gates::fixedMatrix(op.kind);
             f.mask = 1ull << op.q0;
@@ -275,28 +406,61 @@ Statevector::applyDiagonalRun(const GateOp *ops, std::size_t count,
         }
     }
 
-    // One read-modify-write pass: every amplitude is multiplied by
-    // each gate's phase in gate order, exactly the per-amplitude
-    // arithmetic the unfused kernels perform.
+    // (Runs of one never reach this function: applyOps only fuses
+    // runs of >= 2, and single diagonal gates dispatch to the
+    // specialized kernels directly in applyOp.)
     const std::uint64_t n = amps_.size();
-    for (std::uint64_t i = 0; i < n; ++i) {
-        Amplitude a = amps_[i];
-        for (const DiagFactor &f : factors) {
-            switch (f.sel) {
-              case DiagFactor::Sel::Bit:
-                a *= (i & f.mask) ? f.f1 : f.f0;
-                break;
-              case DiagFactor::Sel::AllOf:
-                if ((i & f.mask) == f.mask)
-                    a = -a;
-                break;
-              case DiagFactor::Sel::Parity:
-                a *= parity(i & f.mask) ? f.f1 : f.f0;
-                break;
-            }
-        }
-        amps_[i] = a;
+    Amplitude *amps = amps_.data();
+    const DiagFactor *fac = factors.data();
+
+    bool allBit = true;
+    for (const DiagFactor &f : factors)
+        allBit = allBit && f.sel == DiagFactor::Sel::Bit;
+
+    if (allBit) {
+        // Bit-only run (RZ/Z/S/Sdg/T layers): the selector is
+        // hoisted out of the sweep — the inner loop is one masked
+        // pick per gate, no switch. The multiply order matches the
+        // unfused kernels exactly.
+        parallelForItems(
+            n, [=](std::uint64_t i0, std::uint64_t i1) {
+                for (std::uint64_t i = i0; i < i1; ++i) {
+                    Amplitude a = amps[i];
+                    for (std::size_t g = 0; g < count; ++g) {
+                        const DiagFactor &f = fac[g];
+                        a *= (i & f.mask) ? f.f1 : f.f0;
+                    }
+                    amps[i] = a;
+                }
+            });
+        return;
     }
+
+    // Mixed run: one read-modify-write pass, every amplitude
+    // multiplied by each gate's phase in gate order — exactly the
+    // per-amplitude arithmetic the unfused kernels perform.
+    parallelForItems(
+        n, [=](std::uint64_t i0, std::uint64_t i1) {
+            for (std::uint64_t i = i0; i < i1; ++i) {
+                Amplitude a = amps[i];
+                for (std::size_t g = 0; g < count; ++g) {
+                    const DiagFactor &f = fac[g];
+                    switch (f.sel) {
+                      case DiagFactor::Sel::Bit:
+                        a *= (i & f.mask) ? f.f1 : f.f0;
+                        break;
+                      case DiagFactor::Sel::AllOf:
+                        if ((i & f.mask) == f.mask)
+                            a = -a;
+                        break;
+                      case DiagFactor::Sel::Parity:
+                        a *= parity(i & f.mask) ? f.f1 : f.f0;
+                        break;
+                    }
+                }
+                amps[i] = a;
+            }
+        });
 }
 
 void
@@ -305,6 +469,41 @@ Statevector::applyOps(const GateOp *ops, std::size_t count,
 {
     std::size_t i = 0;
     while (i < count) {
+        // Same-qubit single-qubit runs collapse into one Matrix2
+        // product (one kernel pass for a whole RY·RZ·... column) —
+        // with two exclusions that protect the bit-identity
+        // between a (prep, suffix) job and its flattened twin.
+        // All-diagonal runs fall through to the cross-qubit
+        // diagonal fusion below, which covers them in one full
+        // sweep with arithmetic identical to the unfused gates
+        // (and is therefore safe across ANY span boundary). And a
+        // matmul run never extends from a non-basis gate INTO a
+        // basis-change gate (H/S/Sdg), nor forms from basis-change
+        // gates alone: splitPrepSuffix places the prep/suffix span
+        // boundary exactly at such transitions, so a run fused
+        // across one in the flattened shape would round
+        // differently than the prefixed shape's separate spans.
+        if (!isTwoQubitGate(ops[i].kind)) {
+            std::size_t j = i + 1;
+            bool any_nondiag = !isDiagonalGate(ops[i].kind);
+            bool any_nonbasis = !isBasisChangeGate(ops[i].kind);
+            while (j < count && !isTwoQubitGate(ops[j].kind) &&
+                   ops[j].q0 == ops[i].q0 &&
+                   !(any_nonbasis &&
+                     isBasisChangeGate(ops[j].kind))) {
+                any_nondiag |= !isDiagonalGate(ops[j].kind);
+                any_nonbasis |= !isBasisChangeGate(ops[j].kind);
+                ++j;
+            }
+            if (j - i >= 2 && any_nondiag && any_nonbasis) {
+                Matrix2 acc = gateMatrix1Q(ops[i], params);
+                for (std::size_t g = i + 1; g < j; ++g)
+                    acc = matmul(gateMatrix1Q(ops[g], params), acc);
+                apply1Q(ops[i].q0, acc);
+                i = j;
+                continue;
+            }
+        }
         if (isDiagonalGate(ops[i].kind)) {
             std::size_t j = i + 1;
             bool full_pass = ops[i].kind != GateKind::CZ;
@@ -340,26 +539,109 @@ Statevector::run(const Circuit &circuit, const std::vector<double> &params)
 double
 Statevector::norm() const
 {
-    double total = 0.0;
-    for (const auto &a : amps_)
-        total += std::norm(a);
-    return total;
+    const Amplitude *amps = amps_.data();
+    return chunkedReduce<double>(
+        amps_.size(), [=](std::uint64_t i0, std::uint64_t i1) {
+            double total = 0.0;
+            for (std::uint64_t i = i0; i < i1; ++i)
+                total += std::norm(amps[i]);
+            return total;
+        });
 }
 
 std::vector<double>
 Statevector::probabilities() const
 {
     std::vector<double> probs(amps_.size());
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        probs[i] = std::norm(amps_[i]);
+    const Amplitude *amps = amps_.data();
+    double *out = probs.data();
+    parallelForItems(
+        amps_.size(), [=](std::uint64_t i0, std::uint64_t i1) {
+            for (std::uint64_t i = i0; i < i1; ++i)
+                out[i] = std::norm(amps[i]);
+        });
     return probs;
 }
+
+namespace {
+
+/**
+ * Histogram bins small enough for the chunk-partial strategy: one
+ * partial histogram per fixed chunk (<= kMaxParallelChunks of
+ * them), merged slot-wise in chunk order. Fixed, like the grain.
+ */
+constexpr std::uint64_t kMaxParallelHistBins = 1ull << 12;
+
+/**
+ * Chunk-parallel histogram accumulation: bin(i) maps an amplitude
+ * index to its slot. Engagement depends only on (total, bins), so
+ * for a given shape the accumulation order — per-slot contributions
+ * in ascending index order, grouped by fixed chunk, merged in chunk
+ * order — is one fixed association regardless of thread count.
+ */
+template <typename BinFn>
+std::vector<double>
+histogramProbabilities(const Statevector::Amplitude *amps,
+                       std::uint64_t total, std::uint64_t bins,
+                       BinFn bin)
+{
+    std::vector<double> probs(bins, 0.0);
+    if (total < kParallelEngage || bins > kMaxParallelHistBins) {
+        for (std::uint64_t i = 0; i < total; ++i) {
+            const double p = std::norm(amps[i]);
+            if (p == 0.0)
+                continue;
+            probs[bin(i)] += p;
+        }
+        return probs;
+    }
+    const std::uint64_t chunks = parallelChunkCount(total);
+    // Reused per thread: at 26 qubits x 4096 bins the partials
+    // span 32 MiB, which must not be reallocated per basis on the
+    // otherwise zero-allocation suffix path. assign() zeroes while
+    // recycling capacity. Retention is bounded like the engine's
+    // suffix scratch: capacity >= 4x the current need with > 8 MiB
+    // of excess is released, so one wide evaluation cannot pin the
+    // buffer under later narrow workloads.
+    thread_local std::vector<double> partials;
+    const std::size_t need =
+        static_cast<std::size_t>(chunks * bins);
+    if (partials.capacity() >= 4 * need &&
+        (partials.capacity() - need) * sizeof(double) >
+            (8ull << 20))
+        std::vector<double>().swap(partials);
+    partials.assign(need, 0.0);
+    double *parts = partials.data();
+    parallelForChunks(
+        total, [&](std::uint64_t c, std::uint64_t i0,
+                   std::uint64_t i1) {
+            double *local = parts + c * bins;
+            for (std::uint64_t i = i0; i < i1; ++i) {
+                const double p = std::norm(amps[i]);
+                if (p == 0.0)
+                    continue;
+                local[bin(i)] += p;
+            }
+        });
+    // Merge in fixed chunk order: slot s receives its chunks'
+    // partial sums in ascending chunk (= ascending index) order.
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+        const double *local = parts + c * bins;
+        for (std::uint64_t s = 0; s < bins; ++s)
+            probs[s] += local[s];
+    }
+    return probs;
+}
+
+} // namespace
 
 std::vector<double>
 Statevector::marginalProbabilities(const std::vector<int> &measured) const
 {
     const int m = static_cast<int>(measured.size());
-    std::vector<double> probs(1ull << m, 0.0);
+    const std::uint64_t bins = 1ull << m;
+    const Amplitude *amps = amps_.data();
+    const std::uint64_t total = amps_.size();
 
     // Identity layout (measured qubits are 0..m-1 in order — every
     // measureAll() circuit): the compact index is just the low bits,
@@ -373,22 +655,15 @@ Statevector::marginalProbabilities(const std::vector<int> &measured) const
     if (identity) {
         const std::uint64_t mask = (m == 64) ? ~0ull
                                              : (1ull << m) - 1ull;
-        for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-            const double p = std::norm(amps_[i]);
-            if (p == 0.0)
-                continue;
-            probs[i & mask] += p;
-        }
-        return probs;
+        return histogramProbabilities(
+            amps, total, bins,
+            [=](std::uint64_t i) { return i & mask; });
     }
 
-    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-        const double p = std::norm(amps_[i]);
-        if (p == 0.0)
-            continue;
-        probs[gatherBits(i, measured)] += p;
-    }
-    return probs;
+    return histogramProbabilities(
+        amps, total, bins, [&measured](std::uint64_t i) {
+            return gatherBits(i, measured);
+        });
 }
 
 double
@@ -397,22 +672,31 @@ Statevector::expectationPauli(const PauliString &p) const
     if (p.numQubits() != numQubits_)
         panic("Statevector::expectationPauli: width mismatch");
     // P|i> = phase * (-1)^{popcount(i & z)} |i ^ x| with
-    // phase = i^{#Y}; accumulate <psi|P|psi>.
+    // phase = i^{#Y}; accumulate <psi|P|psi> per fixed chunk and
+    // combine the chunk partials in fixed pairwise order.
     const std::uint64_t x = p.xMask();
     const std::uint64_t z = p.zMask();
     const int n_y = popcount(x & z);
     static const std::complex<double> i_pow[4] = {
         {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
     const std::complex<double> phase = i_pow[n_y & 3];
+    const Amplitude *amps = amps_.data();
 
-    std::complex<double> acc(0.0, 0.0);
-    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-        const Amplitude &a = amps_[i];
-        if (a == Amplitude(0.0, 0.0))
-            continue;
-        const double sign = paritySign(i & z);
-        acc += std::conj(amps_[i ^ x]) * (phase * sign * a);
-    }
+    const std::complex<double> acc =
+        chunkedReduce<std::complex<double>>(
+            amps_.size(),
+            [=](std::uint64_t i0, std::uint64_t i1) {
+                std::complex<double> partial(0.0, 0.0);
+                for (std::uint64_t i = i0; i < i1; ++i) {
+                    const Amplitude &a = amps[i];
+                    if (a == Amplitude(0.0, 0.0))
+                        continue;
+                    const double sign = paritySign(i & z);
+                    partial += std::conj(amps[i ^ x]) *
+                        (phase * sign * a);
+                }
+                return partial;
+            });
     return acc.real();
 }
 
@@ -421,10 +705,15 @@ Statevector::innerProduct(const Statevector &other) const
 {
     if (other.numQubits_ != numQubits_)
         panic("Statevector::innerProduct: width mismatch");
-    Amplitude acc(0.0, 0.0);
-    for (std::size_t i = 0; i < amps_.size(); ++i)
-        acc += std::conj(amps_[i]) * other.amps_[i];
-    return acc;
+    const Amplitude *lhs = amps_.data();
+    const Amplitude *rhs = other.amps_.data();
+    return chunkedReduce<Amplitude>(
+        amps_.size(), [=](std::uint64_t i0, std::uint64_t i1) {
+            Amplitude partial(0.0, 0.0);
+            for (std::uint64_t i = i0; i < i1; ++i)
+                partial += std::conj(lhs[i]) * rhs[i];
+            return partial;
+        });
 }
 
 void
@@ -441,22 +730,33 @@ Statevector::applyPauli(const PauliString &p)
 
     if (x == 0) {
         // Z-type string: a pure phase, applied truly in place.
-        for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-            const double sign = paritySign(i & z);
-            amps_[i] = phase * sign * amps_[i];
-        }
+        Amplitude *amps = amps_.data();
+        parallelForItems(
+            amps_.size(),
+            [=](std::uint64_t i0, std::uint64_t i1) {
+                for (std::uint64_t i = i0; i < i1; ++i) {
+                    const double sign = paritySign(i & z);
+                    amps[i] = phase * sign * amps[i];
+                }
+            });
         return;
     }
 
     // Bit-permuting case: write into the ping-pong buffer and swap.
     // The buffer is allocated on first use and reused afterwards, so
     // repeated applications (trajectory sampling, expectation sweeps)
-    // perform no per-call allocation.
+    // perform no per-call allocation. Chunks write disjoint slices
+    // (i -> i ^ x is a bijection), so the scatter parallelizes.
     scratch_.resize(amps_.size());
-    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
-        const double sign = paritySign(i & z);
-        scratch_[i ^ x] = phase * sign * amps_[i];
-    }
+    const Amplitude *amps = amps_.data();
+    Amplitude *out = scratch_.data();
+    parallelForItems(
+        amps_.size(), [=](std::uint64_t i0, std::uint64_t i1) {
+            for (std::uint64_t i = i0; i < i1; ++i) {
+                const double sign = paritySign(i & z);
+                out[i ^ x] = phase * sign * amps[i];
+            }
+        });
     amps_.swap(scratch_);
 }
 

@@ -65,8 +65,28 @@ class Statevector
     /** Amplitude vector (length 2^numQubits). */
     const std::vector<Amplitude> &amplitudes() const { return amps_; }
 
+    /**
+     * Allocated amplitude capacity (>= amplitudes().size()).
+     * Exposed so scratch owners (the SimEngine's per-thread suffix
+     * scratch) can bound how much recycled capacity they retain.
+     */
+    std::size_t amplitudeCapacity() const { return amps_.capacity(); }
+
     /** Reset to |0...0>. */
     void reset();
+
+    /**
+     * Become a copy of @p other's quantum state, recycling this
+     * vector's existing allocation when its capacity suffices (the
+     * zero-allocation suffix path of the SimEngine relies on this).
+     * The scratch buffer is untouched, exactly like copy assignment.
+     *
+     * @return true when the amplitudes were copied into the
+     *         existing allocation; false when a reallocation was
+     *         needed (first use, or a wider register than any seen
+     *         before by this object).
+     */
+    bool copyFrom(const Statevector &other);
 
     /** Apply an arbitrary one-qubit unitary to qubit @p q. */
     void apply1Q(int q, const Matrix2 &m);
@@ -90,13 +110,27 @@ class Statevector
     void applyOp(const GateOp &op, const std::vector<double> &params);
 
     /**
-     * Apply a contiguous gate sequence. Consecutive runs of
-     * diagonal gates (RZ/CZ/RZZ and the fixed diagonals Z/S/Sdg/T)
-     * are fused into a single pass over the amplitudes: each
-     * amplitude is read once, multiplied by every phase of the run
-     * in gate order, and written once. The per-amplitude arithmetic
-     * sequence is identical to applying the gates one by one, so
-     * fusion changes memory traffic, not results.
+     * Apply a contiguous gate sequence, with two fusions:
+     *
+     *  - Runs of >= 2 consecutive single-qubit gates on the *same*
+     *    qubit that contain at least one non-diagonal gate AND at
+     *    least one non-basis-change gate are multiplied into one
+     *    Matrix2 and applied in a single kernel pass (deep RY/RZ
+     *    ansatz layers do one pass per qubit instead of one per
+     *    gate). Runs of only H/S/Sdg stay unfused: the engine's
+     *    prep/suffix span boundary may split such runs, and the
+     *    flattened twin of a (prep, suffix) job must stay
+     *    bit-identical wherever the boundary lands.
+     *  - Remaining consecutive runs of diagonal gates (RZ/CZ/RZZ
+     *    and the fixed diagonals Z/S/Sdg/T) are fused into a single
+     *    read-multiply-write pass in which each amplitude is
+     *    multiplied by every phase of the run in gate order — the
+     *    identical per-amplitude arithmetic of the unfused kernels,
+     *    so diagonal fusion changes memory traffic, not results.
+     *
+     * Fusion decisions are a pure function of the op sequence, so
+     * results never depend on caching, batch threads, or kernel
+     * threads.
      */
     void applyOps(const GateOp *ops, std::size_t count,
                   const std::vector<double> &params);
@@ -139,6 +173,22 @@ class Statevector
     void applyDiagonalRun(const GateOp *ops, std::size_t count,
                           const std::vector<double> &params);
 
+    /**
+     * Two-qubit parity phase: amps[i] *= (parity of bits a, b of i)
+     * ? f1 : f0, via a 4-entry factor table indexed by the two bits
+     * (no per-amplitude popcount or branch). The kernel underneath
+     * both the standalone applyRZZ and the fused diagonal path.
+     */
+    void applyParityPhase(int a, int b, const Amplitude &f0,
+                          const Amplitude &f1);
+
+    /**
+     * Diagonal one-qubit phase: amplitudes with bit q clear get
+     * *= f0, set get *= f1, in two contiguous half-block sweeps.
+     */
+    void applyDiagonal1Q(int q, const Amplitude &f0,
+                         const Amplitude &f1);
+
     int numQubits_;
     std::vector<Amplitude> amps_;
     /**
@@ -164,6 +214,14 @@ Matrix2 ry(double theta);
 
 /** RZ(theta). */
 Matrix2 rz(double theta);
+
+/**
+ * The two phase factors of RZZ(theta) = exp(-i theta/2 Z(x)Z):
+ * {even-parity factor, odd-parity factor}. The single source of the
+ * exp() evaluations shared by applyRZZ and the fused diagonal path.
+ */
+std::pair<std::complex<double>, std::complex<double>>
+rzzFactors(double theta);
 
 } // namespace gates
 

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,8 @@
 #include "core/varsaw.hh"
 #include "mitigation/executor.hh"
 #include "noise/device_model.hh"
+#include "runtime/batch_executor.hh"
+#include "util/parallel.hh"
 #include "vqa/ansatz.hh"
 #include "vqa/estimator.hh"
 
@@ -131,6 +134,70 @@ TEST(PrefixDeterminism, BitIdenticalAcrossCacheAndThreads)
             }
         }
     }
+}
+
+TEST(PrefixDeterminism, KernelThreadsNeverChangeResults)
+{
+    // Intra-kernel parallelism rides below everything the other
+    // tests cover, so pin it at a width where it actually engages:
+    // 17 qubits puts every sweep and pair kernel above the
+    // kParallelEngage threshold. A prefix-shared evaluation (one
+    // deep prep, several measurement suffixes) must be
+    // bit-identical across {1, 4, 8} kernel threads x {cache
+    // on/off} x {1, 4} batch threads.
+    struct Guard
+    {
+        int saved = kernelThreads();
+        ~Guard() { setKernelThreads(saved); }
+    } guard; // restores even when an ASSERT aborts the test body
+    const int n = 17;
+    EfficientSU2 ansatz(AnsatzConfig{n, 1, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(7);
+    auto prep = std::make_shared<const Circuit>(ansatz.circuit());
+
+    std::vector<Circuit> suffixes;
+    for (int b = 0; b < 5; ++b) {
+        PauliString basis(n);
+        for (int q = 0; q < n; ++q)
+            basis.setOp(q, static_cast<PauliOp>(1 + (q + b) % 3));
+        Circuit suffix(n);
+        suffix.appendBasisRotations(basis);
+        suffix.measureAll();
+        suffixes.push_back(std::move(suffix));
+    }
+
+    const auto evaluate = [&](int kernel_threads, bool cache,
+                              int batch_threads) {
+        setKernelThreads(kernel_threads);
+        IdealExecutor exec(11);
+        exec.simEngine().setCacheEnabled(cache);
+        RuntimeConfig rc;
+        rc.threads = batch_threads;
+        BatchExecutor runtime(exec, rc);
+        Batch batch;
+        for (const auto &suffix : suffixes)
+            batch.addPrefixed(prep, suffix, params, 64);
+        std::vector<double> flat;
+        for (const auto &pmf : runtime.run(batch))
+            for (std::uint64_t o = 0; o < 8; ++o)
+                flat.push_back(pmf.prob(o));
+        return flat;
+    };
+
+    const auto reference = evaluate(1, true, 1);
+    for (const int kernel_threads : {1, 4, 8})
+        for (const bool cache : {false, true})
+            for (const int batch_threads : {1, 4}) {
+                const auto got =
+                    evaluate(kernel_threads, cache, batch_threads);
+                ASSERT_EQ(got.size(), reference.size());
+                for (std::size_t i = 0; i < got.size(); ++i)
+                    EXPECT_EQ(got[i], reference[i])
+                        << "kernelThreads=" << kernel_threads
+                        << " cache=" << cache
+                        << " batchThreads=" << batch_threads
+                        << " slot=" << i;
+            }
 }
 
 TEST(PrefixDeterminism, OnePrepPerParameterPointWhenCached)

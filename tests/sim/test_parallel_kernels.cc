@@ -1,0 +1,471 @@
+/**
+ * @file
+ * Bit-identity of the thread-parallel statevector kernels.
+ *
+ * The intra-kernel parallel layer (util/parallel.hh) promises that
+ * results are a pure function of the inputs — never of the
+ * kernel-thread count. Elementwise kernels get this for free
+ * (disjoint writes, identical per-element arithmetic); reductions
+ * and histograms get it from the fixed chunk decomposition (chunk
+ * size depends only on the loop's total) plus fixed-order merging.
+ * These tests pin the contract: every kernel, at register widths
+ * just below and above the engagement threshold (so both the plain
+ * and the chunked algorithm are exercised), across kernel threads
+ * {1, 2, 8}, produces bit-identical output — plus direct
+ * determinism checks of the primitive on ragged (non-power-of-two)
+ * totals where the last chunk is odd-sized.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <complex>
+#include <cstring>
+#include <vector>
+
+#include "sim/sim_engine.hh"
+#include "sim/statevector.hh"
+#include "util/parallel.hh"
+
+namespace varsaw {
+namespace {
+
+/** Restore the process-wide kernel-thread setting on scope exit. */
+class KernelThreadsGuard
+{
+  public:
+    KernelThreadsGuard() : saved_(kernelThreads()) {}
+    ~KernelThreadsGuard() { setKernelThreads(saved_); }
+
+  private:
+    int saved_;
+};
+
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+/**
+ * Widths around the engagement threshold (kParallelEngage = 2^16
+ * items): at 15 qubits every loop is below it (plain serial
+ * algorithm), at 16 the full-sweep kernels are chunked while the
+ * pair kernels are not, at 17 everything is chunked.
+ */
+const std::vector<int> kWidths = {15, 16, 17};
+
+/** Deterministic dense state: rotations, entanglers, phases. */
+Statevector
+makeState(int n)
+{
+    Circuit c(n);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int q = 0; q < n; ++q)
+        c.ry(q, 0.23 + 0.13 * q);
+    for (int q = 0; q + 1 < n; ++q)
+        c.cx(q, q + 1);
+    for (int q = 0; q < n; ++q)
+        c.rz(q, 0.31 - 0.05 * q);
+    c.rzz(0, n - 1, 0.77);
+    Statevector sv(n);
+    sv.run(c, {});
+    return sv;
+}
+
+/** Exact amplitude equality (bitwise, via memcmp). */
+void
+expectBitIdentical(const Statevector &a, const Statevector &b,
+                   const char *what, int n, int threads)
+{
+    ASSERT_EQ(a.amplitudes().size(), b.amplitudes().size());
+    const int same = std::memcmp(
+        a.amplitudes().data(), b.amplitudes().data(),
+        a.amplitudes().size() * sizeof(Statevector::Amplitude));
+    EXPECT_EQ(same, 0) << what << " diverged at n=" << n
+                       << " kernelThreads=" << threads;
+}
+
+void
+expectBitIdentical(const std::vector<double> &a,
+                   const std::vector<double> &b, const char *what,
+                   int n, int threads)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    std::size_t mismatches = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0)
+            ++mismatches;
+    EXPECT_EQ(mismatches, 0u)
+        << what << " diverged at n=" << n
+        << " kernelThreads=" << threads;
+}
+
+/**
+ * Run @p mutate on a fresh copy of @p input at every thread count
+ * and assert the resulting states are bit-identical to the
+ * single-thread reference.
+ */
+template <typename Fn>
+void
+sweepMutating(const Statevector &input, const char *what, Fn mutate)
+{
+    KernelThreadsGuard guard;
+    const int n = input.numQubits();
+    setKernelThreads(1);
+    Statevector reference(input);
+    mutate(reference);
+    for (const int t : kThreadCounts) {
+        setKernelThreads(t);
+        Statevector got(input);
+        mutate(got);
+        expectBitIdentical(reference, got, what, n, t);
+    }
+}
+
+TEST(ParallelKernels, Apply1QBitIdenticalAcrossThreads)
+{
+    for (const int n : kWidths) {
+        const Statevector input = makeState(n);
+        for (const int q : {0, 1, n / 2, n - 1})
+            sweepMutating(input, "apply1Q",
+                          [&](Statevector &sv) {
+                              sv.apply1Q(q, gates::ry(0.41));
+                          });
+    }
+}
+
+TEST(ParallelKernels, TwoQubitKernelsBitIdenticalAcrossThreads)
+{
+    for (const int n : kWidths) {
+        const Statevector input = makeState(n);
+        sweepMutating(input, "applyCX", [&](Statevector &sv) {
+            sv.applyCX(0, n - 1);
+        });
+        sweepMutating(input, "applyCZ", [&](Statevector &sv) {
+            sv.applyCZ(1, n / 2);
+        });
+        sweepMutating(input, "applyRZZ", [&](Statevector &sv) {
+            sv.applyRZZ(1, n - 2, 0.53);
+        });
+        sweepMutating(input, "applySwap", [&](Statevector &sv) {
+            sv.applySwap(0, n - 1);
+        });
+    }
+}
+
+TEST(ParallelKernels, DiagonalRunBitIdenticalAcrossThreads)
+{
+    for (const int n : kWidths) {
+        const Statevector input = makeState(n);
+        // RZ layer + CZ + RZZ fuses into one mixed diagonal pass.
+        Circuit mixed(n);
+        for (int q = 0; q < n; ++q)
+            mixed.rz(q, 0.11 * (q + 1));
+        mixed.cz(0, n - 1);
+        mixed.rzz(1, n - 2, 0.37);
+        sweepMutating(input, "diagonalRunMixed",
+                      [&](Statevector &sv) {
+                          sv.applyOps(mixed.ops().data(),
+                                      mixed.ops().size(), {});
+                      });
+        // Bit-only run (the hoisted-dispatch specialization).
+        Circuit bits(n);
+        for (int q = 0; q < n; ++q)
+            bits.rz(q, 0.09 * (q + 1));
+        bits.s(0);
+        bits.t(1);
+        sweepMutating(input, "diagonalRunBits",
+                      [&](Statevector &sv) {
+                          sv.applyOps(bits.ops().data(),
+                                      bits.ops().size(), {});
+                      });
+    }
+}
+
+TEST(ParallelKernels, SameQubit1QRunFusionMatchesUnfused)
+{
+    // The Matrix2-product fusion changes the float path (one fused
+    // multiply instead of k), so it is NOT bit-pinned against the
+    // unfused gates — but it must be unitary-equivalent and, like
+    // every kernel, bit-identical across thread counts.
+    for (const int n : {6, 16}) {
+        const Statevector input = makeState(n);
+        Circuit fused(n);
+        fused.ry(2, 0.31).rz(2, -0.44).ry(2, 1.02);
+        Statevector a(input);
+        a.applyOps(fused.ops().data(), fused.ops().size(), {});
+        Statevector b(input);
+        b.apply1Q(2, gates::ry(0.31));
+        b.apply1Q(2, gates::rz(-0.44));
+        b.apply1Q(2, gates::ry(1.02));
+        double max_err = 0.0;
+        for (std::size_t i = 0; i < a.amplitudes().size(); ++i)
+            max_err = std::max(
+                max_err, std::abs(a.amplitudes()[i] -
+                                  b.amplitudes()[i]));
+        EXPECT_LT(max_err, 1e-12) << "n=" << n;
+        sweepMutating(input, "sameQubitRun", [&](Statevector &sv) {
+            sv.applyOps(fused.ops().data(), fused.ops().size(),
+                        {});
+        });
+    }
+}
+
+TEST(ParallelKernels, ApplyPauliBitIdenticalAcrossThreads)
+{
+    for (const int n : kWidths) {
+        const Statevector input = makeState(n);
+        PauliString permuting(n);
+        PauliString zonly(n);
+        for (int q = 0; q < n; ++q) {
+            permuting.setOp(q, q % 3 == 0
+                                   ? PauliOp::X
+                                   : (q % 3 == 1 ? PauliOp::Y
+                                                 : PauliOp::Z));
+            zonly.setOp(q, q % 2 == 0 ? PauliOp::Z : PauliOp::I);
+        }
+        sweepMutating(input, "applyPauliPermuting",
+                      [&](Statevector &sv) {
+                          sv.applyPauli(permuting);
+                      });
+        sweepMutating(input, "applyPauliZOnly",
+                      [&](Statevector &sv) {
+                          sv.applyPauli(zonly);
+                      });
+    }
+}
+
+TEST(ParallelKernels, ReductionsBitIdenticalAcrossThreads)
+{
+    KernelThreadsGuard guard;
+    for (const int n : kWidths) {
+        const Statevector input = makeState(n);
+        Statevector other = input;
+        other.apply1Q(0, gates::ry(0.5));
+        PauliString p(n);
+        for (int q = 0; q < n; ++q)
+            p.setOp(q, q % 2 == 0 ? PauliOp::Z : PauliOp::X);
+
+        setKernelThreads(1);
+        const double norm_ref = input.norm();
+        const double expect_ref = input.expectationPauli(p);
+        const auto inner_ref = input.innerProduct(other);
+        for (const int t : kThreadCounts) {
+            setKernelThreads(t);
+            EXPECT_EQ(input.norm(), norm_ref)
+                << "norm n=" << n << " t=" << t;
+            EXPECT_EQ(input.expectationPauli(p), expect_ref)
+                << "expectation n=" << n << " t=" << t;
+            const auto inner = input.innerProduct(other);
+            EXPECT_EQ(inner.real(), inner_ref.real())
+                << "inner n=" << n << " t=" << t;
+            EXPECT_EQ(inner.imag(), inner_ref.imag())
+                << "inner n=" << n << " t=" << t;
+        }
+    }
+}
+
+TEST(ParallelKernels, HistogramsBitIdenticalAcrossThreads)
+{
+    KernelThreadsGuard guard;
+    for (const int n : kWidths) {
+        const Statevector input = makeState(n);
+        const std::vector<int> identity = {0, 1, 2, 3, 4, 5};
+        const std::vector<int> permuted = {n - 1, 3, 0, n / 2};
+
+        setKernelThreads(1);
+        const auto probs_ref = input.probabilities();
+        const auto ident_ref =
+            input.marginalProbabilities(identity);
+        const auto perm_ref =
+            input.marginalProbabilities(permuted);
+        for (const int t : kThreadCounts) {
+            setKernelThreads(t);
+            expectBitIdentical(input.probabilities(), probs_ref,
+                               "probabilities", n, t);
+            expectBitIdentical(
+                input.marginalProbabilities(identity), ident_ref,
+                "marginalIdentity", n, t);
+            expectBitIdentical(
+                input.marginalProbabilities(permuted), perm_ref,
+                "marginalPermuted", n, t);
+        }
+        // Sanity: the chunked histogram is still a distribution.
+        double total = 0.0;
+        for (const double v : ident_ref)
+            total += v;
+        EXPECT_NEAR(total, 1.0, 1e-10);
+    }
+}
+
+TEST(ParallelKernels, CopyFromRecyclesCapacityAndIsExact)
+{
+    KernelThreadsGuard guard;
+    const Statevector src = makeState(16);
+    for (const int t : kThreadCounts) {
+        setKernelThreads(t);
+        Statevector dst(1);
+        EXPECT_FALSE(dst.copyFrom(src)); // must grow: 2 -> 2^16
+        expectBitIdentical(src, dst, "copyFrom-grow", 16, t);
+        Statevector dst2(16);
+        EXPECT_TRUE(dst2.copyFrom(src)); // capacity suffices
+        expectBitIdentical(src, dst2, "copyFrom-reuse", 16, t);
+        // Shrinking width reuses the larger allocation.
+        const Statevector narrow = makeState(4);
+        EXPECT_TRUE(dst2.copyFrom(narrow));
+        EXPECT_EQ(dst2.numQubits(), 4);
+        expectBitIdentical(narrow, dst2, "copyFrom-narrow", 4, t);
+    }
+}
+
+TEST(ParallelKernels, BasisChangeRunsNeverFuseAcrossShapeBoundary)
+{
+    // An ansatz ENDING in a basis-change gate, measured in a basis
+    // whose first rotation targets the same qubit: the flattened
+    // circuit sees [..., H(0), H(0), ...] in ONE applyOps span
+    // while the (prep, suffix) shape applies the same gates across
+    // the tail/suffix boundary in separate spans. Matrix2 fusion
+    // of the H·H run would give the two shapes different float
+    // roundings — the fusion rule must leave basis-change-only
+    // runs unfused so both shapes stay bit-identical (they share a
+    // prep cache key, so this is a hard contract).
+    for (const int n : {5, 17}) { // below and above the threshold
+        Circuit prep(n);
+        for (int q = 0; q < n; ++q)
+            prep.ry(q, 0.4 + 0.1 * q);
+        for (int q = 0; q + 1 < n; ++q)
+            prep.cx(q, q + 1);
+        prep.h(0).s(1); // trailing basis-change run
+
+        Circuit suffix(n);
+        suffix.h(0).sdg(1).h(1); // X on q0, Y-style on q1
+        suffix.measureAll();
+
+        Circuit full(n);
+        full.append(prep);
+        full.append(suffix);
+        full.measureAll();
+
+        SimEngine engine;
+        const auto prefixed =
+            engine.measuredMarginal(&prep, suffix, {});
+        const auto flattened =
+            engine.measuredMarginal(nullptr, full, {});
+        expectBitIdentical(prefixed, flattened,
+                           "prefixedVsFlattened", n,
+                           kernelThreads());
+
+        // Mixed suffix [RZ(q), H(q)]: the flattened twin's
+        // canonical split lands BETWEEN the two gates, so a fused
+        // [RZ·H] in the prefixed span would diverge — the
+        // non-basis->basis transition rule must keep them
+        // separate.
+        Circuit mixed_suffix(n);
+        mixed_suffix.rz(0, 0.61).h(0);
+        mixed_suffix.measureAll();
+        Circuit mixed_full(n);
+        mixed_full.append(prep);
+        mixed_full.append(mixed_suffix);
+        mixed_full.measureAll();
+        const auto mixed_prefixed =
+            engine.measuredMarginal(&prep, mixed_suffix, {});
+        const auto mixed_flattened =
+            engine.measuredMarginal(nullptr, mixed_full, {});
+        expectBitIdentical(mixed_prefixed, mixed_flattened,
+                           "mixedSuffixShapes", n,
+                           kernelThreads());
+    }
+}
+
+// ---- The primitive itself, on ragged totals -----------------------
+
+TEST(ParallelPrimitive, ChunkDecompositionIsThreadInvariant)
+{
+    // Chunk size depends only on the total.
+    EXPECT_EQ(parallelChunkSize(100), kParallelGrain);
+    EXPECT_EQ(parallelChunkCount(1), 1u);
+    EXPECT_EQ(parallelChunkCount(kParallelGrain), 1u);
+    EXPECT_EQ(parallelChunkCount(kParallelGrain + 1), 2u);
+    EXPECT_EQ(parallelChunkCount(kParallelEngage), 2u);
+    // Above kMaxParallelChunks * grain the chunk size grows so the
+    // count stays bounded.
+    const std::uint64_t huge =
+        kMaxParallelChunks * kParallelGrain * 4;
+    EXPECT_LE(parallelChunkCount(huge), kMaxParallelChunks);
+}
+
+TEST(ParallelPrimitive, RaggedTotalsCoverEveryIndexOnce)
+{
+    KernelThreadsGuard guard;
+    // 3 full chunks plus an odd 17-item tail.
+    const std::uint64_t total = 3 * kParallelGrain + 17;
+    for (const int t : kThreadCounts) {
+        setKernelThreads(t);
+        std::vector<std::atomic<int>> hits(total);
+        parallelForChunks(
+            total, [&](std::uint64_t, std::uint64_t begin,
+                       std::uint64_t end) {
+                for (std::uint64_t i = begin; i < end; ++i)
+                    hits[i].fetch_add(1,
+                                      std::memory_order_relaxed);
+            });
+        std::uint64_t wrong = 0;
+        for (std::uint64_t i = 0; i < total; ++i)
+            if (hits[i].load(std::memory_order_relaxed) != 1)
+                ++wrong;
+        EXPECT_EQ(wrong, 0u) << "t=" << t;
+    }
+}
+
+TEST(ParallelPrimitive, ChunkedReduceIsBitIdenticalOnRaggedTotals)
+{
+    KernelThreadsGuard guard;
+    const std::uint64_t total = 5 * kParallelGrain + 12345;
+    // A sum whose terms vary in magnitude, so association matters
+    // and any ordering drift would change the bits.
+    auto term = [](std::uint64_t i) {
+        return 1.0 / static_cast<double>(i + 1) +
+            static_cast<double>(i % 97) * 1e-7;
+    };
+    setKernelThreads(1);
+    const double reference = chunkedReduce<double>(
+        total, [&](std::uint64_t b, std::uint64_t e) {
+            double acc = 0.0;
+            for (std::uint64_t i = b; i < e; ++i)
+                acc += term(i);
+            return acc;
+        });
+    for (const int t : kThreadCounts) {
+        setKernelThreads(t);
+        for (int repeat = 0; repeat < 3; ++repeat) {
+            const double got = chunkedReduce<double>(
+                total, [&](std::uint64_t b, std::uint64_t e) {
+                    double acc = 0.0;
+                    for (std::uint64_t i = b; i < e; ++i)
+                        acc += term(i);
+                    return acc;
+                });
+            EXPECT_EQ(got, reference) << "t=" << t;
+        }
+    }
+}
+
+TEST(ParallelPrimitive, PairwiseReduceOrderIsFixed)
+{
+    // ((a+b)+(c+d)) + e — the documented association.
+    std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+    const double got = pairwiseReduce(v);
+    EXPECT_EQ(got, ((1.0 + 2.0) + (3.0 + 4.0)) + 5.0);
+}
+
+TEST(ParallelPrimitive, SetKernelThreadsClampsAndDefaults)
+{
+    KernelThreadsGuard guard;
+    setKernelThreads(3);
+    EXPECT_EQ(kernelThreads(), 3);
+    setKernelThreads(kMaxKernelThreads + 100);
+    EXPECT_EQ(kernelThreads(), kMaxKernelThreads);
+    setKernelThreads(0);
+    EXPECT_EQ(kernelThreads(), defaultKernelThreads());
+}
+
+} // namespace
+} // namespace varsaw
