@@ -1,33 +1,53 @@
 /**
  * @file
- * Runtime scaling: batched-execution throughput (circuits/sec) and
+ * Runtime scaling, in two parts.
+ *
+ * Part 1 — batched-execution throughput (circuits/sec) and
  * result-cache hit rate vs worker thread count {1, 2, 4, 8} on a
  * fig8-style TFIM workload (per-tick VarSaw batches: shared subset
  * circuits plus one Global per reduced basis, repeated over
  * optimizer-style parameter points with SPSA-like double probes).
- *
  * Expected shape: near-linear throughput scaling up to the physical
- * core count (flat on a single-core host), identical energies at
- * every thread count, and a cache hit rate reflecting the workload's
- * redundancy (duplicate Z-basis Globals within a tick plus repeated
- * probes at the same parameter point across ticks).
+ * core count, identical energies at every thread count, and a cache
+ * hit rate reflecting the workload's redundancy.
+ *
+ * Part 2 — shared service vs per-estimator runtimes: two concurrent
+ * estimators (VarSaw + Baseline) over ONE overlapping Hamiltonian
+ * evaluate the same optimizer trajectory from two client threads,
+ * once on private per-estimator BatchExecutors (split thread
+ * budget) and once as sessions of one ExecutionService (shared
+ * scheduler + shared caches). Every per-tick Global circuit is
+ * identical work in the two estimators, so the service's
+ * cross-session dedupe executes it once. Expected shape: identical
+ * (bit-for-bit) summed energies in both modes, nonzero
+ * cross-session hits, fewer backend executions and lower wall time
+ * for the shared mode. CSV: bench_runtime_scaling.csv (part 1) and
+ * bench_runtime_scaling_shared.csv (part 2).
+ *
+ * VARSAW_BENCH_CHECK=1 gates part 2: cross-session hits > 0 and
+ * bit-identical energies between the modes.
  *
  * Knobs: VARSAW_BENCH_TICKS (parameter points), VARSAW_BENCH_SHOTS.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common.hh"
 #include "chem/spin_models.hh"
+#include "core/varsaw.hh"
 #include "mitigation/jigsaw.hh"
 #include "noise/device_model.hh"
 #include "pauli/subsetting.hh"
 #include "runtime/batch_executor.hh"
+#include "service/execution_service.hh"
 #include "util/csv.hh"
 #include "vqa/ansatz.hh"
+#include "vqa/estimator.hh"
 
 using namespace varsaw;
 using namespace varsaw::bench;
@@ -90,6 +110,155 @@ measure(int threads, const SpatialPlan &plan, const Circuit &ansatz,
     m.circuitsExecuted = exec.circuitsExecuted();
     m.hitRate = runtime.cacheStats().hitRate();
     return m;
+}
+
+/** Part 2: one mode's measurement. */
+struct SharedModeResult
+{
+    double seconds = 0.0;
+    std::uint64_t circuitsExecuted = 0;
+    std::uint64_t crossSessionHits = 0;
+    double varsawEnergySum = 0.0;
+    double baselineEnergySum = 0.0;
+};
+
+/**
+ * Run the two-estimator workload in one mode. @p shared routes both
+ * estimators onto sessions of one ExecutionService with
+ * @p total_threads workers; otherwise each gets a private
+ * BatchExecutor with half the thread budget. One backend executor
+ * (fixed seed) either way, so the content-derived streams make the
+ * energies bit-identical across modes.
+ */
+SharedModeResult
+measureSharedMode(bool shared, int total_threads,
+                  const Hamiltonian &h, const Circuit &ansatz,
+                  const std::vector<std::vector<double>> &points,
+                  std::uint64_t shots, const DeviceModel &device)
+{
+    NoisyExecutor exec(device, GateNoiseMode::AnalyticDepolarizing,
+                       4321);
+    std::unique_ptr<ExecutionService> service;
+    if (shared) {
+        ServiceConfig sc;
+        sc.threads = total_threads;
+        service = std::make_unique<ExecutionService>(exec, sc);
+    }
+
+    VarsawConfig vconfig;
+    vconfig.subsetShots = shots;
+    vconfig.globalShots = 2 * shots;
+    vconfig.runtime.cacheResults = true;
+    vconfig.runtime.threads =
+        shared ? 1 : std::max(1, total_threads / 2);
+    vconfig.runtime.service = service.get();
+    VarsawEstimator varsaw(h, ansatz, exec, vconfig);
+    // Baseline at the Global shot count: its per-basis circuits are
+    // the exact jobs VarSaw's Global ticks submit.
+    BaselineEstimator baseline(h, ansatz, exec, 2 * shots,
+                               BasisMode::Cover,
+                               ShotAllocation::Uniform,
+                               vconfig.runtime);
+
+    SharedModeResult m;
+    Stopwatch watch;
+    std::thread varsaw_client([&] {
+        for (const auto &params : points)
+            m.varsawEnergySum += varsaw.estimate(params);
+    });
+    std::thread baseline_client([&] {
+        for (const auto &params : points)
+            m.baselineEnergySum += baseline.estimate(params);
+    });
+    varsaw_client.join();
+    baseline_client.join();
+    m.seconds = watch.seconds();
+    m.circuitsExecuted = exec.circuitsExecuted();
+    if (service)
+        m.crossSessionHits = service->stats().crossSessionHits;
+    return m;
+}
+
+void
+runSharedServiceComparison(int total_threads, const Hamiltonian &h,
+                           const Circuit &ansatz,
+                           const std::vector<std::vector<double>>
+                               &points,
+                           std::uint64_t shots,
+                           const DeviceModel &device)
+{
+    std::printf("\nshared service vs per-estimator runtimes "
+                "(2 concurrent estimators, %d total threads)\n",
+                total_threads);
+
+    const SharedModeResult priv = measureSharedMode(
+        false, total_threads, h, ansatz, points, shots, device);
+    const SharedModeResult shared = measureSharedMode(
+        true, total_threads, h, ansatz, points, shots, device);
+
+    TablePrinter table("Cross-estimator dedupe through one service");
+    table.setHeader({"Mode", "Seconds", "Executed", "Cross hits",
+                     "Speedup"});
+    CsvWriter csv("bench_runtime_scaling_shared.csv");
+    csv.writeRow({"shared_mode", "threads", "seconds",
+                  "circuits_executed", "cross_session_hits",
+                  "varsaw_energy_sum", "baseline_energy_sum",
+                  "speedup_vs_private"});
+    auto emit = [&](const char *mode, bool is_shared,
+                    const SharedModeResult &m) {
+        const double speedup =
+            m.seconds > 0.0 ? priv.seconds / m.seconds : 1.0;
+        table.addRow(
+            {mode, TablePrinter::num(m.seconds, 3),
+             TablePrinter::num(
+                 static_cast<long long>(m.circuitsExecuted)),
+             TablePrinter::num(
+                 static_cast<long long>(m.crossSessionHits)),
+             TablePrinter::ratio(speedup)});
+        csv.writeNumericRow(
+            {is_shared ? 1.0 : 0.0,
+             static_cast<double>(total_threads), m.seconds,
+             static_cast<double>(m.circuitsExecuted),
+             static_cast<double>(m.crossSessionHits),
+             m.varsawEnergySum, m.baselineEnergySum, speedup});
+    };
+    emit("private", false, priv);
+    emit("shared", true, shared);
+    table.print();
+
+    const bool identical =
+        priv.varsawEnergySum == shared.varsawEnergySum &&
+        priv.baselineEnergySum == shared.baselineEnergySum;
+    std::printf("energies bit-identical across modes: %s\n",
+                identical ? "yes" : "NO");
+    std::printf("shared-mode executions saved: %lld\n",
+                static_cast<long long>(priv.circuitsExecuted) -
+                    static_cast<long long>(
+                        shared.circuitsExecuted));
+
+    const char *check = std::getenv("VARSAW_BENCH_CHECK");
+    if (check && check[0] == '1') {
+        if (!identical) {
+            std::fprintf(stderr,
+                         "CHECK FAILED: shared-service energies "
+                         "differ from private-runtime energies\n");
+            std::exit(1);
+        }
+        if (shared.crossSessionHits == 0) {
+            std::fprintf(stderr,
+                         "CHECK FAILED: no cross-session cache "
+                         "hits on an overlapping workload\n");
+            std::exit(1);
+        }
+        if (shared.circuitsExecuted >= priv.circuitsExecuted) {
+            std::fprintf(stderr,
+                         "CHECK FAILED: shared mode executed no "
+                         "fewer circuits than private mode\n");
+            std::exit(1);
+        }
+        std::printf("CHECK PASSED: cross-session dedupe active, "
+                    "energies bit-identical\n");
+    }
 }
 
 } // namespace
@@ -172,5 +341,9 @@ main(int argc, char **argv)
              m.hitRate});
     }
     table.print();
+
+    // Part 2: shared-service vs per-estimator-runtime comparison.
+    runSharedServiceComparison(4, h, ansatz.circuit(), points,
+                               shots, device);
     return 0;
 }

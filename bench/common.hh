@@ -19,6 +19,9 @@
  *                        VARSAW_STATE_CACHE_BYTES variable)
  *   --kernel-threads=N   intra-kernel statevector threads (instead
  *                        of VARSAW_KERNEL_THREADS)
+ *   --service-threads=N  worker count for shared ExecutionServices
+ *                        constructed with threads = 0 (instead of
+ *                        VARSAW_SERVICE_THREADS)
  */
 
 #ifndef VARSAW_BENCH_COMMON_HH

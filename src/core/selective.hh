@@ -39,6 +39,13 @@ splitByCoefficientMass(const Hamiltonian &hamiltonian,
  * Energy estimator mitigating only the heavy part of the
  * Hamiltonian with VarSaw; the light part is measured through the
  * plain baseline pipeline. The reported energy is the sum.
+ *
+ * Both halves are built from config.runtime: with
+ * config.runtime.service set they become two sessions of that
+ * shared ExecutionService — one worker pool and one result cache
+ * across the halves, so work they have in common (e.g. the
+ * fully-measured Z-basis Global both pipelines submit at equal
+ * shots) executes once. Energies are bit-identical either way.
  */
 class SelectiveVarsawEstimator : public EnergyEstimator
 {

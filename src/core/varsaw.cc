@@ -11,7 +11,8 @@ VarsawEstimator::VarsawEstimator(const Hamiltonian &hamiltonian,
                                  const VarsawConfig &config)
     : hamiltonian_(hamiltonian),
       prep_(std::make_shared<const Circuit>(ansatz)),
-      runtime_(executor, config.runtime), config_(config),
+      runtime_(makeSubmitter(executor, config.runtime)),
+      config_(config),
       plan_(buildSpatialPlan(hamiltonian, config.subsetSize,
                              config.basisMode)),
       scheduler_(config.temporal)
@@ -74,7 +75,7 @@ VarsawEstimator::collectLocals(const std::vector<double> &params)
     for (const auto &suffix : subsetSuffixes_)
         batch.addPrefixed(prep_, suffix, params,
                           config_.subsetShots);
-    const std::vector<Pmf> subset_pmfs = runtime_.run(batch);
+    const std::vector<Pmf> subset_pmfs = runtime_->run(batch);
 
     // Answer every basis window from the shared results.
     std::vector<std::vector<LocalPmf>> locals(
@@ -113,7 +114,7 @@ VarsawEstimator::runGlobals(const std::vector<double> &params)
     for (const auto &suffix : globalSuffixes_)
         batch.addPrefixed(prep_, suffix, params,
                           config_.globalShots);
-    std::vector<Pmf> globals = runtime_.run(batch);
+    std::vector<Pmf> globals = runtime_->run(batch);
     if (config_.mbm)
         for (auto &pmf : globals)
             pmf = config_.mbm->apply(pmf);

@@ -30,6 +30,7 @@
 #include "mitigation/mbm.hh"
 #include "pauli/hamiltonian.hh"
 #include "runtime/batch_executor.hh"
+#include "runtime/submitter.hh"
 #include "sim/circuit.hh"
 #include "vqa/estimator.hh"
 
@@ -112,9 +113,10 @@ class VarsawEstimator : public EnergyEstimator
     /** Reset temporal state (stale chain + scheduler + counters). */
     void resetTemporalState();
 
-    /** The batch runtime circuits are submitted through. */
-    BatchExecutor &runtime() { return runtime_; }
-    const BatchExecutor &runtime() const { return runtime_; }
+    /** The submitter (private runtime or shared-service session)
+     * circuits are submitted through. */
+    JobSubmitter &runtime() { return *runtime_; }
+    const JobSubmitter &runtime() const { return *runtime_; }
 
   private:
     /** Build per-basis LocalPmfs from this tick's subset runs. */
@@ -136,7 +138,7 @@ class VarsawEstimator : public EnergyEstimator
     const Hamiltonian &hamiltonian_;
     /** Construction-time ansatz snapshot, shared by every job. */
     std::shared_ptr<const Circuit> prep_;
-    BatchExecutor runtime_;
+    std::unique_ptr<JobSubmitter> runtime_;
     VarsawConfig config_;
     SpatialPlan plan_;
     GlobalScheduler scheduler_;

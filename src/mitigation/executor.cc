@@ -10,7 +10,7 @@ namespace varsaw {
 
 Executor::Executor(std::uint64_t seed)
     : seed_(seed), rng_(seed),
-      simEngine_(std::make_unique<SimEngine>())
+      simEngine_(std::make_shared<SimEngine>())
 {
 }
 

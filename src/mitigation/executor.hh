@@ -130,19 +130,33 @@ class Executor
      */
     void configureSimEngine(SimEngineConfig config)
     {
-        simEngine_ = std::make_unique<SimEngine>(config);
+        simEngine_ = std::make_shared<SimEngine>(config);
     }
 
     /**
-     * Claim a distinct stream-salt. Each BatchExecutor wrapping this
-     * backend takes one at construction and folds it into its job
-     * stream ids, so multiple runtimes over one executor draw
-     * uncorrelated samples instead of replaying each other's
-     * streams. Deterministic: salts follow construction order.
+     * Shared handle on the engine, so a holder (the shared
+     * ExecutionService, a cross-backend prep-sharing setup) can
+     * outlive this executor or install the same engine into several
+     * executors via setSimEngine(). Prepared states are pure
+     * functions of (prefix, params) — independent of any backend's
+     * noise or seed — so sharing one engine across backends shares
+     * the StateCache without ever being able to change a result.
      */
-    std::uint64_t acquireStreamSalt()
+    std::shared_ptr<SimEngine> sharedSimEngine() const
     {
-        return streamSalts_.fetch_add(1, std::memory_order_relaxed);
+        return simEngine_;
+    }
+
+    /**
+     * Adopt @p engine as this executor's simulation engine (see
+     * sharedSimEngine()). NOT thread-safe: call before submitting
+     * jobs, never concurrently with them.
+     */
+    void setSimEngine(std::shared_ptr<SimEngine> engine)
+    {
+        if (!engine)
+            return;
+        simEngine_ = std::move(engine);
     }
 
   protected:
@@ -161,10 +175,9 @@ class Executor
   private:
     std::atomic<std::uint64_t> circuits_{0};
     std::atomic<std::uint64_t> shots_{0};
-    std::atomic<std::uint64_t> streamSalts_{0};
     std::uint64_t seed_;
     Rng rng_; //!< serial stream backing the legacy execute() path
-    std::unique_ptr<SimEngine> simEngine_;
+    std::shared_ptr<SimEngine> simEngine_;
 };
 
 /** Noise-free backend: exact simulation plus optional sampling. */

@@ -14,7 +14,7 @@ namespace varsaw {
 BatchExecutor::BatchExecutor(Executor &backend, RuntimeConfig config)
     : backend_(backend), config_(config),
       cache_(config.cacheMaxEntries),
-      streamSalt_(backend.acquireStreamSalt())
+      ledger_(config.cacheMaxEntries)
 {
     if (config_.threads < 1)
         panic("BatchExecutor: thread count must be >= 1");
@@ -32,42 +32,6 @@ BatchExecutor::ensurePool()
         pool_ = std::make_unique<ThreadPool>(config_.threads);
 }
 
-Pmf
-BatchExecutor::executeCached(const CircuitJob &job,
-                             const JobKey &key, std::uint64_t stream,
-                             std::uint64_t epoch)
-{
-    // Epoch checks and cache access are atomic under the primaries
-    // lock (clears bump the epoch under the same lock). A job whose
-    // epoch rolled between submission and execution runs uncached:
-    // its lookup could otherwise hit a NEW epoch's insert of the
-    // same key (skipping an execution the serial order performs),
-    // and its insert would plant a stale result in the cleared
-    // cache — either would make results or counters depend on
-    // worker timing. Within an epoch a primary's lookup always
-    // misses (the primaries map gates execution), so the lookup
-    // only records the miss statistic.
-    if (config_.cacheResults) {
-        std::lock_guard<std::mutex> lock(primariesMutex_);
-        if (epoch == cacheEpoch_.load(std::memory_order_relaxed)) {
-            if (auto hit = cache_.lookup(key))
-                return std::move(*hit);
-        }
-    }
-    Pmf result = backend_.executeJob(job, stream);
-    if (config_.cacheResults) {
-        std::lock_guard<std::mutex> lock(primariesMutex_);
-        // Within the integrated path duplicates are answered from
-        // the primaries map's futures, so these entries are the
-        // persistent, inspectable record of computed results (and
-        // the store standalone ResultCache users read from) rather
-        // than the hot dedupe path.
-        if (epoch == cacheEpoch_.load(std::memory_order_relaxed))
-            cache_.insert(key, result);
-    }
-    return result;
-}
-
 std::vector<std::vector<std::size_t>>
 groupByPrepKey(const std::vector<PrepKey> &keys)
 {
@@ -83,6 +47,33 @@ groupByPrepKey(const std::vector<PrepKey> &keys)
     return groups;
 }
 
+std::vector<PrepKey>
+prepKeysOf(const std::vector<CircuitJob> &jobs)
+{
+    std::vector<PrepKey> keys;
+    keys.reserve(jobs.size());
+    // The prep structural hash is memoized per distinct shared prep
+    // — safe to key by pointer because the jobs' shared_ptrs keep
+    // every prep alive for the whole loop.
+    std::unordered_map<const Circuit *, std::uint64_t> prep_hash;
+    for (const CircuitJob &job : jobs) {
+        if (job.prep) {
+            auto [it, inserted] =
+                prep_hash.try_emplace(job.prep.get(), 0);
+            if (inserted)
+                it->second = circuitPrefixHash(
+                    *job.prep,
+                    splitPrepSuffix(*job.prep).prefixOps);
+            keys.push_back(
+                PrepKey{it->second, parameterHash(job.params)});
+        } else {
+            keys.push_back(
+                prepKeyOf(nullptr, job.circuit, job.params));
+        }
+    }
+    return keys;
+}
+
 std::future<Pmf>
 BatchExecutor::submitOne(
     const CircuitJob &job,
@@ -90,67 +81,28 @@ BatchExecutor::submitOne(
     std::vector<PendingTask> *pending, const PrepKey &prep_key)
 {
     const JobKey key = makeJobKey(job);
-    const std::uint64_t index =
-        nextJobIndex_.fetch_add(1, std::memory_order_relaxed);
-    const std::uint64_t stream = mix64(streamSalt_, index);
+    nextJobIndex_.fetch_add(1, std::memory_order_relaxed);
 
-    // Duplicates take the primary's published result directly — a
-    // cache lookup here could cross an epoch clear and return a
-    // NEWER submission's sample instead of the primary's. The hit
-    // is credited to the statistics explicitly.
-    auto wait_for_primary =
-        [this, shots = job.shots](
-            const std::shared_future<Pmf> &primary) -> Pmf {
-        cache_.creditHit(shots);
-        return primary.get();
-    };
-
-    // Cache mode: decide under the lock — in submission order —
+    // Cache mode: the ledger decides — in submission order —
     // whether this submission is the key's primary (the one that
     // executes) or a duplicate deferred onto the primary's result.
     // Duplicates never execute, so backend cost counters and hit
     // statistics are exact and independent of worker timing.
     std::shared_ptr<std::promise<Pmf>> publish;
-    std::shared_future<Pmf> primary;
-    std::uint64_t epoch = 0;
     if (config_.cacheResults) {
-        std::lock_guard<std::mutex> lock(primariesMutex_);
-        // Bound both maps at a point that depends only on the key
-        // sequence, never on worker timing, so runs stay
-        // reproducible across thread counts and the cache never
-        // reaches its own (completion-order) LRU eviction.
-        if (primaries_.size() >= config_.cacheMaxEntries) {
-            primaries_.clear();
-            cache_.clear();
-            cacheEpoch_.fetch_add(1, std::memory_order_release);
-        }
-        epoch = cacheEpoch_.load(std::memory_order_relaxed);
-        auto it = primaries_.find(key);
-        if (it != primaries_.end()) {
-            primary = it->second;
-        } else {
-            publish = std::make_shared<std::promise<Pmf>>();
-            primaries_.emplace(key, publish->get_future().share());
-        }
+        auto claim = ledger_.claim(key, job.shots, cache_);
+        if (claim.duplicate())
+            return JobLedger::deferToPrimary(std::move(claim));
+        publish = std::move(claim.publish);
     }
-
-    if (primary.valid()) {
-        // Duplicate: no task is enqueued at all — the deferred
-        // future runs the wait on the consumer's thread at get()
-        // time, so no pool worker ever blocks on another task.
-        return std::async(std::launch::deferred,
-                          [wait_for_primary, primary] {
-                              return wait_for_primary(primary);
-                          });
-    }
+    ResultCache *cache =
+        config_.cacheResults ? &cache_ : nullptr;
 
     if (config_.threads <= 1) {
         // Inline: execute on the submitting thread, no job copy.
         std::promise<Pmf> done;
-        Pmf result = executeCached(job, key, stream, epoch);
-        if (publish)
-            publish->set_value(result);
-        done.set_value(std::move(result));
+        done.set_value(ledger_.executeAndPublish(backend_, job, key,
+                                                 cache, publish));
         return done.get_future();
     }
 
@@ -160,11 +112,9 @@ BatchExecutor::submitOne(
     // even if the caller drops the Batch before they resolve.
     const CircuitJob *job_ptr = &job;
     auto task = std::make_shared<std::packaged_task<Pmf()>>(
-        [this, owned, job_ptr, key, stream, epoch, publish] {
-            Pmf result = executeCached(*job_ptr, key, stream, epoch);
-            if (publish)
-                publish->set_value(result);
-            return result;
+        [this, owned, job_ptr, key, cache, publish] {
+            return ledger_.executeAndPublish(backend_, *job_ptr,
+                                             key, cache, publish);
         });
     std::future<Pmf> future = task->get_future();
     if (pending)
@@ -172,6 +122,44 @@ BatchExecutor::submitOne(
     else
         pool_->enqueue([task] { (*task)(); });
     return future;
+}
+
+std::vector<std::vector<std::function<void()>>>
+prefixScheduleChunks(const std::vector<PrepKey> &keys,
+                     std::vector<std::function<void()>> tasks,
+                     std::size_t threads)
+{
+    // Group tasks by full prep key (digest collisions cannot merge
+    // distinct preps), preserving first-appearance order of the
+    // groups and submission order within each group.
+    std::vector<std::vector<std::function<void()>>> groups;
+    for (const auto &indices : groupByPrepKey(keys)) {
+        groups.emplace_back();
+        groups.back().reserve(indices.size());
+        for (std::size_t i : indices)
+            groups.back().push_back(std::move(tasks[i]));
+    }
+
+    std::vector<std::vector<std::function<void()>>> chunks;
+    const std::size_t per_group_chunks =
+        groups.empty() || groups.size() >= threads
+            ? 1
+            : (threads + groups.size() - 1) / groups.size();
+    for (auto &group : groups) {
+        const std::size_t chunk_size = std::max<std::size_t>(
+            1, (group.size() + per_group_chunks - 1) /
+                   per_group_chunks);
+        for (std::size_t begin = 0; begin < group.size();
+             begin += chunk_size) {
+            const std::size_t end =
+                std::min(group.size(), begin + chunk_size);
+            chunks.emplace_back();
+            chunks.back().reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i)
+                chunks.back().push_back(std::move(group[i]));
+        }
+    }
+    return chunks;
 }
 
 void
@@ -185,52 +173,23 @@ BatchExecutor::schedulePending(std::vector<PendingTask> pending)
         return;
     }
 
-    // Group tasks by full prep key (digest collisions cannot merge
-    // distinct preps), preserving first-appearance order of the
-    // groups and submission order within each group.
     std::vector<PrepKey> keys;
+    std::vector<std::function<void()>> tasks;
     keys.reserve(pending.size());
-    for (const auto &p : pending)
+    tasks.reserve(pending.size());
+    for (auto &p : pending) {
         keys.push_back(p.prepKey);
-    std::vector<std::vector<std::function<void()>>> groups;
-    for (const auto &indices : groupByPrepKey(keys)) {
-        groups.emplace_back();
-        groups.back().reserve(indices.size());
-        for (std::size_t i : indices)
-            groups.back().push_back(std::move(pending[i].run));
+        tasks.push_back(std::move(p.run));
     }
-
-    // Enough groups to feed every worker: one sequential task per
-    // group, so a prep's jobs stay on one worker and its cached
-    // state is never shared across threads. Otherwise split the
-    // groups into contiguous chunks so the pool is not starved —
-    // the first job of each chunk may wait on another chunk's
-    // in-flight preparation, which the engine resolves via its
-    // shared futures.
-    const std::size_t threads =
-        static_cast<std::size_t>(config_.threads);
-    const std::size_t per_group_chunks =
-        groups.size() >= threads
-            ? 1
-            : (threads + groups.size() - 1) / groups.size();
-    for (auto &group : groups) {
-        const std::size_t chunk_size = std::max<std::size_t>(
-            1, (group.size() + per_group_chunks - 1) /
-                   per_group_chunks);
-        for (std::size_t begin = 0; begin < group.size();
-             begin += chunk_size) {
-            const std::size_t end =
-                std::min(group.size(), begin + chunk_size);
-            auto chunk = std::make_shared<
-                std::vector<std::function<void()>>>();
-            chunk->reserve(end - begin);
-            for (std::size_t i = begin; i < end; ++i)
-                chunk->push_back(std::move(group[i]));
-            pool_->enqueue([chunk] {
-                for (auto &run : *chunk)
-                    run();
-            });
-        }
+    for (auto &chunk : prefixScheduleChunks(
+             keys, std::move(tasks),
+             static_cast<std::size_t>(config_.threads))) {
+        auto shared = std::make_shared<
+            std::vector<std::function<void()>>>(std::move(chunk));
+        pool_->enqueue([shared] {
+            for (auto &run : *shared)
+                run();
+        });
     }
 }
 
@@ -251,58 +210,16 @@ BatchExecutor::submit(const Batch &batch)
         batch.jobs());
     std::vector<PendingTask> pending;
     pending.reserve(owned->size());
-    // Grouping keys for the prefix-aware scheduler. The prep
-    // structural hash is memoized per distinct shared prep — safe
-    // to key by pointer here because the shared_ptrs in `owned`
-    // keep every prep alive for the whole loop.
-    std::unordered_map<const Circuit *, std::uint64_t> prep_hash;
-    for (const CircuitJob &job : *owned) {
-        PrepKey prep_key;
-        if (config_.prefixAwareScheduling) {
-            if (job.prep) {
-                auto [it, inserted] =
-                    prep_hash.try_emplace(job.prep.get(), 0);
-                if (inserted)
-                    it->second = circuitPrefixHash(
-                        *job.prep,
-                        splitPrepSuffix(*job.prep).prefixOps);
-                prep_key =
-                    PrepKey{it->second, parameterHash(job.params)};
-            } else {
-                prep_key =
-                    prepKeyOf(nullptr, job.circuit, job.params);
-            }
-        }
-        futures.push_back(submitOne(job, owned, &pending, prep_key));
-    }
+    std::vector<PrepKey> prep_keys;
+    if (config_.prefixAwareScheduling)
+        prep_keys = prepKeysOf(*owned);
+    for (std::size_t i = 0; i < owned->size(); ++i)
+        futures.push_back(submitOne(
+            (*owned)[i], owned, &pending,
+            config_.prefixAwareScheduling ? prep_keys[i]
+                                          : PrepKey{}));
     schedulePending(std::move(pending));
     return futures;
-}
-
-std::vector<Pmf>
-BatchExecutor::run(const Batch &batch)
-{
-    auto futures = submit(batch);
-    std::vector<Pmf> results;
-    results.reserve(futures.size());
-    for (auto &future : futures)
-        results.push_back(future.get());
-    return results;
-}
-
-Pmf
-BatchExecutor::runOne(const Circuit &circuit,
-                      const std::vector<double> &params,
-                      std::uint64_t shots)
-{
-    if (config_.threads <= 1) {
-        CircuitJob job{circuit, params, shots, nullptr};
-        return submitOne(job, nullptr, nullptr, PrepKey{}).get();
-    }
-    auto owned = std::make_shared<const std::vector<CircuitJob>>(
-        std::vector<CircuitJob>{{circuit, params, shots, nullptr}});
-    return submitOne(owned->front(), owned, nullptr, PrepKey{})
-        .get();
 }
 
 } // namespace varsaw

@@ -9,17 +9,18 @@
  * submission order (futures for async consumers, a plain vector for
  * the common blocking case).
  *
- * Determinism: every job samples from an RNG stream derived from
- * (backend seed, runtime salt, job index), where the index is a
- * per-runtime sequence number assigned on the submitting thread in
- * submission order and the salt distinguishes runtimes sharing one
- * backend. Worker scheduling therefore cannot affect any result: a
- * 4-thread run is bit-identical to the 1-thread run of the same
- * submission sequence. Repeated identical submissions get fresh
- * indices, hence fresh samples — unless the cache is on, in which
- * case only the first submission of a key ever executes and later
- * ones wait for (or reuse) its result, keeping results, cost
- * counters, and hit/miss statistics all thread-count-independent.
+ * Determinism: every job samples from an RNG stream derived purely
+ * from its content key — jobStream(makeJobKey(job)) — so a given
+ * (backend, circuit, params, shots) submission draws the same shots
+ * no matter which thread runs it, when, or how often. Worker
+ * scheduling therefore cannot affect any result, caching is pure
+ * memoization (a hit returns exactly what re-execution would
+ * compute), and independent runtimes or service sessions over one
+ * backend agree bit for bit on shared work instead of replaying
+ * uncorrelated streams. With the cache on, the JobLedger admits one
+ * primary per key (in submission order) and defers duplicates onto
+ * its future, keeping backend cost counters and hit/miss statistics
+ * thread-count-independent as well.
  */
 
 #ifndef VARSAW_RUNTIME_BATCH_EXECUTOR_HH
@@ -31,11 +32,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "mitigation/executor.hh"
+#include "runtime/job_ledger.hh"
 #include "runtime/result_cache.hh"
+#include "runtime/submitter.hh"
 #include "runtime/thread_pool.hh"
 #include "sim/state_cache.hh"
 
@@ -47,14 +49,23 @@ struct RuntimeConfig
     /**
      * Worker threads. 1 (the default) runs every job inline on the
      * submitting thread — no pool is created, and behaviour matches
-     * a plain serial loop over executeJob().
+     * a plain serial loop over executeJob(). Ignored when the jobs
+     * run through a shared service (the service's workers are the
+     * thread supply).
      */
     int threads = 1;
 
-    /** Dedupe identical submissions through the result cache. */
+    /** Dedupe identical submissions through the result cache.
+     * Honored per session under a shared service too: a cache-off
+     * session bypasses the shared ledger entirely. */
     bool cacheResults = false;
 
-    /** Entry cap of the result cache. */
+    /**
+     * Tracked-key cap of the dedupe ledger / result cache. Ignored
+     * under a shared service — the cap of the SHARED ledger is
+     * ServiceConfig::cacheMaxEntries, fixed when the service is
+     * built.
+     */
     std::size_t cacheMaxEntries = 1 << 16;
 
     /**
@@ -77,10 +88,23 @@ struct RuntimeConfig
      * setKernelThreads() (see util/parallel.hh). The kernel pool is
      * process-wide, so this is a convenience knob rather than
      * per-runtime state: 0 (the default) leaves the current setting
-     * untouched. Results never depend on it; for throughput keep
+     * untouched. Results never depend on it. Applied only when a
+     * private BatchExecutor is built — under a shared service use
+     * ServiceConfig::kernelThreads (the admission cap then shares
+     * the service's own workers, so no batchThreads x kernelThreads
+     * sizing is needed); for private runtimes keep
      * threads * kernelThreads <= cores.
      */
     int kernelThreads = 0;
+
+    /**
+     * Shared execution service to open a session on instead of
+     * building a private runtime (see runtime/submitter.hh and
+     * src/service/execution_service.hh). Null — the default — keeps
+     * the historical estimator-owned BatchExecutor. Non-owning: the
+     * service must outlive every estimator using it.
+     */
+    ExecutionBackplane *service = nullptr;
 };
 
 /**
@@ -95,13 +119,40 @@ struct RuntimeConfig
 std::vector<std::vector<std::size_t>>
 groupByPrepKey(const std::vector<PrepKey> &keys);
 
+/**
+ * Grouping keys for the prefix-aware scheduler: one PrepKey per job
+ * of @p jobs, memoizing the prep structural hash per distinct
+ * shared prep circuit. Shared by BatchExecutor and the service
+ * sessions.
+ */
+std::vector<PrepKey>
+prepKeysOf(const std::vector<CircuitJob> &jobs);
+
+/**
+ * Prefix-aware placement: partition @p tasks (submission-ordered,
+ * tagged by @p keys) into sequential chunks. With at least
+ * @p threads prep groups, one chunk per group — a prep's jobs stay
+ * on one worker and its cached state is never shared across
+ * threads. With fewer groups, each is split into enough contiguous
+ * chunks to keep every worker busy (the engine tolerates the
+ * resulting cross-thread sharing via its shared futures). Chunk
+ * composition is a pure function of (keys, threads); purely a
+ * placement policy — results and streams are assigned at
+ * submission and cannot change.
+ */
+std::vector<std::vector<std::function<void()>>>
+prefixScheduleChunks(const std::vector<PrepKey> &keys,
+                     std::vector<std::function<void()>> tasks,
+                     std::size_t threads);
+
 /** Batched front-end over an Executor backend. */
-class BatchExecutor
+class BatchExecutor : public JobSubmitter
 {
   public:
     /**
      * @param backend Executor that runs (and cost-counts) jobs.
-     * @param config  Runtime tunables.
+     * @param config  Runtime tunables (config.service is ignored
+     *                here — routing happens in makeSubmitter()).
      */
     explicit BatchExecutor(Executor &backend,
                            RuntimeConfig config = {});
@@ -111,19 +162,11 @@ class BatchExecutor
      * aligned with the batch's job indices. With threads == 1 the
      * jobs run inline before this returns.
      */
-    std::vector<std::future<Pmf>> submit(const Batch &batch);
-
-    /** Submit and wait: results aligned with the job indices. */
-    std::vector<Pmf> run(const Batch &batch);
-
-    /** Convenience: run a single job through the runtime. */
-    Pmf runOne(const Circuit &circuit,
-               const std::vector<double> &params,
-               std::uint64_t shots);
+    std::vector<std::future<Pmf>> submit(const Batch &batch) override;
 
     /** The wrapped backend (cost counters live there). */
-    Executor &backend() { return backend_; }
-    const Executor &backend() const { return backend_; }
+    Executor &backend() override { return backend_; }
+    const Executor &backend() const override { return backend_; }
 
     /** Runtime configuration in use. */
     const RuntimeConfig &config() const { return config_; }
@@ -133,10 +176,10 @@ class BatchExecutor
     ResultCache &cache() { return cache_; }
 
     /** Shorthand for cache().stats(). */
-    CacheStats cacheStats() const { return cache_.stats(); }
+    CacheStats cacheStats() const override { return cache_.stats(); }
 
     /** Jobs submitted through this runtime since construction. */
-    std::uint64_t jobsSubmitted() const
+    std::uint64_t jobsSubmitted() const override
     {
         return nextJobIndex_.load(std::memory_order_relaxed);
     }
@@ -155,9 +198,7 @@ class BatchExecutor
      * where execution finishes before this returns). When
      * @p pending is non-null, pooled tasks are collected there for
      * prefix-aware placement instead of being enqueued directly,
-     * tagged with @p prep_key (computed by submit(), which memoizes
-     * the prep hash per distinct shared prep; a default PrepKey
-     * when the prefix-aware scheduler is off).
+     * tagged with @p prep_key.
      */
     std::future<Pmf>
     submitOne(const CircuitJob &job,
@@ -169,49 +210,29 @@ class BatchExecutor
     /** Enqueue collected tasks, grouping same-prep jobs together. */
     void schedulePending(std::vector<PendingTask> pending);
 
-    /**
-     * Cache-aware execution of one job on stream @p stream.
-     * @p epoch is the cache epoch the job was submitted in; if the
-     * epoch has rolled (bulk clear) by the time the job runs, the
-     * job executes uncached so it can neither revive stale entries
-     * nor be answered by a newer epoch's insert of the same key.
-     */
-    Pmf executeCached(const CircuitJob &job, const JobKey &key,
-                      std::uint64_t stream, std::uint64_t epoch);
-
     /** Create the worker pool on first parallel use. */
     void ensurePool();
 
     Executor &backend_;
     RuntimeConfig config_;
     ResultCache cache_;
-    std::mutex poolMutex_;
-    /** Salt distinguishing this runtime's streams on the backend. */
-    std::uint64_t streamSalt_;
-    /** Next job index; streams are mix64(salt, index). */
-    std::atomic<std::uint64_t> nextJobIndex_{0};
     /**
-     * Cache mode only: the in-flight/completed result of each key's
-     * first (primary) submission. Duplicates never execute — they
-     * wait on the primary's future — so exactly one backend
-     * execution happens per key regardless of thread timing.
-     *
-     * Bounded together with the cache: when this map reaches
-     * cacheMaxEntries (a point that depends only on the submitted
-     * key sequence, never on worker timing), both are cleared, so
-     * the cache itself never overflows into its timing-sensitive
-     * LRU eviction and runs stay reproducible across thread
-     * counts.
+     * Cache mode only: submission-order dedupe + LRU over cache_.
+     * Exactly one backend execution happens per tracked key
+     * regardless of thread timing; duplicates wait on the primary's
+     * future. Eviction past cacheMaxEntries removes the
+     * least-recently-claimed key (see runtime/job_ledger.hh) — hot
+     * keys survive, and re-executing an evicted key reproduces its
+     * result bit for bit because streams are content-derived.
      */
-    std::unordered_map<JobKey, std::shared_future<Pmf>, JobKeyHasher>
-        primaries_;
-    std::mutex primariesMutex_;
-    /** Bumped on every bulk clear; guards late old-epoch tasks. */
-    std::atomic<std::uint64_t> cacheEpoch_{0};
+    JobLedger ledger_;
+    std::mutex poolMutex_;
+    /** Jobs submitted (statistics only; streams are content-derived). */
+    std::atomic<std::uint64_t> nextJobIndex_{0};
     /**
      * Declared last on purpose: ~ThreadPool drains and joins the
      * workers first, so no in-flight task can touch the cache,
-     * primaries map, mutexes, or epoch after they are destroyed.
+     * ledger, or mutexes after they are destroyed.
      */
     std::unique_ptr<ThreadPool> pool_; //!< created on first submit
 };

@@ -1,0 +1,101 @@
+#include "runtime/job_ledger.hh"
+
+#include <utility>
+
+#include "mitigation/executor.hh"
+#include "util/logging.hh"
+
+namespace varsaw {
+
+JobLedger::JobLedger(std::size_t max_entries)
+    : maxEntries_(max_entries)
+{
+    if (maxEntries_ == 0)
+        panic("JobLedger: max_entries must be positive");
+}
+
+JobLedger::Claim
+JobLedger::claim(const JobKey &key, std::uint64_t shots,
+                 ResultCache &cache, std::uint64_t owner,
+                 std::uint64_t *primary_owner)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+        cache.creditHit(shots);
+        if (primary_owner)
+            *primary_owner = it->second.owner;
+        return {it->second.primary, nullptr};
+    }
+
+    // New primary. Evict least-recently-claimed keys first so the
+    // tracked set never exceeds the cap; both the eviction point and
+    // the victim depend only on the claimed key sequence. An evicted
+    // in-flight primary keeps running — its waiters hold shared
+    // futures — but its result is no longer stored.
+    while (entries_.size() >= maxEntries_) {
+        const JobKey victim = lru_.back();
+        lru_.pop_back();
+        entries_.erase(victim);
+        cache.erase(victim);
+    }
+    auto publish = std::make_shared<std::promise<Pmf>>();
+    Entry entry{publish->get_future().share(), owner, {}};
+    lru_.push_front(key);
+    entry.lruIt = lru_.begin();
+    entries_.emplace(key, std::move(entry));
+    cache.creditMiss();
+    return {{}, std::move(publish)};
+}
+
+void
+JobLedger::store(const JobKey &key, const Pmf &result,
+                 ResultCache &cache)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.find(key) == entries_.end())
+        return; // evicted while in flight; waiters use the future
+    cache.insert(key, result);
+}
+
+std::future<Pmf>
+JobLedger::deferToPrimary(Claim claim)
+{
+    return std::async(std::launch::deferred,
+                      [primary = std::move(claim.primary)] {
+                          return primary.get();
+                      });
+}
+
+Pmf
+JobLedger::executeAndPublish(
+    Executor &backend, const CircuitJob &job, const JobKey &key,
+    ResultCache *cache,
+    const std::shared_ptr<std::promise<Pmf>> &publish)
+{
+    Pmf result = backend.executeJob(job, jobStream(key));
+    if (cache)
+        store(key, result, *cache);
+    if (publish)
+        publish->set_value(result);
+    return result;
+}
+
+void
+JobLedger::clear(ResultCache &cache)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    lru_.clear();
+    cache.clear();
+}
+
+std::size_t
+JobLedger::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+} // namespace varsaw

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Submission-order-deterministic dedupe ledger over a ResultCache.
+ *
+ * The integrated cache path shared by BatchExecutor and the
+ * ExecutionService sessions: each submitted job key is claimed here
+ * BEFORE execution, in submission order, under one lock. The first
+ * claim of a key becomes its **primary** (the submission that
+ * executes and publishes); every later claim while the key is
+ * tracked is a **duplicate** answered from the primary's shared
+ * future. Tracked keys form an LRU list maintained at claim time —
+ * a point that depends only on the submitted key sequence, never on
+ * worker timing — so when the ledger reaches its entry cap it
+ * evicts exactly the least-recently-claimed key instead of bulk
+ * clearing everything: hot keys (a VQA loop's per-iteration
+ * working set) survive the boundary, and which keys are resident is
+ * reproducible across thread counts for a given submission
+ * sequence.
+ *
+ * Because sampling streams are content-derived (see jobStream), an
+ * evicted key's re-execution reproduces the evicted result bit for
+ * bit; eviction therefore trades only work, never results. The old
+ * epoch counter that guarded cross-clear races is gone with the
+ * bulk clear that needed it.
+ */
+
+#ifndef VARSAW_RUNTIME_JOB_LEDGER_HH
+#define VARSAW_RUNTIME_JOB_LEDGER_HH
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "runtime/result_cache.hh"
+#include "sim/job.hh"
+#include "util/pmf.hh"
+
+namespace varsaw {
+
+class Executor;
+
+/** Dedupe decision + LRU bookkeeping for cached execution paths. */
+class JobLedger
+{
+  public:
+    /**
+     * @param max_entries Tracked-key cap; claiming past it evicts
+     *                    the least-recently-claimed key (and its
+     *                    cached result) one at a time.
+     */
+    explicit JobLedger(std::size_t max_entries);
+
+    /** Outcome of claiming one submission. */
+    struct Claim
+    {
+        /** Valid iff this submission is a duplicate: the result (or
+         * in-flight future) of the key's primary. */
+        std::shared_future<Pmf> primary;
+
+        /** Set iff this submission is the key's primary: execute the
+         * job, publish() the result here, and store() it. */
+        std::shared_ptr<std::promise<Pmf>> publish;
+
+        bool duplicate() const { return primary.valid(); }
+    };
+
+    /**
+     * Claim @p key in submission order: touch it in the LRU, decide
+     * primary vs duplicate, and evict past the cap (evicted keys are
+     * dropped from @p cache too, keeping store and ledger in
+     * lockstep). Hit/miss statistics are credited to @p cache
+     * (@p shots is the submission's shot count, for the saved-cost
+     * accounting).
+     *
+     * @p owner tags a new primary with the claiming party (a
+     * service session id; private runtimes pass 0). On a duplicate,
+     * @p primary_owner (when non-null) receives the primary's tag —
+     * how the service counts cross-session hits.
+     */
+    Claim claim(const JobKey &key, std::uint64_t shots,
+                ResultCache &cache, std::uint64_t owner = 0,
+                std::uint64_t *primary_owner = nullptr);
+
+    /**
+     * Record the primary's computed result: inserted into @p cache
+     * unless the key was evicted while the primary was in flight
+     * (waiting duplicates still resolve through the shared future
+     * either way).
+     */
+    void store(const JobKey &key, const Pmf &result,
+               ResultCache &cache);
+
+    /**
+     * The future a duplicate submission returns: a deferred wait on
+     * its primary's shared future, executed on the CONSUMER's
+     * thread at get() time — no pool worker ever blocks on another
+     * task. The one definition of the deferral policy, shared by
+     * BatchExecutor and the service sessions.
+     */
+    static std::future<Pmf> deferToPrimary(Claim claim);
+
+    /**
+     * Execute a submission on @p backend with stream jobStream(key)
+     * and run the primary-side bookkeeping in its one canonical
+     * order: execute, store into the ledger/@p cache (when @p cache
+     * is non-null — pass null on cache-off paths, which never
+     * claimed), resolve @p publish (when non-null), return the
+     * result. Shared by BatchExecutor and the service sessions so
+     * dedupe semantics cannot drift between them.
+     */
+    Pmf executeAndPublish(
+        Executor &backend, const CircuitJob &job, const JobKey &key,
+        ResultCache *cache,
+        const std::shared_ptr<std::promise<Pmf>> &publish);
+
+    /**
+     * Drop every tracked key (and the matching @p cache entries).
+     * Safe at any time, including with primaries in flight:
+     * duplicates already deferred keep their shared futures, and a
+     * cleared in-flight primary simply skips its store(). Because
+     * results are pure functions of job content, clearing can only
+     * cost re-execution, never change a result — use it to release
+     * memory or to isolate measurement phases that must not share
+     * work (e.g. comparing methods under a circuit budget).
+     */
+    void clear(ResultCache &cache);
+
+    /** Tracked-key cap. */
+    std::size_t maxEntries() const { return maxEntries_; }
+
+    /** Currently tracked keys (in-flight and completed). */
+    std::size_t size() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_future<Pmf> primary;
+        /** Claiming party of the primary (session id; 0 private). */
+        std::uint64_t owner = 0;
+        /** Position in lru_ (spliced to the front on every claim). */
+        std::list<JobKey>::iterator lruIt;
+    };
+
+    mutable std::mutex mutex_;
+    std::size_t maxEntries_;
+    std::unordered_map<JobKey, Entry, JobKeyHasher> entries_;
+    /** Tracked keys, most recently claimed first. */
+    std::list<JobKey> lru_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_RUNTIME_JOB_LEDGER_HH

@@ -37,6 +37,25 @@ ResultCache::creditHit(std::uint64_t shots)
 }
 
 void
+ResultCache::creditMiss()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.misses;
+}
+
+void
+ResultCache::erase(const JobKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return;
+    lru_.erase(it->second.lruIt);
+    entries_.erase(it);
+    ++stats_.evictions;
+}
+
+void
 ResultCache::insert(const JobKey &key, const Pmf &result)
 {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -81,8 +81,22 @@ class ResultCache
      */
     void creditHit(std::uint64_t shots);
 
+    /**
+     * Record a miss that was decided outside the map (a submission
+     * the integrated dedupe path admitted as a key's primary without
+     * performing a lookup here).
+     */
+    void creditMiss();
+
     /** Store a result (no-op if the key is already present). */
     void insert(const JobKey &key, const Pmf &result);
+
+    /**
+     * Drop one entry (no-op when absent; counts as an eviction when
+     * present). The integrated dedupe ledger uses this to keep the
+     * store in lockstep with its submission-order LRU.
+     */
+    void erase(const JobKey &key);
 
     /** Drop all entries (statistics are kept). */
     void clear();

@@ -1,0 +1,59 @@
+#include "runtime/submitter.hh"
+
+#include <atomic>
+
+#include "runtime/batch_executor.hh"
+
+namespace varsaw {
+
+std::vector<Pmf>
+JobSubmitter::run(const Batch &batch)
+{
+    auto futures = submit(batch);
+    std::vector<Pmf> results;
+    results.reserve(futures.size());
+    for (auto &future : futures)
+        results.push_back(future.get());
+    return results;
+}
+
+Pmf
+JobSubmitter::runOne(const Circuit &circuit,
+                     const std::vector<double> &params,
+                     std::uint64_t shots)
+{
+    Batch batch;
+    batch.add(circuit, params, shots);
+    return run(batch).front();
+}
+
+namespace {
+
+using BackplaneFactory =
+    std::unique_ptr<JobSubmitter> (*)(Executor &,
+                                      const RuntimeConfig &);
+
+std::atomic<BackplaneFactory> processBackplane{nullptr};
+
+} // namespace
+
+void
+setProcessBackplane(BackplaneFactory factory)
+{
+    processBackplane.store(factory, std::memory_order_release);
+}
+
+std::unique_ptr<JobSubmitter>
+makeSubmitter(Executor &backend, const RuntimeConfig &config)
+{
+    if (config.service)
+        return config.service->openSession(backend, config);
+    if (auto factory =
+            processBackplane.load(std::memory_order_acquire)) {
+        if (auto session = factory(backend, config))
+            return session;
+    }
+    return std::make_unique<BatchExecutor>(backend, config);
+}
+
+} // namespace varsaw

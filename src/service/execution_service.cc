@@ -1,0 +1,356 @@
+#include "service/execution_service.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace varsaw {
+
+// ---- Session ---------------------------------------------------------------
+
+Session::Session(ExecutionService *service,
+                 std::shared_ptr<ExecutionService> keep_alive,
+                 std::string name, bool cache_results,
+                 bool prefix_aware)
+    : service_(service), keepAlive_(std::move(keep_alive)),
+      name_(std::move(name)),
+      id_(service->nextSessionId_.fetch_add(
+          1, std::memory_order_relaxed)),
+      queue_(service->scheduler_.openQueue()),
+      cacheResults_(cache_results), prefixAware_(prefix_aware)
+{
+    service_->sessionsOpened_.fetch_add(1,
+                                        std::memory_order_relaxed);
+}
+
+Session::~Session()
+{
+    // Tasks already admitted still run (the queue is reaped once
+    // drained); only further admission stops.
+    service_->scheduler_.closeQueue(queue_);
+}
+
+std::vector<std::future<Pmf>>
+Session::submit(const Batch &batch)
+{
+    return service_->submitFor(*this, batch);
+}
+
+Executor &
+Session::backend()
+{
+    return service_->backend();
+}
+
+const Executor &
+Session::backend() const
+{
+    return service_->backend();
+}
+
+CacheStats
+Session::cacheStats() const
+{
+    CacheStats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.circuitsSaved = stats.hits;
+    stats.shotsSaved = shotsSaved_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+std::uint64_t
+Session::jobsSubmitted() const
+{
+    return jobs_.load(std::memory_order_relaxed);
+}
+
+SessionStats
+Session::stats() const
+{
+    SessionStats stats;
+    stats.jobsSubmitted = jobs_.load(std::memory_order_relaxed);
+    stats.cacheHits = hits_.load(std::memory_order_relaxed);
+    stats.crossSessionHits =
+        crossHits_.load(std::memory_order_relaxed);
+    stats.cacheMisses = misses_.load(std::memory_order_relaxed);
+    stats.shotsSaved = shotsSaved_.load(std::memory_order_relaxed);
+    stats.inlineJobs = inlineJobs_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+// ---- ExecutionService ------------------------------------------------------
+
+ExecutionService::ExecutionService(Executor &backend,
+                                   ServiceConfig config)
+    : backend_(backend), config_(config),
+      cache_(config.cacheMaxEntries),
+      ledger_(config.cacheMaxEntries),
+      scheduler_(resolveServiceThreads(config.threads))
+{
+    config_.threads = scheduler_.threadCount();
+    if (config_.kernelThreads > 0)
+        setKernelThreads(config_.kernelThreads);
+}
+
+ExecutionService::~ExecutionService()
+{
+    shutdown();
+}
+
+std::unique_ptr<Session>
+ExecutionService::makeSession(
+    std::shared_ptr<ExecutionService> keep_alive, std::string name,
+    bool cache_results, bool prefix_aware)
+{
+    return std::unique_ptr<Session>(
+        new Session(this, std::move(keep_alive), std::move(name),
+                    cache_results, prefix_aware));
+}
+
+std::unique_ptr<Session>
+ExecutionService::createSession(std::string name)
+{
+    return makeSession(nullptr, std::move(name),
+                       config_.cacheResults,
+                       config_.prefixAwareScheduling);
+}
+
+std::unique_ptr<JobSubmitter>
+ExecutionService::openSession(Executor &backend,
+                              const RuntimeConfig &config)
+{
+    if (&backend != &backend_)
+        panic("ExecutionService::openSession: the estimator's "
+              "executor is not this service's backend (results are "
+              "backend-specific; open one service per backend)");
+    return makeSession(nullptr, {}, config.cacheResults,
+                       config.prefixAwareScheduling);
+}
+
+std::unique_ptr<Session>
+ExecutionService::openOwnedSession(
+    std::shared_ptr<ExecutionService> self,
+    const RuntimeConfig &config)
+{
+    if (self.get() != this)
+        panic("ExecutionService::openOwnedSession: self mismatch");
+    return makeSession(std::move(self), {}, config.cacheResults,
+                       config.prefixAwareScheduling);
+}
+
+void
+ExecutionService::drain()
+{
+    scheduler_.drain();
+}
+
+void
+ExecutionService::clearSharedCaches()
+{
+    ledger_.clear(cache_);
+}
+
+void
+ExecutionService::shutdown()
+{
+    closed_.store(true, std::memory_order_release);
+    scheduler_.shutdown();
+}
+
+ServiceStats
+ExecutionService::stats() const
+{
+    ServiceStats stats;
+    stats.sessionsOpened =
+        sessionsOpened_.load(std::memory_order_relaxed);
+    stats.jobsSubmitted =
+        jobsSubmitted_.load(std::memory_order_relaxed);
+    stats.crossSessionHits =
+        crossSessionHits_.load(std::memory_order_relaxed);
+    stats.chunksExecuted = scheduler_.chunksExecuted();
+    stats.kernelAssists = scheduler_.kernelAssists();
+    stats.cache = cache_.stats();
+    return stats;
+}
+
+std::vector<std::future<Pmf>>
+ExecutionService::submitFor(Session &session, const Batch &batch)
+{
+    std::vector<std::future<Pmf>> futures;
+    futures.reserve(batch.size());
+    if (batch.empty())
+        return futures;
+
+    session.jobs_.fetch_add(batch.size(),
+                            std::memory_order_relaxed);
+    jobsSubmitted_.fetch_add(batch.size(),
+                             std::memory_order_relaxed);
+
+    // Task closures reference the jobs through shared batch storage
+    // (one copy per submit), so futures stay valid even if the
+    // caller drops the Batch — or the Session — before they
+    // resolve; they capture the service, never the session.
+    auto owned = std::make_shared<const std::vector<CircuitJob>>(
+        batch.jobs());
+    std::vector<PrepKey> prep_keys;
+    if (session.prefixAware_)
+        prep_keys = prepKeysOf(*owned);
+
+    std::vector<PrepKey> pending_keys;
+    std::vector<std::function<void()>> pending_tasks;
+    pending_keys.reserve(owned->size());
+    pending_tasks.reserve(owned->size());
+
+    for (std::size_t i = 0; i < owned->size(); ++i) {
+        const CircuitJob &job = (*owned)[i];
+        const JobKey key = makeJobKey(job);
+
+        // Shared-ledger admission in submission order: the first
+        // session to claim a key (across ALL tenants) executes it;
+        // everyone else — including other sessions — defers onto
+        // the primary's future. Content-derived streams make the
+        // deduped result identical to what the duplicate would have
+        // computed itself, so WHO wins the claim race can never
+        // change a result, only the bookkeeping.
+        std::shared_ptr<std::promise<Pmf>> publish;
+        if (session.cacheResults_) {
+            std::uint64_t primary_owner = 0;
+            auto claim = ledger_.claim(key, job.shots, cache_,
+                                       session.id_, &primary_owner);
+            if (claim.duplicate()) {
+                session.hits_.fetch_add(1,
+                                        std::memory_order_relaxed);
+                session.shotsSaved_.fetch_add(
+                    job.shots, std::memory_order_relaxed);
+                if (primary_owner != session.id_) {
+                    session.crossHits_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    crossSessionHits_.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+                futures.push_back(
+                    JobLedger::deferToPrimary(std::move(claim)));
+                continue;
+            }
+            session.misses_.fetch_add(1, std::memory_order_relaxed);
+            publish = std::move(claim.publish);
+        }
+
+        const CircuitJob *job_ptr = &job;
+        ResultCache *cache =
+            session.cacheResults_ ? &cache_ : nullptr;
+        auto task = std::make_shared<std::packaged_task<Pmf()>>(
+            [this, owned, job_ptr, key, cache, publish] {
+                return ledger_.executeAndPublish(
+                    backend_, *job_ptr, key, cache, publish);
+            });
+        futures.push_back(task->get_future());
+        pending_keys.push_back(
+            session.prefixAware_ ? prep_keys[i] : PrepKey{});
+        pending_tasks.push_back([task] { (*task)(); });
+    }
+
+    // Admission: prefix-aware chunks (or one task per chunk) into
+    // this session's FIFO queue; the scheduler round-robins across
+    // sessions. When admission is closed — shutdown, or a shutdown
+    // racing this submit — the chunk runs inline on the submitting
+    // thread instead: same jobs, same streams, same results.
+    std::vector<std::vector<std::function<void()>>> chunks;
+    if (session.prefixAware_) {
+        chunks = prefixScheduleChunks(
+            pending_keys, std::move(pending_tasks),
+            static_cast<std::size_t>(scheduler_.threadCount()));
+    } else {
+        chunks.reserve(pending_tasks.size());
+        for (auto &task : pending_tasks)
+            chunks.push_back({std::move(task)});
+    }
+    for (auto &chunk : chunks) {
+        auto shared = std::make_shared<
+            std::vector<std::function<void()>>>(std::move(chunk));
+        auto runner = [shared] {
+            for (auto &run : *shared)
+                run();
+        };
+        if (!scheduler_.enqueue(session.queue_, runner)) {
+            session.inlineJobs_.fetch_add(
+                shared->size(), std::memory_order_relaxed);
+            runner();
+        }
+    }
+    return futures;
+}
+
+// ---- VARSAW_SHARED_SERVICE env shim ----------------------------------------
+
+namespace {
+
+/**
+ * Process-wide registry backing the VARSAW_SHARED_SERVICE=1 mode:
+ * every estimator constructed without an explicit service is routed
+ * onto ONE shared service per backend executor. Sessions hold the
+ * service by shared_ptr, so the last session of a backend tears its
+ * service down and the weak entry expires; a later estimator on the
+ * same (or an address-reusing) backend builds a fresh service.
+ * This is how CI runs the entire suite through the service layer.
+ */
+std::mutex sharedRegistryMutex;
+std::unordered_map<Executor *, std::weak_ptr<ExecutionService>>
+    sharedRegistry;
+
+std::unique_ptr<JobSubmitter>
+sharedServiceSession(Executor &backend, const RuntimeConfig &config)
+{
+    std::shared_ptr<ExecutionService> service;
+    {
+        std::lock_guard<std::mutex> lock(sharedRegistryMutex);
+        auto &slot = sharedRegistry[&backend];
+        service = slot.lock();
+        if (!service) {
+            // Service defaults throughout: auto thread count and
+            // the default shared-ledger cap. Deliberately NOT the
+            // first estimator's cacheMaxEntries — the shared cap is
+            // a service-wide property (RuntimeConfig documents the
+            // field as ignored under a service), and letting one
+            // tenant's small cap thrash every later tenant's dedupe
+            // would silently balloon circuit costs. Per-session
+            // cacheResults/prefixAwareScheduling still come from
+            // each estimator's RuntimeConfig below.
+            service = std::make_shared<ExecutionService>(
+                backend, ServiceConfig{});
+            slot = service;
+        }
+        // Opportunistic cleanup of expired entries (dead backends).
+        for (auto it = sharedRegistry.begin();
+             it != sharedRegistry.end();) {
+            if (it->second.expired())
+                it = sharedRegistry.erase(it);
+            else
+                ++it;
+        }
+    }
+    ExecutionService *raw = service.get();
+    return raw->openOwnedSession(std::move(service), config);
+}
+
+/** Installs the backplane hook at static-init when the env asks. */
+struct SharedServiceEnvShim
+{
+    SharedServiceEnvShim()
+    {
+        const char *env = std::getenv("VARSAW_SHARED_SERVICE");
+        if (env && env[0] == '1' && env[1] == '\0')
+            setProcessBackplane(&sharedServiceSession);
+    }
+};
+
+const SharedServiceEnvShim sharedServiceEnvShim{};
+
+} // namespace
+
+} // namespace varsaw

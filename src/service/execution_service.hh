@@ -1,0 +1,349 @@
+/**
+ * @file
+ * The shared execution service: one process-wide scheduler, shared
+ * caches, multi-tenant sessions.
+ *
+ * Before this layer, every estimator owned a private BatchExecutor
+ * — its own worker pool, its own ResultCache — so
+ * SelectiveVarsawEstimator's heavy/light halves, a ZNE wrapper over
+ * a baseline, or two concurrent clients re-executed identical jobs
+ * and competed for cores. The ExecutionService inverts the
+ * ownership: ONE service per backend owns the worker supply (a
+ * ServiceScheduler whose threads also serve as the kernel-helper
+ * pool) and the shared dedupe state (one JobLedger + ResultCache
+ * across all tenants, plus the backend SimEngine's StateCache,
+ * which all sessions share by construction). Estimators and
+ * external clients hold cheap Session handles and submit batches
+ * through them; identical (prep, suffix, params, shots) work
+ * submitted by DIFFERENT sessions executes once.
+ *
+ * Determinism contract: every job's sampling stream is derived from
+ * its content key (see jobStream), so a job's result is a pure
+ * function of (backend, job content). Cross-session dedupe, cache
+ * eviction, fairness decisions, worker lending, shutdown races —
+ * none of them can change a result bit: a shared-service run is
+ * bit-identical to the same estimators on private runtimes, at any
+ * thread count, session count, or submission interleaving. What
+ * interleaving CAN change is bookkeeping (which session's
+ * submission was the primary, hence per-session hit splits and
+ * wall time) — never results or the set of results.
+ *
+ * Sessions are multi-tenant: per-session statistics (jobs, hits,
+ * cross-session hits, shots saved), fair FIFO admission (one
+ * scheduler queue per session, round-robin service), and graceful
+ * shutdown — shutdown() stops admission, drains every queue, joins
+ * the workers; submissions arriving after shutdown execute inline
+ * on the submitting thread with identical results.
+ *
+ * Layering: service/ sits on top of runtime/ (it implements the
+ * ExecutionBackplane interface estimators reach through
+ * RuntimeConfig::service); nothing below service/ may include it.
+ */
+
+#ifndef VARSAW_SERVICE_EXECUTION_SERVICE_HH
+#define VARSAW_SERVICE_EXECUTION_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mitigation/executor.hh"
+#include "runtime/batch_executor.hh"
+#include "runtime/job_ledger.hh"
+#include "runtime/result_cache.hh"
+#include "runtime/submitter.hh"
+#include "service/scheduler.hh"
+
+namespace varsaw {
+
+class ExecutionService;
+
+/** Tunables of the shared execution service. */
+struct ServiceConfig
+{
+    /**
+     * Worker threads. 0 (the default) resolves through
+     * resolveServiceThreads(): the --service-threads flag /
+     * VARSAW_SERVICE_THREADS when set, else the hardware
+     * concurrency. This is the ONE thread knob to size: the same
+     * workers run batch jobs and are lent to engaged kernels, so
+     * the old batchThreads x kernelThreads <= cores rule does not
+     * apply. Results never depend on it.
+     */
+    int threads = 0;
+
+    /**
+     * Dedupe identical submissions across ALL sessions through the
+     * shared ledger + result cache (on by default — sharing is the
+     * point of the service). Sessions opened with an explicit
+     * RuntimeConfig can still opt out individually.
+     */
+    bool cacheResults = true;
+
+    /** Tracked-key cap of the shared dedupe ledger / result cache. */
+    std::size_t cacheMaxEntries = 1 << 16;
+
+    /** Default prefix-aware placement for sessions (see
+     * RuntimeConfig::prefixAwareScheduling). */
+    bool prefixAwareScheduling = true;
+
+    /**
+     * Intra-kernel threads to apply at service construction via
+     * setKernelThreads() — this sets the per-loop helper admission
+     * cap; the helpers themselves are the service's idle workers.
+     * 0 leaves the process-wide setting untouched.
+     */
+    int kernelThreads = 0;
+};
+
+/** Per-session submission/dedupe statistics. */
+struct SessionStats
+{
+    /** Jobs submitted through this session. */
+    std::uint64_t jobsSubmitted = 0;
+
+    /** Submissions answered from the shared ledger (duplicates). */
+    std::uint64_t cacheHits = 0;
+
+    /** Subset of cacheHits whose primary was submitted by a
+     * DIFFERENT session: work this tenant got for free from
+     * another. */
+    std::uint64_t crossSessionHits = 0;
+
+    /** Submissions this session executed as a key's primary. */
+    std::uint64_t cacheMisses = 0;
+
+    /** Shots avoided across this session's hits. */
+    std::uint64_t shotsSaved = 0;
+
+    /** Jobs executed inline on the submitting thread (after
+     * service shutdown, or when admission raced it). */
+    std::uint64_t inlineJobs = 0;
+};
+
+/** Service-wide statistics. */
+struct ServiceStats
+{
+    std::uint64_t sessionsOpened = 0;
+    std::uint64_t jobsSubmitted = 0;
+
+    /** Duplicates answered across session boundaries. */
+    std::uint64_t crossSessionHits = 0;
+
+    /** Admitted task chunks the scheduler's workers executed (a
+     * chunk holds one or more jobs; compare jobsSubmitted for job
+     * counts). */
+    std::uint64_t chunksExecuted = 0;
+
+    /** Kernel loops idle workers were lent to. */
+    std::uint64_t kernelAssists = 0;
+
+    /** Shared result-cache statistics (all sessions combined). */
+    CacheStats cache;
+};
+
+/**
+ * A tenant's handle onto the shared service. Implements
+ * JobSubmitter, so estimators use it exactly like a private
+ * BatchExecutor. Cheap to create; destroy to release the session's
+ * admission queue (tasks already admitted still run). Must not
+ * outlive the service unless it was opened through the owning
+ * (shared_ptr) path.
+ */
+class Session : public JobSubmitter
+{
+  public:
+    ~Session() override;
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    std::vector<std::future<Pmf>> submit(const Batch &batch) override;
+
+    Executor &backend() override;
+    const Executor &backend() const override;
+
+    /**
+     * This session's share of the shared cache:
+     * hits/misses/shotsSaved as counted at this session's
+     * submissions (circuitsSaved == hits). Insertions/evictions are
+     * service-wide concepts and read 0 here; see
+     * ExecutionService::cache() for the global view.
+     */
+    CacheStats cacheStats() const override;
+
+    std::uint64_t jobsSubmitted() const override;
+
+    /** Full per-session statistics. */
+    SessionStats stats() const;
+
+    /** Session id (unique within the service; tags ledger claims). */
+    std::uint64_t id() const { return id_; }
+
+    /** Diagnostic name ("" unless given at creation). */
+    const std::string &name() const { return name_; }
+
+    /** The service this session submits through. */
+    ExecutionService &service() { return *service_; }
+    const ExecutionService &service() const { return *service_; }
+
+  private:
+    friend class ExecutionService;
+
+    Session(ExecutionService *service,
+            std::shared_ptr<ExecutionService> keep_alive,
+            std::string name, bool cache_results,
+            bool prefix_aware);
+
+    ExecutionService *service_;
+    /** Set on the owning path (env shim): the last session keeps
+     * the service alive. */
+    std::shared_ptr<ExecutionService> keepAlive_;
+    std::string name_;
+    std::uint64_t id_;
+    std::uint64_t queue_;
+    bool cacheResults_;
+    bool prefixAware_;
+
+    std::atomic<std::uint64_t> jobs_{0};
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> crossHits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> shotsSaved_{0};
+    std::atomic<std::uint64_t> inlineJobs_{0};
+};
+
+/** The shared execution service (see file comment). */
+class ExecutionService : public ExecutionBackplane
+{
+  public:
+    /**
+     * @param backend Executor all sessions' jobs run on. One
+     *                service per backend: results are
+     *                backend-specific, so cached results must never
+     *                cross backends.
+     * @param config  Service tunables.
+     */
+    explicit ExecutionService(Executor &backend,
+                              ServiceConfig config = {});
+
+    /** shutdown(), then releases the scheduler and caches. */
+    ~ExecutionService() override;
+
+    /**
+     * Open a session with the service's default cache/placement
+     * settings. The session borrows the service (must not outlive
+     * it).
+     */
+    std::unique_ptr<Session> createSession(std::string name = {});
+
+    /**
+     * ExecutionBackplane: open a session for an estimator.
+     * @p backend must be THIS service's backend. Honors
+     * config.cacheResults / config.prefixAwareScheduling per
+     * session; config.threads is ignored (the service's workers are
+     * the thread supply).
+     */
+    std::unique_ptr<JobSubmitter>
+    openSession(Executor &backend,
+                const RuntimeConfig &config) override;
+
+    /**
+     * Owning variant used when sessions must keep the service alive
+     * (the VARSAW_SHARED_SERVICE env shim): @p self must be a
+     * shared_ptr to this service.
+     */
+    std::unique_ptr<Session>
+    openOwnedSession(std::shared_ptr<ExecutionService> self,
+                     const RuntimeConfig &config);
+
+    /** The backend all sessions execute on. */
+    Executor &backend() { return backend_; }
+    const Executor &backend() const { return backend_; }
+
+    /** The backend's prefix-sharing engine (shared StateCache).
+     * Read through the backend live, so it stays correct even if
+     * the backend's engine is replaced (configureSimEngine /
+     * setSimEngine) after this service was built. */
+    SimEngine &simEngine() { return backend_.simEngine(); }
+    const SimEngine &simEngine() const
+    {
+        return backend_.simEngine();
+    }
+
+    /** The shared result cache (service-wide statistics). */
+    const ResultCache &cache() const { return cache_; }
+    ResultCache &cache() { return cache_; }
+
+    /** Service configuration in use (threads resolved). */
+    const ServiceConfig &config() const { return config_; }
+
+    /** Resolved worker count. */
+    int threadCount() const { return scheduler_.threadCount(); }
+
+    /** Block until every admitted task has completed. */
+    void drain();
+
+    /**
+     * Drop all shared dedupe state (ledger + result cache; the
+     * backend's StateCache is untouched). Results cannot change —
+     * they are pure functions of job content — so this only costs
+     * re-execution. Use it to release memory, or to fence
+     * measurement phases whose cost accounting must not share work
+     * (e.g. comparing methods under a circuit budget, as
+     * quickstart does). Safe during concurrent submission.
+     */
+    void clearSharedCaches();
+
+    /**
+     * Graceful shutdown: stop admission, drain every session's
+     * queue, join the workers. Safe to call while sessions are
+     * submitting concurrently — a submission that misses admission
+     * executes inline on the submitting thread with an identical
+     * result. Idempotent; also runs at destruction.
+     */
+    void shutdown();
+
+    /** Whether shutdown has been requested. */
+    bool closed() const
+    {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+    /** Service-wide statistics snapshot. */
+    ServiceStats stats() const;
+
+  private:
+    friend class Session;
+
+    /** Session-facing submission core (defined in the .cc). */
+    std::vector<std::future<Pmf>>
+    submitFor(Session &session, const Batch &batch);
+
+    std::unique_ptr<Session>
+    makeSession(std::shared_ptr<ExecutionService> keep_alive,
+                std::string name, bool cache_results,
+                bool prefix_aware);
+
+    Executor &backend_;
+    ServiceConfig config_;
+    ResultCache cache_;
+    JobLedger ledger_;
+    std::atomic<std::uint64_t> nextSessionId_{1};
+    std::atomic<std::uint64_t> sessionsOpened_{0};
+    std::atomic<std::uint64_t> jobsSubmitted_{0};
+    std::atomic<std::uint64_t> crossSessionHits_{0};
+    std::atomic<bool> closed_{false};
+    /**
+     * Declared last: its destructor (via shutdown()) joins the
+     * workers first, so no in-flight task can touch the ledger or
+     * cache after they are destroyed.
+     */
+    ServiceScheduler scheduler_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_SERVICE_EXECUTION_SERVICE_HH

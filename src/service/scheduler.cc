@@ -1,0 +1,193 @@
+#include "service/scheduler.hh"
+
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace varsaw {
+
+ServiceScheduler::ServiceScheduler(int threads)
+{
+    if (threads < 1)
+        panic("ServiceScheduler: thread count must be >= 1");
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    // Register as a kernel-assist host AFTER the workers exist:
+    // from here on, idle workers are the process's kernel helper
+    // supply and the standalone kernel pool spawns no threads.
+    assistHostId_ =
+        detail::addKernelAssistHost([this] { signalKernelWork(); });
+}
+
+ServiceScheduler::~ServiceScheduler()
+{
+    shutdown();
+}
+
+void
+ServiceScheduler::signalKernelWork()
+{
+    {
+        // Under mutex_ so a worker between predicate check and
+        // sleep cannot miss the wake.
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++kernelSignals_;
+    }
+    workCv_.notify_all();
+}
+
+std::uint64_t
+ServiceScheduler::openQueue()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t id = nextQueueId_++;
+    queues_.emplace(id, Queue{});
+    return id;
+}
+
+void
+ServiceScheduler::closeQueue(std::uint64_t queue)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = queues_.find(queue);
+    if (it == queues_.end())
+        return;
+    if (it->second.tasks.empty())
+        queues_.erase(it); // nothing pending: reap immediately
+    else
+        it->second.open = false; // reaped by popNextLocked()
+}
+
+bool
+ServiceScheduler::enqueue(std::uint64_t queue,
+                          std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            return false;
+        auto it = queues_.find(queue);
+        if (it == queues_.end() || !it->second.open)
+            return false;
+        it->second.tasks.push_back(std::move(task));
+        ++queuedCount_;
+    }
+    workCv_.notify_one();
+    return true;
+}
+
+std::function<void()>
+ServiceScheduler::popNextLocked()
+{
+    // Round-robin: resume the scan strictly after the queue served
+    // last, wrapping once. queuedCount_ > 0 guarantees a hit.
+    auto it = queues_.upper_bound(cursor_);
+    for (std::size_t scanned = 0; scanned <= queues_.size();
+         ++scanned) {
+        if (it == queues_.end())
+            it = queues_.begin();
+        if (!it->second.tasks.empty()) {
+            cursor_ = it->first;
+            std::function<void()> task =
+                std::move(it->second.tasks.front());
+            it->second.tasks.pop_front();
+            --queuedCount_;
+            if (!it->second.open && it->second.tasks.empty())
+                queues_.erase(it); // closed and drained: reap
+            return task;
+        }
+        ++it;
+    }
+    panic("ServiceScheduler: queuedCount_ out of sync");
+    return {};
+}
+
+void
+ServiceScheduler::workerLoop()
+{
+    std::uint64_t seen_signals = 0;
+    for (;;) {
+        std::function<void()> task;
+        bool assist = false;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [&] {
+                return stopping_ || queuedCount_ > 0 ||
+                    kernelSignals_ != seen_signals;
+            });
+            if (queuedCount_ > 0) {
+                // Drain batch work first — also on shutdown, so
+                // every accepted task runs before the workers exit.
+                task = popNextLocked();
+                ++runningCount_;
+            } else if (stopping_) {
+                return;
+            } else {
+                seen_signals = kernelSignals_;
+                assist = true;
+            }
+        }
+        if (task) {
+            task();
+            chunksExecuted_.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(mutex_);
+            --runningCount_;
+            if (queuedCount_ == 0 && runningCount_ == 0)
+                idleCv_.notify_all();
+        } else if (assist) {
+            // Idle: lend this worker to engaged kernel loops until
+            // none need help, then go back to waiting for batch
+            // work.
+            while (detail::assistOneKernelJob())
+                kernelAssists_.fetch_add(1,
+                                         std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+ServiceScheduler::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idleCv_.wait(lock, [&] {
+        return queuedCount_ == 0 && runningCount_ == 0;
+    });
+}
+
+void
+ServiceScheduler::shutdown()
+{
+    bool joiner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (joined_)
+            return;
+        if (!stopping_) {
+            stopping_ = true;
+            joiner = true; // first caller performs the join
+        }
+    }
+    if (!joiner) {
+        // A concurrent shutdown is in flight: block until ITS join
+        // completes, so every returning caller sees the documented
+        // post-condition (queues drained, workers gone).
+        std::unique_lock<std::mutex> lock(mutex_);
+        idleCv_.wait(lock, [&] { return joined_; });
+        return;
+    }
+    workCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+    // Unregister only after the workers are gone: the wake callback
+    // references this object, and removeKernelAssistHost()
+    // guarantees no further invocation once it returns.
+    if (assistHostId_ >= 0)
+        detail::removeKernelAssistHost(assistHostId_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        joined_ = true;
+    }
+    idleCv_.notify_all();
+}
+
+} // namespace varsaw

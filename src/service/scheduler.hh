@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The unified worker scheduler of the shared execution service.
+ *
+ * One fixed set of worker threads serves BOTH kinds of work in the
+ * process:
+ *
+ *  - **Batch tasks** — type-erased job closures enqueued by service
+ *    sessions. Admission is fair FIFO across sessions: each session
+ *    owns a queue, tasks stay FIFO within it, and workers
+ *    round-robin across the non-empty queues, so a chatty session
+ *    cannot starve a quiet one.
+ *  - **Kernel chunks** — engaged statevector sweeps published
+ *    through util/parallel.hh. A worker with no batch task lends
+ *    itself to an active kernel loop (detail::assistOneKernelJob)
+ *    and returns when the loop is exhausted; conversely, a worker
+ *    executing a batch task that engages a kernel gets helped by
+ *    its idle peers. This replaces the two competing thread sets
+ *    (batch pool x kernel pool) and with them the manual
+ *    "batchThreads x kernelThreads <= cores" sizing rule: the
+ *    service's workers ARE the process's thread supply.
+ *
+ * Determinism: the scheduler only decides WHERE and WHEN work runs.
+ * Batch results are pure functions of job content (content-derived
+ * streams), kernel chunk decomposition is fixed (util/parallel.hh),
+ * so no placement, fairness, or lending decision can change any
+ * output bit.
+ *
+ * Shutdown: stop accepting, drain every queue, join the workers.
+ * Tasks already enqueued always run; enqueue() after shutdown
+ * returns false and the caller runs the task inline.
+ */
+
+#ifndef VARSAW_SERVICE_SCHEDULER_HH
+#define VARSAW_SERVICE_SCHEDULER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace varsaw {
+
+/** Fair multi-queue worker pool with kernel-assist (see file doc). */
+class ServiceScheduler
+{
+  public:
+    /** Spawn @p threads workers (at least one). */
+    explicit ServiceScheduler(int threads);
+
+    /** shutdown() if not already done. */
+    ~ServiceScheduler();
+
+    ServiceScheduler(const ServiceScheduler &) = delete;
+    ServiceScheduler &operator=(const ServiceScheduler &) = delete;
+
+    /** Open an admission queue (one per session). */
+    std::uint64_t openQueue();
+
+    /**
+     * Close an admission queue: no further enqueues; tasks already
+     * queued still run, and the queue is reaped once empty.
+     */
+    void closeQueue(std::uint64_t queue);
+
+    /**
+     * Append a task to @p queue. Returns false — without queuing —
+     * when the scheduler is shutting down or the queue is closed;
+     * the caller must then run the task itself (results cannot
+     * depend on which side runs it).
+     */
+    bool enqueue(std::uint64_t queue, std::function<void()> task);
+
+    /** Block until no task is queued or running. */
+    void drain();
+
+    /**
+     * Stop accepting work, drain every queue, join the workers.
+     * Idempotent and safe to call concurrently — with enqueues
+     * (they fail over to inline execution) and with other shutdown
+     * callers (every caller returns only once the queues are
+     * drained and the workers are joined).
+     */
+    void shutdown();
+
+    /** Number of worker threads. */
+    int threadCount() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    /**
+     * Admitted task closures executed by the workers so far. The
+     * unit is the enqueued closure — for service sessions one
+     * prefix-schedule CHUNK of jobs, not one job; see
+     * ServiceStats::jobsSubmitted for job counts.
+     */
+    std::uint64_t chunksExecuted() const
+    {
+        return chunksExecuted_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Kernel loops idle workers were lent to so far (a lower bound
+     * on lending activity: one count per assist engagement, however
+     * many chunks it claimed).
+     */
+    std::uint64_t kernelAssists() const
+    {
+        return kernelAssists_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Queue
+    {
+        std::deque<std::function<void()>> tasks;
+        bool open = true;
+    };
+
+    /** Pop the next task round-robin. Caller holds mutex_ and has
+     * checked queuedCount_ > 0. */
+    std::function<void()> popNextLocked();
+
+    void workerLoop();
+
+    /** Kernel-assist wake callback (registered with util/parallel). */
+    void signalKernelWork();
+
+    mutable std::mutex mutex_;
+    std::condition_variable workCv_; //!< workers wait here
+    std::condition_variable idleCv_; //!< drain() waits here
+    /** Admission queues by id (ordered, for stable round-robin). */
+    std::map<std::uint64_t, Queue> queues_;
+    std::uint64_t nextQueueId_ = 1;
+    /** Queue id served last; the scan resumes after it. */
+    std::uint64_t cursor_ = 0;
+    std::size_t queuedCount_ = 0;
+    int runningCount_ = 0;
+    bool stopping_ = false;
+    bool joined_ = false;
+    /** Bumped (under mutex_) when a kernel loop is published. */
+    std::uint64_t kernelSignals_ = 0;
+    std::atomic<std::uint64_t> chunksExecuted_{0};
+    std::atomic<std::uint64_t> kernelAssists_{0};
+    int assistHostId_ = -1;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace varsaw
+
+#endif // VARSAW_SERVICE_SCHEDULER_HH

@@ -149,4 +149,15 @@ makeJobKey(const CircuitJob &job)
             job.shots};
 }
 
+std::uint64_t
+jobStream(const JobKey &key)
+{
+    // Domain-separated from JobKeyHasher (which feeds shots in
+    // unmixed) so bucket placement and sampling streams stay
+    // uncorrelated even for adversarial key sequences.
+    constexpr std::uint64_t kStreamDomain = 0x5374726561'6d4964ull;
+    return mix64(mix64(key.circuitHash, key.paramsHash),
+                 mix64(kStreamDomain, key.shots));
+}
+
 } // namespace varsaw

@@ -93,6 +93,20 @@ std::uint64_t jobCircuitHash(const CircuitJob &job);
 /** Compute the content key of a job. */
 JobKey makeJobKey(const CircuitJob &job);
 
+/**
+ * Sampling-stream id of a job: a pure function of its content key.
+ * Every execution path that samples a job — a private BatchExecutor,
+ * a shared ExecutionService session, a cache-off re-execution —
+ * derives the job's RNG stream from this value, so a given
+ * (backend seed, circuit, params, shots) submission draws the SAME
+ * shots no matter when, where, or how often it runs. This is what
+ * makes result caching a pure memoization (hit or recompute,
+ * identical bits) and lets independent runtimes/sessions dedupe
+ * against each other without their interleaving ever being able to
+ * change a result.
+ */
+std::uint64_t jobStream(const JobKey &key);
+
 } // namespace varsaw
 
 #endif // VARSAW_SIM_CIRCUIT_HASH_HH

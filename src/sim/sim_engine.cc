@@ -152,7 +152,8 @@ applyRuntimeFlags(int &argc, char **argv)
             name = arg.substr(0, eq);
             value = argv[i] + eq + 1;
         }
-        if (name != "--cache-bytes" && name != "--kernel-threads") {
+        if (name != "--cache-bytes" && name != "--kernel-threads" &&
+            name != "--service-threads") {
             argv[keep++] = argv[i];
             continue;
         }
@@ -180,6 +181,9 @@ applyRuntimeFlags(int &argc, char **argv)
         }
         if (name == "--cache-bytes")
             setDefaultCacheByteBudget(parsed);
+        else if (name == "--service-threads")
+            setDefaultServiceThreads(static_cast<int>(
+                std::min<std::uint64_t>(parsed, 1u << 10)));
         else
             setKernelThreads(static_cast<int>(
                 std::min<std::uint64_t>(parsed, kMaxKernelThreads)));

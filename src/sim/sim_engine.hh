@@ -138,6 +138,9 @@ void setDefaultCacheByteBudget(std::uint64_t bytes);
  *                        (setDefaultCacheByteBudget)
  *   --kernel-threads=N   intra-kernel threads (setKernelThreads,
  *                        clamped to [1, kMaxKernelThreads])
+ *   --service-threads=N  worker count of shared ExecutionServices
+ *                        constructed with threads = 0
+ *                        (setDefaultServiceThreads)
  *
  * Both accept `--flag N` as well as `--flag=N`. Consumed flags
  * (and their value arguments) are REMOVED from argv and @p argc is

@@ -6,10 +6,34 @@
 #include <deque>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 namespace varsaw {
 
 namespace {
+
+/**
+ * External helper hosts (unified schedulers). hostCount mirrors the
+ * map size so the hot publish path can skip the lock when no host
+ * exists.
+ */
+std::mutex hostMutex;
+std::unordered_map<int, std::function<void()>> assistHosts;
+std::atomic<int> assistHostCount{0};
+int nextAssistHostId = 0;
+
+/** Invoke every registered host's wake callback. */
+void
+wakeAssistHosts()
+{
+    if (assistHostCount.load(std::memory_order_acquire) == 0)
+        return;
+    // Under the registry lock so removeKernelAssistHost() can
+    // guarantee no callback runs after it returns.
+    std::lock_guard<std::mutex> lock(hostMutex);
+    for (auto &[id, wake] : assistHosts)
+        wake();
+}
 
 /**
  * One engaged loop: chunks are claimed from `next` by the caller
@@ -81,6 +105,7 @@ class KernelPool
             jobs_.push_back(&job);
         }
         wake_.notify_all();
+        wakeAssistHosts();
         runChunks(job);
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -104,6 +129,42 @@ class KernelPool
         });
     }
 
+    /** See detail::assistOneKernelJob(). */
+    bool
+    assistOne()
+    {
+        KernelJob *job = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (KernelJob *j : jobs_) {
+                if (j->next.load(std::memory_order_relaxed) >=
+                    j->numChunks)
+                    continue;
+                if (j->helpers.load(std::memory_order_relaxed) >=
+                    j->maxHelpers)
+                    continue;
+                j->helpers.fetch_add(1, std::memory_order_relaxed);
+                job = j;
+                break;
+            }
+        }
+        if (!job)
+            return false;
+        runChunks(*job);
+        {
+            // Under the job mutex so the caller's wait cannot miss
+            // the decrement and destroy the job while this thread
+            // still holds a reference.
+            std::lock_guard<std::mutex> lock(job->doneMutex);
+            job->helpers.fetch_sub(1, std::memory_order_release);
+            job->doneCv.notify_all();
+        }
+        // An admission slot opened for other helpers.
+        wake_.notify_all();
+        wakeAssistHosts();
+        return true;
+    }
+
     ~KernelPool()
     {
         {
@@ -122,6 +183,13 @@ class KernelPool
     ensureWorkers(int count)
     {
         if (count <= 0)
+            return;
+        // While a unified scheduler is registered, its workers are
+        // the helper supply: the pool spawns no threads of its own,
+        // so the process never holds two competing thread sets.
+        // Helpers spawned before the host registered keep running —
+        // admission caps still bound how many join any one loop.
+        if (assistHostCount.load(std::memory_order_acquire) > 0)
             return;
         std::lock_guard<std::mutex> lock(mutex_);
         while (static_cast<int>(workers_.size()) < count &&
@@ -169,9 +237,11 @@ class KernelPool
                                        std::memory_order_release);
                 job->doneCv.notify_all();
             }
-            // An admission slot opened: another idle worker may now
-            // join this (or another) job.
+            // An admission slot opened: another idle worker — pool
+            // thread or registered host — may now join this (or
+            // another) job.
             wake_.notify_all();
+            wakeAssistHosts();
         }
     }
 
@@ -186,6 +256,13 @@ std::atomic<int> &
 kernelThreadSetting()
 {
     static std::atomic<int> setting{defaultKernelThreads()};
+    return setting;
+}
+
+std::atomic<int> &
+serviceThreadOverride()
+{
+    static std::atomic<int> setting{0};
     return setting;
 }
 
@@ -229,6 +306,42 @@ setKernelThreads(int threads)
     kernelThreadSetting().store(value, std::memory_order_relaxed);
 }
 
+int
+defaultServiceThreads()
+{
+    static const int envDefault = [] {
+        if (const char *env =
+                std::getenv("VARSAW_SERVICE_THREADS")) {
+            const long parsed = std::strtol(env, nullptr, 10);
+            if (parsed > 0)
+                return static_cast<int>(parsed);
+        }
+        return 0;
+    }();
+    const int overridden =
+        serviceThreadOverride().load(std::memory_order_relaxed);
+    return overridden > 0 ? overridden : envDefault;
+}
+
+void
+setDefaultServiceThreads(int threads)
+{
+    serviceThreadOverride().store(threads > 0 ? threads : 0,
+                                  std::memory_order_relaxed);
+}
+
+int
+resolveServiceThreads(int configured)
+{
+    if (configured > 0)
+        return configured;
+    const int dflt = defaultServiceThreads();
+    if (dflt > 0)
+        return dflt;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 std::uint64_t
 parallelChunkSize(std::uint64_t total)
 {
@@ -259,6 +372,32 @@ runOnPool(std::uint64_t total, std::uint64_t chunkSize,
     job.maxHelpers = kernelThreads() - 1;
     job.fn = &fn;
     KernelPool::instance().run(job);
+}
+
+bool
+assistOneKernelJob()
+{
+    return KernelPool::instance().assistOne();
+}
+
+int
+addKernelAssistHost(std::function<void()> wake)
+{
+    std::lock_guard<std::mutex> lock(hostMutex);
+    const int id = nextAssistHostId++;
+    assistHosts.emplace(id, std::move(wake));
+    assistHostCount.store(static_cast<int>(assistHosts.size()),
+                          std::memory_order_release);
+    return id;
+}
+
+void
+removeKernelAssistHost(int handle)
+{
+    std::lock_guard<std::mutex> lock(hostMutex);
+    assistHosts.erase(handle);
+    assistHostCount.store(static_cast<int>(assistHosts.size()),
+                          std::memory_order_release);
 }
 
 } // namespace detail

@@ -102,6 +102,29 @@ std::uint64_t parallelChunkSize(std::uint64_t total);
 /** Number of fixed chunks for a loop of @p total items. */
 std::uint64_t parallelChunkCount(std::uint64_t total);
 
+/**
+ * Default worker count of a shared ExecutionService:
+ * VARSAW_SERVICE_THREADS when set to a positive integer, overridden
+ * by setDefaultServiceThreads() (the drivers' --service-threads
+ * flag), otherwise 0 — meaning "auto", which
+ * resolveServiceThreads() maps to the hardware concurrency.
+ */
+int defaultServiceThreads();
+
+/**
+ * Override the default service worker count for services
+ * constructed after this call. <= 0 restores the
+ * environment/auto default.
+ */
+void setDefaultServiceThreads(int threads);
+
+/**
+ * Resolve a ServiceConfig::threads value: @p configured when
+ * positive, else defaultServiceThreads() when positive, else the
+ * hardware concurrency (at least 1). Results never depend on it.
+ */
+int resolveServiceThreads(int configured);
+
 namespace detail {
 
 /**
@@ -115,6 +138,36 @@ void runOnPool(std::uint64_t total, std::uint64_t chunkSize,
                const std::function<void(std::uint64_t,
                                         std::uint64_t,
                                         std::uint64_t)> &fn);
+
+/**
+ * Lend the calling thread to one engaged kernel loop, if any is
+ * active with unclaimed chunks and a free admission slot: claim and
+ * run chunks until the loop is exhausted, then return true. Returns
+ * false (without blocking) when there is nothing to help with. This
+ * is how a unified scheduler's idle batch workers are lent to
+ * engaged kernels; chunk decomposition is fixed, so WHO runs a
+ * chunk can never change a result.
+ */
+bool assistOneKernelJob();
+
+/**
+ * Register an external helper host (a unified scheduler): @p wake
+ * is invoked — cheaply, possibly concurrently — whenever an engaged
+ * kernel loop is published, so the host can route idle workers into
+ * assistOneKernelJob(). While at least one host is registered the
+ * process-global kernel pool spawns no helper threads of its own:
+ * the hosts' workers ARE the helper supply, which is what removes
+ * the batchThreads x kernelThreads <= cores sizing rule. Returns a
+ * handle for removeKernelAssistHost().
+ */
+int addKernelAssistHost(std::function<void()> wake);
+
+/**
+ * Unregister a helper host. On return the host's @p wake callback
+ * is guaranteed not to be running and will never be invoked again
+ * (safe to destroy the scheduler it points into).
+ */
+void removeKernelAssistHost(int handle);
 
 } // namespace detail
 

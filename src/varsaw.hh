@@ -43,8 +43,14 @@
 
 // Execution runtime
 #include "runtime/batch_executor.hh"
+#include "runtime/job_ledger.hh"
 #include "runtime/result_cache.hh"
+#include "runtime/submitter.hh"
 #include "runtime/thread_pool.hh"
+
+// Shared execution service
+#include "service/execution_service.hh"
+#include "service/scheduler.hh"
 
 // Mitigation substrate
 #include "mitigation/bayesian.hh"

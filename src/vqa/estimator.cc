@@ -53,7 +53,7 @@ BaselineEstimator::BaselineEstimator(const Hamiltonian &hamiltonian,
                                      const RuntimeConfig &runtime)
     : hamiltonian_(hamiltonian),
       prep_(std::make_shared<const Circuit>(ansatz)),
-      runtime_(executor, runtime), shots_(shots),
+      runtime_(makeSubmitter(executor, runtime)), shots_(shots),
       reduction_(reduceBases(hamiltonian.strings(), basis_mode))
 {
     // The ansatz and bases are fixed for the estimator's lifetime,
@@ -97,7 +97,7 @@ BaselineEstimator::estimate(const std::vector<double> &params)
     for (std::size_t b = 0; b < suffixes_.size(); ++b)
         batch.addPrefixed(prep_, suffixes_[b], params,
                           basisShots_[b]);
-    const std::vector<Pmf> pmfs = runtime_.run(batch);
+    const std::vector<Pmf> pmfs = runtime_->run(batch);
     return energyFromBasisPmfs(hamiltonian_, reduction_, pmfs);
 }
 
@@ -109,7 +109,7 @@ JigsawEstimator::JigsawEstimator(const Hamiltonian &hamiltonian,
                                  const RuntimeConfig &runtime)
     : hamiltonian_(hamiltonian),
       prep_(std::make_shared<const Circuit>(ansatz)),
-      runtime_(executor, runtime), config_(config),
+      runtime_(makeSubmitter(executor, runtime)), config_(config),
       reduction_(reduceBases(hamiltonian.strings(), basis_mode))
 {
     suffixSets_.reserve(reduction_.bases.size());
@@ -137,7 +137,7 @@ JigsawEstimator::estimate(const std::vector<double> &params)
                               config_.globalShots));
     }
 
-    const std::vector<Pmf> results = runtime_.run(batch);
+    const std::vector<Pmf> results = runtime_->run(batch);
 
     std::vector<Pmf> pmfs;
     pmfs.reserve(suffixSets_.size());

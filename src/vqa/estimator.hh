@@ -29,6 +29,7 @@
 #include "pauli/commutation.hh"
 #include "pauli/hamiltonian.hh"
 #include "runtime/batch_executor.hh"
+#include "runtime/submitter.hh"
 #include "sim/circuit.hh"
 
 namespace varsaw {
@@ -109,7 +110,9 @@ class BaselineEstimator : public EnergyEstimator
      *                    *average* per basis (total preserved).
      * @param basis_mode  Commutation reduction flavor.
      * @param allocation  Shot distribution across bases.
-     * @param runtime     Batch runtime tunables (threads, cache).
+     * @param runtime     Batch runtime tunables (threads, cache) or,
+     *                    via runtime.service, the shared execution
+     *                    service to open a session on.
      */
     BaselineEstimator(
         const Hamiltonian &hamiltonian, const Circuit &ansatz,
@@ -131,15 +134,16 @@ class BaselineEstimator : public EnergyEstimator
         return basisShots_;
     }
 
-    /** The batch runtime circuits are submitted through. */
-    BatchExecutor &runtime() { return runtime_; }
-    const BatchExecutor &runtime() const { return runtime_; }
+    /** The submitter (private runtime or shared-service session)
+     * circuits are submitted through. */
+    JobSubmitter &runtime() { return *runtime_; }
+    const JobSubmitter &runtime() const { return *runtime_; }
 
   private:
     const Hamiltonian &hamiltonian_;
     /** Construction-time ansatz snapshot, shared by every job. */
     std::shared_ptr<const Circuit> prep_;
-    BatchExecutor runtime_;
+    std::unique_ptr<JobSubmitter> runtime_;
     std::uint64_t shots_;
     BasisReduction reduction_;
     /** Per-basis measurement suffixes (fixed across evaluations). */
@@ -177,15 +181,16 @@ class JigsawEstimator : public EnergyEstimator
     /** The cover-reduced measurement bases in use. */
     const BasisReduction &reduction() const { return reduction_; }
 
-    /** The batch runtime circuits are submitted through. */
-    BatchExecutor &runtime() { return runtime_; }
-    const BatchExecutor &runtime() const { return runtime_; }
+    /** The submitter (private runtime or shared-service session)
+     * circuits are submitted through. */
+    JobSubmitter &runtime() { return *runtime_; }
+    const JobSubmitter &runtime() const { return *runtime_; }
 
   private:
     const Hamiltonian &hamiltonian_;
     /** Construction-time ansatz snapshot, shared by every job. */
     std::shared_ptr<const Circuit> prep_;
-    BatchExecutor runtime_;
+    std::unique_ptr<JobSubmitter> runtime_;
     JigsawConfig config_;
     BasisReduction reduction_;
     /** Per-basis suffix sets (windows + CPM/Global suffixes). */

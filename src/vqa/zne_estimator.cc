@@ -8,9 +8,11 @@ namespace varsaw {
 ZneEstimator::ZneEstimator(const Hamiltonian &hamiltonian,
                            const Circuit &ansatz, Executor &executor,
                            std::uint64_t shots,
-                           std::vector<int> factors)
-    : hamiltonian_(hamiltonian), ansatz_(ansatz), executor_(executor),
-      shots_(shots), factors_(std::move(factors)),
+                           std::vector<int> factors,
+                           const RuntimeConfig &runtime)
+    : hamiltonian_(hamiltonian), ansatz_(ansatz),
+      runtime_(makeSubmitter(executor, runtime)), shots_(shots),
+      factors_(std::move(factors)),
       reduction_(coverReduce(hamiltonian.strings()))
 {
     if (factors_.empty())
@@ -23,17 +25,34 @@ ZneEstimator::ZneEstimator(const Hamiltonian &hamiltonian,
 double
 ZneEstimator::estimate(const std::vector<double> &params)
 {
-    std::vector<std::pair<double, double>> points;
-    points.reserve(factors_.size());
-    for (int factor : factors_) {
-        std::vector<Pmf> pmfs;
-        pmfs.reserve(reduction_.bases.size());
+    // One batch holds every (factor, basis) circuit so independent
+    // folds run concurrently; factor 1 of different factor sets, and
+    // evaluations repeated at one parameter point, dedupe through
+    // the result cache when one is attached. Folding inserts
+    // inverse-gate pairs inside the prep, so folded circuits (except
+    // factor 1) cannot share a prepared state — they are submitted
+    // as plain jobs.
+    Batch batch;
+    batch.reserve(factors_.size() * reduction_.bases.size());
+    for (int factor : factors_)
         for (const auto &basis : reduction_.bases) {
             Circuit global =
                 makeGlobalCircuit(ansatz_, basis).bound(params);
-            Circuit folded = foldCircuit(global, factor);
-            pmfs.push_back(executor_.execute(folded, {}, shots_));
+            batch.add(foldCircuit(global, factor), {}, shots_);
         }
+
+    const std::vector<Pmf> results = runtime_->run(batch);
+
+    std::vector<std::pair<double, double>> points;
+    points.reserve(factors_.size());
+    std::size_t next = 0;
+    for (int factor : factors_) {
+        std::vector<Pmf> pmfs(
+            results.begin() + static_cast<std::ptrdiff_t>(next),
+            results.begin() +
+                static_cast<std::ptrdiff_t>(
+                    next + reduction_.bases.size()));
+        next += reduction_.bases.size();
         points.emplace_back(
             static_cast<double>(factor),
             energyFromBasisPmfs(hamiltonian_, reduction_, pmfs));

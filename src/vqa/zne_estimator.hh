@@ -14,12 +14,15 @@
 #define VARSAW_VQA_ZNE_ESTIMATOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "mitigation/executor.hh"
 #include "mitigation/zne.hh"
 #include "pauli/commutation.hh"
 #include "pauli/hamiltonian.hh"
+#include "runtime/batch_executor.hh"
+#include "runtime/submitter.hh"
 #include "vqa/estimator.hh"
 
 namespace varsaw {
@@ -34,10 +37,16 @@ class ZneEstimator : public EnergyEstimator
      * @param executor    Backend (counts the circuit cost).
      * @param shots       Shots per circuit (0 = exact).
      * @param factors     Odd fold factors (default {1, 3, 5}).
+     * @param runtime     Batch runtime tunables (threads, cache) or,
+     *                    via runtime.service, the shared execution
+     *                    service to open a session on. All folded
+     *                    basis circuits of one evaluation are
+     *                    submitted as one batch.
      */
     ZneEstimator(const Hamiltonian &hamiltonian, const Circuit &ansatz,
                  Executor &executor, std::uint64_t shots,
-                 std::vector<int> factors = {1, 3, 5});
+                 std::vector<int> factors = {1, 3, 5},
+                 const RuntimeConfig &runtime = {});
 
     double estimate(const std::vector<double> &params) override;
 
@@ -49,10 +58,15 @@ class ZneEstimator : public EnergyEstimator
     /** The cover-reduced measurement bases in use. */
     const BasisReduction &reduction() const { return reduction_; }
 
+    /** The submitter (private runtime or shared-service session)
+     * circuits are submitted through. */
+    JobSubmitter &runtime() { return *runtime_; }
+    const JobSubmitter &runtime() const { return *runtime_; }
+
   private:
     const Hamiltonian &hamiltonian_;
     const Circuit &ansatz_;
-    Executor &executor_;
+    std::unique_ptr<JobSubmitter> runtime_;
     std::uint64_t shots_;
     std::vector<int> factors_;
     BasisReduction reduction_;

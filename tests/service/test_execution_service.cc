@@ -1,0 +1,693 @@
+/**
+ * @file
+ * Tests for the shared execution service: cross-estimator dedupe,
+ * bit-identity to the private-runtime path across thread counts /
+ * session counts / cache settings / submission interleavings, fair
+ * FIFO admission, per-session statistics, kernel-assist lending,
+ * and graceful shutdown under concurrent submission.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "chem/spin_models.hh"
+#include "core/selective.hh"
+#include "core/varsaw.hh"
+#include "noise/device_model.hh"
+#include "service/execution_service.hh"
+#include "service/scheduler.hh"
+#include "sim/circuit.hh"
+#include "sim/statevector.hh"
+#include "util/parallel.hh"
+#include "vqa/ansatz.hh"
+#include "vqa/estimator.hh"
+#include "vqa/zne_estimator.hh"
+
+namespace varsaw {
+namespace {
+
+/** Exact (bitwise) equality of two PMFs. */
+void
+expectBitIdentical(const Pmf &a, const Pmf &b)
+{
+    ASSERT_EQ(a.numBits(), b.numBits());
+    ASSERT_EQ(a.raw().size(), b.raw().size());
+    for (const auto &[outcome, p] : a.raw()) {
+        auto it = b.raw().find(outcome);
+        ASSERT_NE(it, b.raw().end()) << "outcome " << outcome;
+        EXPECT_EQ(p, it->second) << "outcome " << outcome;
+    }
+}
+
+/** A prefix-sharing workload: per-basis Globals over one ansatz. */
+Batch
+basisWorkload(const std::shared_ptr<const Circuit> &prep,
+              const std::vector<PauliString> &bases,
+              const std::vector<double> &params, std::uint64_t shots)
+{
+    Batch batch;
+    for (const auto &basis : bases)
+        batch.addPrefixed(prep, makeGlobalSuffix(basis), params,
+                          shots);
+    return batch;
+}
+
+std::vector<PauliString>
+tfimBases(int qubits)
+{
+    const Hamiltonian h = tfim(qubits, 1.0, 0.7);
+    return coverReduce(h.strings()).bases;
+}
+
+TEST(ExecutionService, CrossSessionDedupeExecutesOnce)
+{
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    auto prep = std::make_shared<const Circuit>(ansatz.circuit());
+    const auto params = ansatz.initialParameters(11);
+    const auto bases = tfimBases(4);
+
+    IdealExecutor exec(3);
+    ServiceConfig sc;
+    sc.threads = 1;
+    ExecutionService service(exec, sc);
+    auto a = service.createSession("estimator-a");
+    auto b = service.createSession("estimator-b");
+
+    const Batch batch = basisWorkload(prep, bases, params, 512);
+    const auto ra = a->run(batch);
+    const std::uint64_t executed_after_a = exec.circuitsExecuted();
+    const auto rb = b->run(batch); // identical batch, other tenant
+    // Session B re-executed NOTHING: every job was answered from
+    // session A's primaries.
+    EXPECT_EQ(exec.circuitsExecuted(), executed_after_a);
+    EXPECT_EQ(b->stats().cacheHits, batch.size());
+    EXPECT_EQ(b->stats().crossSessionHits, batch.size());
+    EXPECT_EQ(a->stats().crossSessionHits, 0u);
+    EXPECT_EQ(service.stats().crossSessionHits, batch.size());
+
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i)
+        expectBitIdentical(ra[i], rb[i]);
+}
+
+TEST(ExecutionService, BitIdenticalToPrivateRuntimes)
+{
+    // The core determinism contract: a shared-service run of two
+    // overlapping estimator workloads is bit-identical to the same
+    // workloads on private per-estimator runtimes — across service
+    // thread counts, cache on/off, and session count.
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    auto prep = std::make_shared<const Circuit>(ansatz.circuit());
+    const auto params = ansatz.initialParameters(17);
+    const auto bases = tfimBases(4);
+    const DeviceModel device = DeviceModel::uniform(4, 0.02, 0.05);
+
+    // Two overlapping batches (B is a subset of A plus a repeat).
+    const Batch batch_a = basisWorkload(prep, bases, params, 1024);
+    Batch batch_b = basisWorkload(prep, bases, params, 1024);
+    batch_b.addPrefixed(prep, makeGlobalSuffix(bases.front()),
+                        params, 2048);
+
+    // Private reference: serial per-estimator runtimes.
+    std::vector<Pmf> ref_a, ref_b;
+    {
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 7);
+        RuntimeConfig rc;
+        rc.cacheResults = true;
+        BatchExecutor ra(exec, rc), rb(exec, rc);
+        ref_a = ra.run(batch_a);
+        ref_b = rb.run(batch_b);
+    }
+
+    for (int threads : {1, 4, 8}) {
+        for (bool cache_on : {true, false}) {
+            NoisyExecutor exec(
+                device, GateNoiseMode::AnalyticDepolarizing, 7);
+            ServiceConfig sc;
+            sc.threads = threads;
+            sc.cacheResults = cache_on;
+            ExecutionService service(exec, sc);
+            auto sa = service.createSession();
+            auto sb = service.createSession();
+            const auto got_a = sa->run(batch_a);
+            const auto got_b = sb->run(batch_b);
+            ASSERT_EQ(got_a.size(), ref_a.size());
+            ASSERT_EQ(got_b.size(), ref_b.size());
+            for (std::size_t i = 0; i < ref_a.size(); ++i)
+                expectBitIdentical(ref_a[i], got_a[i]);
+            for (std::size_t i = 0; i < ref_b.size(); ++i)
+                expectBitIdentical(ref_b[i], got_b[i]);
+        }
+    }
+}
+
+TEST(ExecutionService, ConcurrentInterleavedSubmissionsDeterministic)
+{
+    // Two client threads hammer the service with overlapping
+    // batches concurrently. Whatever interleaving the ledger sees,
+    // every result must equal the serial private-runtime reference.
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    auto prep = std::make_shared<const Circuit>(ansatz.circuit());
+    const auto bases = tfimBases(4);
+    const DeviceModel device = DeviceModel::uniform(4, 0.03, 0.06);
+
+    std::vector<std::vector<double>> points;
+    for (int t = 0; t < 4; ++t) {
+        auto params = ansatz.initialParameters(
+            100 + static_cast<std::uint64_t>(t));
+        points.push_back(params);
+    }
+
+    // Serial reference.
+    std::vector<std::vector<Pmf>> reference;
+    {
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 5);
+        RuntimeConfig rc;
+        rc.cacheResults = true;
+        BatchExecutor runtime(exec, rc);
+        for (const auto &params : points)
+            reference.push_back(runtime.run(
+                basisWorkload(prep, bases, params, 768)));
+    }
+
+    for (int repeat = 0; repeat < 3; ++repeat) {
+        NoisyExecutor exec(device,
+                           GateNoiseMode::AnalyticDepolarizing, 5);
+        ServiceConfig sc;
+        sc.threads = 4;
+        ExecutionService service(exec, sc);
+
+        std::vector<std::vector<Pmf>> got_a(points.size());
+        std::vector<std::vector<Pmf>> got_b(points.size());
+        auto client = [&](std::vector<std::vector<Pmf>> *out) {
+            auto session = service.createSession();
+            for (std::size_t p = 0; p < points.size(); ++p)
+                (*out)[p] = session->run(
+                    basisWorkload(prep, bases, points[p], 768));
+        };
+        std::thread ta(client, &got_a);
+        std::thread tb(client, &got_b);
+        ta.join();
+        tb.join();
+
+        for (std::size_t p = 0; p < points.size(); ++p) {
+            ASSERT_EQ(got_a[p].size(), reference[p].size());
+            for (std::size_t i = 0; i < reference[p].size(); ++i) {
+                expectBitIdentical(reference[p][i], got_a[p][i]);
+                expectBitIdentical(reference[p][i], got_b[p][i]);
+            }
+        }
+    }
+}
+
+TEST(ExecutionService, EstimatorsShareServiceViaRuntimeConfig)
+{
+    // The rewiring path estimators actually use: RuntimeConfig::
+    // service routes two estimators with overlapping Hamiltonians
+    // onto sessions of one service. Energies equal the
+    // private-runtime energies bit for bit, and the overlapping
+    // basis circuits (the Z-type bases both Hamiltonians compile to
+    // the same fully-measured Global) dedupe across the estimators.
+    const Hamiltonian h_full = tfim(4, 1.0, 0.7);
+    Hamiltonian h_zz(4, "tfim-zz");
+    for (const auto &term : h_full.terms())
+        if ((term.string.supportMask() & 0xF) != 0 &&
+            term.string.toString().find('X') == std::string::npos)
+            h_zz.addTerm(term.string, term.coefficient);
+    ASSERT_GT(h_zz.numTerms(), 0u);
+
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(21);
+    const DeviceModel device = DeviceModel::uniform(4, 0.02, 0.05);
+
+    auto energies = [&](ExecutionService *service, Executor &exec,
+                        std::uint64_t *executed) {
+        RuntimeConfig rc;
+        rc.cacheResults = true;
+        rc.service = service;
+        BaselineEstimator full(h_full, ansatz.circuit(), exec, 1024,
+                               BasisMode::Cover,
+                               ShotAllocation::Uniform, rc);
+        BaselineEstimator zz(h_zz, ansatz.circuit(), exec, 1024,
+                             BasisMode::Cover,
+                             ShotAllocation::Uniform, rc);
+        const double ef = full.estimate(params);
+        const double ez = zz.estimate(params);
+        if (executed)
+            *executed = exec.circuitsExecuted();
+        return std::pair<double, double>{ef, ez};
+    };
+
+    NoisyExecutor private_exec(
+        device, GateNoiseMode::AnalyticDepolarizing, 9);
+    std::uint64_t private_executed = 0;
+    const auto private_energies =
+        energies(nullptr, private_exec, &private_executed);
+
+    NoisyExecutor shared_exec(
+        device, GateNoiseMode::AnalyticDepolarizing, 9);
+    ServiceConfig sc;
+    sc.threads = 2;
+    ExecutionService service(shared_exec, sc);
+    std::uint64_t shared_executed = 0;
+    const auto shared_energies =
+        energies(&service, shared_exec, &shared_executed);
+
+    EXPECT_EQ(private_energies.first, shared_energies.first);
+    EXPECT_EQ(private_energies.second, shared_energies.second);
+    // The Z-basis Global is identical work in both estimators:
+    // cross-estimator dedupe must fire and save executions relative
+    // to the private path. (Under the VARSAW_SHARED_SERVICE=1 CI
+    // shim the "private" arm is itself service-backed and already
+    // dedupes, so only equality can be required there.)
+    EXPECT_GT(service.stats().crossSessionHits, 0u);
+    const char *forced = std::getenv("VARSAW_SHARED_SERVICE");
+    if (forced && forced[0] == '1' && forced[1] == '\0')
+        EXPECT_EQ(shared_executed, private_executed);
+    else
+        EXPECT_LT(shared_executed, private_executed);
+}
+
+TEST(ExecutionService, ZneEstimatorRunsThroughTheService)
+{
+    const Hamiltonian h = tfim(3, 1.0, 0.5);
+    EfficientSU2 ansatz(AnsatzConfig{3, 1, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(43);
+    const DeviceModel device = DeviceModel::uniform(3, 0.02, 0.05);
+
+    auto energy = [&](ExecutionService *service, Executor &exec) {
+        RuntimeConfig rc;
+        rc.cacheResults = true;
+        rc.service = service;
+        ZneEstimator zne(h, ansatz.circuit(), exec, 2048, {1, 3, 5},
+                         rc);
+        return zne.estimate(params);
+    };
+
+    NoisyExecutor private_exec(
+        device, GateNoiseMode::AnalyticDepolarizing, 27);
+    const double private_energy = energy(nullptr, private_exec);
+
+    NoisyExecutor shared_exec(
+        device, GateNoiseMode::AnalyticDepolarizing, 27);
+    ServiceConfig sc;
+    sc.threads = 4;
+    ExecutionService service(shared_exec, sc);
+    const double shared_energy = energy(&service, shared_exec);
+
+    EXPECT_EQ(private_energy, shared_energy);
+}
+
+TEST(ExecutionService, SelectiveHeavyLightHalvesShareOneService)
+{
+    const Hamiltonian h = tfim(4, 1.0, 0.7);
+    EfficientSU2 ansatz(AnsatzConfig{4, 1, Entanglement::Linear});
+    const auto params = ansatz.initialParameters(31);
+    const DeviceModel device = DeviceModel::uniform(4, 0.03, 0.06);
+
+    auto energy = [&](ExecutionService *service, Executor &exec) {
+        VarsawConfig config;
+        config.subsetShots = 512;
+        config.globalShots = 1024;
+        config.runtime.cacheResults = true;
+        config.runtime.service = service;
+        SelectiveVarsawEstimator est(h, ansatz.circuit(), exec,
+                                     config, 0.6, 512);
+        return est.estimate(params);
+    };
+
+    NoisyExecutor private_exec(
+        device, GateNoiseMode::AnalyticDepolarizing, 13);
+    const double private_energy = energy(nullptr, private_exec);
+
+    NoisyExecutor shared_exec(
+        device, GateNoiseMode::AnalyticDepolarizing, 13);
+    ServiceConfig sc;
+    sc.threads = 4;
+    ExecutionService service(shared_exec, sc);
+    const double shared_energy = energy(&service, shared_exec);
+
+    EXPECT_EQ(private_energy, shared_energy);
+    // Both halves opened sessions on the one service.
+    EXPECT_EQ(service.stats().sessionsOpened, 2u);
+}
+
+TEST(ExecutionService, PerSessionStatsAndFifoFairness)
+{
+    IdealExecutor exec(1);
+    ServiceConfig sc;
+    sc.threads = 2;
+    ExecutionService service(exec, sc);
+    auto a = service.createSession("a");
+    auto b = service.createSession("b");
+
+    Circuit c(2);
+    c.h(0).cx(0, 1).measureAll();
+    Batch batch;
+    for (int i = 0; i < 8; ++i)
+        batch.add(c, {}, 128);
+
+    const auto ra = a->run(batch);
+    const auto rb = b->run(batch);
+    for (std::size_t i = 1; i < ra.size(); ++i)
+        expectBitIdentical(ra[0], ra[i]);
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        expectBitIdentical(ra[0], rb[i]);
+
+    // A executed the single primary; its 7 in-batch duplicates are
+    // same-session hits. B's 8 are all cross-session hits.
+    EXPECT_EQ(a->stats().jobsSubmitted, 8u);
+    EXPECT_EQ(a->stats().cacheMisses, 1u);
+    EXPECT_EQ(a->stats().cacheHits, 7u);
+    EXPECT_EQ(a->stats().crossSessionHits, 0u);
+    EXPECT_EQ(b->stats().cacheHits, 8u);
+    EXPECT_EQ(b->stats().crossSessionHits, 8u);
+    EXPECT_EQ(b->stats().shotsSaved, 8u * 128u);
+    EXPECT_EQ(exec.circuitsExecuted(), 1u);
+
+    // JobSubmitter view of the same numbers.
+    EXPECT_EQ(a->cacheStats().hits, 7u);
+    EXPECT_EQ(b->cacheStats().hitRate(), 1.0);
+    EXPECT_EQ(a->jobsSubmitted(), 8u);
+}
+
+TEST(ServiceScheduler, RoundRobinAcrossQueues)
+{
+    // One worker, two queues loaded while the worker is blocked on
+    // a gate task: admission must then alternate a, b, a, b, ...
+    ServiceScheduler scheduler(1);
+    const auto qa = scheduler.openQueue();
+    const auto qb = scheduler.openQueue();
+
+    std::promise<void> gate;
+    std::shared_future<void> gate_future =
+        gate.get_future().share();
+    std::mutex order_mutex;
+    std::vector<int> order;
+    ASSERT_TRUE(scheduler.enqueue(
+        qa, [gate_future] { gate_future.wait(); }));
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(scheduler.enqueue(qa, [&] {
+            std::lock_guard<std::mutex> lock(order_mutex);
+            order.push_back(0);
+        }));
+        ASSERT_TRUE(scheduler.enqueue(qb, [&] {
+            std::lock_guard<std::mutex> lock(order_mutex);
+            order.push_back(1);
+        }));
+    }
+    gate.set_value();
+    scheduler.drain();
+    // After the gate task (queue a), service alternates b, a, b...
+    ASSERT_EQ(order.size(), 6u);
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_NE(order[i], order[i - 1]) << "position " << i;
+    scheduler.closeQueue(qa);
+    scheduler.closeQueue(qb);
+}
+
+TEST(ServiceScheduler, IdleWorkersLendThemselvesToKernels)
+{
+    // A service worker executing an engaged statevector sweep must
+    // receive help from its idle peers through the kernel-assist
+    // hook (the unified-scheduler half of the old two-pool split).
+    const int saved = kernelThreads();
+    // Wide admission cap: helpers left over in the standalone
+    // kernel pool from earlier tests cannot crowd the scheduler's
+    // workers out of the assist slots.
+    setKernelThreads(kMaxKernelThreads);
+    {
+        ServiceScheduler scheduler(4);
+        const auto q = scheduler.openQueue();
+        std::uint64_t assists = 0;
+        for (int attempt = 0; attempt < 50 && assists == 0;
+             ++attempt) {
+            ASSERT_TRUE(scheduler.enqueue(q, [] {
+                // 2^20 amplitudes: every gate sweep is an engaged
+                // kernel loop of 16 chunks.
+                Statevector sv(20);
+                Circuit c(20);
+                for (int q2 = 0; q2 < 20; ++q2)
+                    c.h(q2);
+                sv.run(c, {});
+            }));
+            scheduler.drain();
+            assists = scheduler.kernelAssists();
+        }
+        EXPECT_GT(assists, 0u);
+    }
+    setKernelThreads(saved);
+}
+
+TEST(ExecutionService, ShutdownDrainsAndLaterSubmitsRunInline)
+{
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    auto prep = std::make_shared<const Circuit>(ansatz.circuit());
+    const auto params = ansatz.initialParameters(41);
+    const auto bases = tfimBases(4);
+    const Batch batch = basisWorkload(prep, bases, params, 256);
+
+    IdealExecutor serial_exec(19);
+    RuntimeConfig rc;
+    rc.cacheResults = true;
+    BatchExecutor serial(serial_exec, rc);
+    const auto reference = serial.run(batch);
+
+    IdealExecutor exec(19);
+    ServiceConfig sc;
+    sc.threads = 4;
+    ExecutionService service(exec, sc);
+    auto session = service.createSession();
+
+    auto futures = session->submit(batch);
+    service.shutdown(); // drains: all admitted futures resolve
+    for (std::size_t i = 0; i < futures.size(); ++i)
+        expectBitIdentical(reference[i], futures[i].get());
+    EXPECT_TRUE(service.closed());
+
+    // Submissions after shutdown run inline with identical results.
+    const auto after = session->run(batch);
+    for (std::size_t i = 0; i < after.size(); ++i)
+        expectBitIdentical(reference[i], after[i]);
+}
+
+TEST(ExecutionService, ShutdownWhileConcurrentlySubmittingIsClean)
+{
+    // Clients submit while another thread shuts the service down.
+    // Every future must resolve to the serial reference value
+    // whether its job was admitted, drained, or executed inline —
+    // and nothing may leak or race (ASan/TSan-sensitive path).
+    EfficientSU2 ansatz(AnsatzConfig{4, 1, Entanglement::Linear});
+    auto prep = std::make_shared<const Circuit>(ansatz.circuit());
+    const auto bases = tfimBases(4);
+
+    std::vector<std::vector<double>> points;
+    for (int t = 0; t < 6; ++t)
+        points.push_back(ansatz.initialParameters(
+            200 + static_cast<std::uint64_t>(t)));
+
+    std::vector<std::vector<Pmf>> reference;
+    {
+        IdealExecutor exec(23);
+        RuntimeConfig rc;
+        rc.cacheResults = true;
+        BatchExecutor runtime(exec, rc);
+        for (const auto &params : points)
+            reference.push_back(runtime.run(
+                basisWorkload(prep, bases, params, 256)));
+    }
+
+    for (int repeat = 0; repeat < 4; ++repeat) {
+        IdealExecutor exec(23);
+        ServiceConfig sc;
+        sc.threads = 2;
+        ExecutionService service(exec, sc);
+
+        std::atomic<int> done_clients{0};
+        auto client = [&](int offset) {
+            auto session = service.createSession();
+            for (std::size_t p = 0; p < points.size(); ++p) {
+                const std::size_t idx =
+                    (p + static_cast<std::size_t>(offset)) %
+                    points.size();
+                const auto got = session->run(basisWorkload(
+                    prep, bases, points[idx], 256));
+                for (std::size_t i = 0; i < got.size(); ++i)
+                    expectBitIdentical(reference[idx][i], got[i]);
+            }
+            done_clients.fetch_add(1);
+        };
+        std::thread ta(client, 0);
+        std::thread tb(client, 3);
+        // Shut down mid-flight: admitted work drains, later
+        // submissions fall back to inline execution.
+        service.shutdown();
+        ta.join();
+        tb.join();
+        EXPECT_EQ(done_clients.load(), 2);
+    }
+}
+
+TEST(ExecutionService, RejectsForeignBackends)
+{
+    IdealExecutor mine(1), other(2);
+    ServiceConfig sc;
+    sc.threads = 1;
+    ExecutionService service(mine, sc);
+    RuntimeConfig rc;
+    EXPECT_DEATH(
+        { auto s = service.openSession(other, rc); }, "backend");
+}
+
+TEST(ExecutionService, ClearSharedCachesFencesDedupeNotResults)
+{
+    EfficientSU2 ansatz(AnsatzConfig{4, 1, Entanglement::Linear});
+    auto prep = std::make_shared<const Circuit>(ansatz.circuit());
+    const auto params = ansatz.initialParameters(51);
+    const Batch batch =
+        basisWorkload(prep, tfimBases(4), params, 256);
+
+    IdealExecutor exec(29);
+    ServiceConfig sc;
+    sc.threads = 1;
+    ExecutionService service(exec, sc);
+    auto session = service.createSession();
+
+    const auto first = session->run(batch);
+    const std::uint64_t executed = exec.circuitsExecuted();
+    ASSERT_GT(executed, 0u);
+
+    // Fenced: the repeat re-executes everything (each phase pays
+    // its own way) yet reproduces every result bit for bit.
+    service.clearSharedCaches();
+    const auto second = session->run(batch);
+    EXPECT_EQ(exec.circuitsExecuted(), 2 * executed);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectBitIdentical(first[i], second[i]);
+
+    // Unfenced: the next repeat is answered entirely from cache.
+    const auto third = session->run(batch);
+    EXPECT_EQ(exec.circuitsExecuted(), 2 * executed);
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectBitIdentical(first[i], third[i]);
+}
+
+TEST(Executor, ExecutorsCanShareOneSimEngine)
+{
+    // setSimEngine() installs one engine — hence one StateCache —
+    // into several executors. Prepared states are pure functions of
+    // (prefix ops, params), independent of any backend's noise or
+    // seed, so sharing skips preparations without being able to
+    // change a result.
+    EfficientSU2 ansatz(AnsatzConfig{4, 2, Entanglement::Linear});
+    auto prep = std::make_shared<const Circuit>(ansatz.circuit());
+    const auto params = ansatz.initialParameters(61);
+    const DeviceModel device = DeviceModel::uniform(4, 0.02, 0.05);
+    const Batch batch =
+        basisWorkload(prep, tfimBases(4), params, 512);
+
+    NoisyExecutor a(device, GateNoiseMode::AnalyticDepolarizing, 5);
+    NoisyExecutor b_shared(device,
+                           GateNoiseMode::AnalyticDepolarizing, 6);
+    NoisyExecutor b_private(device,
+                            GateNoiseMode::AnalyticDepolarizing, 6);
+    b_shared.setSimEngine(a.sharedSimEngine());
+    ASSERT_EQ(&b_shared.simEngine(), &a.simEngine());
+
+    RuntimeConfig rc;
+    BatchExecutor ra(a, rc), rbs(b_shared, rc), rbp(b_private, rc);
+    ra.run(batch);
+    const std::uint64_t preps_after_a =
+        a.simEngine().stats().prepSimulations;
+    ASSERT_GT(preps_after_a, 0u);
+
+    const auto res_shared = rbs.run(batch);
+    // b's jobs found a's prepared state: no new preparation ran.
+    EXPECT_EQ(a.simEngine().stats().prepSimulations, preps_after_a);
+
+    // And sharing changed nothing: identical to an executor with
+    // its own engine and the same seed.
+    const auto res_private = rbp.run(batch);
+    ASSERT_EQ(res_private.size(), res_shared.size());
+    for (std::size_t i = 0; i < res_private.size(); ++i)
+        expectBitIdentical(res_private[i], res_shared[i]);
+}
+
+TEST(JobLedger, LruEvictsColdKeysKeepsHotOnes)
+{
+    // The submission-order-deterministic LRU that replaced the
+    // reproducibility bulk-clear: pushing past the cap evicts the
+    // least-recently-claimed key only, so a hot key survives any
+    // number of one-shot claims.
+    ResultCache cache(8);
+    JobLedger ledger(2);
+    auto key = [](std::uint64_t n) {
+        return JobKey{n, 0, 64};
+    };
+
+    auto hot = ledger.claim(key(1), 64, cache);
+    ASSERT_FALSE(hot.duplicate());
+    hot.publish->set_value(Pmf(1));
+    ledger.store(key(1), Pmf(1), cache);
+
+    for (std::uint64_t cold = 2; cold < 6; ++cold) {
+        // Touch the hot key, then claim a fresh cold one: the cap
+        // (2) forces an eviction that must always pick the cold
+        // predecessor, never the just-touched hot key.
+        auto again = ledger.claim(key(1), 64, cache);
+        ASSERT_TRUE(again.duplicate());
+        auto fresh = ledger.claim(key(cold), 64, cache);
+        ASSERT_FALSE(fresh.duplicate());
+        fresh.publish->set_value(Pmf(1));
+        ledger.store(key(cold), Pmf(1), cache);
+        EXPECT_EQ(ledger.size(), 2u);
+    }
+    EXPECT_TRUE(ledger.claim(key(1), 64, cache).duplicate());
+    // Cold keys were evicted: claiming one again is a fresh miss.
+    auto evicted = ledger.claim(key(2), 64, cache);
+    EXPECT_FALSE(evicted.duplicate());
+    evicted.publish->set_value(Pmf(1));
+}
+
+TEST(BatchExecutor, HotResultsSurviveTheCacheBoundary)
+{
+    // End-to-end view of the same property: a runtime whose cap is
+    // smaller than the tick's key count still answers the repeated
+    // hot submissions from cache instead of bulk-clearing — and
+    // with content-derived streams the results are bit-identical
+    // to an uncapped run.
+    IdealExecutor exec(7);
+    RuntimeConfig config;
+    config.cacheResults = true;
+    config.cacheMaxEntries = 4;
+    BatchExecutor runtime(exec, config);
+
+    Circuit hot(2);
+    hot.h(0).cx(0, 1).measureAll();
+    auto coldCircuit = [](double theta) {
+        Circuit c(2);
+        c.ry(0, theta).measureAll();
+        return c;
+    };
+
+    const Pmf first = runtime.runOne(hot, {}, 256);
+    std::uint64_t executed = exec.circuitsExecuted();
+    for (int i = 0; i < 12; ++i) {
+        // Interleave: hot key re-claimed, then a cold one-shot key.
+        const Pmf again = runtime.runOne(hot, {}, 256);
+        expectBitIdentical(first, again);
+        runtime.runOne(coldCircuit(0.1 * (i + 1)), {}, 256);
+    }
+    // The hot key never re-executed: 12 cold executions only.
+    EXPECT_EQ(exec.circuitsExecuted(), executed + 12);
+    EXPECT_GE(runtime.cacheStats().hits, 12u);
+}
+
+} // namespace
+} // namespace varsaw

@@ -210,13 +210,18 @@ TEST(BaselineEstimator, WeightedShotsReduceEnergyVariance)
     EfficientSU2 ansatz(AnsatzConfig{3, 2, Entanglement::Linear});
     const auto params = ansatz.initialParameters(13);
 
+    // Sampling streams are content-addressed: re-estimating at the
+    // same parameters redraws the SAME shots by design, so the
+    // independent samples for the spread come from varying the
+    // backend seed instead of repeating one estimator.
     auto spread = [&](ShotAllocation alloc, std::uint64_t seed) {
-        IdealExecutor exec(seed);
-        BaselineEstimator est(h, ansatz.circuit(), exec, 64,
-                              BasisMode::Cover, alloc);
         std::vector<double> samples;
-        for (int r = 0; r < 60; ++r)
+        for (int r = 0; r < 60; ++r) {
+            IdealExecutor exec(seed + static_cast<std::uint64_t>(r));
+            BaselineEstimator est(h, ansatz.circuit(), exec, 64,
+                                  BasisMode::Cover, alloc);
             samples.push_back(est.estimate(params));
+        }
         return stddev(samples);
     };
     EXPECT_LT(spread(ShotAllocation::CoefficientWeighted, 5),
