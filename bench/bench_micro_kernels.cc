@@ -27,6 +27,7 @@
  * oversubscribed 8-thread rows.
  */
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -37,6 +38,8 @@
 
 #include "common.hh"
 #include "sim/statevector.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "util/csv.hh"
 #include "util/parallel.hh"
 
@@ -225,6 +228,61 @@ kernelCases(int n, const Statevector &input)
     return cases;
 }
 
+/**
+ * Telemetry-guard overhead: the same serial apply1Q sweep bare vs
+ * wrapped in the library's disabled-telemetry publishing pattern
+ * (ScopedSpan + two metricsEnabled() guards — strictly MORE guard
+ * work than any real instrumentation site, which never wraps a
+ * kernel). Telemetry is forced off for the measurement, so this is
+ * exactly the "compiled in but disabled" cost the determinism
+ * contract promises is near-zero. Returns the overhead percentage;
+ * negative values are timing noise.
+ */
+double
+measureGuardOverheadPercent(int n, int reps)
+{
+    const Statevector input = makeInput(n);
+    const Matrix2 h = gates::fixedMatrix(GateKind::H);
+    Statevector work(n);
+
+    const bool metricsWere = telemetry::metricsEnabled();
+    const bool tracingWas = telemetry::tracingEnabled();
+    telemetry::setMetricsEnabled(false);
+    telemetry::setTracingEnabled(false);
+
+    auto &dummy = telemetry::MetricsRegistry::instance().counter(
+        "bench.guard_overhead_probe");
+
+    // Interleave the two variants rep by rep so frequency drift
+    // hits both equally.
+    double bare = 0.0, guarded = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        work.copyFrom(input);
+        {
+            Stopwatch watch;
+            work.apply1Q(0, h);
+            bare += watch.seconds();
+        }
+        work.copyFrom(input);
+        {
+            Stopwatch watch;
+            {
+                telemetry::ScopedSpan span("bench-guard", 0);
+                work.apply1Q(0, h);
+                if (telemetry::metricsEnabled())
+                    dummy.add();
+            }
+            if (telemetry::metricsEnabled())
+                dummy.add();
+            guarded += watch.seconds();
+        }
+    }
+
+    telemetry::setMetricsEnabled(metricsWere);
+    telemetry::setTracingEnabled(tracingWas);
+    return bare > 0.0 ? 100.0 * (guarded - bare) / bare : 0.0;
+}
+
 std::vector<int>
 parseIntList(const char *env, const std::vector<int> &dflt)
 {
@@ -359,6 +417,21 @@ main(int argc, char **argv)
     }
     setKernelThreads(entry_threads);
     table.print();
+
+    // Telemetry-guard overhead: serial apply1Q, telemetry compiled
+    // in but disabled (the acceptance bound is < 1%; single runs
+    // are noisy, so CI gates bit-identity, not this percentage).
+    {
+        setKernelThreads(1);
+        const int guard_n =
+            sizes.empty() ? 20 : std::min(sizes.front(), 22);
+        const double pct = measureGuardOverheadPercent(
+            guard_n, std::max(8, 4 * reps));
+        std::printf("\ntelemetry guard overhead (disabled, %dq "
+                    "serial apply1Q): %+.3f%%\n",
+                    guard_n, pct);
+        setKernelThreads(entry_threads);
+    }
 
     if (mismatches != 0) {
         std::printf("\n%d threaded kernel row(s) diverged from the "

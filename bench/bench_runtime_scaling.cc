@@ -45,6 +45,7 @@
 #include "pauli/subsetting.hh"
 #include "runtime/batch_executor.hh"
 #include "service/execution_service.hh"
+#include "telemetry/metrics.hh"
 #include "util/csv.hh"
 #include "vqa/ansatz.hh"
 #include "vqa/estimator.hh"
@@ -120,7 +121,20 @@ struct SharedModeResult
     std::uint64_t crossSessionHits = 0;
     double varsawEnergySum = 0.0;
     double baselineEnergySum = 0.0;
+    /** Delta of the service.cross_session_hits registry counter
+     * over the run — must agree with crossSessionHits (the
+     * SessionStats-derived number) when metrics are on. */
+    std::uint64_t metricCrossSessionHits = 0;
 };
+
+/** Current value of a registry counter (0 when absent). */
+std::uint64_t
+counterValue(const char *name)
+{
+    return static_cast<std::uint64_t>(
+        telemetry::MetricsRegistry::instance().snapshot().value(
+            name));
+}
 
 /**
  * Run the two-estimator workload in one mode. @p shared routes both
@@ -161,6 +175,8 @@ measureSharedMode(bool shared, int total_threads,
                                vconfig.runtime);
 
     SharedModeResult m;
+    const std::uint64_t metric_hits_before =
+        counterValue("service.cross_session_hits");
     Stopwatch watch;
     std::thread varsaw_client([&] {
         for (const auto &params : points)
@@ -174,8 +190,12 @@ measureSharedMode(bool shared, int total_threads,
     baseline_client.join();
     m.seconds = watch.seconds();
     m.circuitsExecuted = exec.circuitsExecuted();
-    if (service)
+    if (service) {
         m.crossSessionHits = service->stats().crossSessionHits;
+        m.metricCrossSessionHits =
+            counterValue("service.cross_session_hits") -
+            metric_hits_before;
+    }
     return m;
 }
 
@@ -256,8 +276,26 @@ runSharedServiceComparison(int total_threads, const Hamiltonian &h,
                          "fewer circuits than private mode\n");
             std::exit(1);
         }
+        // The registry mirrors SessionStats at the same accounting
+        // point, so the counter delta over the shared run must equal
+        // the service's own number exactly (benches force metrics on
+        // in parseStandardArgs).
+        if (telemetry::metricsEnabled() &&
+            shared.metricCrossSessionHits !=
+                shared.crossSessionHits) {
+            std::fprintf(
+                stderr,
+                "CHECK FAILED: registry cross-session hits (%llu) "
+                "!= SessionStats cross-session hits (%llu)\n",
+                static_cast<unsigned long long>(
+                    shared.metricCrossSessionHits),
+                static_cast<unsigned long long>(
+                    shared.crossSessionHits));
+            std::exit(1);
+        }
         std::printf("CHECK PASSED: cross-session dedupe active, "
-                    "energies bit-identical\n");
+                    "energies bit-identical, telemetry counter "
+                    "matches SessionStats\n");
     }
 }
 

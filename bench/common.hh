@@ -22,6 +22,11 @@
  *   --service-threads=N  worker count for shared ExecutionServices
  *                        constructed with threads = 0 (instead of
  *                        VARSAW_SERVICE_THREADS)
+ *   --metrics-out=PATH   telemetry JSON snapshot destination
+ *                        (default: <bench>_metrics.json — every
+ *                        bench emits one alongside its CSV)
+ *   --trace-out=PATH     Chrome trace_event JSON destination
+ *                        (off unless given or VARSAW_TRACE_OUT set)
  */
 
 #ifndef VARSAW_BENCH_COMMON_HH
@@ -36,24 +41,40 @@
 #include "chem/molecules.hh"
 #include "core/varsaw.hh"
 #include "sim/sim_engine.hh"
+#include "telemetry/exporters.hh"
 #include "util/table.hh"
 #include "vqa/vqe.hh"
 
 namespace varsaw::bench {
 
 /**
- * Apply the standard per-run flags (--cache-bytes, --kernel-threads)
- * shared by every bench and example driver. Call first thing in
- * main(), before any executor/engine is constructed and before
- * positional argument parsing — consumed flags are stripped from
- * argv and argc is updated. Returns false (after a diagnostic on
- * stderr) when a recognized flag has a bad value; drivers should
- * exit non-zero in that case.
+ * Apply the standard per-run flags (--cache-bytes, --kernel-threads,
+ * --metrics-out, --trace-out, ...) shared by every bench and example
+ * driver. Call first thing in main(), before any executor/engine is
+ * constructed and before positional argument parsing — consumed
+ * flags are stripped from argv and argc is updated. Returns false
+ * (after a diagnostic on stderr) when a recognized flag has a bad
+ * value; drivers should exit non-zero in that case.
+ *
+ * Benches additionally always enable metrics and default the
+ * snapshot destination to `<basename(argv[0])>_metrics.json`, so
+ * every bench emits cache-hit/dedupe telemetry alongside its CSV —
+ * a later --metrics-out / VARSAW_METRICS_OUT wins over the default.
  */
 inline bool
 parseStandardArgs(int &argc, char **argv)
 {
-    return applyRuntimeFlags(argc, argv);
+    const bool ok = applyRuntimeFlags(argc, argv);
+    if (telemetry::metricsOutPath().empty() && argc > 0 &&
+        argv[0] && argv[0][0] != '\0') {
+        std::string base = argv[0];
+        const std::size_t slash = base.find_last_of('/');
+        if (slash != std::string::npos)
+            base = base.substr(slash + 1);
+        telemetry::setMetricsOutPath(base + "_metrics.json");
+    }
+    telemetry::setMetricsEnabled(true);
+    return ok;
 }
 
 /** Integer knob from the environment with a default. */

@@ -10,7 +10,13 @@
  * service's sharing statistics.
  *
  *   $ ./quickstart [--cache-bytes=N] [--kernel-threads=N]
- *                  [--service-threads=N]
+ *                  [--service-threads=N] [--metrics-out=PATH]
+ *                  [--trace-out=PATH]
+ *
+ * With --metrics-out (or VARSAW_METRICS_OUT) a JSON snapshot of the
+ * process-wide telemetry registry is written at exit; --trace-out
+ * dumps per-job spans as Chrome trace JSON. A short registry
+ * summary prints either way when telemetry is enabled.
  */
 
 #include <cstdio>
@@ -20,6 +26,8 @@
 #include "core/varsaw.hh"
 #include "service/execution_service.hh"
 #include "sim/sim_engine.hh"
+#include "telemetry/exporters.hh"
+#include "telemetry/metrics.hh"
 #include "util/table.hh"
 #include "vqa/vqe.hh"
 
@@ -133,6 +141,26 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(
                     stats.jobsSubmitted),
                 100.0 * stats.cache.hitRate());
+    // The same numbers (and much more: state-cache residency,
+    // scheduler latencies, per-session dedupe) are queryable from
+    // the process-wide telemetry registry whenever it is enabled
+    // (--metrics-out, VARSAW_TELEMETRY=1, ...).
+    if (telemetry::metricsEnabled()) {
+        const auto snap =
+            telemetry::MetricsRegistry::instance().snapshot();
+        std::printf(
+            "\ntelemetry registry (%zu series): "
+            "%.0f result-cache hits, %.0f prep sims, "
+            "%.0f chunks executed\n",
+            snap.metrics.size(),
+            snap.value("runtime.result_cache.hits"),
+            snap.value("sim.engine.prep_simulations"),
+            snap.value("service.scheduler.chunks_executed"));
+        if (!telemetry::metricsOutPath().empty())
+            std::printf("metrics snapshot will be written to %s\n",
+                        telemetry::metricsOutPath().c_str());
+    }
+
     std::printf("\nreference (exact): %.4f Ha. VarSaw should land "
                 "closest for the same budget.\n", reference);
     return 0;

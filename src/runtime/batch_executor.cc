@@ -5,11 +5,38 @@
 #include <utility>
 
 #include "sim/sim_engine.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/rng.hh"
 
 namespace varsaw {
+
+namespace {
+
+/** Submission-side mirror under `runtime.batch_executor.*`. */
+struct BatchMetrics
+{
+    telemetry::Counter &jobsSubmitted;
+    telemetry::Counter &batchesSubmitted;
+    telemetry::Counter &inlineJobs;
+
+    static BatchMetrics &
+    get()
+    {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        static BatchMetrics *m = new BatchMetrics{
+            reg.counter("runtime.batch_executor.jobs_submitted"),
+            reg.counter(
+                "runtime.batch_executor.batches_submitted"),
+            reg.counter("runtime.batch_executor.inline_jobs"),
+        };
+        return *m;
+    }
+};
+
+} // namespace
 
 BatchExecutor::BatchExecutor(Executor &backend, RuntimeConfig config)
     : backend_(backend), config_(config),
@@ -82,6 +109,15 @@ BatchExecutor::submitOne(
 {
     const JobKey key = makeJobKey(job);
     nextJobIndex_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::metricsEnabled()) {
+        auto &m = BatchMetrics::get();
+        m.jobsSubmitted.add();
+        if (config_.threads <= 1)
+            m.inlineJobs.add();
+    }
+    if (telemetry::tracingEnabled())
+        telemetry::SpanTracer::instance().instant("enqueue",
+                                                  jobStream(key));
 
     // Cache mode: the ledger decides — in submission order —
     // whether this submission is the key's primary (the one that
@@ -198,6 +234,8 @@ BatchExecutor::submit(const Batch &batch)
 {
     std::vector<std::future<Pmf>> futures;
     futures.reserve(batch.size());
+    if (telemetry::metricsEnabled())
+        BatchMetrics::get().batchesSubmitted.add();
     if (config_.threads <= 1) {
         // Inline execution completes before submit() returns; no
         // shared copy of the batch is needed.

@@ -3,9 +3,42 @@
 #include <utility>
 
 #include "mitigation/executor.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "util/logging.hh"
 
 namespace varsaw {
+
+namespace {
+
+/**
+ * Dedupe-ledger mirror under `runtime.ledger.*` plus the per-job
+ * execution latency histogram. Trace events correlate stages of one
+ * job by jobStream(key) — a pure content function, so the same
+ * submission carries the same id across runs and sessions.
+ */
+struct LedgerMetrics
+{
+    telemetry::Counter &dedupeHits;
+    telemetry::Counter &claims;
+    telemetry::Counter &evictions;
+    telemetry::Histogram &jobLatencyNs;
+
+    static LedgerMetrics &
+    get()
+    {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        static LedgerMetrics *m = new LedgerMetrics{
+            reg.counter("runtime.ledger.dedupe_hits"),
+            reg.counter("runtime.ledger.claims"),
+            reg.counter("runtime.ledger.evictions"),
+            reg.histogram("runtime.job_latency_ns"),
+        };
+        return *m;
+    }
+};
+
+} // namespace
 
 JobLedger::JobLedger(std::size_t max_entries)
     : maxEntries_(max_entries)
@@ -24,6 +57,11 @@ JobLedger::claim(const JobKey &key, std::uint64_t shots,
     if (it != entries_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second.lruIt);
         cache.creditHit(shots);
+        if (telemetry::metricsEnabled())
+            LedgerMetrics::get().dedupeHits.add();
+        if (telemetry::tracingEnabled())
+            telemetry::SpanTracer::instance().instant(
+                "dedupe-hit", jobStream(key));
         if (primary_owner)
             *primary_owner = it->second.owner;
         return {it->second.primary, nullptr};
@@ -39,6 +77,8 @@ JobLedger::claim(const JobKey &key, std::uint64_t shots,
         lru_.pop_back();
         entries_.erase(victim);
         cache.erase(victim);
+        if (telemetry::metricsEnabled())
+            LedgerMetrics::get().evictions.add();
     }
     auto publish = std::make_shared<std::promise<Pmf>>();
     Entry entry{publish->get_future().share(), owner, {}};
@@ -46,6 +86,11 @@ JobLedger::claim(const JobKey &key, std::uint64_t shots,
     entry.lruIt = lru_.begin();
     entries_.emplace(key, std::move(entry));
     cache.creditMiss();
+    if (telemetry::metricsEnabled())
+        LedgerMetrics::get().claims.add();
+    if (telemetry::tracingEnabled())
+        telemetry::SpanTracer::instance().instant("claim",
+                                                  jobStream(key));
     return {{}, std::move(publish)};
 }
 
@@ -74,11 +119,17 @@ JobLedger::executeAndPublish(
     ResultCache *cache,
     const std::shared_ptr<std::promise<Pmf>> &publish)
 {
+    telemetry::ScopedSpan span("job", jobStream(key));
     Pmf result = backend.executeJob(job, jobStream(key));
+    if (telemetry::metricsEnabled() && span.armed())
+        LedgerMetrics::get().jobLatencyNs.record(span.elapsedNs());
     if (cache)
         store(key, result, *cache);
     if (publish)
         publish->set_value(result);
+    if (telemetry::tracingEnabled())
+        telemetry::SpanTracer::instance().instant(
+            "complete", jobStream(key));
     return result;
 }
 

@@ -1,8 +1,42 @@
 #include "runtime/result_cache.hh"
 
+#include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
 namespace varsaw {
+
+namespace {
+
+/**
+ * Process-wide mirror of CacheStats under `runtime.result_cache.*`
+ * (aggregated across every ResultCache instance). References are
+ * cached once; each publish is one relaxed add behind the
+ * metricsEnabled() guard.
+ */
+struct CacheMetrics
+{
+    telemetry::Counter &hits;
+    telemetry::Counter &misses;
+    telemetry::Counter &insertions;
+    telemetry::Counter &evictions;
+    telemetry::Counter &shotsSaved;
+
+    static CacheMetrics &
+    get()
+    {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        static CacheMetrics *m = new CacheMetrics{
+            reg.counter("runtime.result_cache.hits"),
+            reg.counter("runtime.result_cache.misses"),
+            reg.counter("runtime.result_cache.insertions"),
+            reg.counter("runtime.result_cache.evictions"),
+            reg.counter("runtime.result_cache.shots_saved"),
+        };
+        return *m;
+    }
+};
+
+} // namespace
 
 ResultCache::ResultCache(std::size_t max_entries)
     : maxEntries_(max_entries)
@@ -18,11 +52,18 @@ ResultCache::lookup(const JobKey &key)
     auto it = entries_.find(key);
     if (it == entries_.end()) {
         ++stats_.misses;
+        if (telemetry::metricsEnabled())
+            CacheMetrics::get().misses.add();
         return std::nullopt;
     }
     ++stats_.hits;
     ++stats_.circuitsSaved;
     stats_.shotsSaved += key.shots;
+    if (telemetry::metricsEnabled()) {
+        auto &m = CacheMetrics::get();
+        m.hits.add();
+        m.shotsSaved.add(key.shots);
+    }
     lru_.splice(lru_.begin(), lru_, it->second.lruIt);
     return it->second.result;
 }
@@ -34,6 +75,11 @@ ResultCache::creditHit(std::uint64_t shots)
     ++stats_.hits;
     ++stats_.circuitsSaved;
     stats_.shotsSaved += shots;
+    if (telemetry::metricsEnabled()) {
+        auto &m = CacheMetrics::get();
+        m.hits.add();
+        m.shotsSaved.add(shots);
+    }
 }
 
 void
@@ -41,6 +87,8 @@ ResultCache::creditMiss()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.misses;
+    if (telemetry::metricsEnabled())
+        CacheMetrics::get().misses.add();
 }
 
 void
@@ -53,6 +101,8 @@ ResultCache::erase(const JobKey &key)
     lru_.erase(it->second.lruIt);
     entries_.erase(it);
     ++stats_.evictions;
+    if (telemetry::metricsEnabled())
+        CacheMetrics::get().evictions.add();
 }
 
 void
@@ -65,10 +115,14 @@ ResultCache::insert(const JobKey &key, const Pmf &result)
     lru_.push_front(key);
     it->second.lruIt = lru_.begin();
     ++stats_.insertions;
+    if (telemetry::metricsEnabled())
+        CacheMetrics::get().insertions.add();
     while (entries_.size() > maxEntries_) {
         entries_.erase(lru_.back());
         lru_.pop_back();
         ++stats_.evictions;
+        if (telemetry::metricsEnabled())
+            CacheMetrics::get().evictions.add();
     }
 }
 

@@ -5,10 +5,79 @@
 #include <unordered_map>
 #include <utility>
 
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
 namespace varsaw {
+
+namespace {
+
+/** Service-wide mirror under `service.*`. */
+struct ServiceMetrics
+{
+    telemetry::Counter &sessionsOpened;
+    telemetry::Counter &jobsSubmitted;
+    telemetry::Counter &crossSessionHits;
+
+    static ServiceMetrics &
+    get()
+    {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        static ServiceMetrics *m = new ServiceMetrics{
+            reg.counter("service.sessions_opened"),
+            reg.counter("service.jobs_submitted"),
+            reg.counter("service.cross_session_hits"),
+        };
+        return *m;
+    }
+};
+
+/** Label value identifying a session: its name, or "s<id>". */
+std::string
+sessionLabel(const Session &session)
+{
+    if (!session.name().empty())
+        return session.name();
+    return "s" + std::to_string(session.id());
+}
+
+/**
+ * Per-session labeled counters under `service.session.*{session=X}`.
+ * Looked up once per submit() batch (a registry-mutex lookup), then
+ * bumped with the batch's tallies — never per job.
+ */
+struct SessionBatchMetrics
+{
+    telemetry::Counter &jobs;
+    telemetry::Counter &hits;
+    telemetry::Counter &crossHits;
+    telemetry::Counter &misses;
+    telemetry::Counter &shotsSaved;
+    telemetry::Counter &inlineJobs;
+
+    static SessionBatchMetrics
+    forSession(const Session &session)
+    {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        const auto label = [&session](const char *base) {
+            return telemetry::labeled(
+                base, {{"session", sessionLabel(session)}});
+        };
+        return SessionBatchMetrics{
+            reg.counter(label("service.session.jobs_submitted")),
+            reg.counter(label("service.session.cache_hits")),
+            reg.counter(
+                label("service.session.cross_session_hits")),
+            reg.counter(label("service.session.cache_misses")),
+            reg.counter(label("service.session.shots_saved")),
+            reg.counter(label("service.session.inline_jobs")),
+        };
+    }
+};
+
+} // namespace
 
 // ---- Session ---------------------------------------------------------------
 
@@ -25,6 +94,8 @@ Session::Session(ExecutionService *service,
 {
     service_->sessionsOpened_.fetch_add(1,
                                         std::memory_order_relaxed);
+    if (telemetry::metricsEnabled())
+        ServiceMetrics::get().sessionsOpened.add();
 }
 
 Session::~Session()
@@ -174,6 +245,7 @@ ExecutionService::stats() const
         crossSessionHits_.load(std::memory_order_relaxed);
     stats.chunksExecuted = scheduler_.chunksExecuted();
     stats.kernelAssists = scheduler_.kernelAssists();
+    stats.kernelAssistedChunks = scheduler_.assistedChunks();
     stats.cache = cache_.stats();
     return stats;
 }
@@ -190,6 +262,14 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
                             std::memory_order_relaxed);
     jobsSubmitted_.fetch_add(batch.size(),
                              std::memory_order_relaxed);
+
+    // Batch-local telemetry tallies, published once after the
+    // admission loop so labeled counters cost one registry lookup
+    // per batch, not per job.
+    const bool metricsOn = telemetry::metricsEnabled();
+    std::uint64_t tallyHits = 0, tallyCrossHits = 0,
+                  tallyMisses = 0, tallyShotsSaved = 0,
+                  tallyInline = 0;
 
     // Task closures reference the jobs through shared batch storage
     // (one copy per submit), so futures stay valid even if the
@@ -209,6 +289,10 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
     for (std::size_t i = 0; i < owned->size(); ++i) {
         const CircuitJob &job = (*owned)[i];
         const JobKey key = makeJobKey(job);
+        if (telemetry::tracingEnabled())
+            telemetry::SpanTracer::instance().instant(
+                "enqueue", jobStream(key),
+                sessionLabel(session).c_str());
 
         // Shared-ledger admission in submission order: the first
         // session to claim a key (across ALL tenants) executes it;
@@ -227,17 +311,21 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
                                         std::memory_order_relaxed);
                 session.shotsSaved_.fetch_add(
                     job.shots, std::memory_order_relaxed);
+                ++tallyHits;
+                tallyShotsSaved += job.shots;
                 if (primary_owner != session.id_) {
                     session.crossHits_.fetch_add(
                         1, std::memory_order_relaxed);
                     crossSessionHits_.fetch_add(
                         1, std::memory_order_relaxed);
+                    ++tallyCrossHits;
                 }
                 futures.push_back(
                     JobLedger::deferToPrimary(std::move(claim)));
                 continue;
             }
             session.misses_.fetch_add(1, std::memory_order_relaxed);
+            ++tallyMisses;
             publish = std::move(claim.publish);
         }
 
@@ -280,8 +368,23 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
         if (!scheduler_.enqueue(session.queue_, runner)) {
             session.inlineJobs_.fetch_add(
                 shared->size(), std::memory_order_relaxed);
+            tallyInline += shared->size();
             runner();
         }
+    }
+
+    if (metricsOn) {
+        ServiceMetrics &svc = ServiceMetrics::get();
+        svc.jobsSubmitted.add(batch.size());
+        svc.crossSessionHits.add(tallyCrossHits);
+        SessionBatchMetrics m =
+            SessionBatchMetrics::forSession(session);
+        m.jobs.add(batch.size());
+        m.hits.add(tallyHits);
+        m.crossHits.add(tallyCrossHits);
+        m.misses.add(tallyMisses);
+        m.shotsSaved.add(tallyShotsSaved);
+        m.inlineJobs.add(tallyInline);
     }
     return futures;
 }

@@ -140,6 +140,11 @@ struct ServiceStats
     /** Kernel loops idle workers were lent to. */
     std::uint64_t kernelAssists = 0;
 
+    /** Kernel chunks those lent workers actually ran — the work
+     * that, before this counter, appeared in no stats struct (see
+     * ServiceScheduler::assistedChunks). */
+    std::uint64_t kernelAssistedChunks = 0;
+
     /** Shared result-cache statistics (all sessions combined). */
     CacheStats cache;
 };

@@ -1,9 +1,37 @@
 #include "service/scheduler.hh"
 
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
 namespace varsaw {
+
+namespace {
+
+/** Worker-utilization mirror under `service.scheduler.*`. */
+struct SchedulerMetrics
+{
+    telemetry::Counter &chunksExecuted;
+    telemetry::Counter &kernelAssists;
+    telemetry::Counter &assistedChunks;
+    telemetry::Histogram &chunkLatencyNs;
+
+    static SchedulerMetrics &
+    get()
+    {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        static SchedulerMetrics *m = new SchedulerMetrics{
+            reg.counter("service.scheduler.chunks_executed"),
+            reg.counter("service.scheduler.kernel_assists"),
+            reg.counter("service.scheduler.assisted_chunks"),
+            reg.histogram("service.scheduler.chunk_latency_ns"),
+        };
+        return *m;
+    }
+};
+
+} // namespace
 
 ServiceScheduler::ServiceScheduler(int threads)
 {
@@ -128,7 +156,16 @@ ServiceScheduler::workerLoop()
             }
         }
         if (task) {
-            task();
+            {
+                telemetry::ScopedSpan span("chunk", 0);
+                task();
+                if (telemetry::metricsEnabled()) {
+                    auto &m = SchedulerMetrics::get();
+                    m.chunksExecuted.add();
+                    if (span.armed())
+                        m.chunkLatencyNs.record(span.elapsedNs());
+                }
+            }
             chunksExecuted_.fetch_add(1, std::memory_order_relaxed);
             std::lock_guard<std::mutex> lock(mutex_);
             --runningCount_;
@@ -138,9 +175,18 @@ ServiceScheduler::workerLoop()
             // Idle: lend this worker to engaged kernel loops until
             // none need help, then go back to waiting for batch
             // work.
-            while (detail::assistOneKernelJob())
+            std::uint64_t ran;
+            while ((ran = detail::assistOneKernelJob()) > 0) {
                 kernelAssists_.fetch_add(1,
                                          std::memory_order_relaxed);
+                assistedChunks_.fetch_add(
+                    ran, std::memory_order_relaxed);
+                if (telemetry::metricsEnabled()) {
+                    auto &m = SchedulerMetrics::get();
+                    m.kernelAssists.add();
+                    m.assistedChunks.add(ran);
+                }
+            }
         }
     }
 }

@@ -106,13 +106,26 @@ class ServiceScheduler
     }
 
     /**
-     * Kernel loops idle workers were lent to so far (a lower bound
-     * on lending activity: one count per assist engagement, however
-     * many chunks it claimed).
+     * Kernel loops idle workers were lent to so far (one count per
+     * assist engagement; see assistedChunks() for the work done).
      */
     std::uint64_t kernelAssists() const
     {
         return kernelAssists_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Kernel chunks actually run by lent idle workers. This is the
+     * work that used to be invisible: it shows up in neither
+     * chunksExecuted() (not a batch task) nor the standalone pool's
+     * helper counts (assist hosts bypass the pool's own workers).
+     * With it, this scheduler's utilization adds up:
+     * chunksExecuted() batch closures + assistedChunks() kernel
+     * chunks is everything its threads ever ran.
+     */
+    std::uint64_t assistedChunks() const
+    {
+        return assistedChunks_.load(std::memory_order_relaxed);
     }
 
   private:
@@ -147,6 +160,7 @@ class ServiceScheduler
     std::uint64_t kernelSignals_ = 0;
     std::atomic<std::uint64_t> chunksExecuted_{0};
     std::atomic<std::uint64_t> kernelAssists_{0};
+    std::atomic<std::uint64_t> assistedChunks_{0};
     int assistHostId_ = -1;
     std::vector<std::thread> workers_;
 };

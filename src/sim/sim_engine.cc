@@ -15,10 +15,51 @@
 // computation" means.
 #include "sim/circuit_hash.hh"
 #include "sim/statevector.hh"
+#include "telemetry/exporters.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
 namespace varsaw {
+
+namespace {
+
+/**
+ * Process-wide mirror of SimEngineStats under `sim.engine.*`, plus
+ * latency histograms for the three evaluation paths (the timing the
+ * ad-hoc structs never had).
+ */
+struct EngineMetrics
+{
+    telemetry::Counter &prepSimulations;
+    telemetry::Counter &suffixApplications;
+    telemetry::Counter &fullSimulations;
+    telemetry::Counter &scratchReuses;
+    telemetry::Counter &scratchAllocs;
+    telemetry::Histogram &prepLatencyNs;
+    telemetry::Histogram &suffixLatencyNs;
+    telemetry::Histogram &fullSimLatencyNs;
+
+    static EngineMetrics &
+    get()
+    {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        static EngineMetrics *m = new EngineMetrics{
+            reg.counter("sim.engine.prep_simulations"),
+            reg.counter("sim.engine.suffix_applications"),
+            reg.counter("sim.engine.full_simulations"),
+            reg.counter("sim.engine.suffix_scratch_reuses"),
+            reg.counter("sim.engine.suffix_scratch_allocs"),
+            reg.histogram("sim.engine.prep_latency_ns"),
+            reg.histogram("sim.engine.suffix_latency_ns"),
+            reg.histogram("sim.engine.full_sim_latency_ns"),
+        };
+        return *m;
+    }
+};
+
+} // namespace
 
 namespace {
 
@@ -141,6 +182,10 @@ parsePositive(const char *text, std::uint64_t *out)
 bool
 applyRuntimeFlags(int &argc, char **argv)
 {
+    // Referencing the telemetry env knobs here also guarantees the
+    // exporter object (with its static-init env shim) is linked
+    // into every driver that parses runtime flags.
+    telemetry::installTelemetryEnvKnobs();
     bool ok = true;
     int keep = 1; // argv[0] always stays
     for (int i = 1; i < argc; ++i) {
@@ -152,8 +197,12 @@ applyRuntimeFlags(int &argc, char **argv)
             name = arg.substr(0, eq);
             value = argv[i] + eq + 1;
         }
-        if (name != "--cache-bytes" && name != "--kernel-threads" &&
-            name != "--service-threads") {
+        const bool numericFlag = name == "--cache-bytes" ||
+            name == "--kernel-threads" ||
+            name == "--service-threads";
+        const bool pathFlag =
+            name == "--metrics-out" || name == "--trace-out";
+        if (!numericFlag && !pathFlag) {
             argv[keep++] = argv[i];
             continue;
         }
@@ -161,14 +210,27 @@ applyRuntimeFlags(int &argc, char **argv)
         // parses or not, so positional parsing never sees it.
         if (!value) {
             if (i + 1 >= argc) {
-                std::fprintf(stderr,
-                             "%s requires a positive integer "
-                             "value\n",
-                             name.c_str());
+                std::fprintf(stderr, "%s requires a %s value\n",
+                             name.c_str(),
+                             pathFlag ? "file path"
+                                      : "positive integer");
                 ok = false;
                 continue;
             }
             value = argv[++i];
+        }
+        if (pathFlag) {
+            if (value[0] == '\0') {
+                std::fprintf(stderr, "%s: empty path\n",
+                             name.c_str());
+                ok = false;
+                continue;
+            }
+            if (name == "--metrics-out")
+                telemetry::setMetricsOutPath(value);
+            else
+                telemetry::setTraceOutPath(value);
+            continue;
         }
         std::uint64_t parsed = 0;
         if (!parsePositive(value, &parsed)) {
@@ -240,23 +302,40 @@ SimEngine::measuredMarginal(const Circuit *prep,
 
     if (!cacheEnabled()) {
         // Uncached: the identical gate sequence on one fresh state.
+        telemetry::ScopedSpan span("full-sim", 0);
         Statevector sv(n);
         sv.applyOps(prefixOps, prefixCount, params);
         sv.applyOps(tailOps, tailCount, params);
         sv.applyOps(suffixOps, suffixCount, params);
         fullSimulations_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry::metricsEnabled()) {
+            auto &m = EngineMetrics::get();
+            m.fullSimulations.add();
+            if (span.armed())
+                m.fullSimLatencyNs.record(span.elapsedNs());
+        }
         return sv.marginalProbabilities(circuit.measuredQubits());
     }
 
     const PrepKey key = prepKeyOf(prep, circuit, params);
     StateCache::StatePtr prepared = cache_.getOrPrepare(key, [&] {
+        telemetry::ScopedSpan span("prep", 0);
         auto state = std::make_shared<Statevector>(n);
         state->applyOps(prefixOps, prefixCount, params);
         prepSimulations_.fetch_add(1, std::memory_order_relaxed);
+        if (telemetry::metricsEnabled()) {
+            auto &m = EngineMetrics::get();
+            m.prepSimulations.add();
+            if (span.armed())
+                m.prepLatencyNs.record(span.elapsedNs());
+        }
         return StateCache::StatePtr(std::move(state));
     });
 
     suffixApplications_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::metricsEnabled())
+        EngineMetrics::get().suffixApplications.add();
+    telemetry::ScopedSpan suffixSpan("suffix-eval", 0);
 
     // All-Z bases have no suffix gates at all: answer straight from
     // the shared immutable state, skipping the dense copy.
@@ -279,15 +358,24 @@ SimEngine::measuredMarginal(const Circuit *prep,
         sv = t_suffixScratch.get();
         suffixScratchAllocs_.fetch_add(1,
                                        std::memory_order_relaxed);
+        if (telemetry::metricsEnabled())
+            EngineMetrics::get().scratchAllocs.add();
     } else if (sv->copyFrom(*prepared)) {
         suffixScratchReuses_.fetch_add(1,
                                        std::memory_order_relaxed);
+        if (telemetry::metricsEnabled())
+            EngineMetrics::get().scratchReuses.add();
     } else {
         suffixScratchAllocs_.fetch_add(1,
                                        std::memory_order_relaxed);
+        if (telemetry::metricsEnabled())
+            EngineMetrics::get().scratchAllocs.add();
     }
     sv->applyOps(tailOps, tailCount, params);
     sv->applyOps(suffixOps, suffixCount, params);
+    if (telemetry::metricsEnabled() && suffixSpan.armed())
+        EngineMetrics::get().suffixLatencyNs.record(
+            suffixSpan.elapsedNs());
     return sv->marginalProbabilities(circuit.measuredQubits());
 }
 

@@ -141,8 +141,17 @@ void setDefaultCacheByteBudget(std::uint64_t bytes);
  *   --service-threads=N  worker count of shared ExecutionServices
  *                        constructed with threads = 0
  *                        (setDefaultServiceThreads)
+ *   --metrics-out=PATH   enable metrics; write a JSON snapshot of
+ *                        the telemetry registry to PATH at exit
+ *                        (telemetry::setMetricsOutPath)
+ *   --trace-out=PATH     enable span tracing; write Chrome
+ *                        trace_event JSON to PATH at exit
+ *                        (telemetry::setTraceOutPath)
  *
- * Both accept `--flag N` as well as `--flag=N`. Consumed flags
+ * All accept `--flag V` as well as `--flag=V`. The VARSAW_TELEMETRY
+ * / VARSAW_METRICS_OUT / VARSAW_TRACE_OUT / VARSAW_TRACE_EVENTS /
+ * VARSAW_TELEMETRY_FLUSH_MS environment knobs are applied first
+ * (telemetry::installTelemetryEnvKnobs). Consumed flags
  * (and their value arguments) are REMOVED from argv and @p argc is
  * updated, so positional argument parsing in the drivers is
  * undisturbed. Unrecognized arguments are kept in place (drivers

@@ -2,9 +2,44 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
 namespace varsaw {
+
+namespace {
+
+/**
+ * Process-wide mirror of StateCacheStats under `sim.state_cache.*`
+ * (aggregated across every StateCache instance; the byte gauges sum
+ * deltas, so they too aggregate correctly).
+ */
+struct StateCacheMetrics
+{
+    telemetry::Counter &hits;
+    telemetry::Counter &misses;
+    telemetry::Counter &evictions;
+    telemetry::Counter &clears;
+    telemetry::Gauge &bytesResident;
+    telemetry::Gauge &peakBytes;
+
+    static StateCacheMetrics &
+    get()
+    {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        static StateCacheMetrics *m = new StateCacheMetrics{
+            reg.counter("sim.state_cache.hits"),
+            reg.counter("sim.state_cache.misses"),
+            reg.counter("sim.state_cache.evictions"),
+            reg.counter("sim.state_cache.clears"),
+            reg.gauge("sim.state_cache.bytes_resident"),
+            reg.gauge("sim.state_cache.peak_bytes"),
+        };
+        return *m;
+    }
+};
+
+} // namespace
 
 StateCache::StateCache(std::uint64_t byte_budget,
                        std::size_t max_entries)
@@ -20,6 +55,12 @@ StateCache::evictOneLocked()
     const PrepKey victim = lru_.back();
     auto it = entries_.find(victim);
     stats_.bytesResident -= it->second.bytes;
+    if (telemetry::metricsEnabled()) {
+        auto &m = StateCacheMetrics::get();
+        m.evictions.add();
+        m.bytesResident.add(
+            -static_cast<std::int64_t>(it->second.bytes));
+    }
     entries_.erase(it);
     lru_.pop_back();
     ++stats_.evictions;
@@ -36,6 +77,8 @@ StateCache::getOrPrepare(const PrepKey &key,
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             ++stats_.hits;
+            if (telemetry::metricsEnabled())
+                StateCacheMetrics::get().hits.add();
             // Touch: a completed entry moves to the front of the
             // LRU order. In-flight entries are not in lru_ yet;
             // they enter at the front on completion, which places
@@ -45,6 +88,8 @@ StateCache::getOrPrepare(const PrepKey &key,
             waitOn = it->second.future;
         } else {
             ++stats_.misses;
+            if (telemetry::metricsEnabled())
+                StateCacheMetrics::get().misses.add();
             entries_.emplace(key,
                              Entry{publish.get_future().share(), 0,
                                    false, lru_.end()});
@@ -92,6 +137,13 @@ StateCache::getOrPrepare(const PrepKey &key,
         stats_.bytesResident += entry.bytes;
         stats_.peakBytes =
             std::max(stats_.peakBytes, stats_.bytesResident);
+        if (telemetry::metricsEnabled()) {
+            auto &m = StateCacheMetrics::get();
+            m.bytesResident.add(
+                static_cast<std::int64_t>(entry.bytes));
+            m.peakBytes.setMax(
+                m.bytesResident.value());
+        }
         // Byte budget (and the entry cap deferred at claim time),
         // paid at completion (the first point the entry's width —
         // hence size — is known). The entry that just completed is
@@ -117,6 +169,12 @@ StateCache::clear()
     for (const PrepKey &key : lru_)
         entries_.erase(key);
     lru_.clear();
+    if (telemetry::metricsEnabled()) {
+        auto &m = StateCacheMetrics::get();
+        m.clears.add();
+        m.bytesResident.add(
+            -static_cast<std::int64_t>(stats_.bytesResident));
+    }
     stats_.bytesResident = 0;
     ++stats_.clears;
 }

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Telemetry exporters: JSON metric snapshots, Prometheus-style text,
+ * Chrome trace_event JSON, and an optional periodic flusher thread.
+ *
+ * Exporters are pull-only: they take a MetricsSnapshot / drain the
+ * SpanTracer and serialize it — they never touch component state, so
+ * exporting (like all telemetry) cannot perturb results.
+ *
+ * Knob wiring (installTelemetryEnvKnobs, run once at static init):
+ *   VARSAW_TELEMETRY=1        enable metrics + tracing
+ *   VARSAW_METRICS_OUT=PATH   enable metrics; JSON snapshot at exit
+ *   VARSAW_TRACE_OUT=PATH     enable tracing; Chrome JSON at exit
+ *   VARSAW_TRACE_EVENTS=N     trace ring capacity (events)
+ *   VARSAW_TELEMETRY_FLUSH_MS=N  periodic snapshot flusher
+ * The drivers' --metrics-out / --trace-out flags
+ * (applyRuntimeFlags) plumb into the same setMetricsOutPath /
+ * setTraceOutPath entry points.
+ */
+
+#ifndef VARSAW_TELEMETRY_EXPORTERS_HH
+#define VARSAW_TELEMETRY_EXPORTERS_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace varsaw::telemetry {
+
+/** Serialize @p snap as a JSON object (stable key order). */
+std::string metricsToJson(const MetricsSnapshot &snap);
+
+/**
+ * Serialize @p snap in Prometheus text exposition format. Metric
+ * names have '.' mapped to '_' and labels re-quoted; histograms
+ * become cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+ */
+std::string metricsToPrometheus(const MetricsSnapshot &snap);
+
+/**
+ * Serialize trace events as Chrome trace_event JSON (the
+ * `{"traceEvents": [...]}` object form; open in a flame viewer).
+ * Spans become "X" (complete) events, instants "i"; timestamps are
+ * µs from the earliest event; each event carries pid=1, tid, name,
+ * and args.job / args.detail.
+ */
+std::string traceToChromeJson(const std::vector<TraceEvent> &events);
+
+/** Write @p text to @p path (warn + false on failure). */
+bool writeTextFile(const std::string &path, const std::string &text);
+
+/**
+ * Snapshot the registry and write JSON to @p path.
+ * Convenience: writeTextFile(path, metricsToJson(snapshot())).
+ */
+bool writeMetricsJson(const std::string &path);
+
+/** Snapshot the registry and write Prometheus text to @p path. */
+bool writeMetricsPrometheus(const std::string &path);
+
+/** Drain the tracer and write Chrome trace JSON to @p path. */
+bool writeTraceJson(const std::string &path);
+
+/**
+ * Arrange for a metrics JSON snapshot to be written to @p path at
+ * normal process exit (and enable metrics now). Empty path cancels.
+ * The exit hook is registered once; the latest path wins.
+ */
+void setMetricsOutPath(const std::string &path);
+
+/** As setMetricsOutPath, for the Chrome trace JSON (enables
+ * tracing now). */
+void setTraceOutPath(const std::string &path);
+
+/** Configured exit-dump paths (empty when unset). */
+std::string metricsOutPath();
+std::string traceOutPath();
+
+/**
+ * Write both configured exit dumps immediately (no-op for unset
+ * paths). Benches call this before reporting so the files exist
+ * even if the process is long-lived.
+ */
+void flushTelemetryOutputs();
+
+/**
+ * Background thread that rewrites the configured metrics/trace
+ * output files every @p periodMs until stopped. Purely an observer:
+ * holds no component locks, only registry snapshots.
+ */
+class PeriodicFlusher
+{
+  public:
+    explicit PeriodicFlusher(unsigned periodMs);
+    ~PeriodicFlusher();
+
+    PeriodicFlusher(const PeriodicFlusher &) = delete;
+    PeriodicFlusher &operator=(const PeriodicFlusher &) = delete;
+
+    void stop();
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+/**
+ * Read the VARSAW_TELEMETRY / VARSAW_METRICS_OUT / VARSAW_TRACE_OUT /
+ * VARSAW_TRACE_EVENTS / VARSAW_TELEMETRY_FLUSH_MS environment knobs
+ * and apply them. Runs once (idempotent); invoked from a static
+ * initializer in exporters.cc so every binary that links telemetry
+ * honors the env without code changes.
+ */
+void installTelemetryEnvKnobs();
+
+} // namespace varsaw::telemetry
+
+#endif // VARSAW_TELEMETRY_EXPORTERS_HH

@@ -1,0 +1,242 @@
+#include "telemetry/metrics.hh"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/parallel.hh"
+
+namespace varsaw::telemetry {
+
+namespace detail {
+std::atomic<bool> g_metricsEnabled{false};
+} // namespace detail
+
+void
+setMetricsEnabled(bool enabled)
+{
+#if !defined(VARSAW_TELEMETRY_DISABLE)
+    detail::g_metricsEnabled.store(enabled,
+                                   std::memory_order_relaxed);
+#else
+    (void)enabled;
+#endif
+}
+
+std::string
+labeled(const std::string &base,
+        std::initializer_list<std::pair<const char *, std::string>>
+            labels)
+{
+    if (labels.size() == 0)
+        return base;
+    std::string out = base;
+    out += '{';
+    bool first = true;
+    for (const auto &[key, value] : labels) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += key;
+        out += '=';
+        out += value;
+    }
+    out += '}';
+    return out;
+}
+
+double
+MetricsSnapshot::value(const std::string &name) const
+{
+    for (const auto &m : metrics)
+        if (m.name == name)
+            return m.value;
+    return 0.0;
+}
+
+const std::uint64_t Histogram::kBucketBoundsNs[Histogram::kBuckets -
+                                               1] = {
+    // Powers of 4 from 1 µs: 1µs, 4µs, 16µs, ..., ~4.4s. The 14th
+    // bucket catches everything longer.
+    1'000ull,         4'000ull,         16'000ull,
+    64'000ull,        256'000ull,       1'024'000ull,
+    4'096'000ull,     16'384'000ull,    65'536'000ull,
+    262'144'000ull,   1'048'576'000ull, 4'194'304'000ull,
+    16'777'216'000ull,
+};
+
+/**
+ * Instruments live in node-stable maps (unique_ptr values), so the
+ * references handed out by counter()/gauge()/histogram() survive
+ * every later registration. std::map keeps names sorted, making
+ * snapshots and exports deterministic in layout.
+ */
+struct MetricsRegistry::Impl
+{
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, std::function<double()>> callbacks;
+};
+
+MetricsRegistry::MetricsRegistry() : impl_(new Impl) {}
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Heap-allocated and never destroyed: worker threads (kernel
+    // pool, scheduler, flusher) may publish metrics during process
+    // teardown, after static destructors would have run.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto &slot = impl_->counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto &slot = impl_->gauges[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    auto &slot = impl_->histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+MetricsRegistry::registerCallback(const std::string &name,
+                                  std::function<double()> fn)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->callbacks[name] = std::move(fn);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::map<std::string, std::function<double()>> callbacks;
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        snap.metrics.reserve(impl_->counters.size() +
+                             impl_->gauges.size() +
+                             impl_->histograms.size() +
+                             impl_->callbacks.size());
+        for (const auto &[name, c] : impl_->counters) {
+            MetricValue v;
+            v.name = name;
+            v.kind = MetricValue::Kind::Counter;
+            v.value = static_cast<double>(c->value());
+            snap.metrics.push_back(std::move(v));
+        }
+        for (const auto &[name, g] : impl_->gauges) {
+            MetricValue v;
+            v.name = name;
+            v.kind = MetricValue::Kind::Gauge;
+            v.value = static_cast<double>(g->value());
+            snap.metrics.push_back(std::move(v));
+        }
+        for (const auto &[name, h] : impl_->histograms) {
+            MetricValue v;
+            v.name = name;
+            v.kind = MetricValue::Kind::Histogram;
+            v.count = h->count();
+            v.sumNs = h->sumNs();
+            v.value = static_cast<double>(v.sumNs);
+            v.bucketCounts.reserve(Histogram::kBuckets);
+            for (int b = 0; b < Histogram::kBuckets; ++b)
+                v.bucketCounts.push_back(h->bucketCount(b));
+            snap.metrics.push_back(std::move(v));
+        }
+        callbacks = impl_->callbacks;
+    }
+    // Callbacks run outside the registry mutex: they may read
+    // arbitrary component state whose own locks must never nest
+    // under ours.
+    for (const auto &[name, fn] : callbacks) {
+        MetricValue v;
+        v.name = name;
+        v.kind = MetricValue::Kind::Gauge;
+        v.value = fn ? fn() : 0.0;
+        snap.metrics.push_back(std::move(v));
+    }
+    std::sort(snap.metrics.begin(), snap.metrics.end(),
+              [](const MetricValue &a, const MetricValue &b) {
+                  return a.name < b.name;
+              });
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    for (auto &[name, c] : impl_->counters)
+        c->reset();
+    for (auto &[name, g] : impl_->gauges)
+        g->reset();
+    for (auto &[name, h] : impl_->histograms)
+        h->reset();
+}
+
+namespace {
+
+/**
+ * Builtin snapshot-time views of the kernel pool's role-split work
+ * counters (util/parallel.cc). The pool itself cannot publish —
+ * util/ must not depend on telemetry/ — so the telemetry layer
+ * reads its plain atomics lazily here.
+ */
+struct KernelPoolMetricsShim
+{
+    KernelPoolMetricsShim()
+    {
+        auto &reg = MetricsRegistry::instance();
+        reg.registerCallback(
+            "util.kernel_pool.engaged_loops", [] {
+                return static_cast<double>(
+                    kernelPoolStats().engagedLoops);
+            });
+        reg.registerCallback(
+            "util.kernel_pool.caller_chunks", [] {
+                return static_cast<double>(
+                    kernelPoolStats().callerChunks);
+            });
+        reg.registerCallback(
+            "util.kernel_pool.helper_chunks", [] {
+                return static_cast<double>(
+                    kernelPoolStats().helperChunks);
+            });
+        reg.registerCallback(
+            "util.kernel_pool.assisted_chunks", [] {
+                return static_cast<double>(
+                    kernelPoolStats().assistedChunks);
+            });
+    }
+};
+
+KernelPoolMetricsShim s_kernelPoolMetricsShim;
+
+} // namespace
+
+} // namespace varsaw::telemetry

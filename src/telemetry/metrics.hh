@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * fixed-bucket latency histograms.
+ *
+ * VarSaw's savings are an accounting story — circuits deduped, prep
+ * states reused, shots saved — but before this layer every component
+ * kept its own ad-hoc Stats struct reachable only from code that
+ * holds the component instance. The registry gives the process ONE
+ * queryable place: components lazily register instruments by name
+ * (`layer.component.metric`, optional `{label=value}` suffix) and
+ * publish into them from their existing accounting points, so a
+ * snapshot of the whole stack — runtime caches, prep-state cache,
+ * engine work counters, scheduler utilization, per-session dedupe —
+ * can be taken at any moment without touching any component.
+ *
+ * Design rules:
+ *  - **Lock-free hot path.** Registration (name lookup) takes a
+ *    mutex once; callers cache the returned reference and every
+ *    subsequent add()/set()/record() is a relaxed atomic op.
+ *    Instruments are never deleted, so cached references stay valid
+ *    for the life of the process.
+ *  - **Snapshot-on-read.** snapshot() walks the registry under the
+ *    registration mutex and reads each atomic once; concurrent
+ *    writers are never blocked. Values in one snapshot are
+ *    per-instrument atomic, not globally consistent — totals keep
+ *    monotonicity, exactness is only guaranteed once writers quiesce.
+ *  - **Telemetry never affects results.** Instruments observe;
+ *    nothing in the library reads a metric to make a decision. The
+ *    full suite is bit-identical with telemetry on, off, or compiled
+ *    out (-DVARSAW_TELEMETRY_DISABLE).
+ *  - **Near-zero cost when disabled.** Publishing sites guard on
+ *    metricsEnabled() — one relaxed atomic bool load, or a
+ *    compile-time `false` under VARSAW_TELEMETRY_DISABLE so the
+ *    whole site folds away.
+ *
+ * Layering: telemetry/ depends only on util/ (CI grep-enforced);
+ * every other layer may depend on telemetry/.
+ */
+
+#ifndef VARSAW_TELEMETRY_METRICS_HH
+#define VARSAW_TELEMETRY_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace varsaw::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_metricsEnabled;
+} // namespace detail
+
+/**
+ * Whether metric publishing sites should record. One relaxed atomic
+ * load; constant false (dead-code-eliminating every guarded site)
+ * when compiled with -DVARSAW_TELEMETRY_DISABLE.
+ */
+inline bool
+metricsEnabled()
+{
+#if defined(VARSAW_TELEMETRY_DISABLE)
+    return false;
+#else
+    return detail::g_metricsEnabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/** Turn metric collection on or off (results never depend on it). */
+void setMetricsEnabled(bool enabled);
+
+/** Monotonic event count. */
+class Counter
+{
+  public:
+    /** Add @p n (relaxed; safe from any thread). */
+    void add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Zero the counter (tests / phase fences only). */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Instantaneous signed level (bytes resident, entries held, ...). */
+class Gauge
+{
+  public:
+    void set(std::int64_t value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    void add(std::int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** Raise the gauge to @p value if it is higher (peak tracking). */
+    void setMax(std::int64_t value)
+    {
+        std::int64_t seen = value_.load(std::memory_order_relaxed);
+        while (value > seen &&
+               !value_.compare_exchange_weak(
+                   seen, value, std::memory_order_relaxed))
+            ;
+    }
+
+    std::int64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Fixed-bucket latency histogram (nanoseconds). The bucket bounds
+ * are a compile-time constant shared by every histogram — 1 µs to
+ * ~17 s in powers of 4 plus an overflow bucket — so recording is one
+ * small loop over constants plus two relaxed adds, and snapshots
+ * from different components are directly comparable.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 14;
+
+    /** Inclusive upper bounds (ns) of buckets [0, kBuckets - 1);
+     * the last bucket is the overflow. */
+    static const std::uint64_t kBucketBoundsNs[kBuckets - 1];
+
+    /** Index of the bucket @p ns falls into. */
+    static int bucketOf(std::uint64_t ns)
+    {
+        int b = 0;
+        while (b < kBuckets - 1 && ns > kBucketBoundsNs[b])
+            ++b;
+        return b;
+    }
+
+    /** Record one duration (relaxed; safe from any thread). */
+    void record(std::uint64_t ns)
+    {
+        counts_[bucketOf(ns)].fetch_add(1,
+                                        std::memory_order_relaxed);
+        sumNs_.fetch_add(ns, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t sumNs() const
+    {
+        return sumNs_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t bucketCount(int bucket) const
+    {
+        return counts_[bucket].load(std::memory_order_relaxed);
+    }
+
+    void reset()
+    {
+        for (auto &c : counts_)
+            c.store(0, std::memory_order_relaxed);
+        sumNs_.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> counts_[kBuckets]{};
+    std::atomic<std::uint64_t> sumNs_{0};
+    std::atomic<std::uint64_t> count_{0};
+};
+
+/** One instrument's value at snapshot time. */
+struct MetricValue
+{
+    enum class Kind { Counter, Gauge, Histogram };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+
+    /** Counter/gauge value (sum for histograms, in ns). */
+    double value = 0.0;
+
+    /** Histogram only: per-bucket counts and the total. */
+    std::vector<std::uint64_t> bucketCounts;
+    std::uint64_t count = 0;
+    std::uint64_t sumNs = 0;
+};
+
+/** The registry's state at one moment, sorted by metric name. */
+struct MetricsSnapshot
+{
+    std::vector<MetricValue> metrics;
+
+    /** Value of a counter/gauge by exact name (0 when absent). */
+    double value(const std::string &name) const;
+};
+
+/**
+ * Canonical labeled metric name: `base{k1=v1,k2=v2}`. Labels are
+ * part of the instrument identity — two label sets are two
+ * instruments. Label values must not contain '}', ',' or '='.
+ */
+std::string
+labeled(const std::string &base,
+        std::initializer_list<std::pair<const char *, std::string>>
+            labels);
+
+/** The process-wide registry (see file comment). */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /**
+     * The counter named @p name, lazily registered on first use.
+     * The reference is stable for the life of the process — cache
+     * it; lookups take the registration mutex.
+     */
+    Counter &counter(const std::string &name);
+
+    /** The gauge named @p name (same contract as counter()). */
+    Gauge &gauge(const std::string &name);
+
+    /** The histogram named @p name (same contract as counter()). */
+    Histogram &histogram(const std::string &name);
+
+    /**
+     * Register a gauge evaluated lazily at snapshot time — for
+     * values owned by code the registry must not hold hot-path
+     * hooks into (e.g. the kernel pool's utilization counters).
+     * Re-registering a name replaces the callback. @p fn must be
+     * callable from any thread.
+     */
+    void registerCallback(const std::string &name,
+                          std::function<double()> fn);
+
+    /**
+     * Read every instrument (and callback) once. Never blocks
+     * writers; see the snapshot-on-read note in the file comment.
+     */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Zero every registered instrument (instruments and callbacks
+     * stay registered). Tests and measurement-phase fences only —
+     * never changes any result.
+     */
+    void reset();
+
+  private:
+    MetricsRegistry();
+    ~MetricsRegistry() = delete; // immortal: cached refs never dangle
+
+    struct Impl;
+    Impl *impl_;
+};
+
+} // namespace varsaw::telemetry
+
+#endif // VARSAW_TELEMETRY_METRICS_HH

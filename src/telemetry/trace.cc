@@ -1,0 +1,201 @@
+#include "telemetry/trace.hh"
+
+#include <cstring>
+#include <mutex>
+
+namespace varsaw::telemetry {
+
+namespace detail {
+std::atomic<bool> g_tracingEnabled{false};
+} // namespace detail
+
+void
+setTracingEnabled(bool enabled)
+{
+#if !defined(VARSAW_TELEMETRY_DISABLE)
+    detail::g_tracingEnabled.store(enabled,
+                                   std::memory_order_relaxed);
+#else
+    (void)enabled;
+#endif
+}
+
+std::uint32_t
+currentThreadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::uint64_t
+nextTraceJobId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+TraceEvent::setName(const char *s)
+{
+    if (!s) {
+        name[0] = '\0';
+        return;
+    }
+    std::strncpy(name, s, kMaxName - 1);
+    name[kMaxName - 1] = '\0';
+}
+
+void
+TraceEvent::setDetail(const char *s)
+{
+    if (!s) {
+        detail[0] = '\0';
+        return;
+    }
+    std::strncpy(detail, s, kMaxName - 1);
+    detail[kMaxName - 1] = '\0';
+}
+
+namespace {
+
+/** One ring slot: payload plus the seqlock-lite stamp. */
+struct Slot
+{
+    TraceEvent ev;
+    /** 0 = being written; otherwise 1 + the head index that wrote
+     * it, so a reader can tell which generation it sees. */
+    std::atomic<std::uint64_t> stamp{0};
+};
+
+struct Ring
+{
+    explicit Ring(std::size_t n) : slots(n), mask(n - 1) {}
+    std::vector<Slot> slots;
+    std::size_t mask;
+    std::atomic<std::uint64_t> head{0};
+};
+
+std::size_t
+roundUpPow2(std::size_t n)
+{
+    std::size_t p = 8;
+    while (p < n && p < (std::size_t{1} << 30))
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+struct SpanTracer::Impl
+{
+    /** Current ring; replaced (never freed) by setCapacity. */
+    std::atomic<Ring *> ring;
+    /** Guards replacement and keeps retired rings reachable (leaked
+     * deliberately: a racing writer may hold a stale pointer
+     * indefinitely, and rings are few and small). */
+    std::mutex swapMutex;
+    std::vector<Ring *> retired;
+};
+
+SpanTracer::SpanTracer() : impl_(new Impl)
+{
+    impl_->ring.store(new Ring(kDefaultCapacity),
+                      std::memory_order_release);
+}
+
+SpanTracer &
+SpanTracer::instance()
+{
+    static SpanTracer *tracer = new SpanTracer();
+    return *tracer;
+}
+
+void
+SpanTracer::setCapacity(std::size_t capacity)
+{
+    Ring *fresh = new Ring(roundUpPow2(capacity));
+    std::lock_guard<std::mutex> lock(impl_->swapMutex);
+    impl_->retired.push_back(
+        impl_->ring.exchange(fresh, std::memory_order_acq_rel));
+}
+
+std::size_t
+SpanTracer::capacity() const
+{
+    return impl_->ring.load(std::memory_order_acquire)
+               ->slots.size();
+}
+
+void
+SpanTracer::record(const TraceEvent &ev)
+{
+    Ring *ring = impl_->ring.load(std::memory_order_acquire);
+    const std::uint64_t idx =
+        ring->head.fetch_add(1, std::memory_order_relaxed);
+    Slot &slot = ring->slots[idx & ring->mask];
+    // Clear the stamp first so a concurrent drain() never treats a
+    // half-overwritten payload as the event of either generation.
+    slot.stamp.store(0, std::memory_order_release);
+    slot.ev = ev;
+    slot.stamp.store(idx + 1, std::memory_order_release);
+}
+
+void
+SpanTracer::instant(const char *name, std::uint64_t jobId,
+                    const char *detail)
+{
+    if (!tracingEnabled())
+        return;
+    TraceEvent ev;
+    ev.kind = TraceEvent::Kind::Instant;
+    ev.setName(name);
+    if (detail)
+        ev.setDetail(detail);
+    ev.jobId = jobId;
+    ev.beginNs = ev.endNs = nowNs();
+    ev.threadId = currentThreadId();
+    record(ev);
+}
+
+std::vector<TraceEvent>
+SpanTracer::drain() const
+{
+    Ring *ring = impl_->ring.load(std::memory_order_acquire);
+    const std::uint64_t head =
+        ring->head.load(std::memory_order_acquire);
+    const std::uint64_t n = ring->slots.size();
+    const std::uint64_t first = head > n ? head - n : 0;
+    std::vector<TraceEvent> out;
+    out.reserve(static_cast<std::size_t>(head - first));
+    for (std::uint64_t i = first; i < head; ++i) {
+        Slot &slot = ring->slots[i & ring->mask];
+        const std::uint64_t want = i + 1;
+        if (slot.stamp.load(std::memory_order_acquire) != want)
+            continue; // mid-write or already overwritten
+        TraceEvent copy = slot.ev;
+        // Re-check: if a writer started after our first check, the
+        // copy may be torn — drop it.
+        if (slot.stamp.load(std::memory_order_acquire) != want)
+            continue;
+        out.push_back(copy);
+    }
+    return out;
+}
+
+std::uint64_t
+SpanTracer::recorded() const
+{
+    return impl_->ring.load(std::memory_order_acquire)
+        ->head.load(std::memory_order_relaxed);
+}
+
+void
+SpanTracer::clear()
+{
+    // Reuse the swap path: a fresh ring of the same capacity.
+    setCapacity(capacity());
+}
+
+} // namespace varsaw::telemetry

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Per-job span tracing into a bounded ring buffer.
+ *
+ * Every stage of a job's lifecycle — enqueue → admit → dedupe-hit or
+ * claim → prep → suffix-eval → complete — stamps a TraceEvent with
+ * monotonic-clock timestamps into a process-wide ring buffer. The
+ * buffer is bounded and overwrites oldest-first, so tracing can stay
+ * on for a whole VQA run at fixed memory cost; exporters
+ * (telemetry/exporters.hh) drain it into Chrome `trace_event` JSON
+ * for flame-graph viewers.
+ *
+ * Concurrency model (seqlock-lite): writers reserve a slot with one
+ * relaxed fetch_add on the head counter, then write the event
+ * payload guarded by a per-slot stamp — stamp is cleared (0,
+ * release) before the payload write and set to index+1 (release)
+ * after it. drain() computes each slot's expected stamp from the
+ * head, copies the payload, and re-checks the stamp on both sides of
+ * the copy; any slot a writer is mid-flight in fails the check and
+ * is skipped. No writer ever blocks on a reader or another writer.
+ *
+ * Determinism: tracing records what happened and when; nothing reads
+ * a trace to make a decision, timestamps never feed back into
+ * scheduling, and a full slot just overwrites. Results are
+ * bit-identical with tracing on, off, or at any capacity — a
+ * CI-gated invariant (tests/telemetry/test_bit_identity.cc).
+ */
+
+#ifndef VARSAW_TELEMETRY_TRACE_HH
+#define VARSAW_TELEMETRY_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace varsaw::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_tracingEnabled;
+} // namespace detail
+
+/**
+ * Whether span sites should record. One relaxed atomic load;
+ * constant false under -DVARSAW_TELEMETRY_DISABLE.
+ */
+inline bool
+tracingEnabled()
+{
+#if defined(VARSAW_TELEMETRY_DISABLE)
+    return false;
+#else
+    return detail::g_tracingEnabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/** Turn span tracing on or off (results never depend on it). */
+void setTracingEnabled(bool enabled);
+
+/** Monotonic nanoseconds since an arbitrary process-local epoch. */
+inline std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Small dense id of the calling thread (stable per thread). */
+std::uint32_t currentThreadId();
+
+/** One recorded span or instant. */
+struct TraceEvent
+{
+    enum class Kind : std::uint8_t {
+        Span,   ///< Duration [beginNs, endNs] ("X" in Chrome JSON).
+        Instant ///< Point event at beginNs ("i" in Chrome JSON).
+    };
+
+    /** Truncated copy bound for name/detail (keeps slots POD-sized
+     * and writer copies bounded). */
+    static constexpr std::size_t kMaxName = 48;
+
+    Kind kind = Kind::Span;
+    char name[kMaxName] = {};   ///< Stage name ("job", "prep", ...).
+    char detail[kMaxName] = {}; ///< Free-form arg (key hash, ...).
+    std::uint64_t beginNs = 0;
+    std::uint64_t endNs = 0;
+    std::uint64_t jobId = 0;   ///< Correlates stages of one job.
+    std::uint32_t threadId = 0;
+
+    void setName(const char *s);
+    void setDetail(const char *s);
+};
+
+/**
+ * The process-wide bounded trace ring (see file comment). Capacity
+ * is set before or between runs (setCapacity is NOT safe concurrent
+ * with recording); record() and drain() are safe from any thread at
+ * any time.
+ */
+class SpanTracer
+{
+  public:
+    static SpanTracer &instance();
+
+    static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+    /**
+     * Resize the ring (rounded up to a power of two, min 8) and
+     * discard recorded events. Call only while no thread is
+     * recording; the previous buffer is retired, never freed, so a
+     * stale writer cannot fault.
+     */
+    void setCapacity(std::size_t capacity);
+
+    std::size_t capacity() const;
+
+    /** Record one event (overwrites oldest when full). */
+    void record(const TraceEvent &ev);
+
+    /** Record an instant event with the current timestamp. */
+    void instant(const char *name, std::uint64_t jobId,
+                 const char *detail = nullptr);
+
+    /**
+     * Copy out every completely-written event, oldest first.
+     * Mid-flight slots are skipped (see file comment).
+     */
+    std::vector<TraceEvent> drain() const;
+
+    /** Total record() calls so far (events recorded, kept or not). */
+    std::uint64_t recorded() const;
+
+    /** Discard recorded events; capacity unchanged. */
+    void clear();
+
+  private:
+    SpanTracer();
+    ~SpanTracer() = delete; // immortal, like the registry
+
+    struct Impl;
+    Impl *impl_;
+};
+
+/** Process-unique id for correlating one job's spans. */
+std::uint64_t nextTraceJobId();
+
+/**
+ * RAII span: stamps begin at construction, records at destruction.
+ * All cost is behind tracingEnabled() — a disabled ScopedSpan is one
+ * relaxed load and two dead branches.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char *name, std::uint64_t jobId,
+               const char *detail = nullptr)
+    {
+        if (!tracingEnabled())
+            return;
+        armed_ = true;
+        ev_.kind = TraceEvent::Kind::Span;
+        ev_.setName(name);
+        if (detail)
+            ev_.setDetail(detail);
+        ev_.jobId = jobId;
+        ev_.beginNs = nowNs();
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan()
+    {
+        if (!armed_)
+            return;
+        ev_.endNs = nowNs();
+        ev_.threadId = currentThreadId();
+        SpanTracer::instance().record(ev_);
+    }
+
+    /** Duration so far in ns (0 when tracing was off at start). */
+    std::uint64_t elapsedNs() const
+    {
+        return armed_ ? nowNs() - ev_.beginNs : 0;
+    }
+
+    /** Whether this span is recording (tracing was on at start). */
+    bool armed() const { return armed_; }
+
+    /** Set/replace the detail string (no-op when disarmed). */
+    void setDetail(const char *detail)
+    {
+        if (armed_)
+            ev_.setDetail(detail);
+    }
+
+  private:
+    TraceEvent ev_;
+    bool armed_ = false;
+};
+
+} // namespace varsaw::telemetry
+
+#endif // VARSAW_TELEMETRY_TRACE_HH

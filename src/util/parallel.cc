@@ -22,6 +22,17 @@ std::unordered_map<int, std::function<void()>> assistHosts;
 std::atomic<int> assistHostCount{0};
 int nextAssistHostId = 0;
 
+/**
+ * Process-wide work accounting (see KernelPoolStats). Split by the
+ * role of the thread that ran each chunk so assist-host lending is
+ * visible: callerChunks + helperChunks + assistedChunks equals the
+ * total chunk count of every engaged loop ever run.
+ */
+std::atomic<std::uint64_t> statEngagedLoops{0};
+std::atomic<std::uint64_t> statCallerChunks{0};
+std::atomic<std::uint64_t> statHelperChunks{0};
+std::atomic<std::uint64_t> statAssistedChunks{0};
+
 /** Invoke every registered host's wake callback. */
 void
 wakeAssistHosts()
@@ -57,19 +68,27 @@ struct KernelJob
     std::condition_variable doneCv;
 };
 
-/** Claim-and-run chunks of @p job until none remain. */
-void
-runChunks(KernelJob &job)
+/**
+ * Claim-and-run chunks of @p job until none remain; returns how
+ * many chunks this thread ran. @p roleCounter attributes that work
+ * to the running thread's role (caller / pool helper / lent assist
+ * host) — one relaxed add per engagement, not per chunk, so the
+ * accounting never shows up in kernel throughput.
+ */
+std::uint64_t
+runChunks(KernelJob &job, std::atomic<std::uint64_t> &roleCounter)
 {
+    std::uint64_t ran = 0;
     for (;;) {
         const std::uint64_t c =
             job.next.fetch_add(1, std::memory_order_relaxed);
         if (c >= job.numChunks)
-            return;
+            break;
         const std::uint64_t begin = c * job.chunkSize;
         const std::uint64_t end =
             std::min(job.total, begin + job.chunkSize);
         (*job.fn)(c, begin, end);
+        ++ran;
         // acq_rel: publishes this chunk's writes to whoever observes
         // the final count (the waiting caller).
         if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
@@ -78,6 +97,9 @@ runChunks(KernelJob &job)
             job.doneCv.notify_all();
         }
     }
+    if (ran > 0)
+        roleCounter.fetch_add(ran, std::memory_order_relaxed);
+    return ran;
 }
 
 /**
@@ -106,7 +128,8 @@ class KernelPool
         }
         wake_.notify_all();
         wakeAssistHosts();
-        runChunks(job);
+        statEngagedLoops.fetch_add(1, std::memory_order_relaxed);
+        runChunks(job, statCallerChunks);
         {
             std::lock_guard<std::mutex> lock(mutex_);
             for (auto it = jobs_.begin(); it != jobs_.end(); ++it)
@@ -130,7 +153,7 @@ class KernelPool
     }
 
     /** See detail::assistOneKernelJob(). */
-    bool
+    std::uint64_t
     assistOne()
     {
         KernelJob *job = nullptr;
@@ -149,8 +172,9 @@ class KernelPool
             }
         }
         if (!job)
-            return false;
-        runChunks(*job);
+            return 0;
+        const std::uint64_t ran =
+            runChunks(*job, statAssistedChunks);
         {
             // Under the job mutex so the caller's wait cannot miss
             // the decrement and destroy the job while this thread
@@ -162,7 +186,7 @@ class KernelPool
         // An admission slot opened for other helpers.
         wake_.notify_all();
         wakeAssistHosts();
-        return true;
+        return ran;
     }
 
     ~KernelPool()
@@ -227,7 +251,7 @@ class KernelPool
                 if (stopping_)
                     return;
             }
-            runChunks(*job);
+            runChunks(*job, statHelperChunks);
             {
                 // Under the job mutex so the caller's wait cannot
                 // miss the decrement and destroy the job while this
@@ -357,6 +381,21 @@ parallelChunkCount(std::uint64_t total)
     return (total + size - 1) / size;
 }
 
+KernelPoolStats
+kernelPoolStats()
+{
+    KernelPoolStats out;
+    out.engagedLoops =
+        statEngagedLoops.load(std::memory_order_relaxed);
+    out.callerChunks =
+        statCallerChunks.load(std::memory_order_relaxed);
+    out.helperChunks =
+        statHelperChunks.load(std::memory_order_relaxed);
+    out.assistedChunks =
+        statAssistedChunks.load(std::memory_order_relaxed);
+    return out;
+}
+
 namespace detail {
 
 void
@@ -374,7 +413,7 @@ runOnPool(std::uint64_t total, std::uint64_t chunkSize,
     KernelPool::instance().run(job);
 }
 
-bool
+std::uint64_t
 assistOneKernelJob()
 {
     return KernelPool::instance().assistOne();

@@ -125,6 +125,27 @@ void setDefaultServiceThreads(int threads);
  */
 int resolveServiceThreads(int configured);
 
+/**
+ * Cumulative kernel-pool work accounting, split by WHO ran each
+ * chunk. The three chunk counters partition every chunk ever run —
+ * caller + pool helpers + lent assist hosts — so worker utilization
+ * adds up: before this split, chunks run by lent scheduler workers
+ * (addKernelAssistHost) were invisible in every stats struct.
+ * Counters are plain relaxed atomics read here (util/ must not
+ * depend on telemetry/); the telemetry layer surfaces them as
+ * registry gauges at snapshot time.
+ */
+struct KernelPoolStats
+{
+    std::uint64_t engagedLoops = 0;   ///< Pool-run loop invocations.
+    std::uint64_t callerChunks = 0;   ///< Run by the invoking thread.
+    std::uint64_t helperChunks = 0;   ///< Run by pool worker threads.
+    std::uint64_t assistedChunks = 0; ///< Run by lent assist hosts.
+};
+
+/** Snapshot of the process-wide kernel-pool counters. */
+KernelPoolStats kernelPoolStats();
+
 namespace detail {
 
 /**
@@ -142,13 +163,14 @@ void runOnPool(std::uint64_t total, std::uint64_t chunkSize,
 /**
  * Lend the calling thread to one engaged kernel loop, if any is
  * active with unclaimed chunks and a free admission slot: claim and
- * run chunks until the loop is exhausted, then return true. Returns
- * false (without blocking) when there is nothing to help with. This
- * is how a unified scheduler's idle batch workers are lent to
- * engaged kernels; chunk decomposition is fixed, so WHO runs a
- * chunk can never change a result.
+ * run chunks until the loop is exhausted, then return the number of
+ * chunks this thread ran (counted as assistedChunks in
+ * kernelPoolStats()). Returns 0 (without blocking) when there is
+ * nothing to help with. This is how a unified scheduler's idle
+ * batch workers are lent to engaged kernels; chunk decomposition is
+ * fixed, so WHO runs a chunk can never change a result.
  */
-bool assistOneKernelJob();
+std::uint64_t assistOneKernelJob();
 
 /**
  * Register an external helper host (a unified scheduler): @p wake

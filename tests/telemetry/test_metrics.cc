@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests for the process-wide metrics registry: instrument semantics,
+ * stable references under concurrent registration, snapshot
+ * consistency while writers hammer, labeled names, callbacks, and
+ * the JSON / Prometheus exporters.
+ *
+ * The registry is process-global shared state; every test uses
+ * test-unique metric names and saves/restores the enabled flag so
+ * ordering between tests (and with the rest of the suite) cannot
+ * matter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/exporters.hh"
+#include "telemetry/metrics.hh"
+
+namespace varsaw::telemetry {
+namespace {
+
+/** Save/restore the global metrics-enabled flag around a test. */
+class MetricsFlagGuard
+{
+  public:
+    MetricsFlagGuard() : was_(metricsEnabled()) {}
+    ~MetricsFlagGuard() { setMetricsEnabled(was_); }
+
+  private:
+    bool was_;
+};
+
+TEST(Metrics, CounterGaugeBasics)
+{
+    auto &reg = MetricsRegistry::instance();
+    auto &c = reg.counter("test.metrics.basic_counter");
+    c.reset();
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+
+    auto &g = reg.gauge("test.metrics.basic_gauge");
+    g.reset();
+    g.set(-7);
+    EXPECT_EQ(g.value(), -7);
+    g.add(10);
+    EXPECT_EQ(g.value(), 3);
+    g.setMax(100);
+    EXPECT_EQ(g.value(), 100);
+    g.setMax(50); // lower: no effect
+    EXPECT_EQ(g.value(), 100);
+}
+
+TEST(Metrics, RegistrationReturnsStableReferences)
+{
+    auto &reg = MetricsRegistry::instance();
+    auto &a = reg.counter("test.metrics.stable_ref");
+    auto &b = reg.counter("test.metrics.stable_ref");
+    EXPECT_EQ(&a, &b);
+    auto &h1 = reg.histogram("test.metrics.stable_hist");
+    auto &h2 = reg.histogram("test.metrics.stable_hist");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow)
+{
+    auto &reg = MetricsRegistry::instance();
+    auto &h = reg.histogram("test.metrics.hist_buckets");
+    h.reset();
+
+    // First bound is 1 µs; everything at or under lands in bucket 0.
+    EXPECT_EQ(Histogram::bucketOf(0), 0);
+    EXPECT_EQ(Histogram::bucketOf(1'000), 0);
+    EXPECT_EQ(Histogram::bucketOf(1'001), 1);
+    // Way past the last bound: the overflow bucket.
+    EXPECT_EQ(Histogram::bucketOf(~0ull), Histogram::kBuckets - 1);
+    // Bounds are strictly increasing powers of four.
+    for (int b = 1; b < Histogram::kBuckets - 1; ++b)
+        EXPECT_EQ(Histogram::kBucketBoundsNs[b],
+                  4 * Histogram::kBucketBoundsNs[b - 1]);
+
+    h.record(500);
+    h.record(2'000);
+    h.record(~0ull / 2);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(Histogram::kBuckets - 1), 1u);
+}
+
+TEST(Metrics, LabeledNameFormat)
+{
+    EXPECT_EQ(labeled("svc.jobs", {{"session", "alice"}}),
+              "svc.jobs{session=alice}");
+    EXPECT_EQ(labeled("svc.jobs",
+                      {{"a", "1"}, {"b", "2"}}),
+              "svc.jobs{a=1,b=2}");
+    EXPECT_EQ(labeled("svc.jobs", {}), "svc.jobs");
+}
+
+TEST(Metrics, ConcurrentRegistrationAndIncrementHammer)
+{
+    // N threads race to register the SAME names and increment; the
+    // registry must hand out one instrument per name and lose no
+    // increments. (Run under ASan/TSan-style scrutiny in CI.)
+    auto &reg = MetricsRegistry::instance();
+    constexpr int kThreads = 8;
+    constexpr int kIters = 5'000;
+    constexpr int kNames = 4;
+
+    reg.counter("test.metrics.hammer_0").reset();
+    reg.counter("test.metrics.hammer_1").reset();
+    reg.counter("test.metrics.hammer_2").reset();
+    reg.counter("test.metrics.hammer_3").reset();
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kIters; ++i) {
+                const std::string name =
+                    "test.metrics.hammer_" +
+                    std::to_string((t + i) % kNames);
+                reg.counter(name).add();
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto &th : threads)
+        th.join();
+
+    std::uint64_t total = 0;
+    for (int n = 0; n < kNames; ++n)
+        total += reg.counter("test.metrics.hammer_" +
+                             std::to_string(n))
+                     .value();
+    EXPECT_EQ(total,
+              static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Metrics, SnapshotConsistentUnderLoad)
+{
+    // Writers hammer one counter while a reader snapshots: every
+    // snapshot must see a monotonically non-decreasing value and
+    // never block (the test finishing is the liveness check).
+    auto &reg = MetricsRegistry::instance();
+    auto &c = reg.counter("test.metrics.snap_load");
+    c.reset();
+
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        while (!stop.load(std::memory_order_acquire))
+            c.add();
+    });
+
+    double last = -1.0;
+    for (int i = 0; i < 200; ++i) {
+        const auto snap = reg.snapshot();
+        const double v = snap.value("test.metrics.snap_load");
+        EXPECT_GE(v, last);
+        last = v;
+    }
+    stop.store(true, std::memory_order_release);
+    writer.join();
+    EXPECT_GE(reg.snapshot().value("test.metrics.snap_load"), last);
+}
+
+TEST(Metrics, CallbacksEvaluateAtSnapshotTime)
+{
+    auto &reg = MetricsRegistry::instance();
+    std::atomic<int> source{5};
+    reg.registerCallback("test.metrics.cb", [&source] {
+        return static_cast<double>(
+            source.load(std::memory_order_relaxed));
+    });
+    EXPECT_EQ(reg.snapshot().value("test.metrics.cb"), 5.0);
+    source.store(9, std::memory_order_relaxed);
+    EXPECT_EQ(reg.snapshot().value("test.metrics.cb"), 9.0);
+    // Detach from the stack-local before leaving the test: the
+    // registry is immortal and would call a dangling closure.
+    reg.registerCallback("test.metrics.cb", [] { return 0.0; });
+}
+
+TEST(Metrics, JsonExportContainsInstruments)
+{
+    auto &reg = MetricsRegistry::instance();
+    reg.counter("test.metrics.json_counter").reset();
+    reg.counter("test.metrics.json_counter").add(3);
+    auto &h = reg.histogram("test.metrics.json_hist");
+    h.reset();
+    h.record(2'000);
+
+    const std::string json = metricsToJson(reg.snapshot());
+    EXPECT_NE(json.find("\"test.metrics.json_counter\": 3"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"test.metrics.json_hist\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"sum_ns\": 2000"), std::string::npos);
+    // Balanced braces — cheap structural sanity before CI's full
+    // json.tool validation.
+    long depth = 0;
+    for (char ch : json) {
+        if (ch == '{')
+            ++depth;
+        if (ch == '}')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+TEST(Metrics, PrometheusExportRenamesAndLabels)
+{
+    auto &reg = MetricsRegistry::instance();
+    const std::string name =
+        labeled("test.metrics.prom-counter", {{"session", "s1"}});
+    reg.counter(name).reset();
+    reg.counter(name).add(7);
+    auto &h = reg.histogram("test.metrics.prom_hist");
+    h.reset();
+    h.record(1'000'000);
+
+    const std::string text = metricsToPrometheus(reg.snapshot());
+    // '.' and '-' map to '_'; labels are re-quoted.
+    EXPECT_NE(
+        text.find(
+            "test_metrics_prom_counter{session=\"s1\"} 7"),
+        std::string::npos)
+        << text;
+    // Histograms: cumulative buckets plus _sum/_count.
+    EXPECT_NE(text.find("test_metrics_prom_hist_bucket{le="),
+              std::string::npos);
+    EXPECT_NE(text.find("test_metrics_prom_hist_bucket{le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_metrics_prom_hist_count 1"),
+              std::string::npos);
+}
+
+TEST(Metrics, DisabledGuardReadsFalse)
+{
+    MetricsFlagGuard guard;
+    setMetricsEnabled(false);
+    EXPECT_FALSE(metricsEnabled());
+    setMetricsEnabled(true);
+#if !defined(VARSAW_TELEMETRY_DISABLE)
+    EXPECT_TRUE(metricsEnabled());
+#else
+    EXPECT_FALSE(metricsEnabled());
+#endif
+}
+
+} // namespace
+} // namespace varsaw::telemetry
