@@ -1,26 +1,31 @@
 /**
  * @file
- * Micro-benchmarks for the hot statevector kernels: serial vs
- * kernel-thread-parallel throughput (amps/s and GiB/s of estimated
- * traffic) for every kernel the intra-state parallel layer rewrote
- * — apply1Q (adjacent and high-qubit targets), applyCX, applyCZ,
- * applyRZZ, applySwap, the fused diagonal run, applyPauli, norm,
- * probabilities, marginalProbabilities, expectationPauli, and
- * innerProduct — at 16/20/24 qubits (VARSAW_BENCH_QUBITS overrides,
- * e.g. "16,18"). Only the kernel call is inside the stopwatch;
- * state fingerprinting happens outside it.
+ * Micro-benchmarks for the hot statevector kernels: SIMD-tier x
+ * kernel-thread throughput (amps/s and GiB/s of estimated traffic)
+ * for every dispatched kernel — apply1Q (adjacent and high-qubit
+ * targets), applyCX, applyCZ, applyRZZ, applySwap, the fused
+ * diagonal run, applyPauli, norm, probabilities,
+ * marginalProbabilities, expectationPauli, and innerProduct — at
+ * 16/20/24 qubits (VARSAW_BENCH_QUBITS overrides, e.g. "16,18").
+ * Only the kernel call is inside the stopwatch; state
+ * fingerprinting happens outside it.
  *
- * Every threaded row is checked bit-identical against the
- * 1-thread serial reference (a leading 1 is forced into the thread
- * sweep so the reference is always truly serial); the comparison
- * uses a full-state FNV-1a fingerprint plus the kernel's exact
- * reduction outputs. VARSAW_BENCH_CHECK=1 turns any mismatch into
- * a non-zero exit, which is how CI gates the determinism contract.
+ * The sweep's outer dimension is the SIMD tier: a forced-scalar
+ * row leads every (kernel, qubits) group, then each tier the host
+ * supports (capped by --simd / VARSAW_SIMD when the operator
+ * forced one), so speedup-vs-scalar comes from ONE run. Every cell
+ * is checked bit-identical against the (scalar, 1-thread)
+ * reference; the comparison uses a full-state FNV-1a fingerprint
+ * plus the kernel's exact reduction outputs. VARSAW_BENCH_CHECK=1
+ * turns any mismatch into a non-zero exit, which is how CI gates
+ * the determinism contract across tiers AND thread counts.
  * Speedups are reported, not gated — CI runners pin cores.
+ * Alongside the CSV a machine-readable summary is written to
+ * BENCH_micro_kernels.json.
  *
  * Knobs: VARSAW_BENCH_REPS (timing repetitions per row, default 3),
  * VARSAW_BENCH_THREADS (comma list, default "1,2,4,8"),
- * --cache-bytes/--kernel-threads via common.hh. When
+ * --cache-bytes/--kernel-threads/--simd via common.hh. When
  * --kernel-threads/VARSAW_KERNEL_THREADS raises the process
  * setting above 1 it also caps the sweep (no rows above it), so a
  * 2-core operator passing --kernel-threads=2 never runs
@@ -37,6 +42,7 @@
 #include <vector>
 
 #include "common.hh"
+#include "sim/kernels/kernels.hh"
 #include "sim/statevector.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace.hh"
@@ -312,13 +318,22 @@ main(int argc, char **argv)
 {
     if (!parseStandardArgs(argc, argv))
         return 2;
-    banner("Micro-kernels - serial vs kernel-thread-parallel "
-           "statevector sweeps",
-           ">= 2.5x on 22q+ apply1Q/applyDiagonalRun at 8 kernel "
+    banner("Micro-kernels - SIMD-tier x kernel-thread statevector "
+           "sweeps",
+           ">= 1.5x serial on apply1Q/applyDiagonalRun per vector "
+           "tier vs forced scalar; >= 2.5x on 22q+ at 8 kernel "
            "threads on unpinned multicore hosts; bit-identical "
-           "results at every thread count");
+           "results in every tier x thread cell");
 
     const int entry_threads = kernelThreads();
+    // Tier sweep: forced scalar leads as the reference; then every
+    // tier up to the active one (--simd / VARSAW_SIMD caps it, like
+    // --kernel-threads caps the thread sweep).
+    const kern::SimdTier entry_tier = kern::activeSimdTier();
+    std::vector<kern::SimdTier> tiers{kern::SimdTier::Scalar};
+    for (int t = static_cast<int>(kern::SimdTier::Scalar) + 1;
+         t <= static_cast<int>(entry_tier); ++t)
+        tiers.push_back(static_cast<kern::SimdTier>(t));
     const std::vector<int> sizes =
         parseIntList("VARSAW_BENCH_QUBITS", {16, 20, 24});
     std::vector<int> threads =
@@ -341,14 +356,19 @@ main(int argc, char **argv)
         static_cast<int>(envInt("VARSAW_BENCH_REPS", 3));
     const bool check = envInt("VARSAW_BENCH_CHECK", 0) != 0;
 
-    TablePrinter table("Statevector kernels: amps/s by kernel "
-                       "threads (speedup vs serial)");
-    table.setHeader({"Kernel", "Qubits", "Threads", "Seconds",
-                     "Amps/s", "GiB/s", "Speedup", "Identical"});
+    TablePrinter table("Statevector kernels: amps/s by SIMD tier x "
+                       "kernel threads (speedup vs scalar serial)");
+    table.setHeader({"Kernel", "Qubits", "SIMD", "Threads",
+                     "Seconds", "Amps/s", "GiB/s", "Speedup",
+                     "Identical"});
     CsvWriter csv("bench_micro_kernels.csv");
-    csv.writeRow({"kernel", "qubits", "threads", "seconds",
-                  "amps_per_sec", "gib_per_sec", "speedup",
-                  "identical"});
+    csv.writeRow({"kernel", "qubits", "simd_tier", "threads",
+                  "seconds", "amps_per_sec", "gib_per_sec",
+                  "speedup", "identical"});
+    // Machine-readable twin of the CSV: one JSON object per cell
+    // plus run metadata, for tooling that tracks speedup-vs-scalar
+    // across commits.
+    std::string json_rows;
 
     int mismatches = 0;
     for (const int n : sizes) {
@@ -358,65 +378,116 @@ main(int argc, char **argv)
             static_cast<double>(1ull << n) *
             static_cast<double>(reps);
         for (const KernelCase &kc : kernelCases(n, input)) {
-            double serial_rate = 0.0;
+            double reference_rate = 0.0;
             std::uint64_t reference = 0;
-            for (const int t : threads) {
-                setKernelThreads(t);
-                std::uint64_t sig = 0;
-                double seconds = 0.0;
-                for (int r = 0; r < reps; ++r) {
-                    work.copyFrom(input);
-                    Stopwatch watch;
-                    const auto values = kc.run(work);
-                    seconds += watch.seconds();
-                    // Fingerprints live OUTSIDE the stopwatch (the
-                    // row times the kernel, not the checksum) and
-                    // EVERY rep folds into sig, so a single
-                    // diverging repetition fails the gate.
-                    const std::uint64_t rep_sig =
-                        fingerprintDoubles(values) ^
-                        (kc.mutates ? fingerprint(work) : 0);
-                    sig = (sig ^ rep_sig) * 1099511628211ull;
-                }
-                const bool identical =
-                    (t == 1) || sig == reference;
-                if (t == 1) {
-                    reference = sig;
-                    serial_rate = perSecond(
+            for (const kern::SimdTier tier : tiers) {
+                kern::setSimdTier(tier);
+                const char *tier_name = kern::simdTierName(tier);
+                for (const int t : threads) {
+                    setKernelThreads(t);
+                    const bool is_reference =
+                        tier == kern::SimdTier::Scalar && t == 1;
+                    std::uint64_t sig = 0;
+                    double seconds = 0.0;
+                    for (int r = 0; r < reps; ++r) {
+                        work.copyFrom(input);
+                        Stopwatch watch;
+                        const auto values = kc.run(work);
+                        seconds += watch.seconds();
+                        // Fingerprints live OUTSIDE the stopwatch
+                        // (the row times the kernel, not the
+                        // checksum) and EVERY rep folds into sig,
+                        // so a single diverging repetition fails
+                        // the gate.
+                        const std::uint64_t rep_sig =
+                            fingerprintDoubles(values) ^
+                            (kc.mutates ? fingerprint(work) : 0);
+                        sig = (sig ^ rep_sig) * 1099511628211ull;
+                    }
+                    const bool identical =
+                        is_reference || sig == reference;
+                    if (is_reference) {
+                        reference = sig;
+                        reference_rate = perSecond(
+                            static_cast<std::uint64_t>(amps),
+                            seconds);
+                    }
+                    if (!identical)
+                        ++mismatches;
+                    const double rate = perSecond(
                         static_cast<std::uint64_t>(amps), seconds);
+                    const double gibs = seconds > 0.0
+                        ? kc.passBytes * reps / seconds /
+                            (1024.0 * 1024.0 * 1024.0)
+                        : 0.0;
+                    const double speedup = reference_rate > 0.0
+                        ? rate / reference_rate
+                        : 0.0;
+                    table.addRow(
+                        {kc.name,
+                         TablePrinter::num(
+                             static_cast<long long>(n)),
+                         tier_name,
+                         TablePrinter::num(
+                             static_cast<long long>(t)),
+                         TablePrinter::num(seconds, 4),
+                         TablePrinter::num(rate, 0),
+                         TablePrinter::num(gibs, 2),
+                         TablePrinter::ratio(speedup),
+                         identical ? "yes" : "NO"});
+                    csv.writeRow(
+                        {kc.name, std::to_string(n), tier_name,
+                         std::to_string(t),
+                         std::to_string(seconds),
+                         std::to_string(rate),
+                         std::to_string(gibs),
+                         std::to_string(speedup),
+                         identical ? "1" : "0"});
+                    char row[512];
+                    std::snprintf(
+                        row, sizeof(row),
+                        "%s    {\"kernel\": \"%s\", \"qubits\": %d,"
+                        " \"simd_tier\": \"%s\", \"threads\": %d,"
+                        " \"seconds\": %.6f,"
+                        " \"amps_per_sec\": %.1f,"
+                        " \"gib_per_sec\": %.3f,"
+                        " \"speedup_vs_scalar_serial\": %.3f,"
+                        " \"identical\": %s}",
+                        json_rows.empty() ? "" : ",\n",
+                        kc.name.c_str(), n, tier_name, t, seconds,
+                        rate, gibs, speedup,
+                        identical ? "true" : "false");
+                    json_rows += row;
                 }
-                if (!identical)
-                    ++mismatches;
-                const double rate = perSecond(
-                    static_cast<std::uint64_t>(amps), seconds);
-                const double gibs = seconds > 0.0
-                    ? kc.passBytes * reps / seconds /
-                        (1024.0 * 1024.0 * 1024.0)
-                    : 0.0;
-                const double speedup =
-                    serial_rate > 0.0 ? rate / serial_rate : 0.0;
-                table.addRow(
-                    {kc.name,
-                     TablePrinter::num(
-                         static_cast<long long>(n)),
-                     TablePrinter::num(
-                         static_cast<long long>(t)),
-                     TablePrinter::num(seconds, 4),
-                     TablePrinter::num(rate, 0),
-                     TablePrinter::num(gibs, 2),
-                     TablePrinter::ratio(speedup),
-                     identical ? "yes" : "NO"});
-                csv.writeRow(
-                    {kc.name, std::to_string(n),
-                     std::to_string(t), std::to_string(seconds),
-                     std::to_string(rate), std::to_string(gibs),
-                     std::to_string(speedup),
-                     identical ? "1" : "0"});
             }
         }
     }
     setKernelThreads(entry_threads);
+    kern::setSimdTier(entry_tier);
     table.print();
+
+    {
+        std::FILE *jf = std::fopen("BENCH_micro_kernels.json", "w");
+        if (jf) {
+            std::fprintf(jf, "{\n  \"bench\": \"micro_kernels\",\n");
+            std::fprintf(jf, "  \"max_supported_simd_tier\": \"%s\",\n",
+                         kern::simdTierName(
+                             kern::maxSupportedSimdTier()));
+            std::fprintf(jf, "  \"tiers\": [");
+            for (std::size_t i = 0; i < tiers.size(); ++i)
+                std::fprintf(jf, "%s\"%s\"", i ? ", " : "",
+                             kern::simdTierName(tiers[i]));
+            std::fprintf(jf, "],\n  \"threads\": [");
+            for (std::size_t i = 0; i < threads.size(); ++i)
+                std::fprintf(jf, "%s%d", i ? ", " : "", threads[i]);
+            std::fprintf(jf, "],\n  \"reps\": %d,\n", reps);
+            std::fprintf(jf, "  \"mismatches\": %d,\n", mismatches);
+            std::fprintf(jf, "  \"rows\": [\n%s\n  ]\n}\n",
+                         json_rows.c_str());
+            std::fclose(jf);
+            std::printf("wrote BENCH_micro_kernels.json\n");
+        }
+    }
 
     // Telemetry-guard overhead: serial apply1Q, telemetry compiled
     // in but disabled (the acceptance bound is < 1%; single runs
@@ -434,17 +505,21 @@ main(int argc, char **argv)
     }
 
     if (mismatches != 0) {
-        std::printf("\n%d threaded kernel row(s) diverged from the "
+        std::printf("\n%d kernel cell(s) diverged from the scalar "
                     "serial reference!\n",
                     mismatches);
         if (check) {
             std::printf("CHECK FAILED: kernels must be "
-                        "bit-identical across kernel threads\n");
+                        "bit-identical across SIMD tiers and "
+                        "kernel threads\n");
             return 1;
         }
     } else if (check) {
         std::printf("\nCHECK PASSED: all kernels bit-identical "
-                    "across kernel threads {%d..%d}\n",
+                    "across SIMD tiers {%s..%s} x kernel threads "
+                    "{%d..%d}\n",
+                    kern::simdTierName(tiers.front()),
+                    kern::simdTierName(tiers.back()),
                     threads.front(), threads.back());
     }
     return 0;

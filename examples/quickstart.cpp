@@ -10,6 +10,7 @@
  * service's sharing statistics.
  *
  *   $ ./quickstart [--cache-bytes=N] [--kernel-threads=N]
+ *                  [--simd=scalar|avx2|avx512|auto]
  *                  [--service-threads=N] [--metrics-out=PATH]
  *                  [--trace-out=PATH]
  *
@@ -17,6 +18,10 @@
  * process-wide telemetry registry is written at exit; --trace-out
  * dumps per-job spans as Chrome trace JSON. A short registry
  * summary prints either way when telemetry is enabled.
+ *
+ * --simd (or VARSAW_SIMD) forces a statevector kernel tier; the
+ * default is the widest the CPU supports. Results are bit-identical
+ * at every tier — the flag trades speed only.
  */
 
 #include <cstdio>

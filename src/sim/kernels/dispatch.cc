@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Runtime ISA dispatch: which kernel table the process runs.
+ *
+ * Resolution order for the startup tier: VARSAW_SIMD (or the
+ * drivers' --simd flag, which calls setSimdTier before any kernel
+ * runs), clamped to maxSupportedSimdTier() — the cpuid probe
+ * intersected with what the toolchain could compile. Because every
+ * tier is bit-identical, clamping can never change a result; it is
+ * reported as a warning only so a forced-tier CI job notices when
+ * its forcing was a no-op.
+ *
+ * The active table lives behind one atomic pointer. Statevector
+ * fetches it once per kernel call, so a concurrent setSimdTier
+ * (tests sweep tiers) never mixes ISAs within one sweep; switching
+ * mid-workload is safe for the same reason it is observable only
+ * in speed.
+ */
+
+#include "sim/kernels/kernels.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "telemetry/metrics.hh"
+#include "util/cpu_features.hh"
+#include "util/logging.hh"
+
+namespace varsaw::kern {
+
+namespace {
+
+std::atomic<const KernelTable *> &
+activeSlot()
+{
+    static std::atomic<const KernelTable *> slot = [] {
+        // Snapshot-time gauge: 0/1/2 by SimdTier. A callback (not
+        // a hot-path set) so the dispatched tier is observable in
+        // every snapshot with zero cost on kernel calls.
+        telemetry::MetricsRegistry::instance().registerCallback(
+            "sim.kernels.simd_tier", [] {
+                return static_cast<double>(activeSimdTier());
+            });
+        return &kernelsFor(defaultSimdTier());
+    }();
+    return slot;
+}
+
+} // namespace
+
+const char *
+simdTierName(SimdTier tier)
+{
+    switch (tier) {
+      case SimdTier::Avx512:
+        return "avx512";
+      case SimdTier::Avx2:
+        return "avx2";
+      default:
+        return "scalar";
+    }
+}
+
+bool
+parseSimdTier(const char *text, SimdTier *out, bool *is_auto)
+{
+    const std::string s(text ? text : "");
+    *is_auto = false;
+    if (s == "auto") {
+        *is_auto = true;
+        return true;
+    }
+    if (s == "scalar") {
+        *out = SimdTier::Scalar;
+        return true;
+    }
+    if (s == "avx2") {
+        *out = SimdTier::Avx2;
+        return true;
+    }
+    if (s == "avx512") {
+        *out = SimdTier::Avx512;
+        return true;
+    }
+    return false;
+}
+
+SimdTier
+maxSupportedSimdTier()
+{
+    static const SimdTier ceiling = [] {
+        const CpuFeatures &f = cpuFeatures();
+        if (f.avx512 && detail::avx512Compiled())
+            return SimdTier::Avx512;
+        if (f.avx2Fma && detail::avx2Compiled())
+            return SimdTier::Avx2;
+        return SimdTier::Scalar;
+    }();
+    return ceiling;
+}
+
+const KernelTable &
+kernelsFor(SimdTier tier)
+{
+    switch (tier) {
+      case SimdTier::Avx512:
+        return detail::avx512Table();
+      case SimdTier::Avx2:
+        return detail::avx2Table();
+      default:
+        return detail::scalarTable();
+    }
+}
+
+SimdTier
+defaultSimdTier()
+{
+    static const SimdTier chosen = [] {
+        const SimdTier ceiling = maxSupportedSimdTier();
+        const char *env = std::getenv("VARSAW_SIMD");
+        if (!env || !*env)
+            return ceiling;
+        SimdTier req = ceiling;
+        bool is_auto = false;
+        if (!parseSimdTier(env, &req, &is_auto)) {
+            warn(std::string("VARSAW_SIMD: unrecognized tier '") +
+                 env + "' (want scalar|avx2|avx512|auto); using " +
+                 simdTierName(ceiling));
+            return ceiling;
+        }
+        if (is_auto)
+            return ceiling;
+        if (req > ceiling) {
+            warn(std::string("VARSAW_SIMD=") + env +
+                 " exceeds this host/build's ceiling; clamping to " +
+                 simdTierName(ceiling) +
+                 " (results are bit-identical at every tier)");
+            return ceiling;
+        }
+        return req;
+    }();
+    return chosen;
+}
+
+const KernelTable &
+activeKernels()
+{
+    const KernelTable *t =
+        activeSlot().load(std::memory_order_acquire);
+    return *t;
+}
+
+SimdTier
+activeSimdTier()
+{
+    return activeKernels().tier;
+}
+
+SimdTier
+setSimdTier(SimdTier requested)
+{
+    SimdTier actual = requested;
+    if (actual > maxSupportedSimdTier())
+        actual = maxSupportedSimdTier();
+    activeSlot().store(&kernelsFor(actual),
+                       std::memory_order_release);
+    return actual;
+}
+
+} // namespace varsaw::kern

@@ -1,0 +1,580 @@
+/**
+ * @file
+ * AVX-512 F/DQ tier: 512-bit registers, four complex amplitudes
+ * per vector, bit-identical to the scalar reference.
+ *
+ * Compiled with `-mavx512f -mavx512dq -mavx2 -mfma
+ * -ffp-contract=off` (CMakeLists); degrades to an uncompiled stub
+ * aliasing the scalar table when the toolchain can't target it.
+ *
+ * Same identity argument as the AVX2 tier (see kernels_avx2.cc),
+ * with two AVX-512 specifics: there is no 512-bit addsub, so
+ * spec::cfma's `acc -/+ t` is computed as `acc + (t ^ evenSign)` —
+ * negation is exact, so the even-lane subtraction still performs
+ * the spec's single rounding; and cross-lane moves (q = 0 pair
+ * duplication, Pauli partner alignment, probability deinterleave)
+ * use permutexvar/permutex2var, which move bits untouched.
+ * Segment tails longer than one complex run through the 256-bit
+ * DAG helpers below — same per-element DAG, so identity holds
+ * through every mixed-width path.
+ */
+
+#include "sim/kernels/kernel_spec.hh"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+
+#include <immintrin.h>
+
+namespace varsaw::kern::detail {
+
+namespace {
+
+constexpr long long kSignBit =
+    static_cast<long long>(0x8000000000000000ull);
+
+// --- 256-bit DAG helpers for segment tails ----------------------
+
+inline __m256d
+swapPairs256(__m256d v)
+{
+    return _mm256_permute_pd(v, 0x5);
+}
+
+inline __m256d
+cmulV256(__m256d a, __m256d mre, __m256d mim)
+{
+    return _mm256_fmaddsub_pd(
+        a, mre, _mm256_mul_pd(swapPairs256(a), mim));
+}
+
+inline __m256d
+cfmaV256(__m256d a, __m256d mre, __m256d mim, __m256d acc)
+{
+    return _mm256_fmadd_pd(
+        a, mre,
+        _mm256_addsub_pd(acc,
+                         _mm256_mul_pd(swapPairs256(a), mim)));
+}
+
+// --- 512-bit DAG building blocks --------------------------------
+
+inline __m512d
+swapPairs(__m512d v)
+{
+    return _mm512_permute_pd(v, 0x55);
+}
+
+inline __m512d
+dupRe(__m512d v)
+{
+    return _mm512_movedup_pd(v);
+}
+
+inline __m512d
+dupIm(__m512d v)
+{
+    return _mm512_permute_pd(v, 0xFF);
+}
+
+inline __m512d
+evenSignMask()
+{
+    return _mm512_castsi512_pd(_mm512_set_epi64(
+        0, kSignBit, 0, kSignBit, 0, kSignBit, 0, kSignBit));
+}
+
+/** addsub(acc, t): even lanes acc - t, odd acc + t (exact-negate
+ * emulation of the missing 512-bit addsub). */
+inline __m512d
+addsub512(__m512d acc, __m512d t)
+{
+    return _mm512_add_pd(acc,
+                         _mm512_xor_pd(t, evenSignMask()));
+}
+
+/** spec::cmul per lane pair. */
+inline __m512d
+cmulV(__m512d a, __m512d mre, __m512d mim)
+{
+    return _mm512_fmaddsub_pd(
+        a, mre, _mm512_mul_pd(swapPairs(a), mim));
+}
+
+/** spec::cfma per lane pair. */
+inline __m512d
+cfmaV(__m512d a, __m512d mre, __m512d mim, __m512d acc)
+{
+    return _mm512_fmadd_pd(
+        a, mre,
+        addsub512(acc, _mm512_mul_pd(swapPairs(a), mim)));
+}
+
+/** spec::conjMul per lane pair. */
+inline __m512d
+conjMulV(__m512d l, __m512d r)
+{
+    return _mm512_fmsubadd_pd(
+        swapPairs(l), dupIm(r), _mm512_mul_pd(l, dupRe(r)));
+}
+
+inline __m512d
+signMask512(const bool f[8])
+{
+    return _mm512_castsi512_pd(_mm512_set_epi64(
+        f[7] ? kSignBit : 0, f[6] ? kSignBit : 0,
+        f[5] ? kSignBit : 0, f[4] ? kSignBit : 0,
+        f[3] ? kSignBit : 0, f[2] ? kSignBit : 0,
+        f[1] ? kSignBit : 0, f[0] ? kSignBit : 0));
+}
+
+// --- apply1Q ----------------------------------------------------
+
+void
+apply1qAvx512(Amp *amps, int q, std::uint64_t k0, std::uint64_t k1,
+              const Matrix2 &m)
+{
+    if (q == 0) {
+        // Two adjacent (lo, hi) pairs per register.
+        const __m512i idx0 =
+            _mm512_set_epi64(5, 4, 5, 4, 1, 0, 1, 0);
+        const __m512i idx1 =
+            _mm512_set_epi64(7, 6, 7, 6, 3, 2, 3, 2);
+        const __m512d are = _mm512_set_pd(
+            m.m10.real(), m.m10.real(), m.m00.real(), m.m00.real(),
+            m.m10.real(), m.m10.real(), m.m00.real(),
+            m.m00.real());
+        const __m512d aim = _mm512_set_pd(
+            m.m10.imag(), m.m10.imag(), m.m00.imag(), m.m00.imag(),
+            m.m10.imag(), m.m10.imag(), m.m00.imag(),
+            m.m00.imag());
+        const __m512d bre = _mm512_set_pd(
+            m.m11.real(), m.m11.real(), m.m01.real(), m.m01.real(),
+            m.m11.real(), m.m11.real(), m.m01.real(),
+            m.m01.real());
+        const __m512d bim = _mm512_set_pd(
+            m.m11.imag(), m.m11.imag(), m.m01.imag(), m.m01.imag(),
+            m.m11.imag(), m.m11.imag(), m.m01.imag(),
+            m.m01.imag());
+        std::uint64_t k = k0;
+        for (; k + 2 <= k1; k += 2) {
+            double *p = reinterpret_cast<double *>(amps + 2 * k);
+            const __m512d v = _mm512_loadu_pd(p);
+            const __m512d a0 = _mm512_permutexvar_pd(idx0, v);
+            const __m512d a1 = _mm512_permutexvar_pd(idx1, v);
+            _mm512_storeu_pd(
+                p, cfmaV(a0, are, aim, cmulV(a1, bre, bim)));
+        }
+        for (; k < k1; ++k)
+            spec::pair1q(amps[2 * k], amps[2 * k + 1], m);
+        return;
+    }
+    const __m512d m00re = _mm512_set1_pd(m.m00.real());
+    const __m512d m00im = _mm512_set1_pd(m.m00.imag());
+    const __m512d m01re = _mm512_set1_pd(m.m01.real());
+    const __m512d m01im = _mm512_set1_pd(m.m01.imag());
+    const __m512d m10re = _mm512_set1_pd(m.m10.real());
+    const __m512d m10im = _mm512_set1_pd(m.m10.imag());
+    const __m512d m11re = _mm512_set1_pd(m.m11.real());
+    const __m512d m11im = _mm512_set1_pd(m.m11.imag());
+    // q == 1 blocks are exactly two complex long; keep them off
+    // the scalar tail by finishing segments with the 256-bit DAG.
+    const __m256d h00re = _mm256_set1_pd(m.m00.real());
+    const __m256d h00im = _mm256_set1_pd(m.m00.imag());
+    const __m256d h01re = _mm256_set1_pd(m.m01.real());
+    const __m256d h01im = _mm256_set1_pd(m.m01.imag());
+    const __m256d h10re = _mm256_set1_pd(m.m10.real());
+    const __m256d h10im = _mm256_set1_pd(m.m10.imag());
+    const __m256d h11re = _mm256_set1_pd(m.m11.real());
+    const __m256d h11im = _mm256_set1_pd(m.m11.imag());
+    spec::forEachPairSegment(
+        amps, q, k0, k1, [&](Amp *lo, Amp *hi, std::uint64_t len) {
+            std::uint64_t j = 0;
+            for (; j + 4 <= len; j += 4) {
+                double *pl = reinterpret_cast<double *>(lo + j);
+                double *ph = reinterpret_cast<double *>(hi + j);
+                const __m512d vl = _mm512_loadu_pd(pl);
+                const __m512d vh = _mm512_loadu_pd(ph);
+                _mm512_storeu_pd(
+                    pl, cfmaV(vl, m00re, m00im,
+                              cmulV(vh, m01re, m01im)));
+                _mm512_storeu_pd(
+                    ph, cfmaV(vl, m10re, m10im,
+                              cmulV(vh, m11re, m11im)));
+            }
+            for (; j + 2 <= len; j += 2) {
+                double *pl = reinterpret_cast<double *>(lo + j);
+                double *ph = reinterpret_cast<double *>(hi + j);
+                const __m256d vl = _mm256_loadu_pd(pl);
+                const __m256d vh = _mm256_loadu_pd(ph);
+                _mm256_storeu_pd(
+                    pl, cfmaV256(vl, h00re, h00im,
+                                 cmulV256(vh, h01re, h01im)));
+                _mm256_storeu_pd(
+                    ph, cfmaV256(vl, h10re, h10im,
+                                 cmulV256(vh, h11re, h11im)));
+            }
+            for (; j < len; ++j)
+                spec::pair1q(lo[j], hi[j], m);
+        });
+}
+
+// --- fused diagonal sweep ---------------------------------------
+
+constexpr std::size_t kDiagBatch = 12;
+
+/** See kernels_avx2.cc: per-gate variants indexed by the 4-complex
+ * group base's selector contribution h; selector bits from
+ * positions < 2 come from the lane index and are folded in. */
+struct PreGate8
+{
+    bool negate;
+    int a;
+    int b;
+    __m512d x[4];
+    __m512d y[4];
+};
+
+void
+diagTablesAvx512(Amp *amps, std::uint64_t i0, std::uint64_t i1,
+                 const DiagTableGate *gates, std::size_t count)
+{
+    for (std::size_t g0 = 0; g0 < count || g0 == 0;
+         g0 += kDiagBatch) {
+        const std::size_t batch =
+            std::min(kDiagBatch, count - g0);
+        const DiagTableGate *gs = gates + g0;
+        PreGate8 pre[kDiagBatch];
+        for (std::size_t g = 0; g < batch; ++g) {
+            const DiagTableGate &d = gs[g];
+            PreGate8 &p = pre[g];
+            p.negate = d.negate;
+            p.a = d.a;
+            p.b = d.b;
+            for (int h = 0; h < 4; ++h) {
+                int sel[4];
+                for (int j = 0; j < 4; ++j)
+                    sel[j] = h | ((j >> d.a) & 1) |
+                        (((j >> d.b) & 1) << 1);
+                if (d.negate) {
+                    bool f[8];
+                    for (int j = 0; j < 4; ++j) {
+                        f[2 * j] = sel[j] == 3;
+                        f[2 * j + 1] = sel[j] == 3;
+                    }
+                    p.x[h] = signMask512(f);
+                } else {
+                    const Amp f0 = d.table[sel[0] & 3];
+                    const Amp f1 = d.table[sel[1] & 3];
+                    const Amp f2 = d.table[sel[2] & 3];
+                    const Amp f3 = d.table[sel[3] & 3];
+                    p.x[h] = _mm512_set_pd(
+                        f3.real(), f3.real(), f2.real(), f2.real(),
+                        f1.real(), f1.real(), f0.real(),
+                        f0.real());
+                    p.y[h] = _mm512_set_pd(
+                        f3.imag(), f3.imag(), f2.imag(), f2.imag(),
+                        f1.imag(), f1.imag(), f0.imag(),
+                        f0.imag());
+                }
+            }
+        }
+
+        std::uint64_t i = i0;
+        for (; i < i1 && (i & 3); ++i)
+            amps[i] = spec::diagPoint(amps[i], i, gs, batch);
+        for (; i + 4 <= i1; i += 4) {
+            double *p = reinterpret_cast<double *>(amps + i);
+            __m512d v = _mm512_loadu_pd(p);
+            for (std::size_t g = 0; g < batch; ++g) {
+                const PreGate8 &pg = pre[g];
+                const int h =
+                    static_cast<int>(((i >> pg.a) & 1ull) |
+                                     (((i >> pg.b) & 1ull) << 1));
+                v = pg.negate
+                    ? _mm512_xor_pd(v, pg.x[h])
+                    : cmulV(v, pg.x[h], pg.y[h]);
+            }
+            _mm512_storeu_pd(p, v);
+        }
+        for (; i < i1; ++i)
+            amps[i] = spec::diagPoint(amps[i], i, gs, batch);
+        if (count == 0)
+            break;
+    }
+}
+
+// --- two-qubit data movement ------------------------------------
+
+void
+cxQuadsAvx512(Amp *amps, int control, int target, std::uint64_t k0,
+              std::uint64_t k1)
+{
+    const std::uint64_t tbit = 1ull << target;
+    spec::forEachQuadRun(
+        control, target, k0, k1, 1ull << control,
+        [&](std::uint64_t i, std::uint64_t len) {
+            double *p = reinterpret_cast<double *>(amps + i);
+            double *q = reinterpret_cast<double *>(amps + (i | tbit));
+            std::uint64_t j = 0;
+            for (; j + 4 <= len; j += 4) {
+                const __m512d a = _mm512_loadu_pd(p + 2 * j);
+                const __m512d b = _mm512_loadu_pd(q + 2 * j);
+                _mm512_storeu_pd(p + 2 * j, b);
+                _mm512_storeu_pd(q + 2 * j, a);
+            }
+            for (; j < len; ++j)
+                std::swap(amps[i + j], amps[(i + j) | tbit]);
+        });
+}
+
+void
+czQuadsAvx512(Amp *amps, int a, int b, std::uint64_t k0,
+              std::uint64_t k1)
+{
+    const __m512d neg = _mm512_castsi512_pd(
+        _mm512_set1_epi64(kSignBit));
+    spec::forEachQuadRun(
+        a, b, k0, k1, (1ull << a) | (1ull << b),
+        [&](std::uint64_t i, std::uint64_t len) {
+            double *p = reinterpret_cast<double *>(amps + i);
+            std::uint64_t j = 0;
+            for (; j + 4 <= len; j += 4)
+                _mm512_storeu_pd(
+                    p + 2 * j,
+                    _mm512_xor_pd(_mm512_loadu_pd(p + 2 * j),
+                                  neg));
+            for (; j < len; ++j) {
+                const Amp v = amps[i + j];
+                amps[i + j] = Amp(-v.real(), -v.imag());
+            }
+        });
+}
+
+void
+swapQuadsAvx512(Amp *amps, int a, int b, std::uint64_t k0,
+                std::uint64_t k1)
+{
+    const std::uint64_t flip = (1ull << a) | (1ull << b);
+    spec::forEachQuadRun(
+        a, b, k0, k1, 1ull << a,
+        [&](std::uint64_t i, std::uint64_t len) {
+            double *p = reinterpret_cast<double *>(amps + i);
+            double *q = reinterpret_cast<double *>(amps + (i ^ flip));
+            std::uint64_t j = 0;
+            for (; j + 4 <= len; j += 4) {
+                const __m512d va = _mm512_loadu_pd(p + 2 * j);
+                const __m512d vb = _mm512_loadu_pd(q + 2 * j);
+                _mm512_storeu_pd(p + 2 * j, vb);
+                _mm512_storeu_pd(q + 2 * j, va);
+            }
+            for (; j < len; ++j)
+                std::swap(amps[i + j], amps[(i + j) ^ flip]);
+        });
+}
+
+// --- reductions -------------------------------------------------
+
+double
+normChunkAvx512(const Amp *amps, std::uint64_t i0,
+                std::uint64_t i1)
+{
+    // One accumulator register = the 8 absolute flat-double lanes,
+    // seeded/drained through the scalar lane array at the aligned
+    // boundaries so every lane is one unbroken fma chain.
+    alignas(64) double lane[spec::kNormLanes] = {};
+    std::uint64_t i = i0;
+    for (; i < i1 && (i & 3); ++i) {
+        const double re = amps[i].real();
+        const double im = amps[i].imag();
+        lane[(2 * i) & 7] = std::fma(re, re, lane[(2 * i) & 7]);
+        lane[(2 * i + 1) & 7] =
+            std::fma(im, im, lane[(2 * i + 1) & 7]);
+    }
+    __m512d acc = _mm512_loadu_pd(lane);
+    const double *d = reinterpret_cast<const double *>(amps);
+    for (; i + 4 <= i1; i += 4) {
+        const __m512d v = _mm512_loadu_pd(d + 2 * i);
+        acc = _mm512_fmadd_pd(v, v, acc);
+    }
+    _mm512_storeu_pd(lane, acc);
+    for (; i < i1; ++i) {
+        const double re = amps[i].real();
+        const double im = amps[i].imag();
+        lane[(2 * i) & 7] = std::fma(re, re, lane[(2 * i) & 7]);
+        lane[(2 * i + 1) & 7] =
+            std::fma(im, im, lane[(2 * i + 1) & 7]);
+    }
+    return spec::foldNorm(lane);
+}
+
+void
+probChunkAvx512(const Amp *amps, double *out, std::uint64_t i0,
+                std::uint64_t i1)
+{
+    const __m512i idxRe =
+        _mm512_set_epi64(14, 12, 10, 8, 6, 4, 2, 0);
+    const __m512i idxIm =
+        _mm512_set_epi64(15, 13, 11, 9, 7, 5, 3, 1);
+    const double *d = reinterpret_cast<const double *>(amps);
+    std::uint64_t i = i0;
+    for (; i + 8 <= i1; i += 8) {
+        const __m512d v0 = _mm512_loadu_pd(d + 2 * i);
+        const __m512d v1 = _mm512_loadu_pd(d + 2 * i + 8);
+        const __m512d re = _mm512_permutex2var_pd(v0, idxRe, v1);
+        const __m512d im = _mm512_permutex2var_pd(v0, idxIm, v1);
+        _mm512_storeu_pd(
+            out + i,
+            _mm512_fmadd_pd(re, re, _mm512_mul_pd(im, im)));
+    }
+    for (; i < i1; ++i)
+        out[i] = spec::normPoint(amps[i]);
+}
+
+Amp
+innerChunkAvx512(const Amp *lhs, const Amp *rhs, std::uint64_t i0,
+                 std::uint64_t i1)
+{
+    alignas(64) Amp lane[spec::kCplxLanes] = {};
+    std::uint64_t i = i0;
+    for (; i < i1 && (i & 3); ++i)
+        lane[i & 3] = lane[i & 3] + spec::conjMul(lhs[i], rhs[i]);
+    double *lp = reinterpret_cast<double *>(lane);
+    __m512d acc = _mm512_loadu_pd(lp);
+    const double *ld = reinterpret_cast<const double *>(lhs);
+    const double *rd = reinterpret_cast<const double *>(rhs);
+    for (; i + 4 <= i1; i += 4)
+        acc = _mm512_add_pd(
+            acc, conjMulV(_mm512_loadu_pd(ld + 2 * i),
+                          _mm512_loadu_pd(rd + 2 * i)));
+    _mm512_storeu_pd(lp, acc);
+    for (; i < i1; ++i)
+        lane[i & 3] = lane[i & 3] + spec::conjMul(lhs[i], rhs[i]);
+    return spec::foldCplx(lane);
+}
+
+Amp
+expPauliChunkAvx512(const Amp *amps, std::uint64_t x,
+                    std::uint64_t z, int quadrant,
+                    std::uint64_t i0, std::uint64_t i1)
+{
+    const bool qodd = (quadrant & 1) != 0;
+    __m512d phaseMask[2];
+    for (int s = 0; s < 2; ++s) {
+        bool f[8];
+        for (int j = 0; j < 4; ++j) {
+            const bool t =
+                ((s ^ parity(static_cast<std::uint64_t>(j) & z)) &
+                 1) != 0;
+            bool f0;
+            bool f1;
+            switch (quadrant & 3) {
+              case 0:
+                f0 = t;
+                f1 = t;
+                break;
+              case 1:
+                f0 = !t;
+                f1 = t;
+                break;
+              case 2:
+                f0 = !t;
+                f1 = !t;
+                break;
+              default:
+                f0 = t;
+                f1 = !t;
+                break;
+            }
+            f[2 * j] = f0;
+            f[2 * j + 1] = f1;
+        }
+        phaseMask[s] = signMask512(f);
+    }
+    const std::uint64_t pbase = x & ~3ull;
+    const int p = static_cast<int>(x & 3ull);
+    const std::uint64_t zhigh = z & ~3ull;
+    alignas(64) long long pidxArr[8];
+    for (int j = 0; j < 4; ++j) {
+        pidxArr[2 * j] = 2 * (j ^ p);
+        pidxArr[2 * j + 1] = 2 * (j ^ p) + 1;
+    }
+    const __m512i pidx = _mm512_loadu_si512(pidxArr);
+
+    alignas(64) Amp lane[spec::kCplxLanes] = {};
+    std::uint64_t i = i0;
+    for (; i < i1 && (i & 3); ++i) {
+        const Amp c =
+            spec::phasePoint(amps[i], quadrant, parity(i & z));
+        lane[i & 3] = lane[i & 3] + spec::conjMul(amps[i ^ x], c);
+    }
+    double *lp = reinterpret_cast<double *>(lane);
+    __m512d acc = _mm512_loadu_pd(lp);
+    const double *d = reinterpret_cast<const double *>(amps);
+    for (; i + 4 <= i1; i += 4) {
+        const __m512d v = _mm512_loadu_pd(d + 2 * i);
+        const int s = parity(i & zhigh);
+        const __m512d c = _mm512_xor_pd(
+            qodd ? swapPairs(v) : v, phaseMask[s]);
+        __m512d bp = _mm512_loadu_pd(d + 2 * (i ^ pbase));
+        if (p)
+            bp = _mm512_permutexvar_pd(pidx, bp);
+        acc = _mm512_add_pd(acc, conjMulV(bp, c));
+    }
+    _mm512_storeu_pd(lp, acc);
+    for (; i < i1; ++i) {
+        const Amp c =
+            spec::phasePoint(amps[i], quadrant, parity(i & z));
+        lane[i & 3] = lane[i & 3] + spec::conjMul(amps[i ^ x], c);
+    }
+    return spec::foldCplx(lane);
+}
+
+} // namespace
+
+const KernelTable &
+avx512Table()
+{
+    static const KernelTable table = [] {
+        KernelTable t;
+        t.tier = SimdTier::Avx512;
+        t.apply1q = &apply1qAvx512;
+        t.diagTables = &diagTablesAvx512;
+        t.cxQuads = &cxQuadsAvx512;
+        t.czQuads = &czQuadsAvx512;
+        t.swapQuads = &swapQuadsAvx512;
+        t.normChunk = &normChunkAvx512;
+        t.probChunk = &probChunkAvx512;
+        t.innerChunk = &innerChunkAvx512;
+        t.expPauliChunk = &expPauliChunkAvx512;
+        return t;
+    }();
+    return table;
+}
+
+bool
+avx512Compiled()
+{
+    return true;
+}
+
+} // namespace varsaw::kern::detail
+
+#else // !(__AVX512F__ && __AVX512DQ__)
+
+namespace varsaw::kern::detail {
+
+const KernelTable &
+avx512Table()
+{
+    return scalarTable();
+}
+
+bool
+avx512Compiled()
+{
+    return false;
+}
+
+} // namespace varsaw::kern::detail
+
+#endif

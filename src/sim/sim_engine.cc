@@ -14,6 +14,7 @@
 // batch scheduler's grouping keys all agree on what "the same
 // computation" means.
 #include "sim/circuit_hash.hh"
+#include "sim/kernels/kernels.hh"
 #include "sim/statevector.hh"
 #include "telemetry/exporters.hh"
 #include "telemetry/metrics.hh"
@@ -202,7 +203,8 @@ applyRuntimeFlags(int &argc, char **argv)
             name == "--service-threads";
         const bool pathFlag =
             name == "--metrics-out" || name == "--trace-out";
-        if (!numericFlag && !pathFlag) {
+        const bool simdFlag = name == "--simd";
+        if (!numericFlag && !pathFlag && !simdFlag) {
             argv[keep++] = argv[i];
             continue;
         }
@@ -213,11 +215,32 @@ applyRuntimeFlags(int &argc, char **argv)
                 std::fprintf(stderr, "%s requires a %s value\n",
                              name.c_str(),
                              pathFlag ? "file path"
-                                      : "positive integer");
+                             : simdFlag
+                                 ? "scalar|avx2|avx512|auto"
+                                 : "positive integer");
                 ok = false;
                 continue;
             }
             value = argv[++i];
+        }
+        if (simdFlag) {
+            kern::SimdTier tier = kern::maxSupportedSimdTier();
+            bool is_auto = false;
+            if (!kern::parseSimdTier(value, &tier, &is_auto)) {
+                std::fprintf(stderr,
+                             "--simd: invalid value '%s' (want "
+                             "scalar|avx2|avx512|auto)\n",
+                             value);
+                ok = false;
+                continue;
+            }
+            // Forcing a tier is always safe: every tier is
+            // bit-identical, and requests above the host/build
+            // ceiling clamp inside setSimdTier.
+            kern::setSimdTier(is_auto
+                                  ? kern::maxSupportedSimdTier()
+                                  : tier);
+            continue;
         }
         if (pathFlag) {
             if (value[0] == '\0') {

@@ -138,6 +138,10 @@ void setDefaultCacheByteBudget(std::uint64_t bytes);
  *                        (setDefaultCacheByteBudget)
  *   --kernel-threads=N   intra-kernel threads (setKernelThreads,
  *                        clamped to [1, kMaxKernelThreads])
+ *   --simd=TIER          statevector kernel tier: scalar, avx2,
+ *                        avx512, or auto (kern::setSimdTier;
+ *                        clamped to the host's ceiling — results
+ *                        are bit-identical at every tier)
  *   --service-threads=N  worker count of shared ExecutionServices
  *                        constructed with threads = 0
  *                        (setDefaultServiceThreads)

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "sim/kernels/kernels.hh"
+#include "telemetry/metrics.hh"
 #include "util/bitops.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -73,6 +75,52 @@ rzzFactors(double theta)
 
 namespace {
 
+/**
+ * Per-kernel dispatch counters (`sim.kernels.<name>.invocations`):
+ * one count per kernel CALL (a full sweep), not per chunk, so the
+ * numbers read as "how many gate applications / reductions ran"
+ * regardless of threading. References cached once; every site
+ * guards on metricsEnabled() (the < 1% telemetry-off contract).
+ */
+struct KernelMetrics
+{
+    telemetry::Counter &apply1q;
+    telemetry::Counter &diagTables;
+    telemetry::Counter &cx;
+    telemetry::Counter &cz;
+    telemetry::Counter &swp;
+    telemetry::Counter &norm;
+    telemetry::Counter &probabilities;
+    telemetry::Counter &innerProduct;
+    telemetry::Counter &expectationPauli;
+};
+
+KernelMetrics &
+kernelMetrics()
+{
+    static KernelMetrics m = [] {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        auto c = [&reg](const char *name) -> telemetry::Counter & {
+            return reg.counter(
+                std::string("sim.kernels.") + name +
+                ".invocations");
+        };
+        return KernelMetrics{
+            c("apply1q"),       c("diag_tables"),
+            c("cx"),            c("cz"),
+            c("swap"),          c("norm"),
+            c("probabilities"), c("inner_product"),
+            c("expectation_pauli")};
+    }();
+    return m;
+}
+
+#define VARSAW_COUNT_KERNEL(field)                          \
+    do {                                                    \
+        if (telemetry::metricsEnabled())                    \
+            kernelMetrics().field.add();                    \
+    } while (0)
+
 /** Resolve a gate op's angle against the parameter vector. */
 double
 resolveTheta(const GateOp &op, const std::vector<double> &params)
@@ -100,43 +148,19 @@ gateMatrix1Q(const GateOp &op, const std::vector<double> &params)
     }
 }
 
-/**
- * Shared traversal of the 2^(n-1) amplitude pairs of target qubit
- * @p q, invoking body(lo, hi) on each pair's two amplitude slots.
- * The ONLY copy of the pair index math: adjacent stride-2 pairs for
- * q == 0, otherwise 2^(q+1)-sized blocks whose lower/upper halves
- * are both contiguous (unit-stride streams for every target), with
- * chunk boundaries allowed to land mid-block. body is inlined, so
- * the specialized kernels keep their vectorizable inner loops.
- */
-template <typename Body>
-void
-sweepPairs(Statevector::Amplitude *amps, int q,
-           std::uint64_t pairs, Body body)
+/** One-qubit diagonal in table form: selected by bit q alone. */
+kern::DiagTableGate
+bitDiagGate(int q, const std::complex<double> &f0,
+            const std::complex<double> &f1)
 {
-    const std::uint64_t bit = 1ull << q;
-    parallelForItems(
-        pairs, [=](std::uint64_t k0, std::uint64_t k1) {
-            if (q == 0) {
-                for (std::uint64_t i = 2 * k0; i < 2 * k1; i += 2)
-                    body(amps[i], amps[i + 1]);
-                return;
-            }
-            std::uint64_t k = k0;
-            while (k < k1) {
-                const std::uint64_t block = k >> q;
-                const std::uint64_t off0 = k & (bit - 1);
-                const std::uint64_t off_end =
-                    std::min<std::uint64_t>(bit, off0 + (k1 - k));
-                Statevector::Amplitude *lo =
-                    amps + (block << (q + 1));
-                Statevector::Amplitude *hi = lo + bit;
-                for (std::uint64_t off = off0; off < off_end;
-                     ++off)
-                    body(lo[off], hi[off]);
-                k += off_end - off0;
-            }
-        });
+    kern::DiagTableGate g;
+    g.a = q;
+    g.b = q;
+    g.table[0] = f0;
+    g.table[1] = f1;
+    g.table[2] = f0;
+    g.table[3] = f1;
+    return g;
 }
 
 } // namespace
@@ -168,6 +192,11 @@ Statevector::copyFrom(const Statevector &other)
     const std::size_t n = other.amps_.size();
     const bool reused = amps_.capacity() >= n;
     numQubits_ = other.numQubits_;
+    // resize() within capacity never reallocates, so the recycled
+    // buffer keeps the 64-byte alignment its AlignedAllocator
+    // established at allocation time; a growing resize allocates
+    // through the same allocator. Either way the contract holds
+    // (pinned by SimdKernels.AlignmentSurvivesRecycling).
     amps_.resize(n);
     const Amplitude *src = other.amps_.data();
     Amplitude *dst = amps_.data();
@@ -181,35 +210,34 @@ Statevector::copyFrom(const Statevector &other)
 void
 Statevector::apply1Q(int q, const Matrix2 &m)
 {
-    // Enumerate the 2^(n-1) amplitude pairs directly (sweepPairs):
-    // no index is visited and skipped, and both amplitude streams
-    // are unit-stride for every target qubit.
-    const Amplitude m00 = m.m00, m01 = m.m01;
-    const Amplitude m10 = m.m10, m11 = m.m11;
-    sweepPairs(amps_.data(), q, amps_.size() >> 1,
-               [=](Amplitude &lo, Amplitude &hi) {
-                   const Amplitude a0 = lo;
-                   const Amplitude a1 = hi;
-                   lo = m00 * a0 + m01 * a1;
-                   hi = m10 * a0 + m11 * a1;
-               });
+    // Pair enumeration, traversal math, and the arithmetic DAG all
+    // live in the dispatched kernel (src/sim/kernels/); this layer
+    // keeps only the fixed chunk decomposition. The table is
+    // fetched once per call so one sweep never mixes tiers.
+    VARSAW_COUNT_KERNEL(apply1q);
+    const kern::KernelTable &kt = kern::activeKernels();
+    auto fn = kt.apply1q;
+    Amplitude *amps = amps_.data();
+    const Matrix2 mat = m;
+    parallelForItems(
+        amps_.size() >> 1,
+        [=](std::uint64_t k0, std::uint64_t k1) {
+            fn(amps, q, k0, k1, mat);
+        });
 }
 
 void
 Statevector::applyCX(int control, int target)
 {
     // 2^(n-2) affected pairs: control set, target clear.
-    const std::uint64_t cbit = 1ull << control;
-    const std::uint64_t tbit = 1ull << target;
-    const std::uint64_t quads = amps_.size() >> 2;
+    VARSAW_COUNT_KERNEL(cx);
+    const kern::KernelTable &kt = kern::activeKernels();
+    auto fn = kt.cxQuads;
     Amplitude *amps = amps_.data();
     parallelForItems(
-        quads, [=](std::uint64_t k0, std::uint64_t k1) {
-            for (std::uint64_t k = k0; k < k1; ++k) {
-                const std::uint64_t i =
-                    insertTwoZeroBits(k, control, target) | cbit;
-                std::swap(amps[i], amps[i | tbit]);
-            }
+        amps_.size() >> 2,
+        [=](std::uint64_t k0, std::uint64_t k1) {
+            fn(amps, control, target, k0, k1);
         });
 }
 
@@ -217,17 +245,14 @@ void
 Statevector::applyCZ(int a, int b)
 {
     // Only the 2^(n-2) amplitudes with both bits set change sign.
-    const std::uint64_t abit = 1ull << a;
-    const std::uint64_t bbit = 1ull << b;
-    const std::uint64_t quads = amps_.size() >> 2;
+    VARSAW_COUNT_KERNEL(cz);
+    const kern::KernelTable &kt = kern::activeKernels();
+    auto fn = kt.czQuads;
     Amplitude *amps = amps_.data();
     parallelForItems(
-        quads, [=](std::uint64_t k0, std::uint64_t k1) {
-            for (std::uint64_t k = k0; k < k1; ++k) {
-                const std::uint64_t i =
-                    insertTwoZeroBits(k, a, b) | abit | bbit;
-                amps[i] = -amps[i];
-            }
+        amps_.size() >> 2,
+        [=](std::uint64_t k0, std::uint64_t k1) {
+            fn(amps, a, b, k0, k1);
         });
 }
 
@@ -237,32 +262,36 @@ Statevector::applyParityPhase(int a, int b, const Amplitude &f0,
 {
     // table[bit_a | bit_b << 1]: even parity (00, 11) -> f0, odd
     // (01, 10) -> f1. No popcount, no branch in the sweep.
-    const Amplitude table[4] = {f0, f1, f1, f0};
-    const std::uint64_t n = amps_.size();
-    Amplitude *amps = amps_.data();
-    parallelForItems(
-        n, [=](std::uint64_t i0, std::uint64_t i1) {
-            for (std::uint64_t i = i0; i < i1; ++i) {
-                const std::uint64_t sel =
-                    ((i >> a) & 1ull) | (((i >> b) & 1ull) << 1);
-                amps[i] *= table[sel];
-            }
-        });
+    kern::DiagTableGate g;
+    g.a = a;
+    g.b = b;
+    g.table[0] = f0;
+    g.table[1] = f1;
+    g.table[2] = f1;
+    g.table[3] = f0;
+    applyDiagonalTables(&g, 1);
 }
 
 void
 Statevector::applyDiagonal1Q(int q, const Amplitude &f0,
                              const Amplitude &f1)
 {
-    // Same pair enumeration as apply1Q, but purely diagonal: the
-    // clear-bit amplitude is scaled by f0 and the set-bit one by
-    // f1, with no zero off-diagonal term mixed in.
-    const Amplitude g0 = f0, g1 = f1;
-    sweepPairs(amps_.data(), q, amps_.size() >> 1,
-               [=](Amplitude &lo, Amplitude &hi) {
-                   lo *= g0;
-                   hi *= g1;
-               });
+    const kern::DiagTableGate g = bitDiagGate(q, f0, f1);
+    applyDiagonalTables(&g, 1);
+}
+
+void
+Statevector::applyDiagonalTables(const kern::DiagTableGate *gates,
+                                 std::size_t count)
+{
+    VARSAW_COUNT_KERNEL(diagTables);
+    const kern::KernelTable &kt = kern::activeKernels();
+    auto fn = kt.diagTables;
+    Amplitude *amps = amps_.data();
+    parallelForItems(
+        amps_.size(), [=](std::uint64_t i0, std::uint64_t i1) {
+            fn(amps, i0, i1, gates, count);
+        });
 }
 
 void
@@ -276,17 +305,14 @@ void
 Statevector::applySwap(int a, int b)
 {
     // 2^(n-2) swapped pairs: a set / b clear <-> a clear / b set.
-    const std::uint64_t abit = 1ull << a;
-    const std::uint64_t bbit = 1ull << b;
-    const std::uint64_t quads = amps_.size() >> 2;
+    VARSAW_COUNT_KERNEL(swp);
+    const kern::KernelTable &kt = kern::activeKernels();
+    auto fn = kt.swapQuads;
     Amplitude *amps = amps_.data();
     parallelForItems(
-        quads, [=](std::uint64_t k0, std::uint64_t k1) {
-            for (std::uint64_t k = k0; k < k1; ++k) {
-                const std::uint64_t i =
-                    insertTwoZeroBits(k, a, b) | abit;
-                std::swap(amps[i ^ abit ^ bbit], amps[i]);
-            }
+        amps_.size() >> 2,
+        [=](std::uint64_t k0, std::uint64_t k1) {
+            fn(amps, a, b, k0, k1);
         });
 }
 
@@ -311,9 +337,9 @@ Statevector::applyOp(const GateOp &op, const std::vector<double> &params)
       case GateKind::S:
       case GateKind::Sdg:
       case GateKind::T: {
-        // Diagonal singles skip the generic pair kernel: two
-        // half-block scalings instead of mixing in a zero
-        // off-diagonal term per pair.
+        // Diagonal singles skip the generic pair kernel: a pure
+        // table multiply instead of mixing in a zero off-diagonal
+        // term per pair.
         const Matrix2 m = gateMatrix1Q(op, params);
         applyDiagonal1Q(op.q0, m.m00, m.m11);
         break;
@@ -344,123 +370,58 @@ isDiagonalGate(GateKind kind)
     }
 }
 
-/** One fused diagonal gate: how to pick this gate's phase factor. */
-struct DiagFactor
-{
-    enum class Sel
-    {
-        Bit,    //!< f1 if the masked bit is set, else f0
-        AllOf,  //!< negate when every masked bit is set (CZ)
-        Parity, //!< f1 on odd masked parity, else f0 (RZZ)
-    };
-
-    Sel sel = Sel::Bit;
-    std::uint64_t mask = 0;
-    Statevector::Amplitude f0{1.0, 0.0};
-    Statevector::Amplitude f1{1.0, 0.0};
-};
-
 } // namespace
 
 void
 Statevector::applyDiagonalRun(const GateOp *ops, std::size_t count,
                               const std::vector<double> &params)
 {
-    // Per-gate factor tables are built once, outside the sweep; the
-    // sweep itself is dispatched to a specialized kernel where the
-    // run's shape allows, so the per-amplitude inner loop carries
-    // no selector switch in the common cases.
-    std::vector<DiagFactor> factors(count);
+    // Per-gate factor tables are built once, outside the sweep,
+    // then the whole run is one read-modify-write pass: every
+    // amplitude multiplied by each gate's selected factor in gate
+    // order — the identical per-amplitude arithmetic of the
+    // unfused kernels (CZ stays an exact negation in table form,
+    // so fused and standalone CZ match bit for bit across any
+    // prep/suffix span boundary).
+    std::vector<kern::DiagTableGate> tables(count);
     for (std::size_t g = 0; g < count; ++g) {
         const GateOp &op = ops[g];
-        DiagFactor &f = factors[g];
         switch (op.kind) {
           case GateKind::RZ: {
             const Matrix2 m =
                 gates::rz(resolveTheta(op, params));
-            f.mask = 1ull << op.q0;
-            f.f0 = m.m00;
-            f.f1 = m.m11;
+            tables[g] = bitDiagGate(op.q0, m.m00, m.m11);
             break;
           }
-          case GateKind::CZ:
-            f.sel = DiagFactor::Sel::AllOf;
-            f.mask = (1ull << op.q0) | (1ull << op.q1);
+          case GateKind::CZ: {
+            kern::DiagTableGate d;
+            d.a = op.q0;
+            d.b = op.q1;
+            d.negate = true;
+            tables[g] = d;
             break;
+          }
           case GateKind::RZZ: {
             const auto [even, odd] =
                 gates::rzzFactors(resolveTheta(op, params));
-            f.sel = DiagFactor::Sel::Parity;
-            f.mask = (1ull << op.q0) | (1ull << op.q1);
-            f.f0 = even;
-            f.f1 = odd;
+            kern::DiagTableGate d;
+            d.a = op.q0;
+            d.b = op.q1;
+            d.table[0] = even;
+            d.table[1] = odd;
+            d.table[2] = odd;
+            d.table[3] = even;
+            tables[g] = d;
             break;
           }
           default: {
             const Matrix2 m = gates::fixedMatrix(op.kind);
-            f.mask = 1ull << op.q0;
-            f.f0 = m.m00;
-            f.f1 = m.m11;
+            tables[g] = bitDiagGate(op.q0, m.m00, m.m11);
             break;
           }
         }
     }
-
-    // (Runs of one never reach this function: applyOps only fuses
-    // runs of >= 2, and single diagonal gates dispatch to the
-    // specialized kernels directly in applyOp.)
-    const std::uint64_t n = amps_.size();
-    Amplitude *amps = amps_.data();
-    const DiagFactor *fac = factors.data();
-
-    bool allBit = true;
-    for (const DiagFactor &f : factors)
-        allBit = allBit && f.sel == DiagFactor::Sel::Bit;
-
-    if (allBit) {
-        // Bit-only run (RZ/Z/S/Sdg/T layers): the selector is
-        // hoisted out of the sweep — the inner loop is one masked
-        // pick per gate, no switch. The multiply order matches the
-        // unfused kernels exactly.
-        parallelForItems(
-            n, [=](std::uint64_t i0, std::uint64_t i1) {
-                for (std::uint64_t i = i0; i < i1; ++i) {
-                    Amplitude a = amps[i];
-                    for (std::size_t g = 0; g < count; ++g) {
-                        const DiagFactor &f = fac[g];
-                        a *= (i & f.mask) ? f.f1 : f.f0;
-                    }
-                    amps[i] = a;
-                }
-            });
-        return;
-    }
-
-    // Mixed run: one read-modify-write pass, every amplitude
-    // multiplied by each gate's phase in gate order — exactly the
-    // per-amplitude arithmetic the unfused kernels perform.
-    parallelForItems(
-        n, [=](std::uint64_t i0, std::uint64_t i1) {
-            for (std::uint64_t i = i0; i < i1; ++i) {
-                Amplitude a = amps[i];
-                for (std::size_t g = 0; g < count; ++g) {
-                    const DiagFactor &f = fac[g];
-                    switch (f.sel) {
-                      case DiagFactor::Sel::Bit:
-                        a *= (i & f.mask) ? f.f1 : f.f0;
-                        break;
-                      case DiagFactor::Sel::AllOf:
-                        if ((i & f.mask) == f.mask)
-                            a = -a;
-                        break;
-                      case DiagFactor::Sel::Parity:
-                        a *= parity(i & f.mask) ? f.f1 : f.f0;
-                        break;
-                    }
-                }
-                amps[i] = a;
-            }
-        });
+    applyDiagonalTables(tables.data(), count);
 }
 
 void
@@ -539,26 +500,28 @@ Statevector::run(const Circuit &circuit, const std::vector<double> &params)
 double
 Statevector::norm() const
 {
+    VARSAW_COUNT_KERNEL(norm);
+    const kern::KernelTable &kt = kern::activeKernels();
+    auto fn = kt.normChunk;
     const Amplitude *amps = amps_.data();
     return chunkedReduce<double>(
         amps_.size(), [=](std::uint64_t i0, std::uint64_t i1) {
-            double total = 0.0;
-            for (std::uint64_t i = i0; i < i1; ++i)
-                total += std::norm(amps[i]);
-            return total;
+            return fn(amps, i0, i1);
         });
 }
 
 std::vector<double>
 Statevector::probabilities() const
 {
+    VARSAW_COUNT_KERNEL(probabilities);
+    const kern::KernelTable &kt = kern::activeKernels();
+    auto fn = kt.probChunk;
     std::vector<double> probs(amps_.size());
     const Amplitude *amps = amps_.data();
     double *out = probs.data();
     parallelForItems(
         amps_.size(), [=](std::uint64_t i0, std::uint64_t i1) {
-            for (std::uint64_t i = i0; i < i1; ++i)
-                out[i] = std::norm(amps[i]);
+            fn(amps, out, i0, i1);
         });
     return probs;
 }
@@ -671,31 +634,23 @@ Statevector::expectationPauli(const PauliString &p) const
 {
     if (p.numQubits() != numQubits_)
         panic("Statevector::expectationPauli: width mismatch");
-    // P|i> = phase * (-1)^{popcount(i & z)} |i ^ x| with
-    // phase = i^{#Y}; accumulate <psi|P|psi> per fixed chunk and
-    // combine the chunk partials in fixed pairwise order.
+    // P|i> = i^{#Y} * (-1)^{popcount(i & z)} |i ^ x|; accumulate
+    // <psi|P|psi> per fixed chunk (branch-free in the kernel, with
+    // the phase applied as exact component swaps and sign flips)
+    // and combine the chunk partials in fixed pairwise order.
+    VARSAW_COUNT_KERNEL(expectationPauli);
+    const kern::KernelTable &kt = kern::activeKernels();
+    auto fn = kt.expPauliChunk;
     const std::uint64_t x = p.xMask();
     const std::uint64_t z = p.zMask();
-    const int n_y = popcount(x & z);
-    static const std::complex<double> i_pow[4] = {
-        {1, 0}, {0, 1}, {-1, 0}, {0, -1}};
-    const std::complex<double> phase = i_pow[n_y & 3];
+    const int quadrant = popcount(x & z) & 3;
     const Amplitude *amps = amps_.data();
 
     const std::complex<double> acc =
         chunkedReduce<std::complex<double>>(
             amps_.size(),
             [=](std::uint64_t i0, std::uint64_t i1) {
-                std::complex<double> partial(0.0, 0.0);
-                for (std::uint64_t i = i0; i < i1; ++i) {
-                    const Amplitude &a = amps[i];
-                    if (a == Amplitude(0.0, 0.0))
-                        continue;
-                    const double sign = paritySign(i & z);
-                    partial += std::conj(amps[i ^ x]) *
-                        (phase * sign * a);
-                }
-                return partial;
+                return fn(amps, x, z, quadrant, i0, i1);
             });
     return acc.real();
 }
@@ -705,14 +660,14 @@ Statevector::innerProduct(const Statevector &other) const
 {
     if (other.numQubits_ != numQubits_)
         panic("Statevector::innerProduct: width mismatch");
+    VARSAW_COUNT_KERNEL(innerProduct);
+    const kern::KernelTable &kt = kern::activeKernels();
+    auto fn = kt.innerChunk;
     const Amplitude *lhs = amps_.data();
     const Amplitude *rhs = other.amps_.data();
     return chunkedReduce<Amplitude>(
         amps_.size(), [=](std::uint64_t i0, std::uint64_t i1) {
-            Amplitude partial(0.0, 0.0);
-            for (std::uint64_t i = i0; i < i1; ++i)
-                partial += std::conj(lhs[i]) * rhs[i];
-            return partial;
+            return fn(lhs, rhs, i0, i1);
         });
 }
 

@@ -19,6 +19,8 @@
 #include "pauli/pauli_string.hh"
 #include "sim/circuit.hh"
 #include "sim/gate.hh"
+#include "sim/kernels/kernels.hh"
+#include "util/aligned.hh"
 
 namespace varsaw {
 
@@ -27,6 +29,15 @@ class Statevector
 {
   public:
     using Amplitude = std::complex<double>;
+
+    /**
+     * Amplitude storage: 64-byte aligned for its whole life (see
+     * util/aligned.hh) so the SIMD kernels' full-width loads never
+     * straddle a cache line. Part of the storage contract — every
+     * buffer a kernel touches (amps_, the applyPauli ping-pong
+     * scratch, the engine's suffix scratch) is an AmpVector.
+     */
+    using AmpVector = AlignedVector<Amplitude>;
 
     /**
      * Widest simulable register: 2^26 amplitudes = 1 GiB of
@@ -63,7 +74,7 @@ class Statevector
     int numQubits() const { return numQubits_; }
 
     /** Amplitude vector (length 2^numQubits). */
-    const std::vector<Amplitude> &amplitudes() const { return amps_; }
+    const AmpVector &amplitudes() const { return amps_; }
 
     /**
      * Allocated amplitude capacity (>= amplitudes().size()).
@@ -174,6 +185,16 @@ class Statevector
                           const std::vector<double> &params);
 
     /**
+     * One full-sweep pass of the dispatched diagonal-table kernel:
+     * every amplitude multiplied by each gate's selected factor in
+     * gate order. The single funnel under applyParityPhase,
+     * applyDiagonal1Q, and applyDiagonalRun — one arithmetic
+     * everywhere, so fusion changes memory traffic, not results.
+     */
+    void applyDiagonalTables(const kern::DiagTableGate *gates,
+                             std::size_t count);
+
+    /**
      * Two-qubit parity phase: amps[i] *= (parity of bits a, b of i)
      * ? f1 : f0, via a 4-entry factor table indexed by the two bits
      * (no per-amplitude popcount or branch). The kernel underneath
@@ -190,14 +211,15 @@ class Statevector
                          const Amplitude &f1);
 
     int numQubits_;
-    std::vector<Amplitude> amps_;
+    AmpVector amps_;
     /**
      * Ping-pong buffer for applyPauli's bit-permuting case:
      * allocated on first use, then swapped with amps_ each call so
      * neither vector is ever reallocated. Not part of the state —
-     * copies do not transfer it.
+     * copies do not transfer it. Same aligned storage as amps_, so
+     * the swap preserves the alignment contract.
      */
-    std::vector<Amplitude> scratch_;
+    AmpVector scratch_;
 };
 
 /** Rotation/Clifford gate matrices. */

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Over-aligned storage for the dense simulation state.
+ *
+ * The SIMD statevector kernels (src/sim/kernels/) issue full-width
+ * vector loads from every chunk boundary the kernel pool hands out.
+ * Backing the amplitude vectors with a 64-byte-aligned allocator
+ * guarantees those accesses never straddle a cache line (or a
+ * 64-byte AVX-512 register's worth of memory), independent of what
+ * the default allocator happens to return. Alignment is part of the
+ * Statevector storage contract: construction, copyFrom() capacity
+ * recycling, and the ping-pong/suffix scratch buffers all preserve
+ * it (pinned by tests/sim/test_simd_kernels.cc).
+ */
+
+#ifndef VARSAW_UTIL_ALIGNED_HH
+#define VARSAW_UTIL_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace varsaw {
+
+/** Alignment of all dense amplitude storage (one cache line). */
+constexpr std::size_t kStateAlignment = 64;
+
+/**
+ * Minimal std::allocator drop-in whose allocations are @p Align
+ * aligned. Stateless: all instances are interchangeable, so vector
+ * moves/swaps behave exactly as with std::allocator.
+ */
+template <typename T, std::size_t Align = kStateAlignment>
+class AlignedAllocator
+{
+    static_assert((Align & (Align - 1)) == 0,
+                  "alignment must be a power of two");
+    static_assert(Align >= alignof(T),
+                  "alignment must not weaken the type's own");
+
+  public:
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    template <typename U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t{Align});
+    }
+};
+
+template <typename T, typename U, std::size_t A>
+bool
+operator==(const AlignedAllocator<T, A> &,
+           const AlignedAllocator<U, A> &) noexcept
+{
+    return true;
+}
+
+template <typename T, typename U, std::size_t A>
+bool
+operator!=(const AlignedAllocator<T, A> &,
+           const AlignedAllocator<U, A> &) noexcept
+{
+    return false;
+}
+
+/** Vector whose data() is 64-byte aligned for its whole life. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace varsaw
+
+#endif // VARSAW_UTIL_ALIGNED_HH

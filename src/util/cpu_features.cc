@@ -1,0 +1,35 @@
+#include "util/cpu_features.hh"
+
+namespace varsaw {
+
+namespace {
+
+CpuFeatures
+probe()
+{
+    CpuFeatures f;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    // __builtin_cpu_supports consults libgcc's cpuid snapshot,
+    // which already masks out features whose register state the OS
+    // does not save (XCR0), so a "yes" here means the instructions
+    // are actually executable.
+    __builtin_cpu_init();
+    f.avx2Fma = __builtin_cpu_supports("avx2") &&
+        __builtin_cpu_supports("fma");
+    f.avx512 = f.avx2Fma && __builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512dq");
+#endif
+    return f;
+}
+
+} // namespace
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures cached = probe();
+    return cached;
+}
+
+} // namespace varsaw

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Runtime CPU ISA capability probe.
+ *
+ * The SIMD kernel dispatch (src/sim/kernels/) picks the widest
+ * vector tier the *running* machine supports, so one binary runs
+ * anywhere: compiled-in AVX2/AVX-512 translation units are only
+ * ever entered after this probe says the instructions exist (and
+ * the OS saves their register state — the compiler builtin folds
+ * XGETBV into the check). Non-x86 builds report no vector support
+ * and the dispatch stays on the scalar reference tier.
+ */
+
+#ifndef VARSAW_UTIL_CPU_FEATURES_HH
+#define VARSAW_UTIL_CPU_FEATURES_HH
+
+namespace varsaw {
+
+/** What the running CPU (and OS) can execute. */
+struct CpuFeatures
+{
+    /** AVX2 with FMA3 — the 256-bit kernel tier's requirement. */
+    bool avx2Fma = false;
+
+    /** AVX-512 F + DQ — the 512-bit kernel tier's requirement. */
+    bool avx512 = false;
+};
+
+/** Probe once, cached for the life of the process. */
+const CpuFeatures &cpuFeatures();
+
+} // namespace varsaw
+
+#endif // VARSAW_UTIL_CPU_FEATURES_HH

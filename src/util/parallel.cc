@@ -369,8 +369,10 @@ resolveServiceThreads(int configured)
 std::uint64_t
 parallelChunkSize(std::uint64_t total)
 {
-    const std::uint64_t spread =
+    std::uint64_t spread =
         (total + kMaxParallelChunks - 1) / kMaxParallelChunks;
+    spread = (spread + kParallelChunkAlign - 1) &
+        ~(kParallelChunkAlign - 1);
     return spread > kParallelGrain ? spread : kParallelGrain;
 }
 

@@ -74,6 +74,19 @@ constexpr std::uint64_t kParallelEngage = 2 * kParallelGrain;
 constexpr std::uint64_t kMaxParallelChunks = 1024;
 
 /**
+ * Chunk sizes are rounded up to this multiple (power of two) so
+ * every chunk boundary except the loop's final one falls on an
+ * 8-item line — the widest SIMD reduction lane group (kNormLanes
+ * doubles = 4 complex amplitudes; see sim/kernels/kernel_spec.hh).
+ * Aligned boundaries keep the vector kernels' scalar head loops
+ * empty for every interior chunk. Values are unchanged either way
+ * (lane assignment is by absolute index), so this is a throughput
+ * constant — but like the grain it is part of the numeric contract,
+ * because chunk size determines reduction association.
+ */
+constexpr std::uint64_t kParallelChunkAlign = 8;
+
+/**
  * Default kernel-thread count: VARSAW_KERNEL_THREADS when set to a
  * positive integer (read once, clamped to kMaxKernelThreads),
  * otherwise 1.
@@ -93,8 +106,9 @@ void setKernelThreads(int threads);
 
 /**
  * Fixed chunk size for a loop of @p total items:
- * max(kParallelGrain, ceil(total / kMaxParallelChunks)). A pure
- * function of @p total — this is what makes chunked reductions
+ * max(kParallelGrain, ceil(total / kMaxParallelChunks) rounded up
+ * to a multiple of kParallelChunkAlign). A pure function of
+ * @p total — this is what makes chunked reductions
  * thread-count-invariant.
  */
 std::uint64_t parallelChunkSize(std::uint64_t total);

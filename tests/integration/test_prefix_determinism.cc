@@ -22,6 +22,7 @@
 #include "mitigation/executor.hh"
 #include "noise/device_model.hh"
 #include "runtime/batch_executor.hh"
+#include "sim/kernels/kernels.hh"
 #include "util/parallel.hh"
 #include "vqa/ansatz.hh"
 #include "vqa/estimator.hh"
@@ -144,11 +145,18 @@ TEST(PrefixDeterminism, KernelThreadsNeverChangeResults)
     // kParallelEngage threshold. A prefix-shared evaluation (one
     // deep prep, several measurement suffixes) must be
     // bit-identical across {1, 4, 8} kernel threads x {cache
-    // on/off} x {1, 4} batch threads.
+    // on/off} x {1, 4} batch threads x every SIMD tier the host
+    // supports (setSimdTier, not VARSAW_SIMD — the env is read
+    // once at startup).
     struct Guard
     {
         int saved = kernelThreads();
-        ~Guard() { setKernelThreads(saved); }
+        kern::SimdTier tier = kern::activeSimdTier();
+        ~Guard()
+        {
+            setKernelThreads(saved);
+            kern::setSimdTier(tier);
+        }
     } guard; // restores even when an ASSERT aborts the test body
     const int n = 17;
     EfficientSU2 ansatz(AnsatzConfig{n, 1, Entanglement::Linear});
@@ -184,20 +192,30 @@ TEST(PrefixDeterminism, KernelThreadsNeverChangeResults)
         return flat;
     };
 
+    // Reference: forced-scalar, serial, cached.
+    kern::setSimdTier(kern::SimdTier::Scalar);
     const auto reference = evaluate(1, true, 1);
-    for (const int kernel_threads : {1, 4, 8})
-        for (const bool cache : {false, true})
-            for (const int batch_threads : {1, 4}) {
-                const auto got =
-                    evaluate(kernel_threads, cache, batch_threads);
-                ASSERT_EQ(got.size(), reference.size());
-                for (std::size_t i = 0; i < got.size(); ++i)
-                    EXPECT_EQ(got[i], reference[i])
-                        << "kernelThreads=" << kernel_threads
-                        << " cache=" << cache
-                        << " batchThreads=" << batch_threads
-                        << " slot=" << i;
-            }
+    const int max_tier =
+        static_cast<int>(kern::maxSupportedSimdTier());
+    for (int tier = 0; tier <= max_tier; ++tier) {
+        kern::setSimdTier(static_cast<kern::SimdTier>(tier));
+        for (const int kernel_threads : {1, 4, 8})
+            for (const bool cache : {false, true})
+                for (const int batch_threads : {1, 4}) {
+                    const auto got = evaluate(kernel_threads, cache,
+                                              batch_threads);
+                    ASSERT_EQ(got.size(), reference.size());
+                    for (std::size_t i = 0; i < got.size(); ++i)
+                        EXPECT_EQ(got[i], reference[i])
+                            << "simd="
+                            << kern::simdTierName(
+                                   static_cast<kern::SimdTier>(tier))
+                            << " kernelThreads=" << kernel_threads
+                            << " cache=" << cache
+                            << " batchThreads=" << batch_threads
+                            << " slot=" << i;
+                }
+    }
 }
 
 TEST(PrefixDeterminism, OnePrepPerParameterPointWhenCached)

@@ -390,6 +390,16 @@ TEST(ParallelPrimitive, ChunkDecompositionIsThreadInvariant)
     const std::uint64_t huge =
         kMaxParallelChunks * kParallelGrain * 4;
     EXPECT_LE(parallelChunkCount(huge), kMaxParallelChunks);
+    // Ragged totals still produce aligned chunk boundaries: the
+    // size is rounded up to kParallelChunkAlign so every interior
+    // boundary lands on an 8-item line (SIMD lane-group width).
+    for (std::uint64_t ragged :
+         {huge + 1, huge + 7, huge + 1009, huge * 3 + 13}) {
+        EXPECT_EQ(parallelChunkSize(ragged) % kParallelChunkAlign,
+                  0u)
+            << "total=" << ragged;
+        EXPECT_LE(parallelChunkCount(ragged), kMaxParallelChunks);
+    }
 }
 
 TEST(ParallelPrimitive, RaggedTotalsCoverEveryIndexOnce)
