@@ -1,5 +1,7 @@
 #include "core/cost_model.hh"
 
+#include <utility>
+
 namespace varsaw {
 
 double

@@ -1,6 +1,7 @@
 #include "core/spatial.hh"
 
 #include <sstream>
+#include <utility>
 
 #include "util/logging.hh"
 

@@ -1,6 +1,7 @@
 #include "mitigation/executor.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "sim/density_matrix.hh"
 #include "util/counts.hh"

@@ -3,6 +3,8 @@
 #include "pauli/subsetting.hh"
 #include "util/logging.hh"
 
+#include <utility>
+
 namespace varsaw {
 
 Circuit

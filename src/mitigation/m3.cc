@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "mitigation/mbm.hh"
 #include "util/logging.hh"

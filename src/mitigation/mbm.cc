@@ -1,6 +1,7 @@
 #include "mitigation/mbm.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.hh"
 

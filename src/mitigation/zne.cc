@@ -1,6 +1,7 @@
 #include "mitigation/zne.hh"
 
 #include <cmath>
+#include <utility>
 
 #include "util/logging.hh"
 

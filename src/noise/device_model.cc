@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 #include <sstream>
+#include <utility>
 
 #include "util/logging.hh"
 #include "util/rng.hh"

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 #include <unordered_map>
+#include <utility>
 
 #include "util/logging.hh"
 

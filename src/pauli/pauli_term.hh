@@ -8,6 +8,8 @@
 
 #include "pauli/pauli_string.hh"
 
+#include <utility>
+
 namespace varsaw {
 
 /**

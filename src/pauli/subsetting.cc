@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "util/logging.hh"
 

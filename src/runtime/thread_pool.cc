@@ -2,6 +2,8 @@
 
 #include "util/logging.hh"
 
+#include <utility>
+
 namespace varsaw {
 
 ThreadPool::ThreadPool(int threads)

@@ -429,6 +429,7 @@ sharedServiceSession(Executor &backend, const RuntimeConfig &config)
             slot = service;
         }
         // Opportunistic cleanup of expired entries (dead backends).
+        // varsaw-lint: allow(unordered-iter) order-insensitive erase of expired weak_ptrs; no result observes the walk
         for (auto it = sharedRegistry.begin();
              it != sharedRegistry.end();) {
             if (it->second.expired())

@@ -5,6 +5,8 @@
 #include "util/logging.hh"
 #include "util/parallel.hh"
 
+#include <utility>
+
 namespace varsaw {
 
 namespace {

@@ -12,6 +12,7 @@
 #define VARSAW_SIM_CIRCUIT_HH
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pauli/pauli_string.hh"

@@ -25,6 +25,7 @@
 #if defined(__AVX2__) && defined(__FMA__)
 
 #include <immintrin.h>
+#include <utility>
 
 namespace varsaw::kern::detail {
 

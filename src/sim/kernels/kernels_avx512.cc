@@ -24,6 +24,7 @@
 #if defined(__AVX512F__) && defined(__AVX512DQ__)
 
 #include <immintrin.h>
+#include <utility>
 
 namespace varsaw::kern::detail {
 

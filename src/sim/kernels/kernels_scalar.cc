@@ -11,6 +11,8 @@
 
 #include "sim/kernels/kernel_spec.hh"
 
+#include <utility>
+
 namespace varsaw::kern::detail {
 
 namespace {

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 
 // The prep-identity hashes deliberately reuse the shared content
 // hashing (structural circuit hash + quantized parameter hash) so

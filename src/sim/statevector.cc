@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "sim/kernels/kernels.hh"
 #include "telemetry/metrics.hh"

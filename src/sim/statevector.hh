@@ -14,6 +14,7 @@
 
 #include <complex>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "pauli/pauli_string.hh"

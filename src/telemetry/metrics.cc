@@ -4,6 +4,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "util/parallel.hh"
 

@@ -3,6 +3,8 @@
 #include "util/logging.hh"
 #include "util/rng.hh"
 
+#include <utility>
+
 namespace varsaw {
 
 const char *

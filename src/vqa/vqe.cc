@@ -1,6 +1,7 @@
 #include "vqa/vqe.hh"
 
 #include <algorithm>
+#include <utility>
 
 namespace varsaw {
 

@@ -3,6 +3,8 @@
 #include "mitigation/jigsaw.hh"
 #include "util/logging.hh"
 
+#include <utility>
+
 namespace varsaw {
 
 ZneEstimator::ZneEstimator(const Hamiltonian &hamiltonian,

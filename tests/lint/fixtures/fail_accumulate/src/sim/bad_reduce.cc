@@ -1,0 +1,21 @@
+// FAIL fixture [parallel-accumulate]: a reduction in disguise — the
+// lambda accumulates into a captured scalar, so the merge order
+// depends on thread interleaving. Must use chunkedReduce (or
+// per-chunk partials merged in fixed order).
+#include "util/parallel.hh"
+
+namespace fixture {
+
+double
+sumAll(const double *a, unsigned long n)
+{
+    double sum = 0.0;
+    varsaw::parallelForItems(
+        n, [&](unsigned long b, unsigned long e) {
+            for (unsigned long i = b; i < e; ++i)
+                sum += a[i];
+        });
+    return sum;
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// FAIL fixture [annotation]: an exemption without a reason is
+// itself a finding — allowlists must say WHY a site is safe.
+#include <unordered_map>
+
+namespace fixture {
+
+int
+walk(std::unordered_map<int, int> &m)
+{
+    int acc = 0;
+    // varsaw-lint: allow(unordered-iter)
+    for (const auto &kv : m)
+        acc += kv.second;
+    return acc;
+}
+
+} // namespace fixture

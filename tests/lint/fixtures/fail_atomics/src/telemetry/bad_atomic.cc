@@ -1,0 +1,23 @@
+// FAIL fixture [atomics-order]: default-seq_cst ops in a
+// documented-contract hot path — both the bare method call and the
+// operator form.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> g_hits{0};
+
+void
+recordHit()
+{
+    g_hits.fetch_add(1);
+}
+
+void
+bump()
+{
+    ++g_hits;
+}
+
+} // namespace fixture

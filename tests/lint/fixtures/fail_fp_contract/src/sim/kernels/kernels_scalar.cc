@@ -1,0 +1,16 @@
+// FAIL fixture [fp-contract]: this kernel TU exists but the tree's
+// CMakeLists.txt never pins it with -ffp-contract=off, so the
+// compiler may fuse the rounding DAGs the bit-identity contract
+// depends on.
+namespace fixture {
+
+double
+dot(const double *a, const double *b, unsigned long n)
+{
+    double acc = 0.0;
+    for (unsigned long i = 0; i < n; ++i)
+        acc = __builtin_fma(a[i], b[i], acc);
+    return acc;
+}
+
+} // namespace fixture

@@ -1,0 +1,7 @@
+// FAIL fixture [intrinsics]: arch intrinsic headers are confined to
+// src/sim/kernels/ — everything above stays ISA-portable.
+#include <immintrin.h>
+
+namespace fixture {
+int touch() { return 1; }
+} // namespace fixture

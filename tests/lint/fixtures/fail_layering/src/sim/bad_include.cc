@@ -1,0 +1,9 @@
+// FAIL fixture [layering]: sim/ must build without runtime/ (PR 3
+// contract) and nothing below service/ may include service/.
+#include "runtime/batch_executor.hh"
+#include "service/execution_service.hh"
+#include "util/parallel.hh" // allowed — not a finding
+
+namespace fixture {
+int touch() { return 1; }
+} // namespace fixture

@@ -1,0 +1,17 @@
+// FAIL fixture [nondeterminism]: wall-clock reads and unseeded
+// randomness in a deterministic path. Results must be pure
+// functions of job content.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+double
+jittered(double x)
+{
+    const auto t = std::chrono::steady_clock::now();
+    (void)t;
+    return x * (1.0 + std::rand() / 1e9);
+}
+
+} // namespace fixture

@@ -1,0 +1,18 @@
+// FAIL fixture [unordered-iter]: bucket order feeding a hash — the
+// canonical way to make a result depend on the standard library's
+// hashing internals.
+#include <cstdint>
+#include <unordered_map>
+
+namespace fixture {
+
+std::uint64_t
+hashCounts(const std::unordered_map<int, int> &counts)
+{
+    std::uint64_t h = 0;
+    for (const auto &kv : counts)
+        h = h * 31 + static_cast<std::uint64_t>(kv.first);
+    return h;
+}
+
+} // namespace fixture

@@ -1,0 +1,65 @@
+// PASS fixture: everything here is sanctioned usage — allowed layer
+// includes, fixed-fold reductions, per-chunk partials, ordered
+// iteration, and one annotated (reasoned) unordered walk. The lint
+// suite requires this tree to come back clean.
+#include "pauli/pauli_string.hh"
+#include "telemetry/trace.hh"
+#include "util/parallel.hh"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// A reduction through the fixed-fold helper: the chunk lambda
+// accumulates into state it declares itself, in ascending index
+// order — the sanctioned shape.
+double
+norm(const double *a, unsigned long n)
+{
+    return varsaw::chunkedReduce<double>(
+        n, [&](unsigned long b, unsigned long e) {
+            double partial = 0.0;
+            for (unsigned long i = b; i < e; ++i)
+                partial += a[i] * a[i];
+            return partial;
+        });
+}
+
+// Elementwise parallel loop: disjoint subscripted writes only.
+void
+scale(double *a, unsigned long n, double s)
+{
+    varsaw::parallelForItems(
+        n, [&](unsigned long b, unsigned long e) {
+            for (unsigned long i = b; i < e; ++i)
+                a[i] *= s;
+        });
+}
+
+// Ordered iteration feeding a result is fine.
+unsigned long
+sumKeys(const std::map<int, int> &m)
+{
+    unsigned long h = 0;
+    for (const auto &kv : m)
+        h = h * 31 + static_cast<unsigned long>(kv.first);
+    return h;
+}
+
+// Unordered iteration that does NOT feed a result, exempted with a
+// reasoned annotation (this is the allowlist mechanism under test).
+void
+dropExpired(std::unordered_map<int, int> &cache)
+{
+    // varsaw-lint: allow(unordered-iter) order-insensitive erase; nothing result-bearing observes the walk
+    for (auto it = cache.begin(); it != cache.end();) {
+        if (it->second == 0)
+            it = cache.erase(it);
+        else
+            ++it;
+    }
+}
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// PASS fixture: arch intrinsic headers are allowed here — and only
+// here. The tree's CMakeLists.txt pins this TU with
+// -ffp-contract=off, which the fp-contract rule verifies.
+#include <immintrin.h>
+
+namespace fixture {
+
+double
+fused(double a, double b, double c)
+{
+    return __builtin_fma(a, b, c);
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// PASS fixture: every atomic op in a documented-contract hot path
+// states its memory order explicitly.
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+std::atomic<std::uint64_t> g_hits{0};
+
+void
+recordHit()
+{
+    g_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+hits()
+{
+    return g_hits.load(std::memory_order_relaxed);
+}
+
+} // namespace fixture

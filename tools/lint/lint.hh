@@ -1,0 +1,142 @@
+/**
+ * @file
+ * varsaw-lint: the project invariant checker.
+ *
+ * A token/include-graph level linter (no libclang) that enforces the
+ * structural invariants no compiler checks: the one-way layer DAG,
+ * kernel purity (intrinsics confinement, fp-contract pinning,
+ * nondeterminism bans), determinism hazards (reductions outside the
+ * fixed-fold helpers, iteration over unordered containers), and
+ * atomic hygiene (no default-seq_cst ops in documented-contract hot
+ * paths). Rules are driven by a declarative manifest
+ * (tools/lint/rules.toml); per-site exemptions are source
+ * annotations that REQUIRE a reason:
+ *
+ *     // varsaw-lint: allow(rule-id) reason text
+ *     // varsaw-lint: allow-file(rule-id) reason text
+ *
+ * allow() covers the annotation's line and the next line;
+ * allow-file() covers the whole file. An annotation without a reason
+ * is itself a finding.
+ */
+
+#ifndef VARSAW_TOOLS_LINT_HH
+#define VARSAW_TOOLS_LINT_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace varsaw::lint {
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    std::string file; ///< Root-relative path, '/' separators.
+    int line = 0;     ///< 1-based; 0 = whole-file finding.
+    std::string rule;
+    std::string message;
+
+    bool operator<(const Finding &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return message < o.message;
+    }
+};
+
+/**
+ * Parsed manifest: `[section]` headers over `key = value` entries
+ * where value is a string, bool, or array of strings. Scalar values
+ * are stored as single-element vectors. Ordered maps so every run
+ * reports in the same order.
+ */
+struct Manifest
+{
+    std::map<std::string,
+             std::map<std::string, std::vector<std::string>>>
+        sections;
+
+    bool has(const std::string &section) const
+    {
+        return sections.count(section) != 0;
+    }
+
+    /** Values of section.key ([] when absent). */
+    std::vector<std::string> list(const std::string &section,
+                                  const std::string &key) const;
+
+    /** First value of section.key (fallback when absent). */
+    std::string str(const std::string &section,
+                    const std::string &key,
+                    const std::string &fallback = "") const;
+
+    bool boolean(const std::string &section, const std::string &key,
+                 bool fallback = false) const;
+
+    /** Section names matching `prefix.*`, suffix only. */
+    std::vector<std::string>
+    subsections(const std::string &prefix) const;
+};
+
+/** Parse @p path; throws std::runtime_error on malformed input. */
+Manifest parseManifest(const std::string &path);
+
+/** One scanned source file. */
+struct SourceFile
+{
+    std::string path; ///< Root-relative, '/' separators.
+    std::string raw;  ///< Original bytes.
+    /** Comment and string-literal contents blanked to spaces;
+     * offsets and line structure identical to raw. */
+    std::string stripped;
+    std::vector<std::string> lines; ///< Stripped, by line.
+
+    /** rule id -> 1-based lines carrying allow(rule). */
+    std::map<std::string, std::set<int>> allowLines;
+    /** rule ids allowed for the whole file. */
+    std::set<std::string> allowFile;
+
+    /** Annotation problems found while scanning (missing reason,
+     * unknown syntax); reported as rule "annotation". */
+    std::vector<Finding> annotationFindings;
+
+    /** Whether a finding for @p rule at @p line is exempted: the
+     * annotation's own line and the line after it are covered. */
+    bool allowed(const std::string &rule, int line) const;
+
+    /** 1-based line of byte offset @p pos in stripped/raw. */
+    int lineOf(std::size_t pos) const;
+};
+
+/** Load and preprocess one file (path shown root-relative). */
+SourceFile scanFile(const std::string &absPath,
+                    const std::string &relPath);
+
+/** Everything the rules see: the file set plus the scan root. */
+struct Tree
+{
+    std::string root; ///< Absolute path of the scanned tree.
+    std::vector<SourceFile> files;
+
+    /** Files whose root-relative path starts with @p prefix
+     * (a directory like "src/sim" or an exact file path). */
+    std::vector<const SourceFile *>
+    under(const std::vector<std::string> &prefixes) const;
+};
+
+/** True when @p path is @p prefix or lies under @p prefix/. */
+bool pathUnder(const std::string &path, const std::string &prefix);
+
+/** Run every rule in @p manifest over @p tree. */
+std::vector<Finding> runRules(const Manifest &manifest,
+                              const Tree &tree);
+
+} // namespace varsaw::lint
+
+#endif // VARSAW_TOOLS_LINT_HH

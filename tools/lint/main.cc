@@ -1,0 +1,157 @@
+/**
+ * @file
+ * varsaw-lint CLI.
+ *
+ *   varsaw_lint --manifest tools/lint/rules.toml [--root DIR]
+ *               [--list-rules] [--verbose]
+ *
+ * Scans the `[scan] roots` directories of the manifest under --root
+ * (default: the current directory), runs every enabled rule, prints
+ * findings as `path:line: [rule] message`, and exits 1 when any
+ * finding survives the allowlists (0 clean, 2 usage/config error).
+ * Fixture trees under tests/lint/fixtures are linted by pointing
+ * --root at them with the same manifest.
+ */
+
+#include "lint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using namespace varsaw::lint;
+
+namespace {
+
+bool
+sourceExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+        ext == ".h" || ext == ".hpp";
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage: varsaw_lint --manifest rules.toml [--root DIR]"
+           " [--list-rules] [--verbose]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string manifestPath;
+    std::string root = ".";
+    bool listRules = false;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--manifest" && i + 1 < argc)
+            manifestPath = argv[++i];
+        else if (arg == "--root" && i + 1 < argc)
+            root = argv[++i];
+        else if (arg == "--list-rules")
+            listRules = true;
+        else if (arg == "--verbose")
+            verbose = true;
+        else
+            return usage();
+    }
+    if (manifestPath.empty())
+        return usage();
+
+    try {
+        const Manifest manifest = parseManifest(manifestPath);
+
+        if (listRules) {
+            for (const std::string &r :
+                 manifest.subsections("rule"))
+                std::cout
+                    << r << (manifest.boolean("rule." + r,
+                                              "enabled", true)
+                                ? ""
+                                : " (disabled)")
+                    << ": "
+                    << manifest.str("rule." + r, "summary") << "\n";
+            return 0;
+        }
+
+        Tree tree;
+        tree.root = fs::absolute(root).string();
+
+        // Collect files under the manifest's scan roots, sorted so
+        // every run reports in the same order.
+        const std::vector<std::string> excludes =
+            manifest.list("scan", "exclude");
+        std::vector<std::string> relPaths;
+        for (const std::string &dir :
+             manifest.list("scan", "roots")) {
+            const fs::path base = fs::path(root) / dir;
+            if (!fs::exists(base))
+                continue;
+            for (auto it = fs::recursive_directory_iterator(base);
+                 it != fs::recursive_directory_iterator(); ++it) {
+                if (!it->is_regular_file() ||
+                    !sourceExtension(it->path()))
+                    continue;
+                const std::string rel =
+                    fs::relative(it->path(), root)
+                        .generic_string();
+                bool skip = false;
+                for (const std::string &ex : excludes)
+                    if (pathUnder(rel, ex))
+                        skip = true;
+                if (!skip)
+                    relPaths.push_back(rel);
+            }
+        }
+        for (const std::string &extra :
+             manifest.list("scan", "files")) {
+            if (fs::exists(fs::path(root) / extra))
+                relPaths.push_back(extra);
+        }
+        std::sort(relPaths.begin(), relPaths.end());
+        relPaths.erase(
+            std::unique(relPaths.begin(), relPaths.end()),
+            relPaths.end());
+
+        for (const std::string &rel : relPaths)
+            tree.files.push_back(scanFile(
+                (fs::path(root) / rel).string(), rel));
+        if (verbose)
+            std::cerr << "varsaw-lint: scanned "
+                      << tree.files.size() << " files under "
+                      << tree.root << "\n";
+
+        const std::vector<Finding> findings =
+            runRules(manifest, tree);
+        for (const Finding &f : findings) {
+            std::cout << f.file;
+            if (f.line > 0)
+                std::cout << ":" << f.line;
+            std::cout << ": [" << f.rule << "] " << f.message
+                      << "\n";
+        }
+        if (!findings.empty()) {
+            std::cout << "varsaw-lint: " << findings.size()
+                      << " finding(s)\n";
+            return 1;
+        }
+        if (verbose)
+            std::cerr << "varsaw-lint: clean\n";
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "varsaw-lint: " << e.what() << "\n";
+        return 2;
+    }
+}
