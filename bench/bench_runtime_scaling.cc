@@ -1,6 +1,6 @@
 /**
  * @file
- * Runtime scaling, in two parts.
+ * Runtime scaling, in three parts.
  *
  * Part 1 — batched-execution throughput (circuits/sec) and
  * result-cache hit rate vs worker thread count {1, 2, 4, 8} on a
@@ -24,10 +24,26 @@
  * for the shared mode. CSV: bench_runtime_scaling.csv (part 1) and
  * bench_runtime_scaling_shared.csv (part 2).
  *
- * VARSAW_BENCH_CHECK=1 gates part 2: cross-session hits > 0 and
- * bit-identical energies between the modes.
+ * Part 3 — graceful degradation under injected faults: the part-1
+ * workload re-runs at 4 threads under seeded fault plans with
+ * transient-failure rates {0, 1%, 5%, 20%} (plus latency spikes at
+ * half the rate, burst 2 < 5 retries, so every job converges
+ * through the bounded retry loop). Expected shape: wall time
+ * degrades smoothly with the fault rate while result checksums AND
+ * executed-circuit counts stay EXACTLY constant — injected
+ * transients fail before the backend runs, and the surviving
+ * attempt samples the same content-derived stream as a fault-free
+ * run. CSV: bench_runtime_scaling_faults.csv, including the
+ * service.retries / service.faults.* registry deltas per rate.
  *
- * Knobs: VARSAW_BENCH_TICKS (parameter points), VARSAW_BENCH_SHOTS.
+ * VARSAW_BENCH_CHECK=1 gates part 2 (cross-session hits > 0 and
+ * bit-identical energies between the modes) and part 3 (checksums
+ * and cost counters identical across every fault rate; retries
+ * observed at the highest rate; registry retry counter equal to the
+ * executor's own count).
+ *
+ * Knobs: VARSAW_BENCH_TICKS (parameter points), VARSAW_BENCH_SHOTS,
+ * VARSAW_FAULT_SEED (part-3 fault plan seed).
  */
 
 #include <chrono>
@@ -40,6 +56,7 @@
 #include "common.hh"
 #include "chem/spin_models.hh"
 #include "core/varsaw.hh"
+#include "fault/fault_injector.hh"
 #include "mitigation/jigsaw.hh"
 #include "noise/device_model.hh"
 #include "pauli/subsetting.hh"
@@ -77,6 +94,7 @@ struct Measurement
     double seconds = 0.0;
     std::uint64_t circuitsSubmitted = 0;
     std::uint64_t circuitsExecuted = 0;
+    std::uint64_t retries = 0; //!< retry attempts absorbed (part 3)
     double hitRate = 0.0;
     double checksum = 0.0; //!< sum over all result PMFs, for identity
 };
@@ -109,6 +127,7 @@ measure(int threads, const SpatialPlan &plan, const Circuit &ansatz,
     m.seconds = watch.seconds();
     m.circuitsSubmitted = runtime.jobsSubmitted();
     m.circuitsExecuted = exec.circuitsExecuted();
+    m.retries = exec.retriesPerformed();
     m.hitRate = runtime.cacheStats().hitRate();
     return m;
 }
@@ -299,6 +318,157 @@ runSharedServiceComparison(int total_threads, const Hamiltonian &h,
     }
 }
 
+/**
+ * Part 3: re-run the part-1 workload at a fixed thread count under
+ * seeded fault plans of increasing severity and verify graceful
+ * degradation — checksums and executed-circuit counts must be
+ * EXACTLY those of the fault-free run, with only wall time and the
+ * retry/fault counters allowed to move. Saves and restores the
+ * process-wide plan, so an externally armed VARSAW_FAULTS (the
+ * chaos CI job) is back in force after the sweep.
+ */
+void
+runFaultRateSweep(int threads, const SpatialPlan &plan,
+                  const Circuit &ansatz,
+                  const std::vector<std::vector<double>> &points,
+                  std::uint64_t shots, const DeviceModel &device)
+{
+    auto &inj = fault::FaultInjector::instance();
+    const fault::FaultPlan ambient = inj.plan();
+    const auto fault_seed = static_cast<std::uint64_t>(
+        envInt("VARSAW_FAULT_SEED", 7));
+
+    std::printf("\nfault-rate sweep (%d threads, fault seed %llu)\n",
+                threads,
+                static_cast<unsigned long long>(fault_seed));
+
+    struct SweepRow
+    {
+        double rate = 0.0;
+        Measurement m;
+        std::uint64_t faultsInjected = 0;
+        std::uint64_t metricRetries = 0;
+    };
+    std::vector<SweepRow> rows;
+    for (double rate : {0.0, 0.01, 0.05, 0.20}) {
+        fault::FaultPlan fp;
+        fp.seed = fault_seed;
+        fp.executorTransientRate = rate;
+        fp.latencySpikeRate = rate / 2.0;
+        fp.latencySpikeNs = 20'000; // 20us: visible, not dominant
+        fp.burst = 2;               // < retries: always converges
+        fp.retryAttempts = 5;
+        fp.retryBackoffNs = 10'000;
+        fp.retryMaxBackoffNs = 100'000;
+        inj.configure(fp);
+        inj.resetStats();
+
+        SweepRow row;
+        row.rate = rate;
+        const std::uint64_t retries_before =
+            counterValue("service.retries");
+        row.m = measure(threads, plan, ansatz, points, shots,
+                        device);
+        row.faultsInjected = inj.stats().total();
+        row.metricRetries =
+            counterValue("service.retries") - retries_before;
+        rows.push_back(row);
+    }
+    inj.configure(ambient);
+    inj.resetStats();
+
+    const Measurement &clean = rows.front().m;
+    TablePrinter table(
+        "Graceful degradation vs injected fault rate");
+    table.setHeader({"Fault rate", "Seconds", "Executed", "Retries",
+                     "Faults", "Slowdown", "Identical"});
+    CsvWriter csv("bench_runtime_scaling_faults.csv");
+    csv.writeRow({"fault_rate", "threads", "seconds",
+                  "circuits_executed", "retries", "faults_injected",
+                  "metric_retries", "checksum",
+                  "slowdown_vs_clean"});
+    for (const SweepRow &row : rows) {
+        const double slowdown = clean.seconds > 0.0
+                                    ? row.m.seconds / clean.seconds
+                                    : 1.0;
+        const bool identical =
+            row.m.checksum == clean.checksum &&
+            row.m.circuitsExecuted == clean.circuitsExecuted;
+        table.addRow(
+            {TablePrinter::percent(row.rate),
+             TablePrinter::num(row.m.seconds, 3),
+             TablePrinter::num(
+                 static_cast<long long>(row.m.circuitsExecuted)),
+             TablePrinter::num(
+                 static_cast<long long>(row.m.retries)),
+             TablePrinter::num(
+                 static_cast<long long>(row.faultsInjected)),
+             TablePrinter::ratio(slowdown),
+             identical ? "yes" : "NO"});
+        csv.writeNumericRow(
+            {row.rate, static_cast<double>(threads), row.m.seconds,
+             static_cast<double>(row.m.circuitsExecuted),
+             static_cast<double>(row.m.retries),
+             static_cast<double>(row.faultsInjected),
+             static_cast<double>(row.metricRetries), row.m.checksum,
+             slowdown});
+    }
+    table.print();
+
+    const char *check = std::getenv("VARSAW_BENCH_CHECK");
+    if (!(check && check[0] == '1'))
+        return;
+    for (const SweepRow &row : rows) {
+        if (row.m.checksum != clean.checksum) {
+            std::fprintf(stderr,
+                         "CHECK FAILED: results at fault rate %g "
+                         "differ from the fault-free run\n",
+                         row.rate);
+            std::exit(1);
+        }
+        if (row.m.circuitsExecuted != clean.circuitsExecuted) {
+            std::fprintf(
+                stderr,
+                "CHECK FAILED: executed-circuit count at fault "
+                "rate %g (%llu) != fault-free count (%llu)\n",
+                row.rate,
+                static_cast<unsigned long long>(
+                    row.m.circuitsExecuted),
+                static_cast<unsigned long long>(
+                    clean.circuitsExecuted));
+            std::exit(1);
+        }
+        // The retry metric mirrors Executor::retriesPerformed()
+        // increment-for-increment (benches force metrics on).
+        if (telemetry::metricsEnabled() &&
+            row.metricRetries != row.m.retries) {
+            std::fprintf(
+                stderr,
+                "CHECK FAILED: service.retries delta (%llu) != "
+                "executor retries (%llu) at fault rate %g\n",
+                static_cast<unsigned long long>(row.metricRetries),
+                static_cast<unsigned long long>(row.m.retries),
+                row.rate);
+            std::exit(1);
+        }
+    }
+    if (rows.front().m.retries != 0) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: zero-rate plan performed "
+                     "retries\n");
+        std::exit(1);
+    }
+    if (rows.back().m.retries == 0) {
+        std::fprintf(stderr,
+                     "CHECK FAILED: no retries observed at the "
+                     "highest fault rate\n");
+        std::exit(1);
+    }
+    std::printf("CHECK PASSED: energies and cost counters "
+                "bit-identical at every fault rate; retries "
+                "absorbed the injected transients\n");
+}
+
 } // namespace
 
 int
@@ -383,5 +553,9 @@ main(int argc, char **argv)
     // Part 2: shared-service vs per-estimator-runtime comparison.
     runSharedServiceComparison(4, h, ansatz.circuit(), points,
                                shots, device);
+
+    // Part 3: graceful degradation under injected faults.
+    runFaultRateSweep(4, plan, ansatz.circuit(), points, shots,
+                      device);
     return 0;
 }

@@ -1,13 +1,90 @@
 #include "mitigation/executor.hh"
 
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "sim/density_matrix.hh"
+#include "telemetry/metrics.hh"
 #include "util/counts.hh"
 #include "util/logging.hh"
 
 namespace varsaw {
+
+namespace {
+
+/** Retry/deadline mirror under `service.*`. */
+struct RetryMetrics
+{
+    telemetry::Counter &retries;
+    telemetry::Counter &deadlineExceeded;
+
+    static RetryMetrics &
+    get()
+    {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        static RetryMetrics *m = new RetryMetrics{
+            reg.counter("service.retries"),
+            reg.counter("service.deadline_exceeded"),
+        };
+        return *m;
+    }
+};
+
+/**
+ * Order-independent content digest of a Pmf — the "wire" integrity
+ * check of the corruption fault point. Commutative fold over the
+ * sparse support, so the unordered iteration order cannot change
+ * the digest; any single flipped probability bit changes it.
+ */
+std::uint64_t
+pmfDigest(const Pmf &pmf)
+{
+    std::uint64_t acc = 0;
+    // varsaw-lint: allow(unordered-iter) commutative (addition) fold: iteration order cannot change the digest
+    for (const auto &entry : pmf.raw()) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &entry.second, sizeof bits);
+        acc += mix64(entry.first, bits);
+    }
+    return mix64(static_cast<std::uint64_t>(pmf.numBits()), acc);
+}
+
+/**
+ * Simulated wire corruption: flip the low mantissa bit of the most
+ * probable outcome's probability. The corrupted copy exists only to
+ * be caught by the digest check — it is dropped either way, so the
+ * corruption shape can never reach a consumer.
+ */
+Pmf
+corruptPmf(const Pmf &pmf)
+{
+    Pmf copy = pmf;
+    if (copy.supportSize() == 0) {
+        copy.set(0, 1e-12);
+        return copy;
+    }
+    const std::uint64_t target = copy.argmax();
+    double p = copy.prob(target);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &p, sizeof bits);
+    bits ^= 1ull;
+    std::memcpy(&p, &bits, sizeof p);
+    copy.set(target, p);
+    return copy;
+}
+
+/** Deterministic exponential backoff: base << (attempt-1), capped. */
+std::uint64_t
+backoffNs(const fault::RetryPolicy &policy, int attempt)
+{
+    std::uint64_t wait = policy.baseBackoffNs;
+    for (int k = 1; k < attempt && wait < policy.maxBackoffNs; ++k)
+        wait <<= 1;
+    return wait < policy.maxBackoffNs ? wait : policy.maxBackoffNs;
+}
+
+} // namespace
 
 Executor::Executor(std::uint64_t seed)
     : seed_(seed), rng_(seed),
@@ -20,14 +97,21 @@ Executor::execute(const Circuit &circuit,
                   const std::vector<double> &params,
                   std::uint64_t shots)
 {
-    if (circuit.numMeasured() == 0)
-        panic("Executor::execute: circuit has no measurements");
-    circuits_.fetch_add(1, std::memory_order_relaxed);
-    shots_.fetch_add(shots, std::memory_order_relaxed);
     // Non-owning view: the caller's circuit and params are borrowed
     // for the duration of the call, never deep-copied into a
     // transient job.
     const JobView job{circuit, params, shots, nullptr};
+    if (job.numMeasured() == 0)
+        throw StatusError(invalidArgumentError(
+            "Executor::execute: circuit has no measurements"));
+    if (Status invalid = validateJob(job); !invalid.ok())
+        throw StatusError(std::move(invalid));
+    // The legacy serial path: no fault injection or retries — it
+    // predates content-derived streams, so a retry here could NOT
+    // be bit-identical (rng_ is mutated per attempt). All service
+    // and runtime traffic goes through tryExecuteJob().
+    circuits_.fetch_add(1, std::memory_order_relaxed);
+    shots_.fetch_add(shots, std::memory_order_relaxed);
     return executeImpl(job, rng_);
 }
 
@@ -49,14 +133,100 @@ Executor::executeJob(const CircuitJob &job, std::uint64_t stream)
 Pmf
 Executor::executeJob(const JobView &job, std::uint64_t stream)
 {
+    StatusOr<Pmf> result = tryExecuteJob(job, stream);
+    if (!result.ok())
+        throw StatusError(result.status());
+    return std::move(result).value();
+}
+
+Status
+Executor::validateJob(const JobView &) const
+{
+    return Status{};
+}
+
+StatusOr<Pmf>
+Executor::tryExecuteJob(const JobView &job, std::uint64_t stream)
+{
+    // Malformed submissions fail fast, before any attempt: these
+    // are permanent (InvalidArgument), never retried. They used to
+    // panic — a typed error keeps one bad job from taking down a
+    // multi-tenant service.
     if (job.numMeasured() == 0)
-        panic("Executor::executeJob: circuit has no measurements");
+        return invalidArgumentError(
+            "Executor::executeJob: circuit has no measurements");
     if (job.prep && job.prep->numQubits() != job.circuit.numQubits())
-        panic("Executor::executeJob: prep/suffix width mismatch");
-    circuits_.fetch_add(1, std::memory_order_relaxed);
-    shots_.fetch_add(job.shots, std::memory_order_relaxed);
-    Rng rng = Rng::forStream(seed_, stream);
-    return executeImpl(job, rng);
+        return invalidArgumentError(
+            "Executor::executeJob: prep/suffix width mismatch");
+    if (Status invalid = validateJob(job); !invalid.ok())
+        return invalid;
+
+    auto &injector = fault::FaultInjector::instance();
+    const fault::RetryPolicy policy = retryPolicy();
+    const int attempts =
+        policy.maxAttempts < 1 ? 1 : policy.maxAttempts;
+    const std::uint64_t start =
+        policy.deadlineNs > 0 ? injector.nowNs() : 0;
+    Status last = unavailableError("no execution attempt ran");
+    for (int attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            retries_.fetch_add(1, std::memory_order_relaxed);
+            if (telemetry::metricsEnabled())
+                RetryMetrics::get().retries.add();
+            injector.sleepFor(backoffNs(policy, attempt));
+        }
+        if (policy.deadlineNs > 0 &&
+            injector.nowNs() - start > policy.deadlineNs) {
+            if (telemetry::metricsEnabled())
+                RetryMetrics::get().deadlineExceeded.add();
+            return deadlineExceededError(
+                "per-job deadline elapsed after " +
+                std::to_string(attempt) + " attempt(s); last: " +
+                last.toString());
+        }
+        const bool faults = injector.enabled();
+        if (faults &&
+            injector.shouldInject(fault::FaultSite::LatencySpike,
+                                  stream, attempt))
+            injector.sleepFor(injector.plan().latencySpikeNs);
+        if (faults &&
+            injector.shouldInject(
+                fault::FaultSite::ExecutorTransient, stream,
+                attempt)) {
+            // The attempt fails BEFORE the backend runs: no circuit
+            // executed, so the cost counters stay exact under
+            // injection (chaos CI depends on this).
+            last = unavailableError(
+                "injected transient executor failure");
+            continue;
+        }
+        circuits_.fetch_add(1, std::memory_order_relaxed);
+        shots_.fetch_add(job.shots, std::memory_order_relaxed);
+        // A fresh stream-derived Rng per attempt: the attempt that
+        // succeeds draws exactly the samples a first-try success
+        // would have — retry idempotence by construction.
+        Rng rng = Rng::forStream(seed_, stream);
+        Pmf result = executeImpl(job, rng);
+        if (faults &&
+            injector.shouldInject(
+                fault::FaultSite::ResultCorruption, stream,
+                attempt)) {
+            // Corrupt a copy "on the wire" and verify the digest
+            // catches it; the corrupted copy is dropped either way
+            // (a corruption the digest misses would be a real DataLoss
+            // escape — surface it as Internal, loudly).
+            if (pmfDigest(corruptPmf(result)) != pmfDigest(result)) {
+                last = dataLossError("result corruption detected "
+                                     "on the wire (digest "
+                                     "mismatch)");
+                continue;
+            }
+            return internalError(
+                "injected corruption evaded the result digest");
+        }
+        return result;
+    }
+    return last;
 }
 
 void
@@ -64,6 +234,7 @@ Executor::resetCounters()
 {
     circuits_.store(0, std::memory_order_relaxed);
     shots_.store(0, std::memory_order_relaxed);
+    retries_.store(0, std::memory_order_relaxed);
 }
 
 IdealExecutor::IdealExecutor(std::uint64_t seed) : Executor(seed)
@@ -177,13 +348,22 @@ NoisyExecutor::trajectoryMarginal(const JobView &job, Rng &rng)
     return acc;
 }
 
+Status
+NoisyExecutor::validateJob(const JobView &job) const
+{
+    // Data-dependent, so a Status (not a fatal): one oversized job
+    // must fail its own future, not exit the process under every
+    // other tenant.
+    if (job.numQubits() > device_.numQubits())
+        return invalidArgumentError(
+            "NoisyExecutor: circuit is wider than device '" +
+            device_.name() + "'");
+    return Status{};
+}
+
 Pmf
 NoisyExecutor::executeImpl(const JobView &job, Rng &rng)
 {
-    if (job.numQubits() > device_.numQubits())
-        fatal("NoisyExecutor: circuit is wider than device '" +
-              device_.name() + "'");
-
     std::vector<double> probs =
         mode_ == GateNoiseMode::PauliTrajectories
             ? trajectoryMarginal(job, rng)

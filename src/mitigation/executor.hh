@@ -24,9 +24,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#include "fault/fault_injector.hh"
 #include "noise/device_model.hh"
 #include "sim/circuit.hh"
 #include "sim/job.hh"
@@ -34,6 +36,7 @@
 #include "sim/statevector.hh"
 #include "util/pmf.hh"
 #include "util/rng.hh"
+#include "util/status.hh"
 
 namespace varsaw {
 
@@ -93,8 +96,63 @@ class Executor
      * Thread-safe execution of a non-owning job view: the borrowed
      * circuit/params are only read for the duration of the call.
      * This is the zero-copy entry the other overloads funnel into.
+     * Failures surface as a thrown StatusError (the Pmf-returning
+     * interface cannot carry a Status); prefer tryExecuteJob() on
+     * paths that want to branch on the error.
      */
     Pmf executeJob(const JobView &job, std::uint64_t stream);
+
+    /**
+     * Fault-tolerant execution core: validate, then run up to
+     * retryPolicy().maxAttempts attempts with deterministic
+     * exponential backoff (base << (attempt-1), capped) between
+     * them, under the policy's per-job deadline (measured on the
+     * fault-handling clock — virtual under a virtual-time plan).
+     * Injected transient failures (fault::FaultSite) and detected
+     * wire corruption are absorbed by the retry loop; the attempt
+     * that succeeds samples from Rng::forStream(seed(), stream)
+     * exactly like a first-try success, so a retried job's result
+     * is bit-identical to an unfaulted run by construction.
+     *
+     * Error taxonomy (util/status.hh): InvalidArgument for
+     * malformed submissions (checked before any attempt),
+     * DeadlineExceeded when the deadline elapses, Unavailable /
+     * DataLoss when every attempt failed transiently.
+     *
+     * Cost accounting: only attempts that actually reach the
+     * backend are counted (an injected transient fails BEFORE
+     * execution), so at chaos-CI rates (transient + latency only)
+     * circuit/shot counters match the fault-free run exactly.
+     */
+    StatusOr<Pmf> tryExecuteJob(const JobView &job,
+                                std::uint64_t stream);
+
+    /**
+     * Override the retry policy for this executor (defaults to
+     * fault::defaultRetryPolicy(), i.e. the installed FaultPlan's
+     * retry fields, re-read at every call so late plan changes
+     * apply). NOT thread-safe: call before submitting jobs.
+     */
+    void setRetryPolicy(fault::RetryPolicy policy)
+    {
+        retry_ = policy;
+    }
+
+    /** Drop the per-executor override (back to the plan default). */
+    void clearRetryPolicy() { retry_.reset(); }
+
+    /** The effective retry policy (override or plan default). */
+    fault::RetryPolicy retryPolicy() const
+    {
+        return retry_ ? *retry_ : fault::defaultRetryPolicy();
+    }
+
+    /** Retry attempts performed since construction / reset — every
+     * attempt after a job's first (successful or not). */
+    std::uint64_t retriesPerformed() const
+    {
+        return retries_.load(std::memory_order_relaxed);
+    }
 
     /** Total circuits submitted since construction / reset. */
     std::uint64_t circuitsExecuted() const
@@ -173,9 +231,19 @@ class Executor
      */
     virtual Pmf executeImpl(const JobView &job, Rng &rng) = 0;
 
+    /**
+     * Backend-specific submission validation, run once per job
+     * before any execution attempt (data-dependent checks belong
+     * here, as Status returns, never as panics: a malformed job
+     * must fail ITS future, not the process).
+     */
+    virtual Status validateJob(const JobView &job) const;
+
   private:
     std::atomic<std::uint64_t> circuits_{0};
     std::atomic<std::uint64_t> shots_{0};
+    std::atomic<std::uint64_t> retries_{0};
+    std::optional<fault::RetryPolicy> retry_;
     std::uint64_t seed_;
     Rng rng_; //!< serial stream backing the legacy execute() path
     std::shared_ptr<SimEngine> simEngine_;
@@ -236,6 +304,10 @@ class NoisyExecutor : public Executor
 
   protected:
     Pmf executeImpl(const JobView &job, Rng &rng) override;
+
+    /** Adds the device-width check (InvalidArgument when the job is
+     * wider than the device). */
+    Status validateJob(const JobView &job) const override;
 
   protected:
     /** Exact measured-qubit distribution with gate noise folded in. */

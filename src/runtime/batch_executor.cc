@@ -135,10 +135,17 @@ BatchExecutor::submitOne(
         config_.cacheResults ? &cache_ : nullptr;
 
     if (config_.threads <= 1) {
-        // Inline: execute on the submitting thread, no job copy.
+        // Inline: execute on the submitting thread, no job copy. A
+        // failed execution (StatusError: quarantine, retries
+        // exhausted, invalid job) fails THIS job's future and
+        // nothing else — the submitting loop continues.
         std::promise<Pmf> done;
-        done.set_value(ledger_.executeAndPublish(backend_, job, key,
-                                                 cache, publish));
+        try {
+            done.set_value(ledger_.executeAndPublish(
+                backend_, job, key, cache, publish));
+        } catch (...) {
+            done.set_exception(std::current_exception());
+        }
         return done.get_future();
     }
 
@@ -160,28 +167,21 @@ BatchExecutor::submitOne(
     return future;
 }
 
-std::vector<std::vector<std::function<void()>>>
-prefixScheduleChunks(const std::vector<PrepKey> &keys,
-                     std::vector<std::function<void()>> tasks,
-                     std::size_t threads)
+std::vector<std::vector<std::size_t>>
+prefixScheduleIndexChunks(const std::vector<PrepKey> &keys,
+                          std::size_t threads)
 {
-    // Group tasks by full prep key (digest collisions cannot merge
-    // distinct preps), preserving first-appearance order of the
-    // groups and submission order within each group.
-    std::vector<std::vector<std::function<void()>>> groups;
-    for (const auto &indices : groupByPrepKey(keys)) {
-        groups.emplace_back();
-        groups.back().reserve(indices.size());
-        for (std::size_t i : indices)
-            groups.back().push_back(std::move(tasks[i]));
-    }
+    // Group indices by full prep key (digest collisions cannot
+    // merge distinct preps), preserving first-appearance order of
+    // the groups and submission order within each group.
+    const auto groups = groupByPrepKey(keys);
 
-    std::vector<std::vector<std::function<void()>>> chunks;
+    std::vector<std::vector<std::size_t>> chunks;
     const std::size_t per_group_chunks =
         groups.empty() || groups.size() >= threads
             ? 1
             : (threads + groups.size() - 1) / groups.size();
-    for (auto &group : groups) {
+    for (const auto &group : groups) {
         const std::size_t chunk_size = std::max<std::size_t>(
             1, (group.size() + per_group_chunks - 1) /
                    per_group_chunks);
@@ -189,11 +189,25 @@ prefixScheduleChunks(const std::vector<PrepKey> &keys,
              begin += chunk_size) {
             const std::size_t end =
                 std::min(group.size(), begin + chunk_size);
-            chunks.emplace_back();
-            chunks.back().reserve(end - begin);
-            for (std::size_t i = begin; i < end; ++i)
-                chunks.back().push_back(std::move(group[i]));
+            chunks.emplace_back(group.begin() + begin,
+                                group.begin() + end);
         }
+    }
+    return chunks;
+}
+
+std::vector<std::vector<std::function<void()>>>
+prefixScheduleChunks(const std::vector<PrepKey> &keys,
+                     std::vector<std::function<void()>> tasks,
+                     std::size_t threads)
+{
+    std::vector<std::vector<std::function<void()>>> chunks;
+    for (const auto &indices :
+         prefixScheduleIndexChunks(keys, threads)) {
+        chunks.emplace_back();
+        chunks.back().reserve(indices.size());
+        for (std::size_t i : indices)
+            chunks.back().push_back(std::move(tasks[i]));
     }
     return chunks;
 }

@@ -145,6 +145,19 @@ prefixScheduleChunks(const std::vector<PrepKey> &keys,
                      std::vector<std::function<void()>> tasks,
                      std::size_t threads);
 
+/**
+ * Index form of prefixScheduleChunks: the same pure chunking
+ * decision, returned as indices into @p keys instead of moved task
+ * closures. Callers that must keep per-job metadata alongside each
+ * chunk (the service's shed/abandon path needs the jobs' ledger
+ * claims and result promises) chunk by index and look the metadata
+ * up themselves. prefixScheduleChunks is implemented on top of
+ * this, so the two can never disagree.
+ */
+std::vector<std::vector<std::size_t>>
+prefixScheduleIndexChunks(const std::vector<PrepKey> &keys,
+                          std::size_t threads);
+
 /** Batched front-end over an Executor backend. */
 class BatchExecutor : public JobSubmitter
 {

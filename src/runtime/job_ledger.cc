@@ -22,6 +22,7 @@ struct LedgerMetrics
     telemetry::Counter &dedupeHits;
     telemetry::Counter &claims;
     telemetry::Counter &evictions;
+    telemetry::Counter &quarantined;
     telemetry::Histogram &jobLatencyNs;
 
     static LedgerMetrics &
@@ -32,6 +33,7 @@ struct LedgerMetrics
             reg.counter("runtime.ledger.dedupe_hits"),
             reg.counter("runtime.ledger.claims"),
             reg.counter("runtime.ledger.evictions"),
+            reg.counter("service.quarantined"),
             reg.histogram("runtime.job_latency_ns"),
         };
         return *m;
@@ -57,6 +59,7 @@ JobLedger::claim(const JobKey &key, std::uint64_t shots,
     if (it != entries_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second.lruIt);
         cache.creditHit(shots);
+        ++stats_.dedupeHits;
         if (telemetry::metricsEnabled())
             LedgerMetrics::get().dedupeHits.add();
         if (telemetry::tracingEnabled())
@@ -77,6 +80,7 @@ JobLedger::claim(const JobKey &key, std::uint64_t shots,
         lru_.pop_back();
         entries_.erase(victim);
         cache.erase(victim);
+        ++stats_.evictions;
         if (telemetry::metricsEnabled())
             LedgerMetrics::get().evictions.add();
     }
@@ -86,6 +90,7 @@ JobLedger::claim(const JobKey &key, std::uint64_t shots,
     entry.lruIt = lru_.begin();
     entries_.emplace(key, std::move(entry));
     cache.creditMiss();
+    ++stats_.claims;
     if (telemetry::metricsEnabled())
         LedgerMetrics::get().claims.add();
     if (telemetry::tracingEnabled())
@@ -119,18 +124,115 @@ JobLedger::executeAndPublish(
     ResultCache *cache,
     const std::shared_ptr<std::promise<Pmf>> &publish)
 {
+    // Quarantine fast path: a poisoned key never reaches the
+    // backend again until clearQuarantine(). The claimed entry (if
+    // any) is retracted so a post-clearQuarantine resubmission gets
+    // a fresh primary.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (quarantine_.count(key) != 0) {
+            ++stats_.quarantineRejections;
+            dropEntryLocked(key);
+            Status status = failedPreconditionError(
+                "job key is quarantined after a failed execution "
+                "(clearQuarantine() to re-admit)");
+            if (publish)
+                publish->set_exception(std::make_exception_ptr(
+                    StatusError(status)));
+            throw StatusError(std::move(status));
+        }
+    }
+
     telemetry::ScopedSpan span("job", jobStream(key));
-    Pmf result = backend.executeJob(job, jobStream(key));
+    StatusOr<Pmf> result =
+        backend.tryExecuteJob(job.view(), jobStream(key));
+    if (!result.ok()) {
+        // Poison job: retries exhausted (or permanently invalid).
+        // Quarantine the key, retract its entry — shared-cache
+        // state stays untouched — and fail the primary's future so
+        // waiting duplicates see the same typed error.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (quarantine_.insert(key).second)
+                ++stats_.quarantined;
+            dropEntryLocked(key);
+        }
+        if (telemetry::metricsEnabled())
+            LedgerMetrics::get().quarantined.add();
+        if (telemetry::tracingEnabled())
+            telemetry::SpanTracer::instance().instant(
+                "quarantine", jobStream(key));
+        warn("JobLedger: quarantining job (stream=" +
+             std::to_string(jobStream(key)) +
+             "): " + result.status().toString());
+        if (publish)
+            publish->set_exception(std::make_exception_ptr(
+                StatusError(result.status())));
+        throw StatusError(result.status());
+    }
     if (telemetry::metricsEnabled() && span.armed())
         LedgerMetrics::get().jobLatencyNs.record(span.elapsedNs());
     if (cache)
-        store(key, result, *cache);
+        store(key, *result, *cache);
     if (publish)
-        publish->set_value(result);
+        publish->set_value(*result);
     if (telemetry::tracingEnabled())
         telemetry::SpanTracer::instance().instant(
             "complete", jobStream(key));
-    return result;
+    return std::move(result).value();
+}
+
+void
+JobLedger::abandon(const JobKey &key,
+                   const std::shared_ptr<std::promise<Pmf>> &publish,
+                   const Status &status)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dropEntryLocked(key);
+        ++stats_.abandoned;
+    }
+    if (publish)
+        publish->set_exception(
+            std::make_exception_ptr(StatusError(status)));
+}
+
+bool
+JobLedger::isQuarantined(const JobKey &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantine_.count(key) != 0;
+}
+
+std::size_t
+JobLedger::quarantinedCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantine_.size();
+}
+
+void
+JobLedger::clearQuarantine()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    quarantine_.clear();
+}
+
+JobLedgerStats
+JobLedger::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+JobLedger::dropEntryLocked(const JobKey &key)
+{
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return;
+    lru_.erase(it->second.lruIt);
+    entries_.erase(it);
 }
 
 void

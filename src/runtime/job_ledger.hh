@@ -33,14 +33,38 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "runtime/result_cache.hh"
 #include "sim/job.hh"
 #include "util/pmf.hh"
+#include "util/status.hh"
 
 namespace varsaw {
 
 class Executor;
+
+/** Ledger bookkeeping counters (see JobLedger::stats()). */
+struct JobLedgerStats
+{
+    /** Primary claims admitted (one per executed key). */
+    std::uint64_t claims = 0;
+
+    /** Duplicate claims answered from a primary's future. */
+    std::uint64_t dedupeHits = 0;
+
+    /** Keys evicted past the entry cap (claim-time LRU). */
+    std::uint64_t evictions = 0;
+
+    /** Keys quarantined after a failed execution. */
+    std::uint64_t quarantined = 0;
+
+    /** Submissions refused because their key was quarantined. */
+    std::uint64_t quarantineRejections = 0;
+
+    /** Claims abandoned before execution (admission shed). */
+    std::uint64_t abandoned = 0;
+};
 
 /** Dedupe decision + LRU bookkeeping for cached execution paths. */
 class JobLedger
@@ -110,11 +134,49 @@ class JobLedger
      * claimed), resolve @p publish (when non-null), return the
      * result. Shared by BatchExecutor and the service sessions so
      * dedupe semantics cannot drift between them.
+     *
+     * Fault tolerance: execution goes through
+     * Executor::tryExecuteJob (deadline + bounded retry). A
+     * quarantined key fails fast with FailedPrecondition before
+     * touching the backend. When every attempt fails, the key is
+     * quarantined, its ledger entry is dropped (shared-cache state
+     * is untouched), the failure is published to @p publish (so
+     * waiting duplicates see the same StatusError), and a
+     * StatusError is thrown to the caller.
      */
     Pmf executeAndPublish(
         Executor &backend, const CircuitJob &job, const JobKey &key,
         ResultCache *cache,
         const std::shared_ptr<std::promise<Pmf>> &publish);
+
+    /**
+     * Retract a claimed-but-never-executed primary (admission shed
+     * under backpressure): drop the key's ledger entry and publish
+     * @p status as a StatusError on @p publish so every duplicate
+     * already deferred to this primary fails with the same typed
+     * error instead of waiting forever. Does NOT quarantine — the
+     * job was never executed, so resubmission is expected to work.
+     */
+    void abandon(const JobKey &key,
+                 const std::shared_ptr<std::promise<Pmf>> &publish,
+                 const Status &status);
+
+    /** Whether @p key is quarantined (poisoned by a failed
+     * execution; submissions fail fast until clearQuarantine()). */
+    bool isQuarantined(const JobKey &key) const;
+
+    /** Number of quarantined keys. */
+    std::size_t quarantinedCount() const;
+
+    /**
+     * Release every quarantined key (operator intervention after
+     * the underlying fault is fixed). Quarantine survives clear():
+     * clearing dedupe state must not silently re-admit poison jobs.
+     */
+    void clearQuarantine();
+
+    /** Snapshot of the bookkeeping counters. */
+    JobLedgerStats stats() const;
 
     /**
      * Drop every tracked key (and the matching @p cache entries).
@@ -144,11 +206,18 @@ class JobLedger
         std::list<JobKey>::iterator lruIt;
     };
 
+    /** Drop @p key's entry (and LRU slot) if tracked. Caller holds
+     * mutex_. */
+    void dropEntryLocked(const JobKey &key);
+
     mutable std::mutex mutex_;
     std::size_t maxEntries_;
     std::unordered_map<JobKey, Entry, JobKeyHasher> entries_;
     /** Tracked keys, most recently claimed first. */
     std::list<JobKey> lru_;
+    /** Poisoned keys (failed execution); not cleared by clear(). */
+    std::unordered_set<JobKey, JobKeyHasher> quarantine_;
+    JobLedgerStats stats_;
 };
 
 } // namespace varsaw

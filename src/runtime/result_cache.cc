@@ -130,6 +130,13 @@ void
 ResultCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    // Dropped entries are evictions like any other: without this,
+    // insertions - evictions stops matching the resident count
+    // after a clear and the erase-then-reexecute accounting drifts.
+    const std::uint64_t dropped = entries_.size();
+    stats_.evictions += dropped;
+    if (telemetry::metricsEnabled() && dropped > 0)
+        CacheMetrics::get().evictions.add(dropped);
     entries_.clear();
     lru_.clear();
 }

@@ -98,7 +98,9 @@ class ResultCache
      */
     void erase(const JobKey &key);
 
-    /** Drop all entries (statistics are kept). */
+    /** Drop all entries (statistics are kept; each dropped entry
+     * counts as an eviction, so insertions - evictions always
+     * matches the resident count). */
     void clear();
 
     /** Current entry count. */

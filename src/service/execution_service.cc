@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "fault/fault_injector.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/trace.hh"
 #include "util/logging.hh"
@@ -20,6 +21,8 @@ struct ServiceMetrics
     telemetry::Counter &sessionsOpened;
     telemetry::Counter &jobsSubmitted;
     telemetry::Counter &crossSessionHits;
+    telemetry::Counter &shed;
+    telemetry::Counter &inlineAfterShutdown;
 
     static ServiceMetrics &
     get()
@@ -29,6 +32,8 @@ struct ServiceMetrics
             reg.counter("service.sessions_opened"),
             reg.counter("service.jobs_submitted"),
             reg.counter("service.cross_session_hits"),
+            reg.counter("service.shed"),
+            reg.counter("service.inline_after_shutdown"),
         };
         return *m;
     }
@@ -151,6 +156,7 @@ Session::stats() const
     stats.cacheMisses = misses_.load(std::memory_order_relaxed);
     stats.shotsSaved = shotsSaved_.load(std::memory_order_relaxed);
     stats.inlineJobs = inlineJobs_.load(std::memory_order_relaxed);
+    stats.shedJobs = shed_.load(std::memory_order_relaxed);
     return stats;
 }
 
@@ -161,7 +167,8 @@ ExecutionService::ExecutionService(Executor &backend,
     : backend_(backend), config_(config),
       cache_(config.cacheMaxEntries),
       ledger_(config.cacheMaxEntries),
-      scheduler_(resolveServiceThreads(config.threads))
+      scheduler_(resolveServiceThreads(config.threads),
+                 config.maxQueueDepth)
 {
     config_.threads = scheduler_.threadCount();
     if (config_.kernelThreads > 0)
@@ -246,6 +253,10 @@ ExecutionService::stats() const
     stats.chunksExecuted = scheduler_.chunksExecuted();
     stats.kernelAssists = scheduler_.kernelAssists();
     stats.kernelAssistedChunks = scheduler_.assistedChunks();
+    stats.shedJobs = shedJobs_.load(std::memory_order_relaxed);
+    stats.inlineAfterShutdown =
+        inlineAfterShutdown_.load(std::memory_order_relaxed);
+    stats.quarantinedKeys = ledger_.quarantinedCount();
     stats.cache = cache_.stats();
     return stats;
 }
@@ -281,10 +292,19 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
     if (session.prefixAware_)
         prep_keys = prepKeysOf(*owned);
 
-    std::vector<PrepKey> pending_keys;
-    std::vector<std::function<void()>> pending_tasks;
-    pending_keys.reserve(owned->size());
-    pending_tasks.reserve(owned->size());
+    // One pending record per primary job: the task closure plus the
+    // metadata the shed path needs to fail the job WITHOUT running
+    // it (its ledger claim and its caller-facing promise).
+    struct PendingJob
+    {
+        PrepKey prepKey;
+        JobKey key;
+        std::shared_ptr<std::promise<Pmf>> publish; //!< ledger claim
+        std::shared_ptr<std::promise<Pmf>> done; //!< caller's future
+        std::function<void()> run;
+    };
+    std::vector<PendingJob> pending;
+    pending.reserve(owned->size());
 
     for (std::size_t i = 0; i < owned->size(); ++i) {
         const CircuitJob &job = (*owned)[i];
@@ -332,44 +352,121 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
         const CircuitJob *job_ptr = &job;
         ResultCache *cache =
             session.cacheResults_ ? &cache_ : nullptr;
-        auto task = std::make_shared<std::packaged_task<Pmf()>>(
-            [this, owned, job_ptr, key, cache, publish] {
-                return ledger_.executeAndPublish(
-                    backend_, *job_ptr, key, cache, publish);
-            });
-        futures.push_back(task->get_future());
-        pending_keys.push_back(
-            session.prefixAware_ ? prep_keys[i] : PrepKey{});
-        pending_tasks.push_back([task] { (*task)(); });
+        // Explicit promise instead of a packaged_task so the shed
+        // path can fail the future without running the task. A
+        // failed execution (StatusError: quarantine, retries
+        // exhausted, invalid job) fails THIS job's future and
+        // nothing else — the rest of its chunk still runs.
+        auto done = std::make_shared<std::promise<Pmf>>();
+        futures.push_back(done->get_future());
+        auto run = [this, owned, job_ptr, key, cache, publish,
+                    done] {
+            try {
+                done->set_value(ledger_.executeAndPublish(
+                    backend_, *job_ptr, key, cache, publish));
+            } catch (...) {
+                done->set_exception(std::current_exception());
+            }
+        };
+        pending.push_back(
+            {session.prefixAware_ ? prep_keys[i] : PrepKey{}, key,
+             std::move(publish), std::move(done), std::move(run)});
     }
 
     // Admission: prefix-aware chunks (or one task per chunk) into
     // this session's FIFO queue; the scheduler round-robins across
-    // sessions. When admission is closed — shutdown, or a shutdown
-    // racing this submit — the chunk runs inline on the submitting
-    // thread instead: same jobs, same streams, same results.
-    std::vector<std::vector<std::function<void()>>> chunks;
+    // sessions. Three non-Accepted outcomes, all local to the
+    // chunk:
+    //  - Closed (shutdown, or a shutdown racing this submit): the
+    //    chunk runs inline on the submitting thread — same jobs,
+    //    same streams, same results (satellite counter
+    //    service.inline_after_shutdown + a once-per-service warn;
+    //    this fallover used to be silent).
+    //  - Full (queue at ServiceConfig::maxQueueDepth): the chunk is
+    //    SHED — every job's future fails with ResourceExhausted and
+    //    its ledger claim is abandoned so cross-session duplicates
+    //    fail too instead of hanging. Nothing executes; the caller
+    //    backs off and resubmits.
+    //  - Injected worker stall (fault::FaultSite::WorkerStall,
+    //    keyed by the chunk's first job): degrade to inline
+    //    execution, as if the worker assigned to the chunk never
+    //    picked it up and the submitter reclaimed the work.
+    std::vector<std::vector<std::size_t>> chunk_indices;
     if (session.prefixAware_) {
-        chunks = prefixScheduleChunks(
-            pending_keys, std::move(pending_tasks),
+        std::vector<PrepKey> pending_keys;
+        pending_keys.reserve(pending.size());
+        for (const PendingJob &p : pending)
+            pending_keys.push_back(p.prepKey);
+        chunk_indices = prefixScheduleIndexChunks(
+            pending_keys,
             static_cast<std::size_t>(scheduler_.threadCount()));
     } else {
-        chunks.reserve(pending_tasks.size());
-        for (auto &task : pending_tasks)
-            chunks.push_back({std::move(task)});
+        chunk_indices.reserve(pending.size());
+        for (std::size_t i = 0; i < pending.size(); ++i)
+            chunk_indices.push_back({i});
     }
-    for (auto &chunk : chunks) {
+    auto &injector = fault::FaultInjector::instance();
+    std::uint64_t tallyShed = 0;
+    for (const auto &indices : chunk_indices) {
         auto shared = std::make_shared<
-            std::vector<std::function<void()>>>(std::move(chunk));
+            std::vector<std::function<void()>>>();
+        shared->reserve(indices.size());
+        for (std::size_t i : indices)
+            shared->push_back(std::move(pending[i].run));
         auto runner = [shared] {
             for (auto &run : *shared)
                 run();
         };
-        if (!scheduler_.enqueue(session.queue_, runner)) {
+
+        if (injector.enabled() && !indices.empty() &&
+            injector.shouldInject(
+                fault::FaultSite::WorkerStall,
+                jobStream(pending[indices.front()].key))) {
             session.inlineJobs_.fetch_add(
                 shared->size(), std::memory_order_relaxed);
             tallyInline += shared->size();
             runner();
+            continue;
+        }
+
+        switch (scheduler_.enqueue(session.queue_, runner)) {
+        case ServiceScheduler::Admission::Accepted:
+            break;
+        case ServiceScheduler::Admission::Full: {
+            const Status status = resourceExhaustedError(
+                "session admission queue is full (maxQueueDepth=" +
+                std::to_string(scheduler_.maxQueueDepth()) +
+                "): job shed — back off and resubmit");
+            for (std::size_t i : indices) {
+                PendingJob &p = pending[i];
+                if (p.publish)
+                    ledger_.abandon(p.key, p.publish, status);
+                p.done->set_exception(std::make_exception_ptr(
+                    StatusError(status)));
+            }
+            session.shed_.fetch_add(shared->size(),
+                                    std::memory_order_relaxed);
+            shedJobs_.fetch_add(shared->size(),
+                                std::memory_order_relaxed);
+            tallyShed += shared->size();
+            break;
+        }
+        case ServiceScheduler::Admission::Closed:
+            if (!warnedLateInline_.exchange(
+                    true, std::memory_order_relaxed))
+                warn("ExecutionService: admission closed "
+                     "(shutdown); late submissions execute inline "
+                     "on the submitting thread");
+            session.inlineJobs_.fetch_add(
+                shared->size(), std::memory_order_relaxed);
+            inlineAfterShutdown_.fetch_add(
+                shared->size(), std::memory_order_relaxed);
+            tallyInline += shared->size();
+            if (metricsOn)
+                ServiceMetrics::get().inlineAfterShutdown.add(
+                    shared->size());
+            runner();
+            break;
         }
     }
 
@@ -377,6 +474,7 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
         ServiceMetrics &svc = ServiceMetrics::get();
         svc.jobsSubmitted.add(batch.size());
         svc.crossSessionHits.add(tallyCrossHits);
+        svc.shed.add(tallyShed);
         SessionBatchMetrics m =
             SessionBatchMetrics::forSession(session);
         m.jobs.add(batch.size());

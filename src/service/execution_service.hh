@@ -96,6 +96,17 @@ struct ServiceConfig
      * 0 leaves the process-wide setting untouched.
      */
     int kernelThreads = 0;
+
+    /**
+     * Per-session admission-queue depth cap (scheduler chunks, not
+     * jobs). A submit whose chunk finds its session's queue at the
+     * cap is SHED: the chunk's jobs fail with ResourceExhausted
+     * (their ledger claims are abandoned so cross-session waiters
+     * fail too instead of hanging) and the caller is expected to
+     * back off and resubmit. 0 (the default) = unbounded, the
+     * historical behaviour.
+     */
+    std::size_t maxQueueDepth = 0;
 };
 
 /** Per-session submission/dedupe statistics. */
@@ -119,8 +130,13 @@ struct SessionStats
     std::uint64_t shotsSaved = 0;
 
     /** Jobs executed inline on the submitting thread (after
-     * service shutdown, or when admission raced it). */
+     * service shutdown, when admission raced it, or degraded
+     * around an injected worker stall). */
     std::uint64_t inlineJobs = 0;
+
+    /** Jobs shed at admission (queue at its depth cap): their
+     * futures failed with ResourceExhausted without executing. */
+    std::uint64_t shedJobs = 0;
 };
 
 /** Service-wide statistics. */
@@ -144,6 +160,17 @@ struct ServiceStats
      * that, before this counter, appeared in no stats struct (see
      * ServiceScheduler::assistedChunks). */
     std::uint64_t kernelAssistedChunks = 0;
+
+    /** Jobs shed at admission across all sessions (queue depth cap
+     * hit; futures failed with ResourceExhausted). */
+    std::uint64_t shedJobs = 0;
+
+    /** Jobs that fell over to inline execution because admission
+     * was already closed (late submit racing shutdown). */
+    std::uint64_t inlineAfterShutdown = 0;
+
+    /** Poison keys currently quarantined in the shared ledger. */
+    std::uint64_t quarantinedKeys = 0;
 
     /** Shared result-cache statistics (all sessions combined). */
     CacheStats cache;
@@ -218,6 +245,7 @@ class Session : public JobSubmitter
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> shotsSaved_{0};
     std::atomic<std::uint64_t> inlineJobs_{0};
+    std::atomic<std::uint64_t> shed_{0};
 };
 
 /** The shared execution service (see file comment). */
@@ -282,6 +310,11 @@ class ExecutionService : public ExecutionBackplane
     const ResultCache &cache() const { return cache_; }
     ResultCache &cache() { return cache_; }
 
+    /** The shared dedupe ledger (quarantine inspection /
+     * clearQuarantine() after operator intervention). */
+    const JobLedger &ledger() const { return ledger_; }
+    JobLedger &ledger() { return ledger_; }
+
     /** Service configuration in use (threads resolved). */
     const ServiceConfig &config() const { return config_; }
 
@@ -340,6 +373,11 @@ class ExecutionService : public ExecutionBackplane
     std::atomic<std::uint64_t> sessionsOpened_{0};
     std::atomic<std::uint64_t> jobsSubmitted_{0};
     std::atomic<std::uint64_t> crossSessionHits_{0};
+    std::atomic<std::uint64_t> shedJobs_{0};
+    std::atomic<std::uint64_t> inlineAfterShutdown_{0};
+    /** Latched by the first inline-after-shutdown fallover so the
+     * warning prints once per service, not once per chunk. */
+    std::atomic<bool> warnedLateInline_{false};
     std::atomic<bool> closed_{false};
     /**
      * Declared last: its destructor (via shutdown()) joins the

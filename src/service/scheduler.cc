@@ -35,7 +35,9 @@ struct SchedulerMetrics
 
 } // namespace
 
-ServiceScheduler::ServiceScheduler(int threads)
+ServiceScheduler::ServiceScheduler(int threads,
+                                   std::size_t max_queue_depth)
+    : maxQueueDepth_(max_queue_depth)
 {
     if (threads < 1)
         panic("ServiceScheduler: thread count must be >= 1");
@@ -88,22 +90,25 @@ ServiceScheduler::closeQueue(std::uint64_t queue)
         it->second.open = false; // reaped by popNextLocked()
 }
 
-bool
+ServiceScheduler::Admission
 ServiceScheduler::enqueue(std::uint64_t queue,
                           std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (stopping_)
-            return false;
+            return Admission::Closed;
         auto it = queues_.find(queue);
         if (it == queues_.end() || !it->second.open)
-            return false;
+            return Admission::Closed;
+        if (maxQueueDepth_ != 0 &&
+            it->second.tasks.size() >= maxQueueDepth_)
+            return Admission::Full;
         it->second.tasks.push_back(std::move(task));
         ++queuedCount_;
     }
     workCv_.notify_one();
-    return true;
+    return Admission::Accepted;
 }
 
 std::function<void()>

@@ -26,9 +26,16 @@
  * so no placement, fairness, or lending decision can change any
  * output bit.
  *
+ * Backpressure: each admission queue is depth-bounded (the
+ * maxQueueDepth construction parameter; 0 = unbounded). enqueue()
+ * never blocks — a full queue is a typed rejection
+ * (Admission::Full) so the submitting session can SHED the work
+ * with a ResourceExhausted error instead of queueing unboundedly or
+ * stalling the submit path.
+ *
  * Shutdown: stop accepting, drain every queue, join the workers.
  * Tasks already enqueued always run; enqueue() after shutdown
- * returns false and the caller runs the task inline.
+ * returns Admission::Closed and the caller runs the task inline.
  */
 
 #ifndef VARSAW_SERVICE_SCHEDULER_HH
@@ -50,8 +57,24 @@ namespace varsaw {
 class ServiceScheduler
 {
   public:
-    /** Spawn @p threads workers (at least one). */
-    explicit ServiceScheduler(int threads);
+    /** Outcome of one admission attempt (see enqueue()). */
+    enum class Admission
+    {
+        Accepted, //!< queued; a worker will run the task
+        Full,     //!< queue at depth cap — shed or retry later
+        Closed,   //!< shutting down / queue closed — run inline
+    };
+
+    /**
+     * Spawn @p threads workers (at least one).
+     *
+     * @param max_queue_depth Per-queue admission cap: an enqueue
+     *        that would make a queue deeper than this returns
+     *        Admission::Full without queueing. 0 = unbounded (the
+     *        historical behaviour).
+     */
+    explicit ServiceScheduler(int threads,
+                              std::size_t max_queue_depth = 0);
 
     /** shutdown() if not already done. */
     ~ServiceScheduler();
@@ -69,12 +92,19 @@ class ServiceScheduler
     void closeQueue(std::uint64_t queue);
 
     /**
-     * Append a task to @p queue. Returns false — without queuing —
-     * when the scheduler is shutting down or the queue is closed;
-     * the caller must then run the task itself (results cannot
-     * depend on which side runs it).
+     * Append a task to @p queue. Never blocks. Returns
+     * Admission::Closed — without queuing — when the scheduler is
+     * shutting down or the queue is closed (the caller must then
+     * run the task itself: results cannot depend on which side runs
+     * it), and Admission::Full when the queue is at its depth cap
+     * (the caller sheds the task with a typed error — the one
+     * admission outcome where the task does NOT run).
      */
-    bool enqueue(std::uint64_t queue, std::function<void()> task);
+    Admission enqueue(std::uint64_t queue,
+                      std::function<void()> task);
+
+    /** Per-queue admission cap (0 = unbounded). */
+    std::size_t maxQueueDepth() const { return maxQueueDepth_; }
 
     /** Block until no task is queued or running. */
     void drain();
@@ -145,6 +175,7 @@ class ServiceScheduler
     void signalKernelWork();
 
     mutable std::mutex mutex_;
+    std::size_t maxQueueDepth_ = 0; //!< 0 = unbounded
     std::condition_variable workCv_; //!< workers wait here
     std::condition_variable idleCv_; //!< drain() waits here
     /** Admission queues by id (ordered, for stable round-robin). */

@@ -14,6 +14,7 @@
 // that the engine's prep keys, the ResultCache's job keys, and the
 // batch scheduler's grouping keys all agree on what "the same
 // computation" means.
+#include "fault/fault_injector.hh"
 #include "sim/circuit_hash.hh"
 #include "sim/kernels/kernels.hh"
 #include "sim/statevector.hh"
@@ -205,7 +206,8 @@ applyRuntimeFlags(int &argc, char **argv)
         const bool pathFlag =
             name == "--metrics-out" || name == "--trace-out";
         const bool simdFlag = name == "--simd";
-        if (!numericFlag && !pathFlag && !simdFlag) {
+        const bool faultsFlag = name == "--faults";
+        if (!numericFlag && !pathFlag && !simdFlag && !faultsFlag) {
             argv[keep++] = argv[i];
             continue;
         }
@@ -215,14 +217,30 @@ applyRuntimeFlags(int &argc, char **argv)
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s requires a %s value\n",
                              name.c_str(),
-                             pathFlag ? "file path"
-                             : simdFlag
-                                 ? "scalar|avx2|avx512|auto"
-                                 : "positive integer");
+                             pathFlag        ? "file path"
+                             : simdFlag      ? "scalar|avx2|avx512|auto"
+                             : faultsFlag    ? "fault plan spec"
+                                             : "positive integer");
                 ok = false;
                 continue;
             }
             value = argv[++i];
+        }
+        if (faultsFlag) {
+            // Same spec language as VARSAW_FAULTS, applied on top
+            // of the plan already installed (so the flag can refine
+            // an env-armed plan).
+            fault::FaultPlan plan =
+                fault::FaultInjector::instance().plan();
+            std::string error;
+            if (!fault::parseFaultPlan(value, plan, error)) {
+                std::fprintf(stderr, "--faults: %s\n",
+                             error.c_str());
+                ok = false;
+                continue;
+            }
+            fault::FaultInjector::instance().configure(plan);
+            continue;
         }
         if (simdFlag) {
             kern::SimdTier tier = kern::maxSupportedSimdTier();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hh"
 #include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
@@ -124,6 +125,30 @@ StateCache::getOrPrepare(const PrepKey &key,
         std::lock_guard<std::mutex> lock(mutex_);
         entries_.erase(key);
         throw;
+    }
+
+    // Injected insert failure (fault::FaultSite::StateCacheInsert):
+    // the prepared state fails to become resident and the cache
+    // degrades to bypass — the claim is retracted so later callers
+    // re-prepare, while everyone already waiting on the shared
+    // future still receives this state. Keyed by the prep key alone
+    // (sticky: an uncacheable key stays uncacheable), so the
+    // decision is deterministic for a given plan. Results cannot
+    // change: prepared states are pure functions of (prefix,
+    // params).
+    {
+        auto &injector = fault::FaultInjector::instance();
+        if (injector.enabled() &&
+            injector.shouldInject(fault::FaultSite::StateCacheInsert,
+                                  key.combined())) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                entries_.erase(key);
+                ++stats_.insertFailures;
+            }
+            publish.set_value(state);
+            return state;
+        }
     }
 
     {

@@ -90,6 +90,10 @@ struct StateCacheStats
     std::uint64_t misses = 0; //!< preparations run (one per key per residency)
     std::uint64_t evictions = 0; //!< completed entries evicted (LRU, one at a time)
     std::uint64_t clears = 0;    //!< explicit clear() calls
+    /** Completions that failed to become resident (injected
+     * cache-insert faults): the cache degraded to bypass — waiters
+     * still got the state, later callers re-prepare. */
+    std::uint64_t insertFailures = 0;
     std::uint64_t bytesResident = 0; //!< bytes held by completed entries now
     std::uint64_t peakBytes = 0;     //!< high-water mark of bytesResident
 

@@ -1,0 +1,19 @@
+// FAIL fixture [status-taxonomy]: a naked std::runtime_error throw
+// and a process-killing abort() on an execution path — both must go
+// through the Status taxonomy (util/status.hh) instead.
+#include <cstdlib>
+#include <stdexcept>
+
+namespace fixture {
+
+int
+executeOne(int jobs)
+{
+    if (jobs < 0)
+        throw std::runtime_error("negative job count");
+    if (jobs > 1 << 20)
+        std::abort();
+    return jobs;
+}
+
+} // namespace fixture

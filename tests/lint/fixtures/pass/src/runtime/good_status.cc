@@ -1,0 +1,25 @@
+// PASS fixture [status-taxonomy]: StatusError is the sanctioned
+// exception on execution paths, a bare `throw;` only re-propagates,
+// and panic() remains the invariant-violation escape.
+#include "util/status.hh"
+
+namespace fixture {
+
+[[noreturn]] void panic(const char *);
+
+int
+executeOne(int jobs)
+{
+    if (jobs < 0)
+        throw varsaw::StatusError(
+            varsaw::invalidArgumentError("negative job count"));
+    if (jobs > 1 << 20)
+        panic("fixture: impossible job count");
+    try {
+        return jobs + 1;
+    } catch (...) {
+        throw;
+    }
+}
+
+} // namespace fixture

@@ -149,6 +149,35 @@ TEST(ResultCache, ClearDropsEntriesKeepsStats)
     EXPECT_EQ(cache.stats().hits, 0u);
 }
 
+TEST(ResultCache, EraseAndClearCountAsEvictions)
+{
+    // Regression: erase() and clear() used to drop entries without
+    // counting them, so insertions - evictions drifted away from the
+    // resident count on every erase-then-reexecute cycle (ledger
+    // quarantine/abandon paths erase single keys; clearSharedCaches
+    // drops everything).
+    ResultCache cache;
+    const JobKey k1 = makeJobKey(tfimJob(0.1, 8));
+    const JobKey k2 = makeJobKey(tfimJob(0.2, 8));
+    cache.insert(k1, pointMass(2, 0));
+    cache.insert(k2, pointMass(2, 1));
+
+    cache.erase(k1);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    cache.erase(k1); // absent: no phantom eviction
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // Re-execute the erased key: insert again, then drop everything.
+    cache.insert(k1, pointMass(2, 0));
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.insertions, 3u);
+    EXPECT_EQ(stats.evictions, 3u);
+    // The invariant the accounting now guarantees at any point:
+    EXPECT_EQ(stats.insertions - stats.evictions, cache.size());
+}
+
 /**
  * Cache-on vs cache-off on one VarSaw TFIM tick: the reported
  * energy is identical, while the cache removes the tick's genuine

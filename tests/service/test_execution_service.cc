@@ -390,17 +390,24 @@ TEST(ServiceScheduler, RoundRobinAcrossQueues)
         gate.get_future().share();
     std::mutex order_mutex;
     std::vector<int> order;
-    ASSERT_TRUE(scheduler.enqueue(
-        qa, [gate_future] { gate_future.wait(); }));
+    ASSERT_EQ(scheduler.enqueue(
+                  qa, [gate_future] { gate_future.wait(); }),
+              ServiceScheduler::Admission::Accepted);
     for (int i = 0; i < 3; ++i) {
-        ASSERT_TRUE(scheduler.enqueue(qa, [&] {
-            std::lock_guard<std::mutex> lock(order_mutex);
-            order.push_back(0);
-        }));
-        ASSERT_TRUE(scheduler.enqueue(qb, [&] {
-            std::lock_guard<std::mutex> lock(order_mutex);
-            order.push_back(1);
-        }));
+        ASSERT_EQ(scheduler.enqueue(qa,
+                                    [&] {
+                                        std::lock_guard<std::mutex>
+                                            lock(order_mutex);
+                                        order.push_back(0);
+                                    }),
+                  ServiceScheduler::Admission::Accepted);
+        ASSERT_EQ(scheduler.enqueue(qb,
+                                    [&] {
+                                        std::lock_guard<std::mutex>
+                                            lock(order_mutex);
+                                        order.push_back(1);
+                                    }),
+                  ServiceScheduler::Admission::Accepted);
     }
     gate.set_value();
     scheduler.drain();
@@ -428,15 +435,19 @@ TEST(ServiceScheduler, IdleWorkersLendThemselvesToKernels)
         std::uint64_t assists = 0;
         for (int attempt = 0; attempt < 50 && assists == 0;
              ++attempt) {
-            ASSERT_TRUE(scheduler.enqueue(q, [] {
-                // 2^20 amplitudes: every gate sweep is an engaged
-                // kernel loop of 16 chunks.
-                Statevector sv(20);
-                Circuit c(20);
-                for (int q2 = 0; q2 < 20; ++q2)
-                    c.h(q2);
-                sv.run(c, {});
-            }));
+            ASSERT_EQ(
+                scheduler.enqueue(
+                    q,
+                    [] {
+                        // 2^20 amplitudes: every gate sweep is an
+                        // engaged kernel loop of 16 chunks.
+                        Statevector sv(20);
+                        Circuit c(20);
+                        for (int q2 = 0; q2 < 20; ++q2)
+                            c.h(q2);
+                        sv.run(c, {});
+                    }),
+                ServiceScheduler::Admission::Accepted);
             scheduler.drain();
             assists = scheduler.kernelAssists();
         }

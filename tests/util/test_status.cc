@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for the Status/StatusOr error taxonomy (util/status.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/pmf.hh"
+#include "util/status.hh"
+
+namespace varsaw {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_FALSE(s.transient());
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage)
+{
+    const Status s = unavailableError("backend flaked");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Unavailable);
+    EXPECT_EQ(s.message(), "backend flaked");
+    EXPECT_EQ(s.toString(), "unavailable: backend flaked");
+
+    EXPECT_EQ(invalidArgumentError("").code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(failedPreconditionError("").code(),
+              StatusCode::FailedPrecondition);
+    EXPECT_EQ(deadlineExceededError("").code(),
+              StatusCode::DeadlineExceeded);
+    EXPECT_EQ(resourceExhaustedError("").code(),
+              StatusCode::ResourceExhausted);
+    EXPECT_EQ(dataLossError("").code(), StatusCode::DataLoss);
+    EXPECT_EQ(internalError("").code(), StatusCode::Internal);
+}
+
+TEST(Status, OnlyUnavailableAndDataLossAreTransient)
+{
+    EXPECT_TRUE(unavailableError("x").transient());
+    EXPECT_TRUE(dataLossError("x").transient());
+    EXPECT_FALSE(invalidArgumentError("x").transient());
+    EXPECT_FALSE(failedPreconditionError("x").transient());
+    EXPECT_FALSE(deadlineExceededError("x").transient());
+    EXPECT_FALSE(resourceExhaustedError("x").transient());
+    EXPECT_FALSE(internalError("x").transient());
+}
+
+TEST(Status, StatusErrorWrapsStatus)
+{
+    const StatusError err(deadlineExceededError("took too long"));
+    EXPECT_EQ(err.code(), StatusCode::DeadlineExceeded);
+    EXPECT_EQ(err.status().message(), "took too long");
+    EXPECT_EQ(std::string(err.what()),
+              "deadline-exceeded: took too long");
+}
+
+TEST(StatusOr, ValuePath)
+{
+    StatusOr<int> r(42);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.status().ok());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(*r, 42);
+}
+
+TEST(StatusOr, ErrorPathThrowsOnValue)
+{
+    StatusOr<int> r(unavailableError("nope"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::Unavailable);
+    EXPECT_THROW((void)r.value(), StatusError);
+    try {
+        (void)*r;
+        FAIL() << "operator* on an error must throw";
+    } catch (const StatusError &e) {
+        EXPECT_EQ(e.code(), StatusCode::Unavailable);
+    }
+}
+
+TEST(StatusOr, OkStatusConstructionIsDemotedToInternal)
+{
+    // Building an "error" from an ok Status is itself a bug; it
+    // must still produce a non-ok StatusOr rather than a value-less
+    // success.
+    StatusOr<Pmf> r{Status{}};
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::Internal);
+}
+
+TEST(StatusOr, MoveOutValue)
+{
+    StatusOr<std::string> r(std::string("payload"));
+    const std::string s = std::move(r).value();
+    EXPECT_EQ(s, "payload");
+}
+
+} // namespace
+} // namespace varsaw

@@ -12,6 +12,7 @@
  *   nondeterminism      rand()/random_device/wall-clock now() bans
  *   parallel-accumulate reductions must use the fixed-fold helpers
  *   unordered-iter      no iteration over unordered containers
+ *   status-taxonomy     runtime/service throw only StatusError
  *   atomics-order       no default-seq_cst atomic ops in hot paths
  */
 
@@ -506,6 +507,84 @@ ruleUnorderedIter(const Manifest &m, const Tree &tree,
     }
 }
 
+// ---- status-taxonomy -------------------------------------------------------
+
+/**
+ * Execution layers fail through util/status.hh: the only exception
+ * type thrown in the configured directories is StatusError, and
+ * process-killing calls (abort/terminate/exit/fatal) are banned.
+ * `throw;` (a bare rethrow) is allowed — it originates nothing, it
+ * re-propagates an exception something else was allowed to create —
+ * and panic() stays the sanctioned invariant-violation mechanism.
+ */
+void
+ruleStatusTaxonomy(const Manifest &m, const Tree &tree,
+                   std::vector<Finding> &findings)
+{
+    const std::string id = "status-taxonomy";
+    if (!m.boolean("rule." + id, "enabled", true))
+        return;
+    const auto dirs = m.list("rule." + id, "dirs");
+    const auto allowedThrow = m.list("rule." + id, "allowed_throw");
+    const auto bannedCalls = m.list("rule." + id, "banned_calls");
+
+    for (const SourceFile *f : tree.under(dirs)) {
+        for (std::size_t pos : findIdent(f->stripped, "throw")) {
+            std::size_t p = pos + 5;
+            while (p < f->stripped.size() &&
+                   std::isspace(static_cast<unsigned char>(
+                       f->stripped[p])))
+                ++p;
+            if (p < f->stripped.size() && f->stripped[p] == ';')
+                continue; // bare rethrow
+            // The thrown expression's leading identifier, with any
+            // namespace qualifiers peeled (std::runtime_error and
+            // varsaw::StatusError both resolve to their last
+            // component).
+            std::string tok;
+            for (;;) {
+                std::size_t e = p;
+                while (e < f->stripped.size() &&
+                       identChar(f->stripped[e]))
+                    ++e;
+                tok = f->stripped.substr(p, e - p);
+                if (e + 1 < f->stripped.size() &&
+                    f->stripped[e] == ':' &&
+                    f->stripped[e + 1] == ':') {
+                    p = e + 2;
+                    continue;
+                }
+                break;
+            }
+            bool ok = false;
+            for (const std::string &a : allowedThrow)
+                if (tok == a)
+                    ok = true;
+            if (!ok)
+                emit(findings, *f, f->lineOf(pos), id,
+                     "throw of '" + (tok.empty() ? "?" : tok) +
+                         "' outside the Status taxonomy (execution "
+                         "paths throw StatusError only — see "
+                         "util/status.hh)");
+        }
+        for (const std::string &call : bannedCalls) {
+            for (std::size_t pos :
+                 findIdent(f->stripped, call)) {
+                const std::size_t open = pos + call.size();
+                if (open >= f->stripped.size() ||
+                    f->stripped[open] != '(')
+                    continue; // not a call
+                emit(findings, *f, f->lineOf(pos), id,
+                     "'" + call +
+                         "' kills the process from an execution "
+                         "path; fail the job with a Status "
+                         "(panic() remains the sanctioned "
+                         "invariant-violation escape)");
+            }
+        }
+    }
+}
+
 // ---- atomics-order ---------------------------------------------------------
 
 /** Identifiers declared std::atomic<...> / std::atomic_xxx. */
@@ -643,6 +722,7 @@ runRules(const Manifest &manifest, const Tree &tree)
     ruleNondeterminism(manifest, tree, findings);
     ruleParallelAccumulate(manifest, tree, findings);
     ruleUnorderedIter(manifest, tree, findings);
+    ruleStatusTaxonomy(manifest, tree, findings);
     ruleAtomicsOrder(manifest, tree, findings);
 
     std::sort(findings.begin(), findings.end());
