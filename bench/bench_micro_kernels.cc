@@ -361,7 +361,7 @@ main(int argc, char **argv)
     table.setHeader({"Kernel", "Qubits", "SIMD", "Threads",
                      "Seconds", "Amps/s", "GiB/s", "Speedup",
                      "Identical"});
-    CsvWriter csv("bench_micro_kernels.csv");
+    CsvWriter csv(outPath("bench_micro_kernels.csv"));
     csv.writeRow({"kernel", "qubits", "simd_tier", "threads",
                   "seconds", "amps_per_sec", "gib_per_sec",
                   "speedup", "identical"});
@@ -371,6 +371,9 @@ main(int argc, char **argv)
     std::string json_rows;
 
     int mismatches = 0;
+    double total_seconds = 0.0;
+    double best_rate = 0.0;
+    std::uint64_t cells = 0;
     for (const int n : sizes) {
         const Statevector input = makeInput(n);
         Statevector work(n);
@@ -458,6 +461,9 @@ main(int argc, char **argv)
                         rate, gibs, speedup,
                         identical ? "true" : "false");
                     json_rows += row;
+                    total_seconds += seconds;
+                    best_rate = std::max(best_rate, rate);
+                    ++cells;
                 }
             }
         }
@@ -466,8 +472,13 @@ main(int argc, char **argv)
     kern::setSimdTier(entry_tier);
     table.print();
 
+    // Per-cell detail rows (the CSV's machine-readable twin). The
+    // standard perf-trajectory summary BENCH_micro_kernels.json is
+    // written by emitBenchSummary() below.
     {
-        std::FILE *jf = std::fopen("BENCH_micro_kernels.json", "w");
+        const std::string cells_path =
+            outPath("bench_micro_kernels_cells.json");
+        std::FILE *jf = std::fopen(cells_path.c_str(), "w");
         if (jf) {
             std::fprintf(jf, "{\n  \"bench\": \"micro_kernels\",\n");
             std::fprintf(jf, "  \"max_supported_simd_tier\": \"%s\",\n",
@@ -485,24 +496,35 @@ main(int argc, char **argv)
             std::fprintf(jf, "  \"rows\": [\n%s\n  ]\n}\n",
                          json_rows.c_str());
             std::fclose(jf);
-            std::printf("wrote BENCH_micro_kernels.json\n");
+            std::printf("wrote %s\n", cells_path.c_str());
         }
     }
 
     // Telemetry-guard overhead: serial apply1Q, telemetry compiled
     // in but disabled (the acceptance bound is < 1%; single runs
     // are noisy, so CI gates bit-identity, not this percentage).
+    double guard_pct = 0.0;
     {
         setKernelThreads(1);
         const int guard_n =
             sizes.empty() ? 20 : std::min(sizes.front(), 22);
-        const double pct = measureGuardOverheadPercent(
+        guard_pct = measureGuardOverheadPercent(
             guard_n, std::max(8, 4 * reps));
         std::printf("\ntelemetry guard overhead (disabled, %dq "
                     "serial apply1Q): %+.3f%%\n",
-                    guard_n, pct);
+                    guard_n, guard_pct);
         setKernelThreads(entry_threads);
     }
+
+    BenchSummary summary;
+    summary.wallSeconds = total_seconds;
+    summary.executions = cells;
+    summary.extra = {
+        {"best_amps_per_sec", best_rate},
+        {"mismatches", static_cast<double>(mismatches)},
+        {"guard_overhead_pct", guard_pct},
+    };
+    emitBenchSummary(summary);
 
     if (mismatches != 0) {
         std::printf("\n%d kernel cell(s) diverged from the scalar "

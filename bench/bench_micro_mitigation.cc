@@ -121,9 +121,10 @@ main(int argc, char **argv)
 
     TablePrinter table("Mitigation/planning micro-benchmarks");
     table.setHeader({"Case", "Reps", "Seconds", "Ops/sec"});
-    CsvWriter csv("bench_micro_mitigation.csv");
+    CsvWriter csv(outPath("bench_micro_mitigation.csv"));
     csv.writeRow({"case", "reps", "seconds", "ops_per_sec"});
 
+    BenchSummary summary;
     for (const Case &c : cases) {
         Stopwatch watch;
         for (int r = 0; r < c.reps; ++r)
@@ -139,7 +140,12 @@ main(int argc, char **argv)
         csv.writeRow({c.name, std::to_string(c.reps),
                       std::to_string(seconds),
                       std::to_string(rate)});
+        summary.wallSeconds += seconds;
+        summary.executions +=
+            static_cast<std::uint64_t>(c.reps);
+        summary.extra.emplace_back(c.name + "_ops_per_sec", rate);
     }
     table.print();
+    emitBenchSummary(summary);
     return 0;
 }

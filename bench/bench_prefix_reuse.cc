@@ -174,7 +174,7 @@ main(int argc, char **argv)
                        "simulation (12q, 20 bases)");
     table.setHeader({"Path", "Circuits", "Prep sims", "Seconds",
                      "Circuits/sec", "Speedup", "Prep hits"});
-    CsvWriter csv("bench_prefix_reuse.csv");
+    CsvWriter csv(outPath("bench_prefix_reuse.csv"));
     csv.writeRow({"path", "circuits", "prep_sims", "seconds",
                   "circuits_per_sec", "speedup", "prep_hit_rate"});
 
@@ -218,6 +218,20 @@ main(int argc, char **argv)
                     shared.scratchReuses),
                 static_cast<unsigned long long>(
                     shared.scratchAllocs));
+
+    BenchSummary summary;
+    summary.wallSeconds = legacy.seconds + shared.seconds;
+    summary.executions = legacy.circuits + shared.circuits;
+    summary.cacheHits = static_cast<std::uint64_t>(
+        shared.prepHitRate *
+        static_cast<double>(shared.circuits));
+    summary.extra = {
+        {"legacy_circuits_per_sec", legacy_rate},
+        {"shared_circuits_per_sec", shared_rate},
+        {"speedup", speedup},
+        {"prep_hit_rate", shared.prepHitRate},
+    };
+    emitBenchSummary(summary);
 
     if (envInt("VARSAW_BENCH_CHECK", 0) != 0) {
         // CI smoke gate: the engine must stay transparent and the

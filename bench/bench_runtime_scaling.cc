@@ -238,7 +238,7 @@ runSharedServiceComparison(int total_threads, const Hamiltonian &h,
     TablePrinter table("Cross-estimator dedupe through one service");
     table.setHeader({"Mode", "Seconds", "Executed", "Cross hits",
                      "Speedup"});
-    CsvWriter csv("bench_runtime_scaling_shared.csv");
+    CsvWriter csv(outPath("bench_runtime_scaling_shared.csv"));
     csv.writeRow({"shared_mode", "threads", "seconds",
                   "circuits_executed", "cross_session_hits",
                   "varsaw_energy_sum", "baseline_energy_sum",
@@ -382,7 +382,7 @@ runFaultRateSweep(int threads, const SpatialPlan &plan,
         "Graceful degradation vs injected fault rate");
     table.setHeader({"Fault rate", "Seconds", "Executed", "Retries",
                      "Faults", "Slowdown", "Identical"});
-    CsvWriter csv("bench_runtime_scaling_faults.csv");
+    CsvWriter csv(outPath("bench_runtime_scaling_faults.csv"));
     csv.writeRow({"fault_rate", "threads", "seconds",
                   "circuits_executed", "retries", "faults_injected",
                   "metric_retries", "checksum",
@@ -510,13 +510,16 @@ main(int argc, char **argv)
         "Throughput and cache hit rate vs worker threads");
     table.setHeader({"Threads", "Circuits", "Executed", "Seconds",
                      "Circuits/sec", "Speedup", "Cache hits"});
-    CsvWriter csv("bench_runtime_scaling.csv");
+    CsvWriter csv(outPath("bench_runtime_scaling.csv"));
     csv.writeRow({"threads", "circuits_submitted",
                   "circuits_executed", "seconds", "circuits_per_sec",
                   "speedup", "cache_hit_rate"});
 
     double serial_rate = 0.0;
     double serial_checksum = 0.0;
+    BenchSummary summary;
+    double best_rate = 0.0;
+    double last_hit_rate = 0.0;
     for (int threads : {1, 2, 4, 8}) {
         const Measurement m =
             measure(threads, plan, ansatz.circuit(), points, shots,
@@ -547,8 +550,23 @@ main(int argc, char **argv)
              static_cast<double>(m.circuitsExecuted), m.seconds,
              rate, serial_rate > 0.0 ? rate / serial_rate : 1.0,
              m.hitRate});
+        summary.wallSeconds += m.seconds;
+        summary.executions += m.circuitsExecuted;
+        summary.cacheHits += static_cast<std::uint64_t>(
+            m.hitRate *
+            static_cast<double>(m.circuitsSubmitted));
+        best_rate = std::max(best_rate, rate);
+        last_hit_rate = m.hitRate;
     }
     table.print();
+    summary.extra = {
+        {"serial_circuits_per_sec", serial_rate},
+        {"best_circuits_per_sec", best_rate},
+        {"cache_hit_rate", last_hit_rate},
+        {"scaling_speedup",
+         serial_rate > 0.0 ? best_rate / serial_rate : 1.0},
+    };
+    emitBenchSummary(summary);
 
     // Part 2: shared-service vs per-estimator-runtime comparison.
     runSharedServiceComparison(4, h, ansatz.circuit(), points,

@@ -27,25 +27,74 @@
  *                        bench emits one alongside its CSV)
  *   --trace-out=PATH     Chrome trace_event JSON destination
  *                        (off unless given or VARSAW_TRACE_OUT set)
+ *
+ * Output placement: VARSAW_BENCH_OUT_DIR, when set, prefixes every
+ * artifact a bench writes through outPath() — the CSVs, the default
+ * metrics snapshot, and the BENCH_<name>.json perf summary — so CI
+ * can collect one run's outputs from one directory. An explicit
+ * --metrics-out / --trace-out path is honored verbatim.
+ *
+ * Perf trajectory: benches call emitBenchSummary() at exit to write
+ * a schema-versioned BENCH_<name>.json (wall time, work counters,
+ * build provenance, per-phase latency quantiles when --profile was
+ * on). tools/benchdiff compares two such files or directories and
+ * exits non-zero on regression; CI archives them per commit.
  */
 
 #ifndef VARSAW_BENCH_COMMON_HH
 #define VARSAW_BENCH_COMMON_HH
 
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "chem/exact_solver.hh"
 #include "chem/molecules.hh"
 #include "core/varsaw.hh"
+#include "sim/kernels/kernels.hh"
 #include "sim/sim_engine.hh"
 #include "telemetry/exporters.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
 #include "util/table.hh"
 #include "vqa/vqe.hh"
 
 namespace varsaw::bench {
+
+/**
+ * This bench's short name — basename(argv[0]) with any "bench_"
+ * prefix stripped — recorded by parseStandardArgs() and consumed by
+ * emitBenchSummary(). "unknown" before parseStandardArgs runs.
+ */
+inline std::string &
+benchNameSlot()
+{
+    static std::string name = "unknown";
+    return name;
+}
+
+/**
+ * Place a bench artifact: @p filename prefixed with the
+ * VARSAW_BENCH_OUT_DIR directory when that variable is set (the
+ * directory is created on first use), verbatim otherwise. Every
+ * bench output — CSV, default metrics snapshot, BENCH json — goes
+ * through here so CI can redirect a whole run with one variable.
+ */
+inline std::string
+outPath(const std::string &filename)
+{
+    const char *dir = std::getenv("VARSAW_BENCH_OUT_DIR");
+    if (!dir || dir[0] == '\0')
+        return filename;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec); // best effort
+    return std::string(dir) + "/" + filename;
+}
 
 /**
  * Apply the standard per-run flags (--cache-bytes, --kernel-threads,
@@ -65,13 +114,17 @@ inline bool
 parseStandardArgs(int &argc, char **argv)
 {
     const bool ok = applyRuntimeFlags(argc, argv);
-    if (telemetry::metricsOutPath().empty() && argc > 0 &&
-        argv[0] && argv[0][0] != '\0') {
+    if (argc > 0 && argv[0] && argv[0][0] != '\0') {
         std::string base = argv[0];
         const std::size_t slash = base.find_last_of('/');
         if (slash != std::string::npos)
             base = base.substr(slash + 1);
-        telemetry::setMetricsOutPath(base + "_metrics.json");
+        if (telemetry::metricsOutPath().empty())
+            telemetry::setMetricsOutPath(
+                outPath(base + "_metrics.json"));
+        if (base.rfind("bench_", 0) == 0)
+            base = base.substr(6);
+        benchNameSlot() = base;
     }
     telemetry::setMetricsEnabled(true);
     return ok;
@@ -201,6 +254,136 @@ perSecond(std::uint64_t events, double seconds)
     return seconds > 0.0
         ? static_cast<double>(events) / seconds
         : 0.0;
+}
+
+/** Headline numbers of one bench run (see emitBenchSummary). */
+struct BenchSummary
+{
+    /** Wall-clock seconds of the measured section. */
+    double wallSeconds = 0.0;
+
+    /** Work actually executed (backend circuit executions). */
+    std::uint64_t executions = 0;
+
+    /** Dedupe / cache hits observed during the run. */
+    std::uint64_t cacheHits = 0;
+
+    /**
+     * Bench-specific extra metrics, emitted under "metrics"
+     * alongside the standard three. Keys should be lowercase
+     * snake_case (they become benchdiff comparison keys).
+     */
+    std::vector<std::pair<std::string, double>> extra;
+};
+
+/** Best-effort `git describe` of the working tree ("unknown" when
+ * git or the repo is unavailable — e.g. an installed bench). */
+inline std::string
+gitDescribe()
+{
+    std::string out = "unknown";
+#if defined(__unix__) || defined(__APPLE__)
+    if (std::FILE *pipe = ::popen(
+            "git describe --always --dirty 2>/dev/null", "r")) {
+        char buf[128];
+        if (std::fgets(buf, sizeof buf, pipe)) {
+            out = buf;
+            while (!out.empty() &&
+                   (out.back() == '\n' || out.back() == '\r'))
+                out.pop_back();
+        }
+        ::pclose(pipe);
+        if (out.empty())
+            out = "unknown";
+    }
+#endif
+    return out;
+}
+
+/**
+ * Write the schema-versioned perf-trajectory summary
+ * `BENCH_<name>.json` (through outPath(), so VARSAW_BENCH_OUT_DIR
+ * applies). Alongside the headline numbers it records build
+ * provenance (compiler, build type, git describe, active SIMD tier)
+ * so a regression flagged by tools/benchdiff can be traced to a
+ * commit and configuration, and — when the profiler was on — the
+ * per-phase attribution (count, total, p50/p95/p99) from the
+ * `profile.phase.*` histograms. Call once, at the end of main().
+ */
+inline void
+emitBenchSummary(const BenchSummary &summary)
+{
+    const std::string path =
+        outPath("BENCH_" + benchNameSlot() + ".json");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr,
+                     "emitBenchSummary: cannot open %s for write\n",
+                     path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n",
+                 benchNameSlot().c_str());
+    std::fprintf(f, "  \"build\": {\n");
+    std::fprintf(f, "    \"compiler\": \"%s\",\n", __VERSION__);
+#if defined(NDEBUG)
+    std::fprintf(f, "    \"build_type\": \"release\",\n");
+#else
+    std::fprintf(f, "    \"build_type\": \"debug\",\n");
+#endif
+    std::fprintf(f, "    \"git\": \"%s\",\n", gitDescribe().c_str());
+    std::fprintf(f, "    \"simd_tier\": \"%s\"\n",
+                 kern::simdTierName(kern::activeSimdTier()));
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"metrics\": {\n");
+    std::fprintf(f, "    \"wall_seconds\": %.6f,\n",
+                 summary.wallSeconds);
+    std::fprintf(f, "    \"executions\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     summary.executions));
+    std::fprintf(f, "    \"cache_hits\": %llu",
+                 static_cast<unsigned long long>(
+                     summary.cacheHits));
+    for (const auto &[key, value] : summary.extra)
+        std::fprintf(f, ",\n    \"%s\": %.9g", key.c_str(), value);
+    std::fprintf(f, "\n  },\n");
+    std::fprintf(f, "  \"phases\": {");
+    const auto snapshot =
+        telemetry::MetricsRegistry::instance().snapshot();
+    bool first = true;
+    for (const auto &metric : snapshot.metrics) {
+        // Unlabeled profile.phase.<X>_ns histograms only — the
+        // per-session series would duplicate the totals.
+        const std::string prefix = "profile.phase.";
+        if (metric.kind != telemetry::MetricValue::Kind::Histogram)
+            continue;
+        if (metric.name.rfind(prefix, 0) != 0 ||
+            metric.name.find('{') != std::string::npos)
+            continue;
+        if (metric.count == 0)
+            continue;
+        std::string phase = metric.name.substr(prefix.size());
+        if (phase.size() > 3 &&
+            phase.compare(phase.size() - 3, 3, "_ns") == 0)
+            phase.resize(phase.size() - 3);
+        std::fprintf(
+            f,
+            "%s\n    \"%s\": {\"count\": %llu, \"sum_ns\": %llu, "
+            "\"p50_ns\": %.0f, \"p95_ns\": %.0f, "
+            "\"p99_ns\": %.0f}",
+            first ? "" : ",", phase.c_str(),
+            static_cast<unsigned long long>(metric.count),
+            static_cast<unsigned long long>(metric.sumNs),
+            telemetry::histogramQuantileNs(metric, 0.50),
+            telemetry::histogramQuantileNs(metric, 0.95),
+            telemetry::histogramQuantileNs(metric, 0.99));
+        first = false;
+    }
+    std::fprintf(f, "%s}\n}\n", first ? "" : "\n  ");
+    std::fclose(f);
+    std::printf("perf summary -> %s\n", path.c_str());
 }
 
 /** Print a short banner naming the reproduced table/figure. */

@@ -6,6 +6,7 @@
 
 #include "sim/density_matrix.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
 #include "util/counts.hh"
 #include "util/logging.hh"
 
@@ -173,6 +174,8 @@ Executor::tryExecuteJob(const JobView &job, std::uint64_t stream)
             retries_.fetch_add(1, std::memory_order_relaxed);
             if (telemetry::metricsEnabled())
                 RetryMetrics::get().retries.add();
+            telemetry::ScopedPhase phase(
+                telemetry::Phase::RetryBackoff);
             injector.sleepFor(backoffNs(policy, attempt));
         }
         if (policy.deadlineNs > 0 &&
@@ -249,6 +252,7 @@ IdealExecutor::executeImpl(const JobView &job, Rng &rng)
     Pmf exact = Pmf::fromDense(job.numMeasured(), probs, 1e-14);
     if (job.shots == 0)
         return exact;
+    telemetry::ScopedPhase phase(telemetry::Phase::Sampling);
     Pmf sampled = exact.sample(rng, job.shots).toPmf();
     return sampled;
 }
@@ -381,6 +385,7 @@ NoisyExecutor::executeImpl(const JobView &job, Rng &rng)
     Pmf noisy = Pmf::fromDense(m, probs, 1e-14);
     if (job.shots == 0)
         return noisy;
+    telemetry::ScopedPhase phase(telemetry::Phase::Sampling);
     return noisy.sample(rng, job.shots).toPmf();
 }
 

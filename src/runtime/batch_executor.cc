@@ -38,6 +38,14 @@ struct BatchMetrics
 
 } // namespace
 
+const char *
+latencyClassName(LatencyClass latency_class)
+{
+    return latency_class == LatencyClass::Interactive
+        ? "interactive"
+        : "bulk";
+}
+
 BatchExecutor::BatchExecutor(Executor &backend, RuntimeConfig config)
     : backend_(backend), config_(config),
       cache_(config.cacheMaxEntries),

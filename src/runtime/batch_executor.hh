@@ -43,6 +43,23 @@
 
 namespace varsaw {
 
+/**
+ * Latency expectation a submitter declares for its jobs. Purely an
+ * accounting label: the runtime and service never reorder or
+ * prioritize by it — results and scheduling are class-independent.
+ * Under a shared service each class gets its own
+ * `service.latency_ns{class=...}` histogram and SLO burn counter
+ * (see ServiceConfig::interactiveSloNs / bulkSloNs).
+ */
+enum class LatencyClass : int
+{
+    Interactive = 0, //!< human in the loop — tight latency target
+    Bulk = 1,        //!< throughput-oriented sweeps — loose target
+};
+
+/** Telemetry label value of a latency class ("interactive"/"bulk"). */
+const char *latencyClassName(LatencyClass latency_class);
+
 /** Tunables of the execution runtime. */
 struct RuntimeConfig
 {
@@ -105,6 +122,14 @@ struct RuntimeConfig
      * service must outlive every estimator using it.
      */
     ExecutionBackplane *service = nullptr;
+
+    /**
+     * Declared latency class of this runtime's submissions. Pure
+     * accounting — see LatencyClass. Private BatchExecutors ignore
+     * it today; under a shared service it selects the session's
+     * `service.latency_ns{class=...}` series and SLO target.
+     */
+    LatencyClass latencyClass = LatencyClass::Bulk;
 };
 
 /**

@@ -7,6 +7,7 @@
 
 #include "fault/fault_injector.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
 #include "telemetry/trace.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -82,6 +83,71 @@ struct SessionBatchMetrics
     }
 };
 
+/**
+ * Per-latency-class SLO accounting series: every batch lands in
+ * `service.latency_ns{class=...}`; a batch over its class target
+ * additionally bumps `service.slo_burn{class=...}`.
+ */
+struct SloMetrics
+{
+    telemetry::Histogram &latency;
+    telemetry::Counter &burn;
+
+    static SloMetrics &
+    forClass(LatencyClass latency_class)
+    {
+        auto &reg = telemetry::MetricsRegistry::instance();
+        const auto make = [&reg](const char *class_name) {
+            return SloMetrics{
+                reg.histogram(telemetry::labeled(
+                    "service.latency_ns",
+                    {{"class", class_name}})),
+                reg.counter(telemetry::labeled(
+                    "service.slo_burn", {{"class", class_name}})),
+            };
+        };
+        static SloMetrics *interactive =
+            new SloMetrics(make("interactive"));
+        static SloMetrics *bulk = new SloMetrics(make("bulk"));
+        return latency_class == LatencyClass::Interactive
+            ? *interactive
+            : *bulk;
+    }
+};
+
+/**
+ * Submit-to-complete latency tracker for one batch: the LAST chunk
+ * to finish (worker, inline, or shed — shed chunks resolve their
+ * futures at shed time, which IS their completion) records the
+ * batch's wall time under the session's class series. Pure
+ * observation: nothing reads the recorded values back.
+ */
+struct SloState
+{
+    std::uint64_t submitNs = 0;
+    std::uint64_t targetNs = 0;
+    LatencyClass latencyClass = LatencyClass::Bulk;
+    std::atomic<std::size_t> remaining{0};
+
+    void
+    complete()
+    {
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            record();
+    }
+
+    void
+    record() const
+    {
+        const std::uint64_t latency =
+            telemetry::nowNs() - submitNs;
+        SloMetrics &m = SloMetrics::forClass(latencyClass);
+        m.latency.record(latency);
+        if (targetNs != 0 && latency > targetNs)
+            m.burn.add();
+    }
+};
+
 } // namespace
 
 // ---- Session ---------------------------------------------------------------
@@ -89,22 +155,31 @@ struct SessionBatchMetrics
 Session::Session(ExecutionService *service,
                  std::shared_ptr<ExecutionService> keep_alive,
                  std::string name, bool cache_results,
-                 bool prefix_aware)
+                 bool prefix_aware, LatencyClass latency_class)
     : service_(service), keepAlive_(std::move(keep_alive)),
       name_(std::move(name)),
       id_(service->nextSessionId_.fetch_add(
           1, std::memory_order_relaxed)),
-      queue_(service->scheduler_.openQueue()),
-      cacheResults_(cache_results), prefixAware_(prefix_aware)
+      // The queue carries the session label so the scheduler can
+      // attribute per-session queue-wait time (name_ and id_ are
+      // initialized above; declaration order guarantees it).
+      queue_(service->scheduler_.openQueue(
+          name_.empty() ? "s" + std::to_string(id_) : name_)),
+      cacheResults_(cache_results), prefixAware_(prefix_aware),
+      latencyClass_(latency_class)
 {
     service_->sessionsOpened_.fetch_add(1,
                                         std::memory_order_relaxed);
     if (telemetry::metricsEnabled())
         ServiceMetrics::get().sessionsOpened.add();
+    service_->registerSession(*this);
 }
 
 Session::~Session()
 {
+    // Drop out of the introspection registry BEFORE the queue
+    // closes, so a status snapshot can never see a dying session.
+    service_->unregisterSession(*this);
     // Tasks already admitted still run (the queue is reaped once
     // drained); only further admission stops.
     service_->scheduler_.closeQueue(queue_);
@@ -173,21 +248,82 @@ ExecutionService::ExecutionService(Executor &backend,
     config_.threads = scheduler_.threadCount();
     if (config_.kernelThreads > 0)
         setKernelThreads(config_.kernelThreads);
+    maybeStartIntrospection();
 }
 
 ExecutionService::~ExecutionService()
 {
+    // Join the introspection endpoint FIRST: its accept thread
+    // reads the session registry and the scheduler, both of which
+    // shutdown() and member destruction tear down.
+    if (introspect_)
+        introspect_->stop();
     shutdown();
+}
+
+void
+ExecutionService::maybeStartIntrospection()
+{
+    const std::string path = telemetry::introspectPath();
+    if (path.empty())
+        return;
+    auto server = std::make_unique<telemetry::IntrospectServer>();
+    server->setStatusProvider([this] { return sessionStatus(); });
+    if (!server->start(path))
+        return; // start() has already warned
+    introspect_ = std::move(server);
+}
+
+void
+ExecutionService::registerSession(Session &session)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    liveSessions_.emplace(session.id(), &session);
+}
+
+void
+ExecutionService::unregisterSession(Session &session)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    liveSessions_.erase(session.id());
+}
+
+std::vector<telemetry::SessionStatusRow>
+ExecutionService::sessionStatus() const
+{
+    std::vector<telemetry::SessionStatusRow> rows;
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    rows.reserve(liveSessions_.size());
+    for (const auto &[id, session] : liveSessions_) {
+        telemetry::SessionStatusRow row;
+        row.session = sessionLabel(*session);
+        row.latencyClass =
+            latencyClassName(session->latencyClass_);
+        row.jobsSubmitted =
+            session->jobs_.load(std::memory_order_relaxed);
+        row.cacheHits =
+            session->hits_.load(std::memory_order_relaxed);
+        row.crossSessionHits =
+            session->crossHits_.load(std::memory_order_relaxed);
+        row.shedJobs =
+            session->shed_.load(std::memory_order_relaxed);
+        row.inlineJobs =
+            session->inlineJobs_.load(std::memory_order_relaxed);
+        row.queueDepth = scheduler_.queueDepth(session->queue_);
+        rows.push_back(std::move(row));
+    }
+    return rows;
 }
 
 std::unique_ptr<Session>
 ExecutionService::makeSession(
     std::shared_ptr<ExecutionService> keep_alive, std::string name,
-    bool cache_results, bool prefix_aware)
+    bool cache_results, bool prefix_aware,
+    LatencyClass latency_class)
 {
     return std::unique_ptr<Session>(
         new Session(this, std::move(keep_alive), std::move(name),
-                    cache_results, prefix_aware));
+                    cache_results, prefix_aware, latency_class));
 }
 
 std::unique_ptr<Session>
@@ -195,7 +331,18 @@ ExecutionService::createSession(std::string name)
 {
     return makeSession(nullptr, std::move(name),
                        config_.cacheResults,
-                       config_.prefixAwareScheduling);
+                       config_.prefixAwareScheduling,
+                       config_.defaultLatencyClass);
+}
+
+std::unique_ptr<Session>
+ExecutionService::createSession(std::string name,
+                                LatencyClass latency_class)
+{
+    return makeSession(nullptr, std::move(name),
+                       config_.cacheResults,
+                       config_.prefixAwareScheduling,
+                       latency_class);
 }
 
 std::unique_ptr<JobSubmitter>
@@ -207,7 +354,8 @@ ExecutionService::openSession(Executor &backend,
               "executor is not this service's backend (results are "
               "backend-specific; open one service per backend)");
     return makeSession(nullptr, {}, config.cacheResults,
-                       config.prefixAwareScheduling);
+                       config.prefixAwareScheduling,
+                       config.latencyClass);
 }
 
 std::unique_ptr<Session>
@@ -218,7 +366,8 @@ ExecutionService::openOwnedSession(
     if (self.get() != this)
         panic("ExecutionService::openOwnedSession: self mismatch");
     return makeSession(std::move(self), {}, config.cacheResults,
-                       config.prefixAwareScheduling);
+                       config.prefixAwareScheduling,
+                       config.latencyClass);
 }
 
 void
@@ -278,6 +427,8 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
     // admission loop so labeled counters cost one registry lookup
     // per batch, not per job.
     const bool metricsOn = telemetry::metricsEnabled();
+    const std::uint64_t submitNs =
+        metricsOn ? telemetry::nowNs() : 0;
     std::uint64_t tallyHits = 0, tallyCrossHits = 0,
                   tallyMisses = 0, tallyShotsSaved = 0,
                   tallyInline = 0;
@@ -324,8 +475,12 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
         std::shared_ptr<std::promise<Pmf>> publish;
         if (session.cacheResults_) {
             std::uint64_t primary_owner = 0;
-            auto claim = ledger_.claim(key, job.shots, cache_,
-                                       session.id_, &primary_owner);
+            auto claim = [&] {
+                telemetry::ScopedPhase phase(
+                    telemetry::Phase::LedgerLookup);
+                return ledger_.claim(key, job.shots, cache_,
+                                     session.id_, &primary_owner);
+            }();
             if (claim.duplicate()) {
                 session.hits_.fetch_add(1,
                                         std::memory_order_relaxed);
@@ -405,6 +560,24 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
         for (std::size_t i = 0; i < pending.size(); ++i)
             chunk_indices.push_back({i});
     }
+    // Latency-class SLO accounting: the last chunk to complete
+    // records the batch's submit-to-complete wall time (SloState).
+    // All-hit batches (no chunks) complete right here.
+    std::shared_ptr<SloState> slo;
+    if (metricsOn) {
+        slo = std::make_shared<SloState>();
+        slo->submitNs = submitNs;
+        slo->latencyClass = session.latencyClass_;
+        slo->targetNs =
+            session.latencyClass_ == LatencyClass::Interactive
+            ? config_.interactiveSloNs
+            : config_.bulkSloNs;
+        slo->remaining.store(chunk_indices.size(),
+                             std::memory_order_relaxed);
+        if (chunk_indices.empty())
+            slo->record();
+    }
+
     auto &injector = fault::FaultInjector::instance();
     std::uint64_t tallyShed = 0;
     for (const auto &indices : chunk_indices) {
@@ -413,9 +586,11 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
         shared->reserve(indices.size());
         for (std::size_t i : indices)
             shared->push_back(std::move(pending[i].run));
-        auto runner = [shared] {
+        auto runner = [shared, slo] {
             for (auto &run : *shared)
                 run();
+            if (slo)
+                slo->complete();
         };
 
         if (injector.enabled() && !indices.empty() &&
@@ -449,6 +624,10 @@ ExecutionService::submitFor(Session &session, const Batch &batch)
             shedJobs_.fetch_add(shared->size(),
                                 std::memory_order_relaxed);
             tallyShed += shared->size();
+            // The shed chunk's futures have all resolved
+            // (exceptionally) — that IS its completion.
+            if (slo)
+                slo->complete();
             break;
         }
         case ServiceScheduler::Admission::Closed:

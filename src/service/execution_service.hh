@@ -45,7 +45,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,7 @@
 #include "runtime/result_cache.hh"
 #include "runtime/submitter.hh"
 #include "service/scheduler.hh"
+#include "telemetry/introspect.hh"
 
 namespace varsaw {
 
@@ -107,6 +110,21 @@ struct ServiceConfig
      * historical behaviour.
      */
     std::size_t maxQueueDepth = 0;
+
+    /**
+     * Latency-class SLO targets: a batch whose submit-to-complete
+     * wall time exceeds its session's class target bumps the
+     * `service.slo_burn{class=...}` counter (every batch also lands
+     * in the `service.latency_ns{class=...}` histogram, SLO or not).
+     * Pure accounting — admission and scheduling never read these.
+     * 0 disables burn counting for that class.
+     */
+    std::uint64_t interactiveSloNs = 100'000'000;     //!< 100 ms
+    std::uint64_t bulkSloNs = 10'000'000'000;         //!< 10 s
+
+    /** Latency class of sessions that do not declare one (see
+     * RuntimeConfig::latencyClass for sessions that do). */
+    LatencyClass defaultLatencyClass = LatencyClass::Bulk;
 };
 
 /** Per-session submission/dedupe statistics. */
@@ -217,6 +235,9 @@ class Session : public JobSubmitter
     /** Diagnostic name ("" unless given at creation). */
     const std::string &name() const { return name_; }
 
+    /** Declared latency class (SLO accounting series selector). */
+    LatencyClass latencyClass() const { return latencyClass_; }
+
     /** The service this session submits through. */
     ExecutionService &service() { return *service_; }
     const ExecutionService &service() const { return *service_; }
@@ -227,7 +248,7 @@ class Session : public JobSubmitter
     Session(ExecutionService *service,
             std::shared_ptr<ExecutionService> keep_alive,
             std::string name, bool cache_results,
-            bool prefix_aware);
+            bool prefix_aware, LatencyClass latency_class);
 
     ExecutionService *service_;
     /** Set on the owning path (env shim): the last session keeps
@@ -238,6 +259,7 @@ class Session : public JobSubmitter
     std::uint64_t queue_;
     bool cacheResults_;
     bool prefixAware_;
+    LatencyClass latencyClass_;
 
     std::atomic<std::uint64_t> jobs_{0};
     std::atomic<std::uint64_t> hits_{0};
@@ -271,6 +293,15 @@ class ExecutionService : public ExecutionBackplane
      * it).
      */
     std::unique_ptr<Session> createSession(std::string name = {});
+
+    /**
+     * createSession with an explicit latency class (the SLO series
+     * the session's batches are accounted under — see
+     * ServiceConfig::interactiveSloNs / bulkSloNs). Accounting only:
+     * admission and scheduling treat every class identically.
+     */
+    std::unique_ptr<Session>
+    createSession(std::string name, LatencyClass latency_class);
 
     /**
      * ExecutionBackplane: open a session for an estimator.
@@ -363,7 +394,20 @@ class ExecutionService : public ExecutionBackplane
     std::unique_ptr<Session>
     makeSession(std::shared_ptr<ExecutionService> keep_alive,
                 std::string name, bool cache_results,
-                bool prefix_aware);
+                bool prefix_aware, LatencyClass latency_class);
+
+    /** Start the live-introspection endpoint when
+     * telemetry::introspectPath() is set (ctor helper). */
+    void maybeStartIntrospection();
+
+    /** Status rows for the introspection endpoint (one per live
+     * session, id order). */
+    std::vector<telemetry::SessionStatusRow> sessionStatus() const;
+
+    /** Live-session registry maintained by Session ctor/dtor —
+     * read only by the introspection endpoint. */
+    void registerSession(Session &session);
+    void unregisterSession(Session &session);
 
     Executor &backend_;
     ServiceConfig config_;
@@ -379,12 +423,26 @@ class ExecutionService : public ExecutionBackplane
      * warning prints once per service, not once per chunk. */
     std::atomic<bool> warnedLateInline_{false};
     std::atomic<bool> closed_{false};
+    /** Guards liveSessions_ (introspection reads vs session
+     * open/close). */
+    mutable std::mutex sessionsMutex_;
+    /** Live sessions by id — non-owning; entries are erased in
+     * ~Session before the session's members die. */
+    std::map<std::uint64_t, Session *> liveSessions_;
     /**
      * Declared last: its destructor (via shutdown()) joins the
      * workers first, so no in-flight task can touch the ledger or
      * cache after they are destroyed.
      */
     ServiceScheduler scheduler_;
+    /**
+     * Declared after scheduler_ so it is destroyed FIRST: the
+     * endpoint's accept thread reads stats()/sessionStatus() and
+     * must be joined before the scheduler or the session registry
+     * can go away. Null unless VARSAW_INTROSPECT / --introspect was
+     * set when the service was constructed.
+     */
+    std::unique_ptr<telemetry::IntrospectServer> introspect_;
 };
 
 } // namespace varsaw

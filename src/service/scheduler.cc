@@ -1,6 +1,7 @@
 #include "service/scheduler.hh"
 
 #include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
 #include "telemetry/trace.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -11,13 +12,18 @@ namespace varsaw {
 
 namespace {
 
-/** Worker-utilization mirror under `service.scheduler.*`. */
+/** Worker-utilization mirror under `service.scheduler.*`, plus the
+ * admission-queue visibility gauges: `service.queue_depth` (chunks
+ * waiting across every queue) and `service.queue_age_us` (age of
+ * the chunk a worker most recently dequeued). */
 struct SchedulerMetrics
 {
     telemetry::Counter &chunksExecuted;
     telemetry::Counter &kernelAssists;
     telemetry::Counter &assistedChunks;
     telemetry::Histogram &chunkLatencyNs;
+    telemetry::Gauge &queueDepth;
+    telemetry::Gauge &queueAgeUs;
 
     static SchedulerMetrics &
     get()
@@ -28,6 +34,8 @@ struct SchedulerMetrics
             reg.counter("service.scheduler.kernel_assists"),
             reg.counter("service.scheduler.assisted_chunks"),
             reg.histogram("service.scheduler.chunk_latency_ns"),
+            reg.gauge("service.queue_depth"),
+            reg.gauge("service.queue_age_us"),
         };
         return *m;
     }
@@ -69,11 +77,13 @@ ServiceScheduler::signalKernelWork()
 }
 
 std::uint64_t
-ServiceScheduler::openQueue()
+ServiceScheduler::openQueue(std::string label)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const std::uint64_t id = nextQueueId_++;
-    queues_.emplace(id, Queue{});
+    Queue queue;
+    queue.label = std::move(label);
+    queues_.emplace(id, std::move(queue));
     return id;
 }
 
@@ -104,7 +114,17 @@ ServiceScheduler::enqueue(std::uint64_t queue,
         if (maxQueueDepth_ != 0 &&
             it->second.tasks.size() >= maxQueueDepth_)
             return Admission::Full;
-        it->second.tasks.push_back(std::move(task));
+        // A shed (Full) or closed admission never reaches here, so
+        // the depth gauge counts exactly the entries a pop will
+        // later decrement — typed-shed paths cannot leak depth. The
+        // timestamp doubles as the "counted" marker (see Entry).
+        Entry entry{std::move(task), 0};
+        if (telemetry::metricsEnabled() ||
+            telemetry::profilerEnabled()) {
+            entry.enqueueNs = telemetry::nowNs();
+            SchedulerMetrics::get().queueDepth.add(1);
+        }
+        it->second.tasks.push_back(std::move(entry));
         ++queuedCount_;
     }
     workCv_.notify_one();
@@ -123,13 +143,35 @@ ServiceScheduler::popNextLocked()
             it = queues_.begin();
         if (!it->second.tasks.empty()) {
             cursor_ = it->first;
-            std::function<void()> task =
-                std::move(it->second.tasks.front());
+            Entry entry = std::move(it->second.tasks.front());
             it->second.tasks.pop_front();
             --queuedCount_;
+            if (entry.enqueueNs != 0) {
+                // Queue-wait attribution + the visibility gauges.
+                // Observation only: the timestamps never influence
+                // which task was picked.
+                const std::uint64_t age =
+                    telemetry::nowNs() - entry.enqueueNs;
+                auto &m = SchedulerMetrics::get();
+                m.queueDepth.add(-1);
+                m.queueAgeUs.set(
+                    static_cast<std::int64_t>(age / 1000));
+                if (telemetry::profilerEnabled()) {
+                    telemetry::recordPhaseNs(
+                        telemetry::Phase::QueueWait, age);
+                    if (!it->second.waitHist &&
+                        !it->second.label.empty())
+                        it->second.waitHist =
+                            &telemetry::sessionPhaseHistogram(
+                                telemetry::Phase::QueueWait,
+                                it->second.label);
+                    if (it->second.waitHist)
+                        it->second.waitHist->record(age);
+                }
+            }
             if (!it->second.open && it->second.tasks.empty())
                 queues_.erase(it); // closed and drained: reap
-            return task;
+            return std::move(entry.task);
         }
         ++it;
     }
@@ -196,6 +238,14 @@ ServiceScheduler::workerLoop()
             }
         }
     }
+}
+
+std::size_t
+ServiceScheduler::queueDepth(std::uint64_t queue) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = queues_.find(queue);
+    return it == queues_.end() ? 0 : it->second.tasks.size();
 }
 
 void

@@ -48,8 +48,11 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "telemetry/metrics.hh"
 
 namespace varsaw {
 
@@ -82,8 +85,12 @@ class ServiceScheduler
     ServiceScheduler(const ServiceScheduler &) = delete;
     ServiceScheduler &operator=(const ServiceScheduler &) = delete;
 
-    /** Open an admission queue (one per session). */
-    std::uint64_t openQueue();
+    /**
+     * Open an admission queue (one per session). @p label names the
+     * owner in telemetry (the per-session `queue_wait` series); an
+     * empty label keeps the queue anonymous (global series only).
+     */
+    std::uint64_t openQueue(std::string label = {});
 
     /**
      * Close an admission queue: no further enqueues; tasks already
@@ -105,6 +112,9 @@ class ServiceScheduler
 
     /** Per-queue admission cap (0 = unbounded). */
     std::size_t maxQueueDepth() const { return maxQueueDepth_; }
+
+    /** Chunks currently waiting in @p queue (0 for unknown ids). */
+    std::size_t queueDepth(std::uint64_t queue) const;
 
     /** Block until no task is queued or running. */
     void drain();
@@ -159,10 +169,28 @@ class ServiceScheduler
     }
 
   private:
+    /**
+     * One admitted chunk. enqueueNs is nonzero only when telemetry
+     * was observing at admission: it marks the entry as counted in
+     * the `service.queue_depth` gauge (so enable/disable races
+     * cannot leak the gauge) and carries the timestamp the
+     * queue-wait attribution is computed from at pop. Timestamps
+     * are never read for scheduling — pure observation.
+     */
+    struct Entry
+    {
+        std::function<void()> task;
+        std::uint64_t enqueueNs = 0;
+    };
+
     struct Queue
     {
-        std::deque<std::function<void()>> tasks;
+        std::deque<Entry> tasks;
         bool open = true;
+        /** Telemetry label of the owning session ("" = anonymous). */
+        std::string label;
+        /** Lazily resolved per-session queue-wait series. */
+        telemetry::Histogram *waitHist = nullptr;
     };
 
     /** Pop the next task round-robin. Caller holds mutex_ and has

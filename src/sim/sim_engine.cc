@@ -19,7 +19,9 @@
 #include "sim/kernels/kernels.hh"
 #include "sim/statevector.hh"
 #include "telemetry/exporters.hh"
+#include "telemetry/introspect.hh"
 #include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
 #include "telemetry/trace.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -203,10 +205,18 @@ applyRuntimeFlags(int &argc, char **argv)
         const bool numericFlag = name == "--cache-bytes" ||
             name == "--kernel-threads" ||
             name == "--service-threads";
-        const bool pathFlag =
-            name == "--metrics-out" || name == "--trace-out";
+        const bool pathFlag = name == "--metrics-out" ||
+            name == "--trace-out" || name == "--introspect";
         const bool simdFlag = name == "--simd";
         const bool faultsFlag = name == "--faults";
+        const bool bareFlag = name == "--profile";
+        if (bareFlag) {
+            // Value-free switch: --profile (or --profile=0 to undo
+            // an env-armed VARSAW_PROFILE).
+            telemetry::setProfilerEnabled(
+                !(value && value[0] == '0' && value[1] == '\0'));
+            continue;
+        }
         if (!numericFlag && !pathFlag && !simdFlag && !faultsFlag) {
             argv[keep++] = argv[i];
             continue;
@@ -270,8 +280,10 @@ applyRuntimeFlags(int &argc, char **argv)
             }
             if (name == "--metrics-out")
                 telemetry::setMetricsOutPath(value);
-            else
+            else if (name == "--trace-out")
                 telemetry::setTraceOutPath(value);
+            else
+                telemetry::setIntrospectPath(value);
             continue;
         }
         std::uint64_t parsed = 0;
@@ -362,6 +374,7 @@ SimEngine::measuredMarginal(const Circuit *prep,
     const PrepKey key = prepKeyOf(prep, circuit, params);
     StateCache::StatePtr prepared = cache_.getOrPrepare(key, [&] {
         telemetry::ScopedSpan span("prep", 0);
+        telemetry::ScopedPhase phase(telemetry::Phase::Prep);
         auto state = std::make_shared<Statevector>(n);
         state->applyOps(prefixOps, prefixCount, params);
         prepSimulations_.fetch_add(1, std::memory_order_relaxed);
@@ -378,6 +391,7 @@ SimEngine::measuredMarginal(const Circuit *prep,
     if (telemetry::metricsEnabled())
         EngineMetrics::get().suffixApplications.add();
     telemetry::ScopedSpan suffixSpan("suffix-eval", 0);
+    telemetry::ScopedPhase suffixPhase(telemetry::Phase::Suffix);
 
     // All-Z bases have no suffix gates at all: answer straight from
     // the shared immutable state, skipping the dense copy.

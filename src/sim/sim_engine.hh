@@ -151,10 +151,19 @@ void setDefaultCacheByteBudget(std::uint64_t bytes);
  *   --trace-out=PATH     enable span tracing; write Chrome
  *                        trace_event JSON to PATH at exit
  *                        (telemetry::setTraceOutPath)
+ *   --profile            enable phase-attribution profiling
+ *                        (telemetry::setProfilerEnabled; the one
+ *                        value-free flag — --profile=0 undoes an
+ *                        env-armed VARSAW_PROFILE)
+ *   --introspect=PATH    serve live telemetry on a unix socket at
+ *                        PATH (telemetry::setIntrospectPath; the
+ *                        next ExecutionService constructed attaches
+ *                        the endpoint — see varsaw-top)
  *
  * All accept `--flag V` as well as `--flag=V`. The VARSAW_TELEMETRY
  * / VARSAW_METRICS_OUT / VARSAW_TRACE_OUT / VARSAW_TRACE_EVENTS /
- * VARSAW_TELEMETRY_FLUSH_MS environment knobs are applied first
+ * VARSAW_TELEMETRY_FLUSH_MS / VARSAW_PROFILE / VARSAW_INTROSPECT
+ * environment knobs are applied first
  * (telemetry::installTelemetryEnvKnobs). Consumed flags
  * (and their value arguments) are REMOVED from argv and @p argc is
  * updated, so positional argument parsing in the drivers is

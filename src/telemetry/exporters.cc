@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "telemetry/introspect.hh"
+#include "telemetry/profiler.hh"
 #include "util/logging.hh"
 
 namespace varsaw::telemetry {
@@ -91,7 +93,35 @@ promName(const std::string &base)
     return out;
 }
 
-/** Re-quote `k1=v1,k2=v2` as `k1="v1",k2="v2"`. */
+/**
+ * Escape a label VALUE per the Prometheus text exposition format:
+ * backslash, double-quote, and newline must be escaped inside the
+ * quoted value (session names are caller-supplied strings).
+ */
+std::string
+promEscapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (char c : value) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+/** Re-quote `k1=v1,k2=v2` as `k1="v1",k2="v2"` (values escaped). */
 std::string
 promLabels(const std::string &labels)
 {
@@ -113,7 +143,7 @@ promLabels(const std::string &labels)
         } else {
             out += pair.substr(0, eq);
             out += "=\"";
-            out += pair.substr(eq + 1);
+            out += promEscapeLabelValue(pair.substr(eq + 1));
             out += '"';
         }
         if (comma == std::string::npos)
@@ -394,6 +424,9 @@ traceOutPath()
 void
 flushTelemetryOutputs()
 {
+    // The observer observing itself: serialization/IO cost lands in
+    // the `export` phase so a chatty flusher can't hide.
+    ScopedPhase phase(Phase::Export);
     const std::string metricsPath = metricsOutPath();
     const std::string tracePath = traceOutPath();
     if (!metricsPath.empty())
@@ -473,6 +506,14 @@ installTelemetryEnvKnobs()
         if (const char *env = std::getenv("VARSAW_TRACE_OUT")) {
             if (env[0] != '\0')
                 setTraceOutPath(env);
+        }
+        if (const char *env = std::getenv("VARSAW_PROFILE")) {
+            if (env[0] != '\0' && env[0] != '0')
+                setProfilerEnabled(true);
+        }
+        if (const char *env = std::getenv("VARSAW_INTROSPECT")) {
+            if (env[0] != '\0')
+                setIntrospectPath(env);
         }
         if (const char *env =
                 std::getenv("VARSAW_TELEMETRY_FLUSH_MS")) {

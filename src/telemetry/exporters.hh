@@ -13,9 +13,13 @@
  *   VARSAW_TRACE_OUT=PATH     enable tracing; Chrome JSON at exit
  *   VARSAW_TRACE_EVENTS=N     trace ring capacity (events)
  *   VARSAW_TELEMETRY_FLUSH_MS=N  periodic snapshot flusher
- * The drivers' --metrics-out / --trace-out flags
- * (applyRuntimeFlags) plumb into the same setMetricsOutPath /
- * setTraceOutPath entry points.
+ *   VARSAW_PROFILE=1          enable phase attribution (profiler.hh)
+ *   VARSAW_INTROSPECT=PATH    unix-socket introspection endpoint
+ *                             (introspect.hh; served by services)
+ * The drivers' --metrics-out / --trace-out / --profile /
+ * --introspect flags (applyRuntimeFlags) plumb into the same
+ * setMetricsOutPath / setTraceOutPath / setProfilerEnabled /
+ * setIntrospectPath entry points.
  */
 
 #ifndef VARSAW_TELEMETRY_EXPORTERS_HH

@@ -1,0 +1,432 @@
+#include "telemetry/introspect.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "telemetry/exporters.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
+#include "util/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VARSAW_HAVE_UNIX_SOCKETS 1
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace varsaw::telemetry {
+
+namespace {
+
+/** Minimal JSON string escape for session labels/class names. */
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+sessionsToJson(const std::vector<SessionStatusRow> &rows)
+{
+    std::string out = "[\n";
+    bool first = true;
+    char buf[256];
+    for (const auto &r : rows) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "  {\"session\": " + jsonQuote(r.session) +
+            ", \"class\": " + jsonQuote(r.latencyClass);
+        std::snprintf(
+            buf, sizeof(buf),
+            ", \"jobs_submitted\": %llu, \"cache_hits\": %llu"
+            ", \"cross_session_hits\": %llu, \"shed_jobs\": %llu"
+            ", \"inline_jobs\": %llu, \"queue_depth\": %llu}",
+            static_cast<unsigned long long>(r.jobsSubmitted),
+            static_cast<unsigned long long>(r.cacheHits),
+            static_cast<unsigned long long>(r.crossSessionHits),
+            static_cast<unsigned long long>(r.shedJobs),
+            static_cast<unsigned long long>(r.inlineJobs),
+            static_cast<unsigned long long>(r.queueDepth));
+        out += buf;
+    }
+    out += "\n]\n";
+    return out;
+}
+
+/** `profile.phase.<name>_ns` (unlabeled) -> phase display name. */
+bool
+phaseDisplayName(const std::string &metric, std::string *out)
+{
+    const std::string prefix = "profile.phase.";
+    const std::string suffix = "_ns";
+    if (metric.rfind(prefix, 0) != 0 ||
+        metric.find('{') != std::string::npos ||
+        metric.size() <= prefix.size() + suffix.size() ||
+        metric.compare(metric.size() - suffix.size(),
+                       suffix.size(), suffix) != 0)
+        return false;
+    *out = metric.substr(prefix.size(), metric.size() -
+                                            prefix.size() -
+                                            suffix.size());
+    return true;
+}
+
+/** `service.latency_ns{class=X}` -> X. */
+bool
+sloClassName(const std::string &metric, std::string *out)
+{
+    const std::string prefix = "service.latency_ns{class=";
+    if (metric.rfind(prefix, 0) != 0 || metric.back() != '}')
+        return false;
+    *out = metric.substr(prefix.size(),
+                         metric.size() - prefix.size() - 1);
+    return true;
+}
+
+std::string
+renderTopPage(const std::vector<SessionStatusRow> &rows)
+{
+    const MetricsSnapshot snap =
+        MetricsRegistry::instance().snapshot();
+    char buf[256];
+    std::string out;
+
+    std::snprintf(
+        buf, sizeof(buf),
+        "jobs %llu  xhits %llu  shed %llu  retries %llu  "
+        "queue depth %lld  queue age %lld us\n",
+        static_cast<unsigned long long>(
+            snap.value("service.jobs_submitted")),
+        static_cast<unsigned long long>(
+            snap.value("service.cross_session_hits")),
+        static_cast<unsigned long long>(snap.value("service.shed")),
+        static_cast<unsigned long long>(
+            snap.value("service.retries")),
+        static_cast<long long>(snap.value("service.queue_depth")),
+        static_cast<long long>(
+            snap.value("service.queue_age_us")));
+    out += buf;
+
+    out += "\nsessions:\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  %-20s %-12s %8s %10s %8s %8s %6s %7s\n",
+                  "SESSION", "CLASS", "QUEUED", "JOBS", "HITS",
+                  "XHITS", "SHED", "INLINE");
+    out += buf;
+    for (const auto &r : rows) {
+        std::snprintf(
+            buf, sizeof(buf),
+            "  %-20s %-12s %8llu %10llu %8llu %8llu %6llu %7llu\n",
+            r.session.c_str(), r.latencyClass.c_str(),
+            static_cast<unsigned long long>(r.queueDepth),
+            static_cast<unsigned long long>(r.jobsSubmitted),
+            static_cast<unsigned long long>(r.cacheHits),
+            static_cast<unsigned long long>(r.crossSessionHits),
+            static_cast<unsigned long long>(r.shedJobs),
+            static_cast<unsigned long long>(r.inlineJobs));
+        out += buf;
+    }
+    if (rows.empty())
+        out += "  (none)\n";
+
+    out += "\nphases:\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  %-14s %10s %12s %10s %10s %10s\n", "PHASE",
+                  "COUNT", "TOTAL_MS", "P50_US", "P95_US",
+                  "P99_US");
+    out += buf;
+    bool any_phase = false;
+    for (const auto &m : snap.metrics) {
+        std::string phase;
+        if (!phaseDisplayName(m.name, &phase))
+            continue;
+        any_phase = true;
+        std::snprintf(
+            buf, sizeof(buf),
+            "  %-14s %10llu %12.3f %10.1f %10.1f %10.1f\n",
+            phase.c_str(),
+            static_cast<unsigned long long>(m.count),
+            static_cast<double>(m.sumNs) / 1e6,
+            histogramQuantileNs(m, 0.50) / 1e3,
+            histogramQuantileNs(m, 0.95) / 1e3,
+            histogramQuantileNs(m, 0.99) / 1e3);
+        out += buf;
+    }
+    if (!any_phase)
+        out += "  (profiler off: set VARSAW_PROFILE=1 or pass "
+               "--profile)\n";
+
+    out += "\nslo:\n";
+    std::snprintf(buf, sizeof(buf),
+                  "  %-14s %10s %10s %10s %10s %8s\n", "CLASS",
+                  "COUNT", "P50_US", "P95_US", "P99_US", "BURN");
+    out += buf;
+    bool any_slo = false;
+    for (const auto &m : snap.metrics) {
+        std::string cls;
+        if (!sloClassName(m.name, &cls))
+            continue;
+        any_slo = true;
+        const double burn = snap.value(
+            "service.slo_burn{class=" + cls + "}");
+        std::snprintf(
+            buf, sizeof(buf),
+            "  %-14s %10llu %10.1f %10.1f %10.1f %8llu\n",
+            cls.c_str(), static_cast<unsigned long long>(m.count),
+            histogramQuantileNs(m, 0.50) / 1e3,
+            histogramQuantileNs(m, 0.95) / 1e3,
+            histogramQuantileNs(m, 0.99) / 1e3,
+            static_cast<unsigned long long>(burn));
+        out += buf;
+    }
+    if (!any_slo)
+        out += "  (no batch completed yet)\n";
+    return out;
+}
+
+} // namespace
+
+struct IntrospectServer::Impl
+{
+    mutable std::mutex mutex;
+    std::string path;
+    StatusProvider provider;
+    std::thread thread;
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopping{false};
+    int listenFd = -1;
+};
+
+IntrospectServer::IntrospectServer() : impl_(new Impl) {}
+
+IntrospectServer::~IntrospectServer()
+{
+    stop();
+    delete impl_;
+}
+
+void
+IntrospectServer::setStatusProvider(StatusProvider provider)
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->provider = std::move(provider);
+}
+
+bool
+IntrospectServer::running() const
+{
+    return impl_->running.load(std::memory_order_acquire);
+}
+
+std::string
+IntrospectServer::socketPath() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    return impl_->running.load(std::memory_order_acquire)
+        ? impl_->path
+        : std::string{};
+}
+
+std::string
+IntrospectServer::respond(const std::string &command) const
+{
+    if (command == "json")
+        return metricsToJson(MetricsRegistry::instance().snapshot());
+    if (command == "prom")
+        return metricsToPrometheus(
+            MetricsRegistry::instance().snapshot());
+    if (command == "sessions" || command == "top") {
+        StatusProvider provider;
+        {
+            std::lock_guard<std::mutex> lock(impl_->mutex);
+            provider = impl_->provider;
+        }
+        std::vector<SessionStatusRow> rows;
+        if (provider)
+            rows = provider();
+        return command == "sessions" ? sessionsToJson(rows)
+                                     : renderTopPage(rows);
+    }
+    return "ERR unknown command (want json|prom|sessions|top)\n";
+}
+
+#if VARSAW_HAVE_UNIX_SOCKETS
+
+namespace {
+
+/** Read one '\n'-terminated command (bounded, 2 s timeout). */
+std::string
+readCommand(int fd)
+{
+    struct timeval tv;
+    tv.tv_sec = 2;
+    tv.tv_usec = 0;
+    (void)setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    std::string cmd;
+    char c = 0;
+    while (cmd.size() < 64) {
+        const ssize_t n = recv(fd, &c, 1, 0);
+        if (n <= 0 || c == '\n')
+            break;
+        if (c != '\r')
+            cmd += c;
+    }
+    return cmd;
+}
+
+void
+sendAll(int fd, const std::string &text)
+{
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+        const ssize_t n = send(fd, text.data() + sent,
+                               text.size() - sent, 0);
+        if (n <= 0)
+            return;
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+bool
+IntrospectServer::start(const std::string &socket_path)
+{
+    if (socket_path.empty() ||
+        impl_->running.load(std::memory_order_acquire))
+        return false;
+    sockaddr_un addr{};
+    if (socket_path.size() >= sizeof(addr.sun_path)) {
+        warn("introspect: socket path too long: " + socket_path);
+        return false;
+    }
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        warn("introspect: socket() failed");
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+    (void)::unlink(socket_path.c_str());
+    if (bind(fd, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0 ||
+        listen(fd, 8) != 0) {
+        warn("introspect: cannot bind '" + socket_path + "'");
+        ::close(fd);
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(impl_->mutex);
+        impl_->path = socket_path;
+        impl_->listenFd = fd;
+    }
+    impl_->stopping.store(false, std::memory_order_release);
+    impl_->running.store(true, std::memory_order_release);
+    impl_->thread = std::thread([this, fd] {
+        while (!impl_->stopping.load(std::memory_order_acquire)) {
+            pollfd pfd{};
+            pfd.fd = fd;
+            pfd.events = POLLIN;
+            const int ready = poll(&pfd, 1, 200);
+            if (ready <= 0 || !(pfd.revents & POLLIN))
+                continue;
+            const int client = accept(fd, nullptr, nullptr);
+            if (client < 0)
+                continue;
+            sendAll(client, respond(readCommand(client)));
+            ::close(client);
+        }
+    });
+    return true;
+}
+
+void
+IntrospectServer::stop()
+{
+    if (!impl_->running.exchange(false, std::memory_order_acq_rel))
+        return;
+    impl_->stopping.store(true, std::memory_order_release);
+    if (impl_->thread.joinable())
+        impl_->thread.join();
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    if (impl_->listenFd >= 0) {
+        ::close(impl_->listenFd);
+        impl_->listenFd = -1;
+    }
+    if (!impl_->path.empty())
+        (void)::unlink(impl_->path.c_str());
+}
+
+#else // !VARSAW_HAVE_UNIX_SOCKETS
+
+bool
+IntrospectServer::start(const std::string &socket_path)
+{
+    warn("introspect: unix sockets unavailable on this platform; "
+         "'" + socket_path + "' not served");
+    return false;
+}
+
+void
+IntrospectServer::stop()
+{
+    impl_->running.store(false, std::memory_order_release);
+}
+
+#endif // VARSAW_HAVE_UNIX_SOCKETS
+
+namespace {
+
+std::mutex &
+introspectPathMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::string &
+introspectPathSlot()
+{
+    static std::string *s = new std::string();
+    return *s;
+}
+
+} // namespace
+
+void
+setIntrospectPath(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(introspectPathMutex());
+    introspectPathSlot() = path;
+}
+
+std::string
+introspectPath()
+{
+    std::lock_guard<std::mutex> lock(introspectPathMutex());
+    return introspectPathSlot();
+}
+
+} // namespace varsaw::telemetry

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Live introspection endpoint: a unix-socket server exposing the
+ * telemetry of a RUNNING process.
+ *
+ * Exporters dump snapshots at exit; this server answers while the
+ * work is still going — the first out-of-process surface of the
+ * stack, and the deliberate stepping stone toward the ROADMAP's
+ * RPC service front end. One instance lives inside ExecutionService
+ * when a socket path is configured (`VARSAW_INTROSPECT=PATH` or
+ * `--introspect=PATH`); `varsaw-top` (tools/top/) is the reference
+ * client.
+ *
+ * Protocol (deliberately trivial — netcat is a valid client):
+ * connect, send ONE command line terminated by '\n', read the
+ * response until the server closes the connection.
+ *
+ *   json      metrics snapshot as JSON (metricsToJson)
+ *   prom      metrics snapshot as Prometheus text exposition
+ *   sessions  per-session status rows as a JSON array
+ *   top       human-readable status page (sessions, queue depth and
+ *             age, phase breakdown with p50/p95/p99, SLO classes)
+ *
+ * Unknown commands answer `ERR unknown command`.
+ *
+ * The server is an observer like the rest of telemetry: it holds no
+ * component locks (per-session rows come from an injected provider
+ * callback that snapshots under the owner's own locking), and
+ * nothing in the library reads anything back from it — results are
+ * bit-identical with the endpoint attached or not (CI-gated).
+ *
+ * Layering: telemetry/ depends only on util/. The server knows
+ * nothing about sessions or services — the owner injects a
+ * StatusProvider that returns plain SessionStatusRow values.
+ */
+
+#ifndef VARSAW_TELEMETRY_INTROSPECT_HH
+#define VARSAW_TELEMETRY_INTROSPECT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace varsaw::telemetry {
+
+/** One session's live status, as reported by the owning service. */
+struct SessionStatusRow
+{
+    std::string session;      //!< label (name or "s<id>")
+    std::string latencyClass; //!< "interactive" or "bulk"
+    std::uint64_t jobsSubmitted = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t crossSessionHits = 0;
+    std::uint64_t shedJobs = 0;
+    std::uint64_t inlineJobs = 0;
+    std::uint64_t queueDepth = 0; //!< chunks waiting in admission
+};
+
+/** Snapshot callback the owner injects (called from the server
+ * thread; must be safe from any thread). */
+using StatusProvider =
+    std::function<std::vector<SessionStatusRow>()>;
+
+/** The unix-socket introspection server (see file comment). */
+class IntrospectServer
+{
+  public:
+    IntrospectServer();
+
+    /** stop() if still running. */
+    ~IntrospectServer();
+
+    IntrospectServer(const IntrospectServer &) = delete;
+    IntrospectServer &operator=(const IntrospectServer &) = delete;
+
+    /**
+     * Bind @p socket_path (an existing socket file is replaced) and
+     * start the accept thread. Returns false — after a warning —
+     * when the bind fails (e.g. a second service on the same path);
+     * the process continues unaffected either way.
+     */
+    bool start(const std::string &socket_path);
+
+    /** Stop the accept thread and remove the socket file.
+     * Idempotent. */
+    void stop();
+
+    bool running() const;
+
+    /** The bound socket path ("" when not running). */
+    std::string socketPath() const;
+
+    /** Install/replace the per-session status provider. */
+    void setStatusProvider(StatusProvider provider);
+
+    /**
+     * Build the response for one protocol command — the exact bytes
+     * a socket client would receive. Exposed so tests (and the
+     * "top" page) don't need a live socket.
+     */
+    std::string respond(const std::string &command) const;
+
+  private:
+    struct Impl;
+    Impl *impl_;
+};
+
+/**
+ * Process-wide introspection socket path, set by the
+ * VARSAW_INTROSPECT env knob or the --introspect flag. Services
+ * read it at construction and attach a server when non-empty.
+ */
+void setIntrospectPath(const std::string &path);
+std::string introspectPath();
+
+} // namespace varsaw::telemetry
+
+#endif // VARSAW_TELEMETRY_INTROSPECT_HH

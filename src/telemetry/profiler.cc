@@ -1,0 +1,114 @@
+#include "telemetry/profiler.hh"
+
+namespace varsaw::telemetry {
+
+namespace detail {
+std::atomic<bool> g_profilerEnabled{false};
+} // namespace detail
+
+void
+setProfilerEnabled(bool enabled)
+{
+    detail::g_profilerEnabled.store(enabled,
+                                    std::memory_order_relaxed);
+}
+
+namespace {
+
+const char *const kPhaseNames[kPhaseCount] = {
+    "queue_wait", "ledger_lookup", "prep",   "suffix",
+    "sampling",   "retry_backoff", "export",
+};
+
+/** The seven process-wide phase histograms, resolved once. */
+struct PhaseHistograms
+{
+    Histogram *h[kPhaseCount];
+
+    static PhaseHistograms &
+    get()
+    {
+        static PhaseHistograms *m = [] {
+            auto *p = new PhaseHistograms;
+            auto &reg = MetricsRegistry::instance();
+            for (int i = 0; i < kPhaseCount; ++i)
+                p->h[i] = &reg.histogram(
+                    phaseMetricName(static_cast<Phase>(i)));
+            return p;
+        }();
+        return *m;
+    }
+};
+
+} // namespace
+
+const char *
+phaseName(Phase phase)
+{
+    const int i = static_cast<int>(phase);
+    if (i < 0 || i >= kPhaseCount)
+        return "unknown";
+    return kPhaseNames[i];
+}
+
+std::string
+phaseMetricName(Phase phase)
+{
+    return std::string("profile.phase.") + phaseName(phase) + "_ns";
+}
+
+void
+recordPhaseNs(Phase phase, std::uint64_t ns)
+{
+    const int i = static_cast<int>(phase);
+    if (i < 0 || i >= kPhaseCount)
+        return;
+    PhaseHistograms::get().h[i]->record(ns);
+}
+
+Histogram &
+sessionPhaseHistogram(Phase phase, const std::string &session)
+{
+    return MetricsRegistry::instance().histogram(
+        labeled(phaseMetricName(phase), {{"session", session}}));
+}
+
+double
+histogramQuantileNs(const MetricValue &value, double q)
+{
+    if (value.kind != MetricValue::Kind::Histogram ||
+        value.count == 0 || value.bucketCounts.empty())
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    const double rank = q * static_cast<double>(value.count);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < value.bucketCounts.size(); ++b) {
+        const std::uint64_t in_bucket = value.bucketCounts[b];
+        if (in_bucket == 0)
+            continue;
+        const double before = static_cast<double>(cumulative);
+        cumulative += in_bucket;
+        if (static_cast<double>(cumulative) < rank)
+            continue;
+        // Landing bucket: interpolate between its bounds. The
+        // first bucket's lower bound is 0; the overflow bucket has
+        // no upper bound, so report its lower bound.
+        const double lo = b == 0
+            ? 0.0
+            : static_cast<double>(
+                  Histogram::kBucketBoundsNs[b - 1]);
+        if (b + 1 >= value.bucketCounts.size())
+            return lo;
+        const double hi =
+            static_cast<double>(Histogram::kBucketBoundsNs[b]);
+        const double frac =
+            (rank - before) / static_cast<double>(in_bucket);
+        return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac);
+    }
+    return 0.0;
+}
+
+} // namespace varsaw::telemetry

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Scoped phase-attribution profiler: where does a job's wall-clock
+ * actually go?
+ *
+ * The metrics registry (telemetry/metrics.hh) answers "how many" —
+ * circuits deduped, preps reused, shots saved. This layer answers
+ * "how long, and in which stage": every job's wall time is
+ * attributed to a small fixed taxonomy of phases
+ *
+ *   queue_wait     admission queue entry -> a worker picks it up
+ *   ledger_lookup  shared-ledger claim (dedupe decision, under the
+ *                  ledger mutex)
+ *   prep           state-prep prefix simulation (cache miss cost)
+ *   suffix         measurement-suffix application + marginal
+ *   sampling       drawing shots from the exact/noisy PMF
+ *   retry_backoff  deterministic backoff sleeps between attempts
+ *   export         telemetry serialization/flush (the observer
+ *                  observing itself)
+ *
+ * recorded as `profile.phase.<name>_ns` histograms in the registry
+ * (per-session series append the canonical `{session=...}` label),
+ * so one snapshot shows the whole stack's time breakdown and the
+ * existing exporters/introspection serve it for free.
+ *
+ * The profiler obeys the telemetry contract: it is a PURE OBSERVER.
+ * Nothing reads a phase timing to make a decision, so results are
+ * bit-identical with the profiler on or off (CI-gated), and a
+ * disabled ScopedPhase costs one relaxed atomic load
+ * (profilerEnabled()), compiled to constant false under
+ * -DVARSAW_TELEMETRY_DISABLE.
+ *
+ * Clock discipline: all timestamps come from telemetry::nowNs() —
+ * the one sanctioned monotonic clock — so instrumented layers never
+ * touch std::chrono directly (varsaw-lint's nondeterminism rule
+ * keeps them honest).
+ */
+
+#ifndef VARSAW_TELEMETRY_PROFILER_HH
+#define VARSAW_TELEMETRY_PROFILER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/trace.hh"
+
+namespace varsaw::telemetry {
+
+namespace detail {
+extern std::atomic<bool> g_profilerEnabled;
+} // namespace detail
+
+/**
+ * Whether phase sites should record. One relaxed atomic load;
+ * constant false under -DVARSAW_TELEMETRY_DISABLE.
+ */
+inline bool
+profilerEnabled()
+{
+#if defined(VARSAW_TELEMETRY_DISABLE)
+    return false;
+#else
+    return detail::g_profilerEnabled.load(std::memory_order_relaxed);
+#endif
+}
+
+/** Turn phase attribution on or off (results never depend on it). */
+void setProfilerEnabled(bool enabled);
+
+/** The fixed phase taxonomy (see file comment). */
+enum class Phase : int
+{
+    QueueWait = 0,
+    LedgerLookup,
+    Prep,
+    Suffix,
+    Sampling,
+    RetryBackoff,
+    Export,
+};
+
+/** Number of phases in the taxonomy. */
+inline constexpr int kPhaseCount = 7;
+
+/** Canonical snake_case name of @p phase ("queue_wait", ...). */
+const char *phaseName(Phase phase);
+
+/** Full metric name of @p phase: `profile.phase.<name>_ns`. */
+std::string phaseMetricName(Phase phase);
+
+/**
+ * Record @p ns into @p phase's process-wide histogram. Cheap (the
+ * histograms are cached after the first call); callers still guard
+ * on profilerEnabled().
+ */
+void recordPhaseNs(Phase phase, std::uint64_t ns);
+
+/**
+ * The per-session series of @p phase:
+ * `profile.phase.<name>_ns{session=<session>}`. Registry-mutex
+ * lookup — resolve once per session and cache the reference (it is
+ * stable for the life of the process), never per record.
+ */
+Histogram &sessionPhaseHistogram(Phase phase,
+                                 const std::string &session);
+
+/**
+ * RAII phase timer: stamps begin at construction, records the
+ * elapsed time into the phase histogram at destruction. A disabled
+ * ScopedPhase is one relaxed load and two dead branches — same
+ * budget as ScopedSpan.
+ *
+ * An optional extra histogram (e.g. a per-session series resolved
+ * via sessionPhaseHistogram) receives the same duration.
+ */
+class ScopedPhase
+{
+  public:
+    explicit ScopedPhase(Phase phase, Histogram *extra = nullptr)
+    {
+        if (!profilerEnabled())
+            return;
+        armed_ = true;
+        phase_ = phase;
+        extra_ = extra;
+        beginNs_ = nowNs();
+    }
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+    ~ScopedPhase()
+    {
+        if (!armed_)
+            return;
+        const std::uint64_t ns = nowNs() - beginNs_;
+        recordPhaseNs(phase_, ns);
+        if (extra_)
+            extra_->record(ns);
+    }
+
+    /** Whether this timer is recording (profiler was on at start). */
+    bool armed() const { return armed_; }
+
+  private:
+    Phase phase_ = Phase::QueueWait;
+    Histogram *extra_ = nullptr;
+    std::uint64_t beginNs_ = 0;
+    bool armed_ = false;
+};
+
+/**
+ * Quantile estimate (in ns) from a snapshotted histogram: walks the
+ * cumulative bucket counts to the target rank and interpolates
+ * linearly inside the landing bucket (the overflow bucket reports
+ * its lower bound). @p q in [0, 1]; returns 0 for an empty
+ * histogram or a non-histogram value.
+ */
+double histogramQuantileNs(const MetricValue &value, double q);
+
+} // namespace varsaw::telemetry
+
+#endif // VARSAW_TELEMETRY_PROFILER_HH

@@ -1,0 +1,29 @@
+// FAIL fixture [metric-naming]: registry names that break the
+// layer.component.metric convention — CamelCase and a single
+// segment with no layer prefix.
+namespace fixture {
+
+struct Counter
+{
+    void add() {}
+};
+
+struct Registry
+{
+    Counter &
+    counter(const char *)
+    {
+        static Counter c;
+        return c;
+    }
+};
+
+void
+record()
+{
+    Registry reg;
+    reg.counter("Service.BadName").add();
+    reg.counter("retries").add();
+}
+
+} // namespace fixture

@@ -1,0 +1,28 @@
+// PASS fixture: registry names follow layer.component.metric —
+// dot-separated lowercase snake_case, two or more segments.
+namespace fixture {
+
+struct Counter
+{
+    void add() {}
+};
+
+struct Registry
+{
+    Counter &
+    counter(const char *)
+    {
+        static Counter c;
+        return c;
+    }
+};
+
+void
+record()
+{
+    Registry reg;
+    reg.counter("telemetry.fixture.events_total").add();
+    reg.counter("service.retries").add();
+}
+
+} // namespace fixture

@@ -11,6 +11,8 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,7 +24,18 @@
 #include "service/scheduler.hh"
 #include "sim/circuit.hh"
 #include "sim/statevector.hh"
+#include "telemetry/introspect.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
 #include "util/parallel.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VARSAW_TEST_UNIX_SOCKETS 1
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
 #include "vqa/ansatz.hh"
 #include "vqa/estimator.hh"
 #include "vqa/zne_estimator.hh"
@@ -699,6 +712,205 @@ TEST(BatchExecutor, HotResultsSurviveTheCacheBoundary)
     EXPECT_EQ(exec.circuitsExecuted(), executed + 12);
     EXPECT_GE(runtime.cacheStats().hits, 12u);
 }
+
+TEST(ServiceScheduler, QueueGaugesTrackAndTypedShedDoesNotLeak)
+{
+    // The admission-visibility gauges: service.queue_depth counts
+    // exactly the waiting chunks, a Full (shed) admission moves
+    // nothing, and a drained scheduler reads 0. The labeled queue
+    // also feeds the per-session queue_wait series.
+    const bool metricsWas = telemetry::metricsEnabled();
+    const bool profilerWas = telemetry::profilerEnabled();
+    telemetry::setMetricsEnabled(true);
+    telemetry::setProfilerEnabled(true);
+    auto &reg = telemetry::MetricsRegistry::instance();
+    auto &depth = reg.gauge("service.queue_depth");
+    depth.reset();
+    auto &wait = reg.histogram(
+        "profile.phase.queue_wait_ns{session=gauge_test}");
+    wait.reset();
+
+    {
+        ServiceScheduler scheduler(1, 2);
+        const auto q = scheduler.openQueue("gauge_test");
+
+        // Park the single worker on a gate task; wait until it is
+        // RUNNING (off the queue) so the depth cap below is exact.
+        std::promise<void> gate;
+        std::shared_future<void> gate_future =
+            gate.get_future().share();
+        std::atomic<bool> started{false};
+        ASSERT_EQ(scheduler.enqueue(q,
+                                    [&started, gate_future] {
+                                        started.store(
+                                            true,
+                                            std::memory_order_release);
+                                        gate_future.wait();
+                                    }),
+                  ServiceScheduler::Admission::Accepted);
+        while (!started.load(std::memory_order_acquire))
+            std::this_thread::yield();
+
+        ASSERT_EQ(scheduler.enqueue(q, [] {}),
+                  ServiceScheduler::Admission::Accepted);
+        ASSERT_EQ(scheduler.enqueue(q, [] {}),
+                  ServiceScheduler::Admission::Accepted);
+        EXPECT_EQ(scheduler.queueDepth(q), 2u);
+        EXPECT_EQ(depth.value(), 2);
+
+        // At the cap: a typed shed — and the gauge must not move,
+        // in either direction.
+        EXPECT_EQ(scheduler.enqueue(q, [] {}),
+                  ServiceScheduler::Admission::Full);
+        EXPECT_EQ(depth.value(), 2);
+
+        gate.set_value();
+        scheduler.drain();
+        EXPECT_EQ(scheduler.queueDepth(q), 0u);
+        EXPECT_EQ(depth.value(), 0);
+        // All three admitted chunks landed in the labeled series.
+        EXPECT_EQ(wait.count(), 3u);
+        scheduler.closeQueue(q);
+    }
+
+    telemetry::setProfilerEnabled(profilerWas);
+    telemetry::setMetricsEnabled(metricsWas);
+}
+
+TEST(ExecutionService, SloAccountingPerLatencyClass)
+{
+    // Latency-class accounting: every batch lands in its class's
+    // service.latency_ns histogram; a batch over its class target
+    // bumps service.slo_burn. Pure observation — the results above
+    // already pin that nothing reads these back.
+    const bool metricsWas = telemetry::metricsEnabled();
+    telemetry::setMetricsEnabled(true);
+    auto &reg = telemetry::MetricsRegistry::instance();
+    auto &ilat = reg.histogram(telemetry::labeled(
+        "service.latency_ns", {{"class", "interactive"}}));
+    auto &iburn = reg.counter(telemetry::labeled(
+        "service.slo_burn", {{"class", "interactive"}}));
+    auto &blat = reg.histogram(telemetry::labeled(
+        "service.latency_ns", {{"class", "bulk"}}));
+    auto &bburn = reg.counter(telemetry::labeled(
+        "service.slo_burn", {{"class", "bulk"}}));
+    ilat.reset();
+    iburn.reset();
+    blat.reset();
+    bburn.reset();
+
+    IdealExecutor exec(5);
+    ServiceConfig sc;
+    sc.threads = 2;
+    sc.interactiveSloNs = 1; // any real batch busts a 1 ns target
+    sc.bulkSloNs = 0;        // 0 = burn counting disabled
+    ExecutionService service(exec, sc);
+    auto fast =
+        service.createSession("fast", LatencyClass::Interactive);
+    EXPECT_EQ(fast->latencyClass(), LatencyClass::Interactive);
+    auto slow = service.createSession("slow");
+    EXPECT_EQ(slow->latencyClass(), LatencyClass::Bulk);
+
+    Circuit c(2);
+    c.h(0).cx(0, 1).measureAll();
+    Batch batch;
+    for (int i = 0; i < 4; ++i)
+        batch.add(c, {}, 64);
+
+    fast->run(batch);
+    service.drain(); // completion is recorded by the last chunk
+    EXPECT_EQ(ilat.count(), 1u);
+    EXPECT_EQ(iburn.value(), 1u);
+    EXPECT_EQ(blat.count(), 0u);
+
+    slow->run(batch);
+    service.drain();
+    EXPECT_EQ(blat.count(), 1u);
+    EXPECT_EQ(bburn.value(), 0u); // over a disabled target: no burn
+    EXPECT_EQ(ilat.count(), 1u);  // and no class cross-talk
+
+    telemetry::setMetricsEnabled(metricsWas);
+}
+
+TEST(LatencyClass, NamesAreStable)
+{
+    EXPECT_STREQ(latencyClassName(LatencyClass::Interactive),
+                 "interactive");
+    EXPECT_STREQ(latencyClassName(LatencyClass::Bulk), "bulk");
+}
+
+#if defined(VARSAW_TEST_UNIX_SOCKETS)
+
+/** Netcat-equivalent introspection client: one command, read all. */
+std::string
+introspectQuery(const std::string &path, const std::string &command)
+{
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string line = command + "\n";
+    (void)send(fd, line.data(), line.size(), 0);
+    std::string out;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+}
+
+TEST(ExecutionService, IntrospectionEndpointServesLiveSessions)
+{
+    // End-to-end wiring: VARSAW_INTROSPECT-style path slot ->
+    // service starts the endpoint -> a socket client (what
+    // varsaw-top runs) sees the live session registry.
+    const std::string path = "/tmp/varsaw_test_svc_intro.sock";
+    const std::string savedPath = telemetry::introspectPath();
+    telemetry::setIntrospectPath(path);
+    {
+        IdealExecutor exec(3);
+        ServiceConfig sc;
+        sc.threads = 1;
+        ExecutionService service(exec, sc);
+        auto session = service.createSession(
+            "live_a", LatencyClass::Interactive);
+        Circuit c(2);
+        c.h(0).measureAll();
+        Batch batch;
+        batch.add(c, {}, 32);
+        session->run(batch);
+
+        const std::string sessions =
+            introspectQuery(path, "sessions");
+        EXPECT_NE(sessions.find("\"session\": \"live_a\""),
+                  std::string::npos)
+            << sessions;
+        EXPECT_NE(sessions.find("\"class\": \"interactive\""),
+                  std::string::npos);
+        EXPECT_NE(sessions.find("\"jobs_submitted\": 1"),
+                  std::string::npos);
+
+        const std::string top = introspectQuery(path, "top");
+        EXPECT_NE(top.find("live_a"), std::string::npos) << top;
+    }
+    // The endpoint dies with the service: the socket is unlinked
+    // and a fresh connect fails.
+    EXPECT_TRUE(introspectQuery(path, "top").empty());
+    telemetry::setIntrospectPath(savedPath);
+}
+
+#endif // VARSAW_TEST_UNIX_SOCKETS
 
 } // namespace
 } // namespace varsaw

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Exporter serialization tests on hand-built snapshots: Prometheus
+ * label-value escaping, cumulative histogram bucket rendering, and
+ * the empty-snapshot JSON shape. Building MetricsSnapshot values
+ * directly (instead of going through the process-global registry)
+ * keeps these tests independent of everything else the suite
+ * registers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "telemetry/exporters.hh"
+#include "telemetry/metrics.hh"
+
+namespace varsaw::telemetry {
+namespace {
+
+MetricValue
+counterValue(std::string name, double value)
+{
+    MetricValue m;
+    m.name = std::move(name);
+    m.kind = MetricValue::Kind::Counter;
+    m.value = value;
+    return m;
+}
+
+TEST(Exporters, PrometheusEscapesLabelValues)
+{
+    // Label values are caller-supplied strings (session names); the
+    // text exposition format requires backslash, double-quote, and
+    // newline escaped inside the quoted value.
+    MetricsSnapshot snap;
+    snap.metrics.push_back(counterValue(
+        std::string("test.exporters.esc{session=a\"b\\c\nd}"),
+        7.0));
+
+    const std::string text = metricsToPrometheus(snap);
+    EXPECT_NE(
+        text.find("test_exporters_esc{"
+                  "session=\"a\\\"b\\\\c\\nd\"} 7"),
+        std::string::npos)
+        << text;
+    // The raw newline must not survive into the exposition line.
+    EXPECT_EQ(text.find("c\nd"), std::string::npos) << text;
+}
+
+TEST(Exporters, PrometheusHistogramBucketsAreCumulative)
+{
+    MetricValue m;
+    m.name = "test.exporters.hist";
+    m.kind = MetricValue::Kind::Histogram;
+    m.bucketCounts.assign(
+        static_cast<std::size_t>(Histogram::kBuckets), 0);
+    m.bucketCounts[0] = 2; // <= 1 µs
+    m.bucketCounts[1] = 3; // <= 4 µs
+    m.bucketCounts[Histogram::kBuckets - 1] = 1; // overflow
+    m.count = 6;
+    m.sumNs = 123'456;
+    MetricsSnapshot snap;
+    snap.metrics.push_back(m);
+
+    const std::string text = metricsToPrometheus(snap);
+    // le bounds come from the shared bucket table; counts are
+    // cumulative, and the overflow bucket renders as +Inf with the
+    // grand total.
+    EXPECT_NE(text.find("test_exporters_hist_bucket{le=\"1000\"} 2"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("test_exporters_hist_bucket{le=\"4000\"} 5"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("test_exporters_hist_bucket{le=\"+Inf\"} 6"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("test_exporters_hist_sum 123456"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("test_exporters_hist_count 6"),
+              std::string::npos)
+        << text;
+}
+
+TEST(Exporters, PrometheusLabeledHistogramKeepsLabels)
+{
+    MetricValue m;
+    m.name = "test.exporters.lhist{session=s1}";
+    m.kind = MetricValue::Kind::Histogram;
+    m.bucketCounts.assign(
+        static_cast<std::size_t>(Histogram::kBuckets), 0);
+    m.bucketCounts[0] = 1;
+    m.count = 1;
+    m.sumNs = 500;
+    MetricsSnapshot snap;
+    snap.metrics.push_back(m);
+
+    const std::string text = metricsToPrometheus(snap);
+    // Bucket series merge the instrument labels with le=...
+    EXPECT_NE(text.find("test_exporters_lhist_bucket{"
+                        "session=\"s1\",le=\"1000\"} 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("test_exporters_lhist_sum{"
+                        "session=\"s1\"} 500"),
+              std::string::npos)
+        << text;
+}
+
+TEST(Exporters, EmptySnapshotJsonIsWellFormed)
+{
+    const std::string json = metricsToJson(MetricsSnapshot{});
+    // Shape: an object with an empty "metrics" object — consumers
+    // (benchdiff, varsaw-top) parse this without special-casing.
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos) << json;
+    long depth = 0;
+    for (char ch : json) {
+        if (ch == '{')
+            ++depth;
+        if (ch == '}')
+            --depth;
+        ASSERT_GE(depth, 0) << json;
+    }
+    EXPECT_EQ(depth, 0) << json;
+    // Round trip: an empty snapshot must not invent metrics.
+    EXPECT_EQ(json.find("\":"), json.rfind("\":")) << json;
+
+    // Prometheus text for an empty snapshot is empty by definition.
+    EXPECT_TRUE(metricsToPrometheus(MetricsSnapshot{}).empty());
+}
+
+TEST(Exporters, JsonEscapesMetricNames)
+{
+    MetricsSnapshot snap;
+    snap.metrics.push_back(
+        counterValue("test.exporters.quote\"name", 1.0));
+    const std::string json = metricsToJson(snap);
+    EXPECT_NE(json.find("test.exporters.quote\\\"name"),
+              std::string::npos)
+        << json;
+}
+
+} // namespace
+} // namespace varsaw::telemetry

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the live introspection endpoint: the protocol responses
+ * (via respond(), no socket needed), the unix-socket round trip with
+ * a netcat-equivalent client, server lifecycle, and the process-wide
+ * socket-path slot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "telemetry/introspect.hh"
+#include "telemetry/metrics.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VARSAW_TEST_UNIX_SOCKETS 1
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace varsaw::telemetry {
+namespace {
+
+std::vector<SessionStatusRow>
+sampleRows()
+{
+    SessionStatusRow a;
+    a.session = "alice";
+    a.latencyClass = "interactive";
+    a.jobsSubmitted = 12;
+    a.cacheHits = 7;
+    a.queueDepth = 3;
+    SessionStatusRow b;
+    b.session = "bulk_sweep";
+    b.latencyClass = "bulk";
+    b.jobsSubmitted = 400;
+    b.shedJobs = 2;
+    return {a, b};
+}
+
+TEST(Introspect, RespondJsonAndProm)
+{
+    const bool metricsWas = metricsEnabled();
+    setMetricsEnabled(true);
+    MetricsRegistry::instance()
+        .counter("test.introspect.marker")
+        .add(3);
+
+    IntrospectServer server;
+    const std::string json = server.respond("json");
+    EXPECT_NE(json.find("\"test.introspect.marker\""),
+              std::string::npos);
+    const std::string prom = server.respond("prom");
+    EXPECT_NE(prom.find("test_introspect_marker"),
+              std::string::npos);
+    setMetricsEnabled(metricsWas);
+}
+
+TEST(Introspect, RespondSessionsUsesProvider)
+{
+    IntrospectServer server;
+    // No provider yet: an empty, well-formed array.
+    EXPECT_NE(server.respond("sessions").find("[\n\n]"),
+              std::string::npos);
+
+    server.setStatusProvider(sampleRows);
+    const std::string out = server.respond("sessions");
+    EXPECT_NE(out.find("\"session\": \"alice\""),
+              std::string::npos)
+        << out;
+    EXPECT_NE(out.find("\"class\": \"interactive\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"queue_depth\": 3"), std::string::npos);
+    EXPECT_NE(out.find("\"session\": \"bulk_sweep\""),
+              std::string::npos);
+}
+
+TEST(Introspect, RespondTopRendersSessionsTable)
+{
+    IntrospectServer server;
+    server.setStatusProvider(sampleRows);
+    const std::string out = server.respond("top");
+    EXPECT_NE(out.find("SESSION"), std::string::npos) << out;
+    EXPECT_NE(out.find("alice"), std::string::npos);
+    EXPECT_NE(out.find("interactive"), std::string::npos);
+    EXPECT_NE(out.find("phases:"), std::string::npos);
+    EXPECT_NE(out.find("slo:"), std::string::npos);
+}
+
+TEST(Introspect, RespondUnknownCommand)
+{
+    IntrospectServer server;
+    EXPECT_EQ(server.respond("bogus").rfind("ERR", 0), 0u);
+}
+
+TEST(Introspect, PathSlotRoundTrips)
+{
+    const std::string saved = introspectPath();
+    setIntrospectPath("/tmp/varsaw_test_slot.sock");
+    EXPECT_EQ(introspectPath(), "/tmp/varsaw_test_slot.sock");
+    setIntrospectPath(saved);
+}
+
+#if defined(VARSAW_TEST_UNIX_SOCKETS)
+
+/** One-shot protocol client: connect, send @p command, read all. */
+std::string
+query(const std::string &path, const std::string &command)
+{
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string line = command + "\n";
+    (void)send(fd, line.data(), line.size(), 0);
+    std::string out;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+}
+
+TEST(Introspect, SocketRoundTrip)
+{
+    const std::string path = "/tmp/varsaw_test_introspect.sock";
+    IntrospectServer server;
+    server.setStatusProvider(sampleRows);
+    ASSERT_TRUE(server.start(path));
+    EXPECT_TRUE(server.running());
+    EXPECT_EQ(server.socketPath(), path);
+
+    const std::string sessions = query(path, "sessions");
+    EXPECT_NE(sessions.find("\"session\": \"alice\""),
+              std::string::npos)
+        << sessions;
+    const std::string err = query(path, "nonsense");
+    EXPECT_EQ(err.rfind("ERR", 0), 0u) << err;
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    // stop() removes the socket file; a fresh connect must fail.
+    EXPECT_TRUE(query(path, "top").empty());
+    // Idempotent.
+    server.stop();
+}
+
+TEST(Introspect, RestartAfterStop)
+{
+    const std::string path = "/tmp/varsaw_test_introspect2.sock";
+    IntrospectServer server;
+    ASSERT_TRUE(server.start(path));
+    server.stop();
+    ASSERT_TRUE(server.start(path));
+    EXPECT_FALSE(query(path, "json").empty());
+    server.stop();
+}
+
+TEST(Introspect, StartTwiceFails)
+{
+    const std::string path = "/tmp/varsaw_test_introspect3.sock";
+    IntrospectServer server;
+    ASSERT_TRUE(server.start(path));
+    EXPECT_FALSE(server.start(path));
+    server.stop();
+}
+
+#endif // VARSAW_TEST_UNIX_SOCKETS
+
+} // namespace
+} // namespace varsaw::telemetry

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Tests for the phase-attribution profiler: the phase taxonomy and
+ * metric names, ScopedPhase recording semantics on/off, per-session
+ * series, and the histogram quantile estimator the introspection
+ * "top" page relies on.
+ *
+ * The profiler writes into the process-global registry; every test
+ * saves/restores the enabled flags and resets the histograms it
+ * reads so suite ordering cannot matter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "telemetry/metrics.hh"
+#include "telemetry/profiler.hh"
+
+namespace varsaw::telemetry {
+namespace {
+
+/** Save/restore profiler + metrics enabled flags around a test. */
+class ProfilerFlagsGuard
+{
+  public:
+    ProfilerFlagsGuard()
+        : metricsWas_(metricsEnabled()),
+          profilerWas_(profilerEnabled())
+    {
+    }
+    ~ProfilerFlagsGuard()
+    {
+        setProfilerEnabled(profilerWas_);
+        setMetricsEnabled(metricsWas_);
+    }
+
+  private:
+    bool metricsWas_;
+    bool profilerWas_;
+};
+
+TEST(Profiler, PhaseNamesAndMetricNames)
+{
+    EXPECT_STREQ(phaseName(Phase::QueueWait), "queue_wait");
+    EXPECT_STREQ(phaseName(Phase::LedgerLookup), "ledger_lookup");
+    EXPECT_STREQ(phaseName(Phase::Prep), "prep");
+    EXPECT_STREQ(phaseName(Phase::Suffix), "suffix");
+    EXPECT_STREQ(phaseName(Phase::Sampling), "sampling");
+    EXPECT_STREQ(phaseName(Phase::RetryBackoff), "retry_backoff");
+    EXPECT_STREQ(phaseName(Phase::Export), "export");
+
+    EXPECT_EQ(phaseMetricName(Phase::Prep),
+              "profile.phase.prep_ns");
+    // Every phase maps to a distinct, convention-conforming metric
+    // name: profile.phase.<snake>_ns.
+    for (int i = 0; i < kPhaseCount; ++i) {
+        const auto name =
+            phaseMetricName(static_cast<Phase>(i));
+        EXPECT_EQ(name.rfind("profile.phase.", 0), 0u) << name;
+        EXPECT_EQ(name.substr(name.size() - 3), "_ns") << name;
+    }
+}
+
+TEST(Profiler, ScopedPhaseRecordsWhenEnabled)
+{
+    ProfilerFlagsGuard guard;
+    setMetricsEnabled(true);
+    setProfilerEnabled(true);
+
+    auto &reg = MetricsRegistry::instance();
+    auto &h = reg.histogram(phaseMetricName(Phase::Prep));
+    h.reset();
+    {
+        ScopedPhase phase(Phase::Prep);
+        EXPECT_TRUE(phase.armed());
+    }
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Profiler, ScopedPhaseDisabledIsInert)
+{
+    ProfilerFlagsGuard guard;
+    setMetricsEnabled(true);
+    setProfilerEnabled(false);
+
+    auto &reg = MetricsRegistry::instance();
+    auto &h = reg.histogram(phaseMetricName(Phase::Sampling));
+    h.reset();
+    {
+        ScopedPhase phase(Phase::Sampling);
+        EXPECT_FALSE(phase.armed());
+    }
+    EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Profiler, DisableRaceKeepsRecording)
+{
+    // A timer armed while the profiler was on still records after a
+    // concurrent disable: arming is latched at construction.
+    ProfilerFlagsGuard guard;
+    setMetricsEnabled(true);
+    setProfilerEnabled(true);
+
+    auto &reg = MetricsRegistry::instance();
+    auto &h = reg.histogram(phaseMetricName(Phase::Export));
+    h.reset();
+    {
+        ScopedPhase phase(Phase::Export);
+        setProfilerEnabled(false);
+    }
+    EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Profiler, SessionSeriesAndExtraHistogram)
+{
+    ProfilerFlagsGuard guard;
+    setMetricsEnabled(true);
+    setProfilerEnabled(true);
+
+    auto &reg = MetricsRegistry::instance();
+    auto &session =
+        sessionPhaseHistogram(Phase::Suffix, "test_prof_alice");
+    EXPECT_EQ(&session,
+              &reg.histogram("profile.phase.suffix_ns{"
+                             "session=test_prof_alice}"));
+
+    auto &global = reg.histogram(phaseMetricName(Phase::Suffix));
+    global.reset();
+    session.reset();
+    {
+        ScopedPhase phase(Phase::Suffix, &session);
+    }
+    // The same duration lands in both the process-wide and the
+    // per-session series.
+    EXPECT_EQ(global.count(), 1u);
+    EXPECT_EQ(session.count(), 1u);
+}
+
+TEST(Profiler, HistogramQuantileWalksBuckets)
+{
+    MetricValue v;
+    v.kind = MetricValue::Kind::Histogram;
+    v.bucketCounts.assign(
+        static_cast<std::size_t>(Histogram::kBuckets), 0);
+    // 10 samples in bucket 0 (bound 1 µs), 10 in bucket 1 (bound
+    // 4 µs): the median sits at the bucket-0 upper bound and p100
+    // inside bucket 1.
+    v.bucketCounts[0] = 10;
+    v.bucketCounts[1] = 10;
+    v.count = 20;
+
+    const double p50 = histogramQuantileNs(v, 0.5);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, 1'000.0);
+    const double p99 = histogramQuantileNs(v, 0.99);
+    EXPECT_GT(p99, 1'000.0);
+    EXPECT_LE(p99, 4'000.0);
+    // Quantiles are monotone in q.
+    EXPECT_LE(histogramQuantileNs(v, 0.25), p50);
+    EXPECT_LE(p50, histogramQuantileNs(v, 0.95));
+}
+
+TEST(Profiler, HistogramQuantileDegenerateInputs)
+{
+    MetricValue empty;
+    empty.kind = MetricValue::Kind::Histogram;
+    empty.bucketCounts.assign(
+        static_cast<std::size_t>(Histogram::kBuckets), 0);
+    EXPECT_EQ(histogramQuantileNs(empty, 0.5), 0.0);
+
+    MetricValue counter;
+    counter.kind = MetricValue::Kind::Counter;
+    counter.value = 42.0;
+    EXPECT_EQ(histogramQuantileNs(counter, 0.5), 0.0);
+}
+
+TEST(Profiler, RecordPhaseNsWritesTheNamedHistogram)
+{
+    ProfilerFlagsGuard guard;
+    setMetricsEnabled(true);
+    auto &reg = MetricsRegistry::instance();
+    auto &h = reg.histogram(phaseMetricName(Phase::RetryBackoff));
+    h.reset();
+
+    recordPhaseNs(Phase::RetryBackoff, 5'000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.sumNs(), 5'000u);
+
+    // Out-of-taxonomy values are dropped, not UB.
+    recordPhaseNs(static_cast<Phase>(99), 1);
+    EXPECT_STREQ(phaseName(static_cast<Phase>(99)), "unknown");
+}
+
+} // namespace
+} // namespace varsaw::telemetry

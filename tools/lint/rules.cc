@@ -14,6 +14,7 @@
  *   unordered-iter      no iteration over unordered containers
  *   status-taxonomy     runtime/service throw only StatusError
  *   atomics-order       no default-seq_cst atomic ops in hot paths
+ *   metric-naming       registry names are dotted lowercase snake
  */
 
 #include "lint.hh"
@@ -706,6 +707,83 @@ ruleAtomicsOrder(const Manifest &m, const Tree &tree,
     }
 }
 
+// ---- metric naming ---------------------------------------------------------
+
+/**
+ * layer.component.metric form: two or more '.'-separated segments,
+ * each lowercase snake_case starting with a letter.
+ */
+bool
+wellFormedMetricName(const std::string &name)
+{
+    int segments = 0;
+    std::size_t i = 0;
+    for (;;) {
+        if (i >= name.size() ||
+            !(name[i] >= 'a' && name[i] <= 'z'))
+            return false;
+        std::size_t j = i + 1;
+        while (j < name.size() &&
+               ((name[j] >= 'a' && name[j] <= 'z') ||
+                (name[j] >= '0' && name[j] <= '9') ||
+                name[j] == '_'))
+            ++j;
+        ++segments;
+        if (j == name.size())
+            return segments >= 2;
+        if (name[j] != '.')
+            return false;
+        i = j + 1;
+    }
+}
+
+void
+ruleMetricNaming(const Manifest &m, const Tree &tree,
+                 std::vector<Finding> &findings)
+{
+    const std::string id = "metric-naming";
+    if (!m.boolean("rule." + id, "enabled", true))
+        return;
+    const auto dirs = m.list("rule." + id, "dirs");
+    const auto methods = m.list("rule." + id, "methods");
+
+    for (const SourceFile *f : tree.under(dirs)) {
+        for (const std::string &method : methods) {
+            for (std::size_t pos :
+                 findIdent(f->stripped, method)) {
+                const std::size_t open = pos + method.size();
+                if (open >= f->stripped.size() ||
+                    f->stripped[open] != '(')
+                    continue;
+                // Only calls whose first argument is a string
+                // LITERAL are checked; computed names (labeled
+                // bases, per-session series) are validated at
+                // their literal source instead. The literal text
+                // lives in `raw` — stripping blanks string
+                // contents but preserves offsets.
+                std::size_t p = open + 1;
+                while (p < f->raw.size() &&
+                       std::isspace(static_cast<unsigned char>(
+                           f->raw[p])))
+                    ++p;
+                if (p >= f->raw.size() || f->raw[p] != '"')
+                    continue;
+                const std::size_t q = f->raw.find('"', p + 1);
+                if (q == std::string::npos)
+                    continue;
+                const std::string name =
+                    f->raw.substr(p + 1, q - p - 1);
+                if (!wellFormedMetricName(name))
+                    emit(findings, *f, f->lineOf(pos), id,
+                         "metric name '" + name +
+                             "' is not layer.component.metric "
+                             "form (two or more dot-separated "
+                             "lowercase snake_case segments)");
+            }
+        }
+    }
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -724,6 +802,7 @@ runRules(const Manifest &manifest, const Tree &tree)
     ruleUnorderedIter(manifest, tree, findings);
     ruleStatusTaxonomy(manifest, tree, findings);
     ruleAtomicsOrder(manifest, tree, findings);
+    ruleMetricNaming(manifest, tree, findings);
 
     std::sort(findings.begin(), findings.end());
     findings.erase(std::unique(findings.begin(), findings.end(),

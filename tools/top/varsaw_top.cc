@@ -1,0 +1,216 @@
+/**
+ * @file
+ * varsaw-top: live terminal view of a running VarSaw service.
+ *
+ * Connects to the unix-socket introspection endpoint an
+ * ExecutionService serves when VARSAW_INTROSPECT=PATH (or
+ * --introspect=PATH) was set at service construction, sends the
+ * "top" command, and renders the returned page, refreshing until
+ * interrupted. The endpoint renders the page server-side, so this
+ * client is a dumb pipe: one connect per refresh, one line out,
+ * read to EOF, print.
+ *
+ * Usage:
+ *   varsaw_top [--socket=PATH] [--interval=SEC] [--once]
+ *
+ * PATH defaults to $VARSAW_INTROSPECT. --once prints a single
+ * snapshot and exits nonzero if the endpoint is unreachable (the
+ * scriptable mode; the default loop instead keeps retrying, so the
+ * viewer can be started before the workload). The endpoint speaks a
+ * one-line command protocol ("json", "prom", "sessions", "top"),
+ * so `echo json | nc -U PATH` works equally well for raw scraping.
+ *
+ * Standalone on purpose: it never links the library it observes, so
+ * it can watch any varsaw process, including one wedged enough that
+ * linking its code would be suspect.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define VARSAW_TOP_HAVE_UNIX_SOCKETS 1
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#endif
+
+namespace {
+
+struct Options
+{
+    std::string socketPath;
+    double intervalSeconds = 1.0;
+    bool once = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--socket=PATH] [--interval=SEC] [--once]\n"
+        "  --socket=PATH    introspection socket (default: "
+        "$VARSAW_INTROSPECT)\n"
+        "  --interval=SEC   refresh period (default: 1.0)\n"
+        "  --once           print one snapshot and exit\n",
+        argv0);
+}
+
+bool
+parseOptions(int argc, char **argv, Options *out)
+{
+    const char *env = std::getenv("VARSAW_INTROSPECT");
+    if (env)
+        out->socketPath = env;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *flag) -> const char * {
+            const std::size_t n = std::strlen(flag);
+            if (arg.compare(0, n, flag) != 0)
+                return nullptr;
+            if (arg.size() > n && arg[n] == '=')
+                return arg.c_str() + n + 1;
+            return nullptr;
+        };
+        if (const char *v = value("--socket")) {
+            out->socketPath = v;
+        } else if (const char *v = value("--interval")) {
+            out->intervalSeconds = std::atof(v);
+            if (out->intervalSeconds <= 0.0)
+                out->intervalSeconds = 1.0;
+        } else if (arg == "--once") {
+            out->once = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        } else {
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    if (out->socketPath.empty()) {
+        std::fprintf(stderr,
+                     "no socket: pass --socket=PATH or set "
+                     "VARSAW_INTROSPECT (and start the service "
+                     "with the same value)\n");
+        return false;
+    }
+    return true;
+}
+
+#if VARSAW_TOP_HAVE_UNIX_SOCKETS
+
+/** One request/response round trip. Returns false on any failure. */
+bool
+fetch(const std::string &path, const std::string &command,
+      std::string *out)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path) {
+        ::close(fd);
+        return false;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        ::close(fd);
+        return false;
+    }
+    const std::string line = command + "\n";
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+        const ssize_t n =
+            ::send(fd, line.data() + sent, line.size() - sent, 0);
+        if (n <= 0) {
+            ::close(fd);
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    out->clear();
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        out->append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+int
+run(const Options &opts)
+{
+    std::string page;
+    if (opts.once) {
+        if (!fetch(opts.socketPath, "top", &page)) {
+            std::fprintf(stderr,
+                         "varsaw-top: cannot reach %s (is a "
+                         "service running with VARSAW_INTROSPECT "
+                         "set to this path?)\n",
+                         opts.socketPath.c_str());
+            return 1;
+        }
+        std::fputs(page.c_str(), stdout);
+        return 0;
+    }
+    const auto interval = std::chrono::duration<double>(
+        opts.intervalSeconds);
+    bool was_connected = false;
+    for (;;) {
+        if (fetch(opts.socketPath, "top", &page)) {
+            // Home + clear-to-end keeps the refresh flicker-free.
+            std::printf("\033[H\033[J%s", page.c_str());
+            std::fflush(stdout);
+            was_connected = true;
+        } else {
+            std::printf("\033[H\033[J(waiting for %s%s)\n",
+                        opts.socketPath.c_str(),
+                        was_connected ? " — service gone"
+                                      : "");
+            std::fflush(stdout);
+        }
+        std::this_thread::sleep_for(interval);
+    }
+}
+
+#else // !VARSAW_TOP_HAVE_UNIX_SOCKETS
+
+int
+run(const Options &)
+{
+    std::fprintf(stderr,
+                 "varsaw-top: unix sockets unavailable on this "
+                 "platform\n");
+    return 1;
+}
+
+#endif
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opts;
+    if (!parseOptions(argc, argv, &opts))
+        return 2;
+    return run(opts);
+}
